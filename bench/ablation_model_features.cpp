@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation bench (DESIGN.md Sec. 5): how much the model's
+ * order-aware reuse and multicast features matter to the headline
+ * Ruby-S vs PFM comparison. For each feature configuration, the same
+ * searches run on the same layer and the Ruby-S/PFM EDP ratio is
+ * reported — demonstrating the paper's conclusion is not an artifact
+ * of one modeling choice.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+double
+ratioFor(const Problem &prob, const ArchSpec &arch,
+         const ModelOptions &model, std::uint64_t seed)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    const Evaluator eval(prob, arch, model);
+    SearchOptions opts = bench::layerSearch(seed);
+    const SearchResult pfm = randomSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval, opts);
+    opts.seed = seed + 7;
+    const SearchResult rubys = randomSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval, opts);
+    if (!pfm.best || !rubys.best)
+        return -1.0;
+    return rubys.bestResult.edp / pfm.bestResult.edp;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ruby;
+
+    // A misaligned pointwise layer: the Ruby-S sweet spot.
+    ConvShape sh;
+    sh.name = "conv5_1x1b";
+    sh.c = 512;
+    sh.m = 2048;
+    sh.p = 7;
+    sh.q = 7;
+    const Problem prob = makeConv(sh);
+    const ArchSpec arch = makeEyeriss();
+
+    Table table({"model features", "Ruby-S/PFM EDP"});
+    table.setTitle("Ablation: model features vs the headline ratio (" +
+                   prob.name() + " on " + arch.name() + ")");
+
+    struct Config
+    {
+        const char *name;
+        ModelOptions opts;
+    };
+    ModelOptions full;
+    ModelOptions no_order;
+    no_order.orderAwareReuse = false;
+    ModelOptions no_mc;
+    no_mc.multicast = false;
+    ModelOptions bare;
+    bare.orderAwareReuse = false;
+    bare.multicast = false;
+    const Config configs[] = {
+        {"order-aware reuse + multicast (default)", full},
+        {"no order-aware reuse", no_order},
+        {"no multicast", no_mc},
+        {"neither", bare},
+    };
+    for (const auto &cfg : configs) {
+        const double r = ratioFor(prob, arch, cfg.opts, 9001);
+        table.addRow({cfg.name,
+                      r < 0 ? "search failed" : formatRatio(r, 3)});
+    }
+    ruby::bench::emit(table);
+    std::cout << "\nExpected shape: the Ruby-S advantage (ratio < 1) "
+                 "persists under every\nfeature configuration — it "
+                 "comes from utilization, not from a reuse or\n"
+                 "multicast modeling artifact.\n";
+    return 0;
+}

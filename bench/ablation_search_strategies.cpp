@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation bench: the paper argues its mapspaces are orthogonal to
+ * the search strategy (Sec. II-A cites COSA, Mind Mappings, GAMMA).
+ * This bench runs three searchers — random sampling (the paper's),
+ * hill-climbing local search and a GAMMA-style genetic algorithm —
+ * at the same evaluation budget over PFM and Ruby-S, on a layer where
+ * imperfect factorization matters. The Ruby-S advantage should
+ * persist under every strategy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+struct Row
+{
+    const char *name;
+    double pfm;
+    double rubys;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace ruby;
+
+    ConvShape sh;
+    sh.name = "conv3_1x1b";
+    sh.c = 128;
+    sh.m = 512;
+    sh.p = 28;
+    sh.q = 28;
+    const Problem prob = makeConv(sh);
+    const ArchSpec arch = makeEyeriss();
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    const Evaluator eval(prob, arch);
+    const Mapspace pfm(cons, MapspaceVariant::PFM);
+    const Mapspace rubys(cons, MapspaceVariant::RubyS);
+
+    const std::uint64_t budget = bench::fullRun() ? 120'000 : 30'000;
+
+    // Each strategy gets the same total budget, split across three
+    // seeds (best-of-3) so single-run variance doesn't masquerade as
+    // a mapspace effect.
+    constexpr unsigned kSeeds = 3;
+    auto best_of = [&](auto &&one_run) {
+        double best = -1.0;
+        for (unsigned s = 0; s < kSeeds; ++s) {
+            const double edp = one_run(s + 1);
+            if (best < 0 || (edp > 0 && edp < best))
+                best = edp;
+        }
+        return best;
+    };
+    auto random_best = [&](const Mapspace &space, std::uint64_t seed) {
+        return best_of([&](std::uint64_t s) {
+            SearchOptions opts;
+            opts.maxEvaluations = budget / kSeeds;
+            opts.terminationStreak = 0;
+            opts.seed = seed * 1000 + s;
+            return randomSearch(space, eval, opts).bestResult.edp;
+        });
+    };
+    auto local_best = [&](const Mapspace &space, std::uint64_t seed) {
+        return best_of([&](std::uint64_t s) {
+            LocalSearchOptions opts;
+            opts.maxEvaluations = budget / kSeeds;
+            opts.seed = seed * 1000 + s;
+            return localSearch(space, eval, opts).bestResult.edp;
+        });
+    };
+    auto genetic_best = [&](const Mapspace &space,
+                            std::uint64_t seed) {
+        return best_of([&](std::uint64_t s) {
+            GeneticOptions opts;
+            opts.populationSize = 64;
+            opts.generations = static_cast<unsigned>(
+                                   budget / kSeeds /
+                                   opts.populationSize) -
+                               1;
+            opts.seed = seed * 1000 + s;
+            return geneticSearch(space, eval, opts).bestResult.edp;
+        });
+    };
+
+    const Row rows[] = {
+        {"random sampling (paper)", random_best(pfm, 1),
+         random_best(rubys, 2)},
+        {"local search (hill climbing)", local_best(pfm, 1),
+         local_best(rubys, 2)},
+        {"genetic (GAMMA-style)", genetic_best(pfm, 1),
+         genetic_best(rubys, 2)},
+    };
+
+    Table table({"search strategy", "PFM EDP", "Ruby-S EDP",
+                 "Ruby-S/PFM"});
+    table.setTitle("Search-strategy ablation on " + prob.name() +
+                   " / " + arch.name() + " (equal budgets of " +
+                   std::to_string(budget) + " evaluations)");
+    for (const Row &row : rows)
+        table.addRow({row.name, formatCompact(row.pfm),
+                      formatCompact(row.rubys),
+                      formatRatio(row.rubys / row.pfm, 3)});
+    ruby::bench::emit(table);
+    std::cout << "\nExpected shape: the Ruby-S advantage (ratio < 1) "
+                 "persists under every\nsearch strategy — the "
+                 "mapspace, not the searcher, provides the win.\n";
+    return 0;
+}

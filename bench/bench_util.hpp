@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses.
+ */
+
+#ifndef RUBY_BENCH_BENCH_UTIL_HPP
+#define RUBY_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ruby/common/table.hpp"
+#include "ruby/search/random_search.hpp"
+
+namespace ruby::bench
+{
+
+/** True when RUBY_BENCH_FULL=1: paper-scale search budgets. */
+inline bool
+fullRun()
+{
+    const char *env = std::getenv("RUBY_BENCH_FULL");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** True when RUBY_BENCH_CSV=1: emit plot-ready CSV instead of text. */
+inline bool
+csvOutput()
+{
+    const char *env = std::getenv("RUBY_BENCH_CSV");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Print a result table in the selected output format. */
+inline void
+emit(const Table &table)
+{
+    if (csvOutput())
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/**
+ * Search options for layer searches: converged-ish quick budgets by
+ * default, the paper's 3000-streak in full mode.
+ */
+inline SearchOptions
+layerSearch(std::uint64_t seed)
+{
+    SearchOptions opts;
+    if (fullRun()) {
+        opts.terminationStreak = 3000;
+        opts.maxEvaluations = 400'000;
+        opts.restarts = 3;
+    } else {
+        opts.terminationStreak = 1200;
+        opts.maxEvaluations = 40'000;
+        opts.restarts = 2;
+    }
+    opts.seed = seed;
+    return opts;
+}
+
+} // namespace ruby::bench
+
+#endif // RUBY_BENCH_BENCH_UTIL_HPP

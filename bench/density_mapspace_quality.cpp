@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Mapspace-density study (companion to Fig. 7 / Table I): for the
+ * paper's toy scenarios, sample each mapspace and report validity
+ * rate, objective quantiles and the density of high-quality mappings
+ * — quantifying Sec. III-A's argument that Ruby-S trades a modest
+ * size expansion for a mapspace still dense in good mappings, while
+ * unconstrained Ruby dilutes quality.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ruby/mapspace/stats.hpp"
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+void
+study(const std::string &title, const Problem &prob,
+      const ArchSpec &arch, ConstraintPreset preset)
+{
+    const MappingConstraints cons =
+        makeConstraints(preset, prob, arch);
+    const Evaluator eval(prob, arch);
+
+    StatsOptions opts;
+    opts.samples = bench::fullRun() ? 40'000 : 8'000;
+    opts.seed = 77;
+
+    Table table({"mapspace", "valid %", "best EDP", "p10", "median",
+                 "good|valid %", "good overall %"});
+    table.setTitle(title);
+    for (MapspaceVariant variant :
+         {MapspaceVariant::PFM, MapspaceVariant::Ruby,
+          MapspaceVariant::RubyS, MapspaceVariant::RubyT}) {
+        const Mapspace space(cons, variant);
+        const MapspaceStats st = collectStats(space, eval, opts);
+        table.addRow(
+            {variantName(variant),
+             formatFixed(100 * st.validityRate(), 1),
+             st.valid ? formatCompact(st.best) : "-",
+             st.valid ? formatCompact(st.p10) : "-",
+             st.valid ? formatCompact(st.median) : "-",
+             st.valid ? formatFixed(100 * st.goodDensity, 1) + "%"
+                      : "-",
+             st.valid ? formatFixed(100 * st.goodDensity *
+                                        st.validityRate(),
+                                    2) +
+                            "%"
+                      : "-"});
+    }
+    ruby::bench::emit(table);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ruby;
+
+    study("density: matmul-100 on 16 PEs (misaligned)",
+          makeGemm(100, 100, 100), makeToyLinear(16),
+          ConstraintPreset::None);
+    study("density: matmul-100 on 5 PEs (aligned)",
+          makeGemm(100, 100, 100), makeToyLinear(5),
+          ConstraintPreset::None);
+    ConvShape conv;
+    conv.name = "conv26";
+    conv.c = 64;
+    conv.m = 64;
+    conv.p = 26;
+    conv.q = 26;
+    conv.r = 3;
+    conv.s = 3;
+    study("density: conv 3x3x64 on 15 PEs (C/M spatial)",
+          makeConv(conv), makeToyLinear(15), ConstraintPreset::ToyCM);
+
+    std::cout << "Expected shape (paper Sec. III-A): Ruby-S keeps "
+                 "validity near PFM's while\nreaching a better best "
+                 "EDP when dims misalign. Unconstrained Ruby/Ruby-T\n"
+                 "lose most samples to the validity filter, so their "
+                 "overall good-mapping\ndensity (valid x good) drops "
+                 "— the search-tractability argument for Ruby-S.\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fig. 9: AlexNet layer 2 (IFM 27x27x48, weights 5x5x96) on the
+ * Eyeriss baseline — the known edge case where a handcrafted
+ * strip-mined row-stationary mapping beats PFMs. We evaluate:
+ *
+ *  - the handcrafted mapping (Q strip-mined 14 + 13 across the
+ *    array columns, filter rows across array rows, 2x M replication),
+ *  - the best PFM mapping found by search,
+ *  - the best Ruby-S mapping found by search.
+ *
+ * The strip-mined mapping is itself an imperfect factorization
+ * (Q: spatial 14, tail 13), which is exactly why PFMs cannot express
+ * it and Ruby-S can.
+ */
+
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+/** The handcrafted strip-mined mapping described above. */
+Mapping
+handcrafted(const Problem &prob, const ArchSpec &arch)
+{
+    // Slots inner->outer: (s0, t0, s1, t1, s2, t2).
+    std::vector<std::vector<std::uint64_t>> steady(
+        7, std::vector<std::uint64_t>(6, 1));
+    steady[CONV_C] = {1, 2, 1, 24, 1, 1};  // 2 channels in the spad
+    steady[CONV_M] = {1, 4, 2, 2, 1, 6};   // 4 filters per PE pass,
+                                           // 2x array replication
+    steady[CONV_P] = {1, 1, 1, 27, 1, 1};
+    steady[CONV_Q] = {1, 1, 14, 2, 1, 1};  // strips of 14 (tail 13)
+    steady[CONV_R] = {1, 1, 5, 1, 1, 1};   // filter rows on array Y
+    steady[CONV_S] = {1, 5, 1, 1, 1, 1};   // filter row in the spad
+
+    std::vector<std::vector<DimId>> perms(3);
+    perms[0] = {CONV_N, CONV_C, CONV_M, CONV_P, CONV_Q, CONV_R,
+                CONV_S};
+    // Weight-relevant loops outermost at the GLB so weights stay
+    // stationary in the PEs across the P/Q sweep.
+    perms[1] = {CONV_C, CONV_M, CONV_Q, CONV_P, CONV_N, CONV_R,
+                CONV_S};
+    perms[2] = {CONV_M, CONV_N, CONV_C, CONV_P, CONV_Q, CONV_R,
+                CONV_S};
+
+    std::vector<std::vector<char>> keep(3,
+                                        std::vector<char>(3, 1));
+    keep[1][CONV_WEIGHTS] = 0; // weights bypass the GLB (Eyeriss)
+
+    // Mesh placement: Q strips along the 14-wide X axis; filter rows
+    // and the M replication stacked down the 12-tall Y axis.
+    std::vector<std::vector<SpatialAxis>> axes(
+        3, std::vector<SpatialAxis>(7, SpatialAxis::X));
+    axes[1][CONV_R] = SpatialAxis::Y;
+    axes[1][CONV_M] = SpatialAxis::Y;
+
+    return Mapping(prob, arch, steady, std::move(perms),
+                   std::move(keep), std::move(axes));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ruby;
+
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss();
+    const Evaluator eval(prob, arch);
+
+    const Mapping hand = handcrafted(prob, arch);
+    const EvalResult hand_res = eval.evaluate(hand);
+    if (!hand_res.valid) {
+        std::cerr << "handcrafted mapping invalid: "
+                  << hand_res.invalidReason << "\n";
+        return 1;
+    }
+
+    const SearchOptions opts = bench::layerSearch(21);
+    const LayerOutcome pfm =
+        searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                    MapspaceVariant::PFM, opts);
+    const LayerOutcome rubys =
+        searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                    MapspaceVariant::RubyS, opts);
+    if (!pfm.found || !rubys.found) {
+        std::cerr << "search failed\n";
+        return 1;
+    }
+
+    Table table({"mapping", "EDP (norm)", "energy (norm)",
+                 "cycles (norm)", "utilization"});
+    table.setTitle("Fig. 9: AlexNet layer 2 on " + arch.name());
+    auto row = [&](const std::string &name, const EvalResult &r) {
+        table.addRow({name, formatRatio(r.edp / pfm.result.edp, 2),
+                      formatRatio(r.energy / pfm.result.energy, 2),
+                      formatRatio(r.cycles / pfm.result.cycles, 2),
+                      formatFixed(100 * r.utilization, 1) + "%"});
+    };
+    row("PFM (best found)", pfm.result);
+    row("handcrafted strip-mining", hand_res);
+    row("Ruby-S (best found)", rubys.result);
+    ruby::bench::emit(table);
+
+    std::cout << "\nRuby-S best mapping:\n" << rubys.bestMapping;
+    std::cout << "\nExpected shape (paper): handcrafted and Ruby-S "
+                 "reach ~85% utilization vs\n~71% for PFM; Ruby-S "
+                 "matches or beats the handcrafted EDP.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 11: Ruby-S versus PFM over the DeepBench workloads on the
+ * Eyeriss-like baseline (EDP objective), plus the latency-objective
+ * aggregate the paper quotes in Sec. IV-D.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ruby/ruby.hpp"
+
+int
+main()
+{
+    using namespace ruby;
+
+    const ArchSpec arch = makeEyeriss();
+    const auto layers = deepbenchLayers();
+
+    Table table({"workload", "domain", "EDP Ruby-S/PFM",
+                 "util PFM", "util Ruby-S"});
+    table.setTitle("Fig. 11: DeepBench on " + arch.name() +
+                   " (EDP objective; lower is better)");
+
+    const NetworkOutcome pfm =
+        searchNetwork(layers, arch, ConstraintPreset::EyerissRS,
+                      MapspaceVariant::PFM, bench::layerSearch(111));
+    const NetworkOutcome rubys =
+        searchNetwork(layers, arch, ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, bench::layerSearch(222));
+
+    double geo = 0.0;
+    int counted = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const auto &p = pfm.layers[i];
+        const auto &r = rubys.layers[i];
+        if (!p.found || !r.found) {
+            std::cerr << layers[i].shape.name << ": search failed\n";
+            continue;
+        }
+        const double ratio = r.result.edp / p.result.edp;
+        geo += std::log(ratio);
+        ++counted;
+        table.addRow(
+            {p.name, p.group, formatRatio(ratio, 2),
+             formatFixed(100 * p.result.utilization, 1) + "%",
+             formatFixed(100 * r.result.utilization, 1) + "%"});
+    }
+    ruby::bench::emit(table);
+    std::cout << "geomean EDP ratio: "
+              << formatRatio(std::exp(geo / counted), 3) << "\n";
+
+    // Latency objective (paper: ~14% latency reduction).
+    SearchOptions lat_pfm = bench::layerSearch(333);
+    SearchOptions lat_ruby = bench::layerSearch(444);
+    lat_pfm.objective = Objective::Delay;
+    lat_ruby.objective = Objective::Delay;
+    const NetworkOutcome pfm_lat =
+        searchNetwork(layers, arch, ConstraintPreset::EyerissRS,
+                      MapspaceVariant::PFM, lat_pfm);
+    const NetworkOutcome ruby_lat =
+        searchNetwork(layers, arch, ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, lat_ruby);
+    std::cout << "latency objective, total cycles Ruby-S/PFM: "
+              << formatRatio(ruby_lat.totalCycles /
+                                 pfm_lat.totalCycles,
+                             3)
+              << "\n";
+    std::cout << "\nExpected shape (paper): near-ties on "
+                 "factor-of-7-friendly vision layers;\nup to ~33-45% "
+                 "EDP wins on speech/face/speaker shapes; ~10% "
+                 "average EDP win\nand ~14% latency win.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: throughput of the pieces every
+ * figure bench leans on — mapping construction, evaluation, sampling
+ * and mapspace counting. Useful for keeping search budgets honest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+const Problem &
+resnetLayer()
+{
+    static const Problem prob = [] {
+        ConvShape sh;
+        sh.name = "conv4_3x3";
+        sh.c = 256;
+        sh.m = 256;
+        sh.p = 14;
+        sh.q = 14;
+        sh.r = 3;
+        sh.s = 3;
+        return makeConv(sh);
+    }();
+    return prob;
+}
+
+const ArchSpec &
+eyeriss()
+{
+    static const ArchSpec arch = makeEyeriss();
+    return arch;
+}
+
+void
+BM_SampleMapping(benchmark::State &state)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(space.sample(rng));
+}
+BENCHMARK(BM_SampleMapping);
+
+void
+BM_EvaluateMapping(benchmark::State &state)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(resnetLayer(), eyeriss());
+    Rng rng(2);
+    const Mapping mapping = space.sample(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluate(mapping));
+}
+BENCHMARK(BM_EvaluateMapping);
+
+void
+BM_SampleAndEvaluate(benchmark::State &state)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(resnetLayer(), eyeriss());
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluate(space.sample(rng)));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleAndEvaluate);
+
+void
+BM_DeriveTails(benchmark::State &state)
+{
+    const std::vector<std::uint64_t> steady{7, 3, 14, 2, 1, 2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(deriveTails(1000, steady));
+}
+BENCHMARK(BM_DeriveTails);
+
+void
+BM_CountRubyMapspace(benchmark::State &state)
+{
+    const std::vector<SlotRule> rules{{0, true}, {9, true}, {0, true}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            countChains(static_cast<std::uint64_t>(state.range(0)),
+                        rules));
+}
+BENCHMARK(BM_CountRubyMapspace)->Arg(100)->Arg(1000)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Architectural design-space exploration: sweep PE-array sizes for
+ * one workload and print (area, EDP) points per mapping strategy —
+ * an interactive cut of the paper's Figs. 13/14.
+ *
+ *   ./design_space
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "ruby/ruby.hpp"
+
+int
+main()
+{
+    using namespace ruby;
+
+    // The DeepSpeech layer the paper quotes: shapes that divide
+    // poorly by most array sizes.
+    ConvShape shape;
+    shape.name = "deepspeech_l2";
+    shape.c = 32;
+    shape.m = 32;
+    shape.p = 166;
+    shape.q = 38;
+    shape.r = 10;
+    shape.s = 5;
+    shape.strideH = 2;
+    shape.strideW = 2;
+    const Problem prob = makeConv(shape);
+
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> grids{
+        {2, 7}, {7, 7}, {14, 12}, {16, 16}};
+
+    SearchOptions opts;
+    opts.terminationStreak = 800;
+    opts.maxEvaluations = 30'000;
+    opts.seed = 9;
+
+    Table table({"array", "area", "PFM EDP", "PFM+pad EDP",
+                 "Ruby-S EDP", "best"});
+    table.setTitle("design-space sweep for " + shape.name);
+
+    for (const auto &[x, y] : grids) {
+        const ArchSpec arch = makeEyeriss(x, y);
+        const LayerOutcome pfm =
+            searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                        MapspaceVariant::PFM, opts);
+        const LayerOutcome pad =
+            searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                        MapspaceVariant::PFM, opts, /*pad=*/true);
+        const LayerOutcome rubys =
+            searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                        MapspaceVariant::RubyS, opts);
+        if (!pfm.found || !pad.found || !rubys.found) {
+            std::cerr << x << "x" << y << ": search failed\n";
+            continue;
+        }
+        const double best = std::min(
+            {pfm.result.edp, pad.result.edp, rubys.result.edp});
+        const char *winner =
+            best == rubys.result.edp
+                ? "Ruby-S"
+                : (best == pad.result.edp ? "PFM+pad" : "PFM");
+        table.addRow({std::to_string(x) + "x" + std::to_string(y),
+                      formatFixed(arch.totalArea(), 0),
+                      formatCompact(pfm.result.edp),
+                      formatCompact(pad.result.edp),
+                      formatCompact(rubys.result.edp), winner});
+    }
+    table.print(std::cout);
+    return 0;
+}

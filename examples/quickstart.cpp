@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: map one convolution layer onto an Eyeriss-like
+ * accelerator with the Ruby-S mapspace and print the best mapping.
+ *
+ *   ./quickstart
+ */
+
+#include <iostream>
+
+#include "ruby/ruby.hpp"
+
+int
+main()
+{
+    using namespace ruby;
+
+    // A pointwise ResNet-50 layer whose dims misalign with 14x12.
+    ConvShape shape;
+    shape.name = "resnet_conv5_1x1";
+    shape.c = 512;
+    shape.m = 2048;
+    shape.p = 7;
+    shape.q = 7;
+    shape.r = 1;
+    shape.s = 1;
+
+    Mapper mapper(makeConv(shape), makeEyeriss());
+    mapper.config().variant = MapspaceVariant::RubyS;
+    mapper.config().preset = ConstraintPreset::EyerissRS;
+    mapper.config().search.terminationStreak = 1500;
+    mapper.config().search.maxEvaluations = 60'000;
+    mapper.config().search.seed = 1;
+
+    const MapperResult result = mapper.run();
+    if (!result.found) {
+        std::cerr << "no valid mapping found\n";
+        return 1;
+    }
+
+    std::cout << "workload: " << shape.name << " on "
+              << mapper.arch().name() << "\n"
+              << "mappings evaluated: " << result.evaluated << "\n\n"
+              << "best mapping (loop nest, outer to inner):\n"
+              << result.mappingText << "\n"
+              << "energy      : " << formatCompact(result.eval.energy)
+              << " pJ\n"
+              << "cycles      : " << formatCompact(result.eval.cycles)
+              << "\n"
+              << "EDP         : " << formatCompact(result.eval.edp)
+              << "\n"
+              << "utilization : "
+              << formatFixed(100.0 * result.eval.utilization, 1)
+              << " %\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Explore a selection of ResNet-50 layers on the Eyeriss-like
+ * baseline, comparing the PFM and Ruby-S mapspaces side by side
+ * (a fast, interactive cut of the paper's Fig. 10).
+ *
+ *   ./resnet50_explorer [layers...]
+ *
+ * With no arguments a representative subset is explored; pass layer
+ * names (e.g. conv4_1x1b fc1000) to pick specific ones.
+ */
+
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "ruby/ruby.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ruby;
+
+    std::set<std::string> wanted;
+    for (int i = 1; i < argc; ++i)
+        wanted.insert(argv[i]);
+    const std::set<std::string> defaults{"conv2_3x3", "conv3_1x1b",
+                                         "conv4_1x1a", "conv5_1x1b",
+                                         "fc1000"};
+
+    const ArchSpec arch = makeEyeriss();
+    SearchOptions opts;
+    opts.terminationStreak = 1000;
+    opts.maxEvaluations = 40'000;
+    opts.seed = 3;
+
+    Table table({"layer", "PFM EDP", "Ruby-S EDP", "Ruby-S/PFM",
+                 "PFM util", "Ruby-S util"});
+    table.setTitle("ResNet-50 on " + arch.name() +
+                   " (EDP objective)");
+
+    for (const Layer &layer : resnet50Layers()) {
+        const auto &name = layer.shape.name;
+        if (wanted.empty() ? defaults.count(name) == 0
+                           : wanted.count(name) == 0)
+            continue;
+        const Problem prob = makeConv(layer.shape);
+        const LayerOutcome pfm =
+            searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                        MapspaceVariant::PFM, opts);
+        const LayerOutcome rubys =
+            searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                        MapspaceVariant::RubyS, opts);
+        if (!pfm.found || !rubys.found) {
+            std::cerr << name << ": no valid mapping found\n";
+            continue;
+        }
+        table.addRow(
+            {name, formatCompact(pfm.result.edp),
+             formatCompact(rubys.result.edp),
+             formatRatio(rubys.result.edp / pfm.result.edp, 2),
+             formatFixed(100 * pfm.result.utilization, 1) + "%",
+             formatFixed(100 * rubys.result.utilization, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\nRatios below 1.00x are Ruby-S wins.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "ruby/analysis/dse.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+std::vector<ParetoPoint>
+DseResult::points(std::size_t strategy) const
+{
+    RUBY_ASSERT(strategy < strategies.size());
+    std::vector<ParetoPoint> out;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const DseCell &cell = cells[c][strategy];
+        if (!cell.found)
+            continue;
+        out.push_back(ParetoPoint{areas[c], cell.edp, c});
+    }
+    return out;
+}
+
+std::vector<double>
+DseResult::improvementOver(std::size_t strategy,
+                           std::size_t baseline) const
+{
+    RUBY_ASSERT(strategy < strategies.size() &&
+                baseline < strategies.size());
+    std::vector<double> out(cells.size(), 0.0);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const DseCell &s = cells[c][strategy];
+        const DseCell &b = cells[c][baseline];
+        if (s.found && b.found && b.edp > 0.0)
+            out[c] = 100.0 * (1.0 - s.edp / b.edp);
+    }
+    return out;
+}
+
+DseResult
+sweepArchitectures(
+    const std::vector<Layer> &layers, std::size_t config_count,
+    const std::function<ArchSpec(std::size_t)> &make_arch,
+    const DseOptions &options)
+{
+    RUBY_CHECK(!options.strategies.empty(),
+               "DSE needs at least one strategy");
+    RUBY_CHECK(config_count >= 1, "DSE needs at least one config");
+    RUBY_CHECK(!layers.empty(), "DSE needs at least one layer");
+
+    DseResult result;
+    result.strategies = options.strategies;
+    for (std::size_t c = 0; c < config_count; ++c) {
+        const ArchSpec arch = make_arch(c);
+        result.configNames.push_back(arch.name());
+        result.areas.push_back(arch.totalArea());
+        std::vector<DseCell> row;
+        for (const DseStrategy &strategy : options.strategies) {
+            const NetworkOutcome net =
+                searchNetwork(layers, arch, options.preset,
+                              strategy.variant, options.search,
+                              strategy.pad);
+            DseCell cell;
+            cell.found = net.allFound;
+            if (net.allFound) {
+                cell.edp = net.edp;
+                cell.energy = net.totalEnergy;
+                cell.cycles = net.totalCycles;
+            }
+            row.push_back(cell);
+        }
+        result.cells.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace ruby

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Architectural design-space exploration: run the same workload suite
+ * over a family of accelerator configurations under several mapping
+ * strategies and collect (area, EDP) points — the library API behind
+ * the paper's Figs. 13/14 experiment.
+ */
+
+#ifndef RUBY_ANALYSIS_DSE_HPP
+#define RUBY_ANALYSIS_DSE_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ruby/analysis/pareto.hpp"
+#include "ruby/search/driver.hpp"
+
+namespace ruby
+{
+
+/** One mapping strategy evaluated in the sweep. */
+struct DseStrategy
+{
+    std::string name;
+    MapspaceVariant variant = MapspaceVariant::PFM;
+    bool pad = false;
+};
+
+/** Result of one (configuration, strategy) cell. */
+struct DseCell
+{
+    bool found = false;
+    double edp = 0.0;
+    double energy = 0.0;
+    double cycles = 0.0;
+};
+
+/** Result of the whole sweep. */
+struct DseResult
+{
+    std::vector<std::string> configNames;
+    std::vector<double> areas;
+    /** cells[config][strategy]. */
+    std::vector<std::vector<DseCell>> cells;
+    std::vector<DseStrategy> strategies;
+
+    /** (area, EDP) points of one strategy; tag = config index. */
+    std::vector<ParetoPoint> points(std::size_t strategy) const;
+
+    /**
+     * Per-config EDP improvement of @p strategy over @p baseline,
+     * in percent (positive = strategy better). Configs where either
+     * search failed yield 0.
+     */
+    std::vector<double> improvementOver(std::size_t strategy,
+                                        std::size_t baseline) const;
+};
+
+/** DSE configuration. */
+struct DseOptions
+{
+    ConstraintPreset preset = ConstraintPreset::None;
+    SearchOptions search;
+    std::vector<DseStrategy> strategies;
+};
+
+/**
+ * Sweep: for each architecture produced by @p make_arch over
+ * @p config_count configurations, search @p layers under every
+ * strategy and collect suite-level EDP (count-weighted energy and
+ * cycles, EDP = total energy x total delay).
+ */
+DseResult sweepArchitectures(
+    const std::vector<Layer> &layers, std::size_t config_count,
+    const std::function<ArchSpec(std::size_t)> &make_arch,
+    const DseOptions &options);
+
+} // namespace ruby
+
+#endif // RUBY_ANALYSIS_DSE_HPP

@@ -1,0 +1,51 @@
+#include "ruby/analysis/pareto.hpp"
+
+#include <algorithm>
+
+namespace ruby
+{
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.x != b.x ? a.x < b.x : a.y < b.y;
+              });
+    std::vector<ParetoPoint> frontier;
+    double best_y = 0.0;
+    bool first = true;
+    for (const auto &p : points) {
+        if (first || p.y < best_y) {
+            // Skip exact duplicates of the previous frontier point.
+            if (!frontier.empty() && frontier.back().x == p.x &&
+                frontier.back().y == p.y)
+                continue;
+            frontier.push_back(p);
+            best_y = p.y;
+            first = false;
+        }
+    }
+    return frontier;
+}
+
+std::vector<bool>
+paretoMembership(const std::vector<ParetoPoint> &points)
+{
+    std::vector<bool> member(points.size(), true);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t j = 0; j < points.size(); ++j)
+            if (i != j && dominates(points[j], points[i])) {
+                member[i] = false;
+                break;
+            }
+    return member;
+}
+
+} // namespace ruby

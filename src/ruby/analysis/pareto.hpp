@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pareto-frontier utilities for design-space exploration results
+ * (the paper's Figs. 13/14 plot area-vs-EDP frontiers).
+ */
+
+#ifndef RUBY_ANALYSIS_PARETO_HPP
+#define RUBY_ANALYSIS_PARETO_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace ruby
+{
+
+/** A candidate design point; both coordinates are minimized. */
+struct ParetoPoint
+{
+    double x = 0.0; ///< e.g. area
+    double y = 0.0; ///< e.g. EDP
+    /** Caller-provided tag (index into an external table, etc.). */
+    std::size_t tag = 0;
+};
+
+/**
+ * True iff @p a dominates @p b: no worse in both coordinates and
+ * strictly better in at least one.
+ */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * The non-dominated subset of @p points, sorted by x ascending.
+ * Ties on both coordinates keep the first occurrence.
+ */
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points);
+
+/** Membership flags aligned with @p points (true = on frontier). */
+std::vector<bool>
+paretoMembership(const std::vector<ParetoPoint> &points);
+
+} // namespace ruby
+
+#endif // RUBY_ANALYSIS_PARETO_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Architecture specification: the storage hierarchy, spatial fanouts
+ * and datapath of a user-defined tensor-algebra accelerator.
+ *
+ * Levels are ordered inner (0) to outer (last = backing store, usually
+ * DRAM). Each level's @c fanoutX/@c fanoutY describes the spatial
+ * spread from one instance of that level down to instances of the
+ * next-inner level (for level 0: down to MAC datapaths). The total
+ * number of MACs is therefore the product of all fanouts.
+ */
+
+#ifndef RUBY_ARCH_ARCH_SPEC_HPP
+#define RUBY_ARCH_ARCH_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruby
+{
+
+/**
+ * One level of the storage hierarchy.
+ */
+struct StorageLevelSpec
+{
+    /** Human-readable name ("PEspad", "GLB", "DRAM", ...). */
+    std::string name;
+
+    /**
+     * Shared capacity in words; 0 means unbounded (backing store).
+     * Ignored for tensors that have a dedicated partition (below).
+     */
+    std::uint64_t capacityWords = 0;
+
+    /**
+     * Optional per-tensor dedicated partitions (indexed like the
+     * problem's tensors, e.g. Eyeriss PE buffers: weights 224,
+     * inputs 12, psums 16). Empty means all tensors share
+     * @c capacityWords. An entry of 0 means that tensor uses the
+     * shared pool.
+     */
+    std::vector<std::uint64_t> perTensorCapacity;
+
+    /**
+     * Read+write bandwidth in words per cycle per instance;
+     * 0 means unbounded.
+     */
+    double bandwidthWordsPerCycle = 0.0;
+
+    /** Spatial fanout (X x Y) from this level to the next-inner one. */
+    std::uint64_t fanoutX = 1;
+    std::uint64_t fanoutY = 1;
+
+    /** Energy per word read / write, pJ. */
+    double readEnergy = 0.0;
+    double writeEnergy = 0.0;
+
+    /** Area of one instance of this level's storage. */
+    double area = 0.0;
+
+    /** Total fanout below this level. */
+    std::uint64_t fanout() const { return fanoutX * fanoutY; }
+};
+
+/**
+ * A complete accelerator description.
+ */
+class ArchSpec
+{
+  public:
+    /**
+     * @param name       Architecture name.
+     * @param levels     Storage levels, inner to outer; the outermost
+     *                   must be unbounded (capacityWords == 0).
+     * @param mac_energy Energy per multiply-accumulate, pJ.
+     * @param mac_area   Area per MAC datapath.
+     * @param word_bits  Datapath word width.
+     */
+    ArchSpec(std::string name, std::vector<StorageLevelSpec> levels,
+             double mac_energy, double mac_area,
+             std::uint64_t word_bits = 16);
+
+    /** Architecture name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of storage levels. */
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+
+    /** Level l's spec (0 = innermost). */
+    const StorageLevelSpec &level(int l) const;
+
+    /** Mutable access (presets tweak capacities/fanouts). */
+    StorageLevelSpec &level(int l);
+
+    /** Energy per MAC, pJ. */
+    double macEnergy() const { return mac_energy_; }
+
+    /** Datapath word width in bits. */
+    std::uint64_t wordBits() const { return word_bits_; }
+
+    /**
+     * Number of instances of level l in the whole machine: the
+     * product of the fanouts of all levels above l.
+     */
+    std::uint64_t instancesOf(int l) const;
+
+    /** Total MAC datapaths: product of every level's fanout. */
+    std::uint64_t totalMacs() const;
+
+    /** Total accelerator area (storage + MACs), normalized units. */
+    double totalArea() const;
+
+  private:
+    std::string name_;
+    std::vector<StorageLevelSpec> levels_;
+    double mac_energy_;
+    double mac_area_;
+    std::uint64_t word_bits_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_ARCH_ARCH_SPEC_HPP

@@ -1,0 +1,39 @@
+#include "ruby/arch/area_model.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+double
+bitScale(std::uint64_t word_bits)
+{
+    return static_cast<double>(word_bits) / 16.0;
+}
+
+} // namespace
+
+double
+AreaModel::sram(std::uint64_t words, std::uint64_t word_bits)
+{
+    // Periphery (decoders/sense amps) plus bit cells; one MAC equals
+    // roughly 64 words of SRAM in this normalization.
+    return (0.5 + 0.015 * static_cast<double>(words)) *
+           bitScale(word_bits);
+}
+
+double
+AreaModel::mac(std::uint64_t word_bits)
+{
+    const double s = bitScale(word_bits);
+    return 1.0 * s * s;
+}
+
+double
+AreaModel::registerWord(std::uint64_t word_bits)
+{
+    return 0.02 * bitScale(word_bits);
+}
+
+} // namespace ruby

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Analytic area model for the Fig. 13 area-vs-EDP Pareto study.
+ *
+ * Areas are in normalized units (1.0 = one 16-bit MAC datapath).
+ * SRAM area scales linearly with capacity plus a fixed periphery
+ * overhead — the standard first-order model. Only *relative* area
+ * across array configurations matters to the Pareto frontier.
+ */
+
+#ifndef RUBY_ARCH_AREA_MODEL_HPP
+#define RUBY_ARCH_AREA_MODEL_HPP
+
+#include <cstdint>
+
+namespace ruby
+{
+
+/**
+ * Area estimator for accelerator components.
+ */
+class AreaModel
+{
+  public:
+    /** Area of an SRAM with the given capacity. */
+    static double sram(std::uint64_t words, std::uint64_t word_bits = 16);
+
+    /** Area of one MAC datapath (the unit of normalization). */
+    static double mac(std::uint64_t word_bits = 16);
+
+    /** Area of a register-file word. */
+    static double registerWord(std::uint64_t word_bits = 16);
+};
+
+} // namespace ruby
+
+#endif // RUBY_ARCH_AREA_MODEL_HPP

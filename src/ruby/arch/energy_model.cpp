@@ -1,0 +1,58 @@
+#include "ruby/arch/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ruby
+{
+
+namespace
+{
+
+/** Scale factor for non-16-bit words (energy roughly linear in bits). */
+double
+bitScale(std::uint64_t word_bits)
+{
+    return static_cast<double>(word_bits) / 16.0;
+}
+
+} // namespace
+
+double
+EnergyModel::sramAccess(std::uint64_t words, std::uint64_t word_bits)
+{
+    // c0 + c1 * sqrt(bits): calibrated to ~6 pJ for a 128 KiB GLB and
+    // ~0.54 pJ for a 224-word PE scratchpad (16-bit words).
+    const double bits =
+        static_cast<double>(words) * static_cast<double>(word_bits);
+    const double e = 0.2 + 0.00567 * std::sqrt(bits);
+    return e * bitScale(word_bits);
+}
+
+double
+EnergyModel::dramAccess(std::uint64_t word_bits)
+{
+    return 200.0 * bitScale(word_bits);
+}
+
+double
+EnergyModel::registerAccess(std::uint64_t word_bits)
+{
+    return 0.15 * bitScale(word_bits);
+}
+
+double
+EnergyModel::macOp(std::uint64_t word_bits)
+{
+    // 16-bit integer MAC; quadratic-ish in operand width.
+    const double s = bitScale(word_bits);
+    return 1.0 * s * std::max(1.0, s);
+}
+
+double
+EnergyModel::networkHop(std::uint64_t word_bits)
+{
+    return 0.3 * bitScale(word_bits);
+}
+
+} // namespace ruby

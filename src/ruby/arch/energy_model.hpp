@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic per-access energy model.
+ *
+ * Substitutes for the paper's Accelergy + CACTI + Aladdin stack (see
+ * DESIGN.md). Energies are in picojoules for a 16-bit word and follow
+ * the standard SRAM scaling E = c0 + c1 * sqrt(bits), calibrated so
+ * the relative ordering matches published Eyeriss numbers:
+ * DRAM ~200 pJ >> 128 KiB GLB ~6 pJ >> PE scratchpad ~0.5-1 pJ ~ MAC.
+ * Paper conclusions depend on this ordering, not on absolute joules.
+ */
+
+#ifndef RUBY_ARCH_ENERGY_MODEL_HPP
+#define RUBY_ARCH_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+namespace ruby
+{
+
+/**
+ * Energy estimator for the component types in our accelerators.
+ */
+class EnergyModel
+{
+  public:
+    /** Energy (pJ) per word access of an SRAM holding @p words. */
+    static double sramAccess(std::uint64_t words,
+                             std::uint64_t word_bits = 16);
+
+    /** Energy (pJ) per word access of off-chip DRAM. */
+    static double dramAccess(std::uint64_t word_bits = 16);
+
+    /** Energy (pJ) per register-file word access. */
+    static double registerAccess(std::uint64_t word_bits = 16);
+
+    /** Energy (pJ) per integer multiply-accumulate. */
+    static double macOp(std::uint64_t word_bits = 16);
+
+    /**
+     * Energy (pJ) per word-hop on the array network (used to charge
+     * multicast distribution from a shared buffer to PEs).
+     */
+    static double networkHop(std::uint64_t word_bits = 16);
+};
+
+} // namespace ruby
+
+#endif // RUBY_ARCH_ENERGY_MODEL_HPP

@@ -1,0 +1,157 @@
+#include "ruby/arch/presets.hpp"
+
+#include "ruby/arch/area_model.hpp"
+#include "ruby/arch/energy_model.hpp"
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** Fill energy/area fields of an SRAM-backed level from its capacity. */
+StorageLevelSpec
+sramLevel(std::string name, std::uint64_t words, double bandwidth,
+          std::uint64_t fanout_x, std::uint64_t fanout_y)
+{
+    StorageLevelSpec lvl;
+    lvl.name = std::move(name);
+    lvl.capacityWords = words;
+    lvl.bandwidthWordsPerCycle = bandwidth;
+    lvl.fanoutX = fanout_x;
+    lvl.fanoutY = fanout_y;
+    const double e = EnergyModel::sramAccess(words);
+    lvl.readEnergy = e;
+    lvl.writeEnergy = e;
+    lvl.area = AreaModel::sram(words);
+    return lvl;
+}
+
+/** The unbounded off-chip backing store. */
+StorageLevelSpec
+dramLevel(std::uint64_t fanout_x, std::uint64_t fanout_y,
+          double bandwidth = 16.0)
+{
+    StorageLevelSpec lvl;
+    lvl.name = "DRAM";
+    lvl.capacityWords = 0;
+    lvl.bandwidthWordsPerCycle = bandwidth;
+    lvl.fanoutX = fanout_x;
+    lvl.fanoutY = fanout_y;
+    lvl.readEnergy = EnergyModel::dramAccess();
+    lvl.writeEnergy = EnergyModel::dramAccess();
+    lvl.area = 0.0;
+    return lvl;
+}
+
+} // namespace
+
+ArchSpec
+makeEyeriss(std::uint64_t array_x, std::uint64_t array_y,
+            std::uint64_t glb_kib)
+{
+    RUBY_CHECK(array_x >= 1 && array_y >= 1 && glb_kib >= 1,
+               "invalid Eyeriss configuration");
+
+    // PE-local scratchpads: dedicated partitions per conv tensor
+    // (Weights 224, Inputs 12, Psums 16 words) behind one port.
+    StorageLevelSpec spad;
+    spad.name = "PEspad";
+    spad.capacityWords = 0;
+    spad.perTensorCapacity = {224, 12, 16};
+    // Three banked buffers (W/I/Psum) serve the MAC concurrently.
+    spad.bandwidthWordsPerCycle = 6.0;
+    spad.fanoutX = 1;
+    spad.fanoutY = 1;
+    const double spad_energy = EnergyModel::sramAccess(224 + 12 + 16);
+    spad.readEnergy = spad_energy;
+    spad.writeEnergy = spad_energy;
+    spad.area = AreaModel::sram(224 + 12 + 16);
+
+    // Shared global buffer; weights stream past it (DRAM -> PE), which
+    // the Eyeriss mapping constraints encode as a forced bypass.
+    StorageLevelSpec glb =
+        sramLevel("GLB", glb_kib * 1024 / 2, 16.0, array_x, array_y);
+
+    return ArchSpec("eyeriss-" + std::to_string(array_x) + "x" +
+                        std::to_string(array_y),
+                    {spad, glb, dramLevel(1, 1)}, EnergyModel::macOp(),
+                    AreaModel::mac());
+}
+
+ArchSpec
+makeSimba(std::uint64_t num_pes, std::uint64_t vmacs,
+          std::uint64_t vwidth)
+{
+    RUBY_CHECK(num_pes >= 1 && vmacs >= 1 && vwidth >= 1,
+               "invalid Simba configuration");
+
+    // PE-local buffers: distributed weight buffer plus input and
+    // accumulation buffers, shared by the PE's vector MACs.
+    StorageLevelSpec pebuf;
+    pebuf.name = "PEbuf";
+    pebuf.capacityWords = 0;
+    pebuf.perTensorCapacity = {16384, 4096, 1536}; // W, I, O words
+    // Banked W/I/Acc buffers feed every vector lane concurrently.
+    pebuf.bandwidthWordsPerCycle =
+        6.0 * static_cast<double>(vmacs * vwidth);
+    pebuf.fanoutX = vmacs;
+    pebuf.fanoutY = vwidth;
+    const std::uint64_t pe_words = 16384 + 4096 + 1536;
+    const double pe_energy = EnergyModel::sramAccess(pe_words);
+    pebuf.readEnergy = pe_energy;
+    pebuf.writeEnergy = pe_energy;
+    pebuf.area = AreaModel::sram(pe_words);
+
+    StorageLevelSpec glb = sramLevel("GLB", 64 * 1024 / 2, 16.0,
+                                     num_pes, 1);
+
+    return ArchSpec("simba-" + std::to_string(num_pes) + "pe",
+                    {pebuf, glb, dramLevel(1, 1)}, EnergyModel::macOp(),
+                    AreaModel::mac());
+}
+
+ArchSpec
+makeToyLinear(std::uint64_t num_pes, std::uint64_t spad_kib)
+{
+    RUBY_CHECK(num_pes >= 1 && spad_kib >= 1,
+               "invalid toy configuration");
+    StorageLevelSpec spad =
+        sramLevel("PEspad", spad_kib * 1024 / 2, 8.0, 1, 1);
+    // Interconnect provisioned with the array so the toy studies are
+    // compute-bound, as in the paper's Sec. III experiments.
+    return ArchSpec("toy-linear-" + std::to_string(num_pes) + "pe",
+                    {spad, dramLevel(num_pes, 1,
+                                     4.0 * static_cast<double>(
+                                               num_pes))},
+                    EnergyModel::macOp(), AreaModel::mac());
+}
+
+ArchSpec
+makeToyGlb(std::uint64_t num_pes, std::uint64_t glb_words)
+{
+    RUBY_CHECK(num_pes >= 1 && glb_words >= 1,
+               "invalid toy configuration");
+    StorageLevelSpec latch;
+    latch.name = "PElatch";
+    latch.capacityWords = 4; // one word per operand tensor + slack
+    latch.bandwidthWordsPerCycle = 0.0;
+    latch.readEnergy = EnergyModel::registerAccess();
+    latch.writeEnergy = EnergyModel::registerAccess();
+    latch.area = 4 * AreaModel::registerWord();
+
+    // As above: network/DRAM keep pace with the PEs so the paper's
+    // cycle arithmetic (Figs. 4/5) is compute-bound.
+    StorageLevelSpec glb =
+        sramLevel("GLB", glb_words,
+                  4.0 * static_cast<double>(num_pes), num_pes, 1);
+
+    return ArchSpec("toy-glb-" + std::to_string(num_pes) + "pe",
+                    {latch, glb,
+                     dramLevel(1, 1,
+                               4.0 * static_cast<double>(num_pes))},
+                    EnergyModel::macOp(), AreaModel::mac());
+}
+
+} // namespace ruby

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Accelerator presets used by the paper's evaluation: the Eyeriss-like
+ * baseline (Sec. II-B), the Simba-like design (Sec. IV-C) and the toy
+ * linear arrays of Sec. III. Per-tensor buffer partitions assume the
+ * conv tensor order (Weights, Inputs, Outputs) — all realistic-arch
+ * benches use conv-form problems (GEMMs are encoded as 1x1 convs).
+ */
+
+#ifndef RUBY_ARCH_PRESETS_HPP
+#define RUBY_ARCH_PRESETS_HPP
+
+#include <cstdint>
+
+#include "ruby/arch/arch_spec.hpp"
+
+namespace ruby
+{
+
+/**
+ * Eyeriss-like accelerator (paper Fig. 2): PEs in an array_x x array_y
+ * grid, each with dedicated weight (224), input (12) and psum (16)
+ * word buffers and one 16-bit MAC; a shared global buffer; DRAM.
+ * Weights bypass the GLB (moved directly into PE buffers), which the
+ * preset encodes via zero weight capacity at the GLB — the mapping
+ * constraints force the corresponding bypass.
+ *
+ * @param array_x  PE columns (paper default 14).
+ * @param array_y  PE rows (paper default 12).
+ * @param glb_kib  Global buffer size in KiB (paper uses 128).
+ */
+ArchSpec makeEyeriss(std::uint64_t array_x = 14,
+                     std::uint64_t array_y = 12,
+                     std::uint64_t glb_kib = 128);
+
+/**
+ * Simba-like accelerator (paper Sec. IV-C): @p num_pes PEs, each with
+ * @p vmacs vector MACs of width @p vwidth and shared local weight /
+ * input / accumulation buffers; a small global buffer; DRAM. The
+ * paper evaluates 15 PEs with four 4-wide vMACs and a 9 PE / three
+ * 3-wide variant.
+ */
+ArchSpec makeSimba(std::uint64_t num_pes = 15, std::uint64_t vmacs = 4,
+                   std::uint64_t vwidth = 4);
+
+/**
+ * Toy linear array of Sec. III: @p num_pes PEs in a 1-D array, each
+ * with a private scratchpad of @p spad_kib KiB, fed straight from
+ * DRAM ("two-level memory hierarchy").
+ */
+ArchSpec makeToyLinear(std::uint64_t num_pes,
+                       std::uint64_t spad_kib = 1);
+
+/**
+ * Toy architecture of the paper's Figs. 4/5: storage-free PEs under a
+ * shared global buffer of @p glb_words words, fed from DRAM. Each PE
+ * is modeled as a single-word operand latch.
+ */
+ArchSpec makeToyGlb(std::uint64_t num_pes, std::uint64_t glb_words = 512);
+
+} // namespace ruby
+
+#endif // RUBY_ARCH_PRESETS_HPP

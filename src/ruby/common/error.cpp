@@ -1,0 +1,21 @@
+#include "ruby/common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ruby
+{
+namespace detail
+{
+
+void
+assertFailure(const char *cond, const char *file, int line,
+              const std::string &msg)
+{
+    std::fprintf(stderr, "RUBY_ASSERT failed: %s at %s:%d%s%s\n", cond,
+                 file, line, msg.empty() ? "" : " -- ", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace ruby

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-handling primitives for the Ruby mapper.
+ *
+ * Follows the gem5 fatal()/panic() convention:
+ *  - ruby::Error (thrown via RUBY_FATAL) reports conditions caused by the
+ *    user: malformed architecture specs, impossible constraints, invalid
+ *    workload shapes. These are recoverable by fixing the input.
+ *  - RUBY_ASSERT guards internal invariants. A failure is a bug in the
+ *    library itself and aborts with a source location.
+ */
+
+#ifndef RUBY_COMMON_ERROR_HPP
+#define RUBY_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ruby
+{
+
+/**
+ * Exception type for user-caused errors (bad configs, invalid inputs).
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Abort with a formatted internal-invariant failure. Never returns. */
+[[noreturn]] void assertFailure(const char *cond, const char *file,
+                                int line, const std::string &msg);
+
+} // namespace detail
+
+} // namespace ruby
+
+/** Throw ruby::Error with a stream-composed message (user error). */
+#define RUBY_FATAL(...)                                                     \
+    throw ::ruby::Error(::ruby::detail::composeMessage(__VA_ARGS__))
+
+/** Check a user-input condition; throw ruby::Error when it fails. */
+#define RUBY_CHECK(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            RUBY_FATAL(__VA_ARGS__);                                        \
+        }                                                                   \
+    } while (0)
+
+/** Check an internal invariant; abort when it fails (library bug). */
+#define RUBY_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ruby::detail::assertFailure(                                  \
+                #cond, __FILE__, __LINE__,                                  \
+                ::ruby::detail::composeMessage("" __VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+#endif // RUBY_COMMON_ERROR_HPP

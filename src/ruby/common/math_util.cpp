@@ -1,0 +1,160 @@
+#include "ruby/common/math_util.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+std::vector<std::uint64_t>
+divisors(std::uint64_t n)
+{
+    RUBY_ASSERT(n >= 1);
+    std::vector<std::uint64_t> small, large;
+    for (std::uint64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                large.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+std::vector<std::pair<std::uint64_t, int>>
+primeFactorization(std::uint64_t n)
+{
+    RUBY_ASSERT(n >= 1);
+    std::vector<std::pair<std::uint64_t, int>> out;
+    for (std::uint64_t p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            int e = 0;
+            while (n % p == 0) {
+                n /= p;
+                ++e;
+            }
+            out.emplace_back(p, e);
+        }
+    }
+    if (n > 1)
+        out.emplace_back(n, 1);
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Binomial coefficient with saturation guard; inputs here are tiny
+ * (exponents of prime factors and slot counts), overflow cannot occur
+ * for any realistic workload, but assert anyway.
+ */
+std::uint64_t
+binomial(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return 0;
+    k = std::min(k, n - k);
+    std::uint64_t r = 1;
+    for (std::uint64_t i = 0; i < k; ++i) {
+        RUBY_ASSERT(r <= UINT64_MAX / (n - i));
+        r = r * (n - i) / (i + 1);
+    }
+    return r;
+}
+
+} // namespace
+
+std::uint64_t
+countOrderedFactorizations(std::uint64_t n, int k)
+{
+    RUBY_CHECK(n >= 1 && k >= 1,
+               "ordered factorization needs n>=1, k>=1 (n=", n,
+               ", k=", k, ")");
+    // Each prime's exponent e is distributed over k ordered slots:
+    // stars and bars, C(e + k - 1, k - 1); independent across primes.
+    std::uint64_t count = 1;
+    for (const auto &[p, e] : primeFactorization(n)) {
+        (void)p;
+        count *= binomial(static_cast<std::uint64_t>(e) + k - 1,
+                          static_cast<std::uint64_t>(k) - 1);
+    }
+    return count;
+}
+
+std::vector<std::vector<std::uint64_t>>
+orderedFactorizations(std::uint64_t n, int k)
+{
+    RUBY_CHECK(n >= 1 && k >= 1,
+               "ordered factorization needs n>=1, k>=1 (n=", n,
+               ", k=", k, ")");
+    std::vector<std::vector<std::uint64_t>> out;
+    std::vector<std::uint64_t> cur(static_cast<std::size_t>(k), 1);
+    // Recursive divisor-chain enumeration: slot i takes any divisor of
+    // the remaining quotient; the final slot takes the rest.
+    auto recurse = [&](auto &&self, int slot, std::uint64_t rem) -> void {
+        if (slot == k - 1) {
+            cur[static_cast<std::size_t>(slot)] = rem;
+            out.push_back(cur);
+            return;
+        }
+        for (std::uint64_t d : divisors(rem)) {
+            cur[static_cast<std::size_t>(slot)] = d;
+            self(self, slot + 1, rem / d);
+        }
+    };
+    recurse(recurse, 0, n);
+    return out;
+}
+
+std::vector<std::uint64_t>
+deriveTails(std::uint64_t dim, const std::vector<std::uint64_t> &steady)
+{
+    RUBY_ASSERT(dim >= 1);
+    std::vector<std::uint64_t> tails(steady.size());
+    std::uint64_t q = dim - 1;
+    for (std::size_t k = 0; k < steady.size(); ++k) {
+        RUBY_ASSERT(steady[k] >= 1, "steady bound must be positive");
+        tails[k] = q % steady[k] + 1;
+        q /= steady[k];
+    }
+    RUBY_ASSERT(q == 0, "product of steady bounds (chain) below dim=", dim,
+                " -- caller must guarantee prod(P) >= D");
+    return tails;
+}
+
+bool
+coverageHolds(std::uint64_t dim, const std::vector<std::uint64_t> &steady,
+              const std::vector<std::uint64_t> &tails)
+{
+    if (steady.size() != tails.size())
+        return false;
+    std::uint64_t covered = 1;
+    std::uint64_t inner_product = 1;
+    for (std::size_t k = 0; k < steady.size(); ++k) {
+        if (tails[k] < 1 || tails[k] > steady[k])
+            return false;
+        covered += (tails[k] - 1) * inner_product;
+        inner_product *= steady[k];
+    }
+    return covered == dim;
+}
+
+std::vector<std::uint64_t>
+bodyCounts(const std::vector<std::uint64_t> &steady,
+           const std::vector<std::uint64_t> &tails)
+{
+    RUBY_ASSERT(steady.size() == tails.size());
+    std::vector<std::uint64_t> counts(steady.size());
+    std::uint64_t above = 1;
+    for (std::size_t i = steady.size(); i-- > 0;) {
+        counts[i] = (above - 1) * steady[i] + tails[i];
+        above = counts[i];
+    }
+    return counts;
+}
+
+} // namespace ruby

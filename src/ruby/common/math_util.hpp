@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Integer and factorization utilities underpinning the Ruby mapspace.
+ *
+ * The central mathematical fact used throughout the library: a Ruby
+ * factor chain for a dimension of size D is a tuple of per-slot steady
+ * bounds (P_0 .. P_{K-1}, inner to outer) with prod(P) >= D. The tail
+ * bounds (R_k, the paper's remainders) are then the mixed-radix digits
+ * of D-1 in radices (P_0, .., P_{K-1}) plus one — they are *derived*,
+ * never searched independently. Perfect factorization is exactly the
+ * special case prod(P) == D, in which every digit is maximal and
+ * R_k == P_k for all k (paper eq. (1) vs eq. (5)).
+ */
+
+#ifndef RUBY_COMMON_MATH_UTIL_HPP
+#define RUBY_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace ruby
+{
+
+/** Ceiling division of positive integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** All divisors of n, ascending. n must be >= 1. */
+std::vector<std::uint64_t> divisors(std::uint64_t n);
+
+/** Prime factorization of n as (prime, exponent) pairs, ascending. */
+std::vector<std::pair<std::uint64_t, int>>
+primeFactorization(std::uint64_t n);
+
+/**
+ * Number of ordered factorizations of n into exactly k positive factors
+ * (1s allowed). This is the size of the perfect-factorization space of
+ * one dimension over k tiling slots.
+ */
+std::uint64_t countOrderedFactorizations(std::uint64_t n, int k);
+
+/**
+ * Enumerate all ordered factorizations of n into exactly k factors.
+ * Each result vector has length k and its elements multiply to n.
+ * Order of results is deterministic (lexicographic in choice order).
+ */
+std::vector<std::vector<std::uint64_t>>
+orderedFactorizations(std::uint64_t n, int k);
+
+/**
+ * Derive the tail bounds (remainders) of a Ruby factor chain.
+ *
+ * @param dim    Dimension size D (>= 1).
+ * @param steady Per-slot steady bounds P_k, inner (index 0) to outer.
+ *               prod(steady) must be >= dim.
+ * @return Per-slot tail bounds R_k with 1 <= R_k <= P_k satisfying the
+ *         paper's coverage identity D = 1 + sum_k (R_k-1) prod_{i<k} P_i.
+ */
+std::vector<std::uint64_t>
+deriveTails(std::uint64_t dim, const std::vector<std::uint64_t> &steady);
+
+/**
+ * Verify the coverage identity for a (steady, tail) chain against dim.
+ * Returns true iff D == 1 + sum_k (R_k - 1) * prod_{i<k} P_i and every
+ * tail is within [1, steady].
+ */
+bool coverageHolds(std::uint64_t dim,
+                   const std::vector<std::uint64_t> &steady,
+                   const std::vector<std::uint64_t> &tails);
+
+/**
+ * Exact total body-execution counts for a ragged chain, per slot.
+ *
+ * Returns B_k for k = 0..K-1 (inner to outer) where B follows the
+ * paper's recursion (eq. (5) rebased to counts): B_{K} = 1 and
+ * B_k = (B_{k+1} - 1) * P_k + R_k. B_0 equals dim exactly.
+ */
+std::vector<std::uint64_t>
+bodyCounts(const std::vector<std::uint64_t> &steady,
+           const std::vector<std::uint64_t> &tails);
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_MATH_UTIL_HPP

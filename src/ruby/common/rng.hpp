@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for mapspace sampling.
+ *
+ * The search layer needs reproducible, splittable random streams so
+ * multi-threaded searches are deterministic for a given seed and thread
+ * count. We use xoshiro256** — small, fast, and self-contained (no
+ * dependence on libstdc++ distribution implementations, whose outputs
+ * can differ across library versions).
+ */
+
+#ifndef RUBY_COMMON_RNG_HPP
+#define RUBY_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace ruby
+{
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds give identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) via Lemire rejection; bound >= 1. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /**
+     * Derive an independent child stream (for per-thread use). Child i
+     * of a given parent is deterministic.
+     */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_RNG_HPP

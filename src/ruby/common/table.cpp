@@ -1,0 +1,101 @@
+#include "ruby/common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    RUBY_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    RUBY_CHECK(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, table has ",
+               headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 != widths.size())
+            rule.append(2, '-');
+    }
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatRatio(double v, int precision)
+{
+    return formatFixed(v, precision) + "x";
+}
+
+std::string
+formatCompact(double v)
+{
+    if (v == 0)
+        return "0";
+    double a = std::fabs(v);
+    char buf[64];
+    if (a >= 1e6 || a < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3e", v);
+    else if (a >= 100)
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+} // namespace ruby

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table / CSV emission used by the benchmark harnesses to
+ * print the rows and series of the paper's tables and figures.
+ */
+
+#ifndef RUBY_COMMON_TABLE_HPP
+#define RUBY_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ruby
+{
+
+/**
+ * A simple column-aligned table with an optional title, rendered to a
+ * stream as fixed-width text and optionally as CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Set a title line printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Render as aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string formatFixed(double v, int precision = 3);
+
+/** Format a double as a multiplier/ratio, e.g. "0.86x". */
+std::string formatRatio(double v, int precision = 3);
+
+/** Format a double in scientific-ish compact form for wide ranges. */
+std::string formatCompact(double v);
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_TABLE_HPP

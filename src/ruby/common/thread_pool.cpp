@@ -1,0 +1,69 @@
+#include "ruby/common/thread_pool.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    RUBY_CHECK(num_threads >= 1, "thread pool needs >= 1 thread");
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::unique_lock lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace ruby

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool used by the search driver to run
+ * independent search shards (the paper's 24-thread random search).
+ */
+
+#ifndef RUBY_COMMON_THREAD_POOL_HPP
+#define RUBY_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ruby
+{
+
+/**
+ * Fixed-size pool executing enqueued jobs; waitIdle() provides a
+ * barrier. Destruction joins all workers.
+ */
+class ThreadPool
+{
+  public:
+    /** Spin up @p num_threads workers (>= 1). */
+    explicit ThreadPool(unsigned num_threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Enqueue a job for asynchronous execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_THREAD_POOL_HPP

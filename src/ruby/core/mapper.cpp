@@ -1,0 +1,27 @@
+#include "ruby/core/mapper.hpp"
+
+namespace ruby
+{
+
+Mapper::Mapper(Problem problem, ArchSpec arch, MapperConfig config)
+    : problem_(std::make_unique<Problem>(std::move(problem))),
+      arch_(std::make_unique<ArchSpec>(std::move(arch))),
+      config_(std::move(config))
+{
+}
+
+MapperResult
+Mapper::run() const
+{
+    const LayerOutcome outcome =
+        searchLayer(*problem_, *arch_, config_.preset, config_.variant,
+                    config_.search, config_.pad);
+    MapperResult res;
+    res.found = outcome.found;
+    res.eval = outcome.result;
+    res.mappingText = outcome.bestMapping;
+    res.evaluated = outcome.evaluated;
+    return res;
+}
+
+} // namespace ruby

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Public facade: pick a workload, an architecture, a mapspace variant
+ * and an objective; run the search; get the best mapping and its
+ * metrics. Owns copies of the problem and architecture so results
+ * never dangle.
+ *
+ * Quickstart:
+ * @code
+ *   ruby::Mapper mapper(ruby::makeConv(shape), ruby::makeEyeriss());
+ *   mapper.config().variant = ruby::MapspaceVariant::RubyS;
+ *   auto result = mapper.run();
+ *   std::cout << result.mappingText << result.eval.edp;
+ * @endcode
+ */
+
+#ifndef RUBY_CORE_MAPPER_HPP
+#define RUBY_CORE_MAPPER_HPP
+
+#include <memory>
+#include <string>
+
+#include "ruby/arch/arch_spec.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/** Mapper configuration. */
+struct MapperConfig
+{
+    MapspaceVariant variant = MapspaceVariant::RubyS;
+    ConstraintPreset preset = ConstraintPreset::None;
+    SearchOptions search;
+    /** Apply the padding baseline before searching. */
+    bool pad = false;
+};
+
+/** Outcome of Mapper::run(). */
+struct MapperResult
+{
+    bool found = false;        ///< a valid mapping exists
+    EvalResult eval;           ///< best mapping's metrics
+    std::string mappingText;   ///< rendered best mapping
+    std::uint64_t evaluated = 0;
+};
+
+/**
+ * End-to-end mapping exploration for one (problem, architecture)
+ * pair.
+ */
+class Mapper
+{
+  public:
+    /** Copies @p problem and @p arch; self-contained thereafter. */
+    Mapper(Problem problem, ArchSpec arch, MapperConfig config = {});
+
+    /** Mutable configuration (adjust before run()). */
+    MapperConfig &config() { return config_; }
+    const MapperConfig &config() const { return config_; }
+
+    /** The owned problem/architecture. */
+    const Problem &problem() const { return *problem_; }
+    const ArchSpec &arch() const { return *arch_; }
+
+    /** Run the configured search. */
+    MapperResult run() const;
+
+  private:
+    std::unique_ptr<Problem> problem_;
+    std::unique_ptr<ArchSpec> arch_;
+    MapperConfig config_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_CORE_MAPPER_HPP

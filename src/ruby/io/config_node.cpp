@@ -1,0 +1,383 @@
+#include "ruby/io/config_node.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** One significant (non-blank, comment-stripped) input line. */
+struct Line
+{
+    int number;      ///< 1-based source line
+    int indent;      ///< leading spaces
+    std::string text; ///< content without indent/comment/trailing ws
+};
+
+std::string
+stripComment(const std::string &s)
+{
+    bool in_quote = false;
+    char quote = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_quote) {
+            if (c == quote)
+                in_quote = false;
+        } else if (c == '"' || c == '\'') {
+            in_quote = true;
+            quote = c;
+        } else if (c == '#' && (i == 0 || s[i - 1] == ' ')) {
+            return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(' ');
+    if (b == std::string::npos)
+        return {};
+    std::size_t e = s.find_last_not_of(' ');
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 &&
+        ((s.front() == '"' && s.back() == '"') ||
+         (s.front() == '\'' && s.back() == '\'')))
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+std::vector<Line>
+splitLines(const std::string &text)
+{
+    std::vector<Line> lines;
+    std::size_t pos = 0;
+    int number = 0;
+    while (pos <= text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string raw = text.substr(pos, end - pos);
+        ++number;
+        pos = end + 1;
+        RUBY_CHECK(raw.find('\t') == std::string::npos,
+                   "config line ", number,
+                   ": tabs are not allowed, use spaces");
+        raw = stripComment(raw);
+        // Trailing whitespace.
+        while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\r'))
+            raw.pop_back();
+        if (raw.empty())
+            continue;
+        const int indent = static_cast<int>(
+            raw.find_first_not_of(' '));
+        lines.push_back(Line{number, indent, raw.substr(
+                                                 static_cast<std::size_t>(
+                                                     indent))});
+        if (end == text.size())
+            break;
+    }
+    return lines;
+}
+
+} // namespace
+
+/** Recursive-descent parser over significant lines. */
+class ConfigParser
+{
+  public:
+    explicit ConfigParser(std::vector<Line> lines)
+        : lines_(std::move(lines))
+    {
+    }
+
+    ConfigNode
+    run()
+    {
+        if (lines_.empty())
+            return ConfigNode{};
+        ConfigNode root = parseBlock(lines_.front().indent, "<root>");
+        RUBY_CHECK(pos_ == lines_.size(), "config line ",
+                   lines_[pos_].number, ": unexpected indentation");
+        return root;
+    }
+
+  private:
+    std::vector<Line> lines_;
+    std::size_t pos_ = 0;
+
+    static ConfigNode
+    makeScalar(const std::string &value, const std::string &path)
+    {
+        ConfigNode node;
+        node.kind_ = ConfigNode::Kind::Scalar;
+        node.scalar_ = unquote(value);
+        node.path_ = path;
+        return node;
+    }
+
+    /** Parse "[a, b, c]" into a sequence of scalars. */
+    static ConfigNode
+    parseFlow(const std::string &value, const std::string &path,
+              int line)
+    {
+        RUBY_CHECK(value.back() == ']', "config line ", line,
+                   ": unterminated flow sequence");
+        ConfigNode node;
+        node.kind_ = ConfigNode::Kind::Sequence;
+        node.path_ = path;
+        const std::string inner =
+            trim(value.substr(1, value.size() - 2));
+        if (inner.empty())
+            return node;
+        std::size_t start = 0;
+        std::size_t index = 0;
+        while (start <= inner.size()) {
+            std::size_t comma = inner.find(',', start);
+            if (comma == std::string::npos)
+                comma = inner.size();
+            const std::string item =
+                trim(inner.substr(start, comma - start));
+            RUBY_CHECK(!item.empty(), "config line ", line,
+                       ": empty flow-sequence element");
+            node.sequence_.push_back(makeScalar(
+                item, path + "/" + std::to_string(index++)));
+            start = comma + 1;
+            if (comma == inner.size())
+                break;
+        }
+        return node;
+    }
+
+    ConfigNode
+    parseValue(const std::string &value, const std::string &path,
+               int line, int parent_indent)
+    {
+        if (value.empty())
+            return parseBlockOrNull(parent_indent, path);
+        if (value.front() == '[')
+            return parseFlow(value, path, line);
+        return makeScalar(value, path);
+    }
+
+    ConfigNode
+    parseBlockOrNull(int parent_indent, const std::string &path)
+    {
+        if (pos_ < lines_.size() &&
+            lines_[pos_].indent > parent_indent)
+            return parseBlock(lines_[pos_].indent, path);
+        ConfigNode node;
+        node.path_ = path;
+        return node; // null
+    }
+
+    ConfigNode
+    parseBlock(int indent, const std::string &path)
+    {
+        RUBY_ASSERT(pos_ < lines_.size());
+        if (lines_[pos_].text.rfind("- ", 0) == 0 ||
+            lines_[pos_].text == "-")
+            return parseSequence(indent, path);
+        return parseMap(indent, path);
+    }
+
+    ConfigNode
+    parseSequence(int indent, const std::string &path)
+    {
+        ConfigNode node;
+        node.kind_ = ConfigNode::Kind::Sequence;
+        node.path_ = path;
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+            Line &line = lines_[pos_];
+            if (line.text.rfind("- ", 0) != 0 && line.text != "-")
+                break;
+            const std::string item_path =
+                path + "/" + std::to_string(node.sequence_.size());
+            const std::string rest =
+                line.text == "-" ? "" : trim(line.text.substr(2));
+            if (rest.empty()) {
+                ++pos_;
+                node.sequence_.push_back(
+                    parseBlockOrNull(indent, item_path));
+            } else if (rest.find(": ") != std::string::npos ||
+                       rest.back() == ':') {
+                // Map item starting on the dash line: rewrite the
+                // line as its first key and continue as a map
+                // indented past the dash.
+                line.indent = indent + 2;
+                line.text = rest;
+                node.sequence_.push_back(
+                    parseMap(indent + 2, item_path));
+            } else {
+                ++pos_;
+                node.sequence_.push_back(parseValue(
+                    rest, item_path, line.number, indent));
+            }
+        }
+        return node;
+    }
+
+    ConfigNode
+    parseMap(int indent, const std::string &path)
+    {
+        ConfigNode node;
+        node.kind_ = ConfigNode::Kind::Map;
+        node.path_ = path;
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+            const Line &line = lines_[pos_];
+            const std::size_t colon = line.text.find(':');
+            RUBY_CHECK(colon != std::string::npos &&
+                           colon > 0,
+                       "config line ", line.number,
+                       ": expected 'key: value'");
+            const std::string key =
+                trim(line.text.substr(0, colon));
+            const std::string value =
+                trim(line.text.substr(colon + 1));
+            RUBY_CHECK(node.map_.find(key) == node.map_.end(),
+                       "config line ", line.number,
+                       ": duplicate key '", key, "'");
+            ++pos_;
+            node.keys_.push_back(key);
+            node.map_.emplace(key,
+                              parseValue(value, path + "/" + key,
+                                         line.number, indent));
+            if (pos_ < lines_.size() &&
+                lines_[pos_].indent > indent) {
+                RUBY_FATAL("config line ", lines_[pos_].number,
+                           ": unexpected indentation under '", key,
+                           "'");
+            }
+        }
+        return node;
+    }
+};
+
+ConfigNode
+ConfigNode::parse(const std::string &text)
+{
+    return ConfigParser(splitLines(text)).run();
+}
+
+const ConfigNode &
+ConfigNode::at(const std::string &key) const
+{
+    const ConfigNode *node = find(key);
+    RUBY_CHECK(node != nullptr, path_, ": missing required key '",
+               key, "'");
+    return *node;
+}
+
+const ConfigNode *
+ConfigNode::find(const std::string &key) const
+{
+    if (kind_ != Kind::Map)
+        RUBY_FATAL(path_, ": expected a map");
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+bool
+ConfigNode::has(const std::string &key) const
+{
+    return kind_ == Kind::Map && map_.find(key) != map_.end();
+}
+
+std::size_t
+ConfigNode::size() const
+{
+    return sequence_.size();
+}
+
+const ConfigNode &
+ConfigNode::operator[](std::size_t i) const
+{
+    RUBY_CHECK(kind_ == Kind::Sequence, path_,
+               ": expected a sequence");
+    RUBY_CHECK(i < sequence_.size(), path_, ": index ", i,
+               " out of range (size ", sequence_.size(), ")");
+    return sequence_[i];
+}
+
+const std::string &
+ConfigNode::asString() const
+{
+    RUBY_CHECK(kind_ == Kind::Scalar, path_, ": expected a scalar");
+    return scalar_;
+}
+
+std::uint64_t
+ConfigNode::asU64() const
+{
+    const std::string &s = asString();
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    RUBY_CHECK(end != s.c_str() && *end == '\0', path_, ": '", s,
+               "' is not an unsigned integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+ConfigNode::asDouble() const
+{
+    const std::string &s = asString();
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    RUBY_CHECK(end != s.c_str() && *end == '\0', path_, ": '", s,
+               "' is not a number");
+    return v;
+}
+
+bool
+ConfigNode::asBool() const
+{
+    const std::string &s = asString();
+    if (s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "no" || s == "off")
+        return false;
+    RUBY_FATAL(path_, ": '", s, "' is not a boolean");
+}
+
+std::uint64_t
+ConfigNode::getU64(const std::string &key, std::uint64_t fallback) const
+{
+    const ConfigNode *node = find(key);
+    return node == nullptr ? fallback : node->asU64();
+}
+
+double
+ConfigNode::getDouble(const std::string &key, double fallback) const
+{
+    const ConfigNode *node = find(key);
+    return node == nullptr ? fallback : node->asDouble();
+}
+
+bool
+ConfigNode::getBool(const std::string &key, bool fallback) const
+{
+    const ConfigNode *node = find(key);
+    return node == nullptr ? fallback : node->asBool();
+}
+
+std::string
+ConfigNode::getString(const std::string &key,
+                      const std::string &fallback) const
+{
+    const ConfigNode *node = find(key);
+    return node == nullptr ? fallback : node->asString();
+}
+
+} // namespace ruby

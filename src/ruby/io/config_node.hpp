@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small configuration tree plus a parser for a YAML subset —
+ * enough to describe architectures, workloads and mapper settings in
+ * text files the way Timeloop users expect, without any external
+ * dependency.
+ *
+ * Supported syntax: nested block maps (indentation), block sequences
+ * ("- " items), flow sequences ("[a, b, c]"), scalars, "#" comments
+ * and blank lines. Not supported: anchors, multi-document streams,
+ * flow maps, block scalars. Tabs are rejected.
+ */
+
+#ifndef RUBY_IO_CONFIG_NODE_HPP
+#define RUBY_IO_CONFIG_NODE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ruby
+{
+
+/**
+ * One node of a parsed configuration: a scalar, a sequence, or a map
+ * (string-keyed, insertion order preserved for error messages).
+ */
+class ConfigNode
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Scalar,
+        Sequence,
+        Map,
+    };
+
+    ConfigNode() = default;
+
+    /** Parse a configuration document. Throws ruby::Error. */
+    static ConfigNode parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isScalar() const { return kind_ == Kind::Scalar; }
+    bool isSequence() const { return kind_ == Kind::Sequence; }
+    bool isMap() const { return kind_ == Kind::Map; }
+
+    /** Map lookup; throws if absent or not a map. */
+    const ConfigNode &at(const std::string &key) const;
+
+    /** Map lookup returning nullptr when absent. */
+    const ConfigNode *find(const std::string &key) const;
+
+    /** True iff a map contains @p key. */
+    bool has(const std::string &key) const;
+
+    /** Sequence element count (0 for non-sequences). */
+    std::size_t size() const;
+
+    /** Sequence element; throws when out of range. */
+    const ConfigNode &operator[](std::size_t i) const;
+
+    /** Map keys in document order. */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+    /** Scalar accessors; throw with the node's path on mismatch. */
+    const std::string &asString() const;
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    bool asBool() const;
+
+    /** Typed map getters with defaults (key absent => default). */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Slash-separated location in the document (for errors). */
+    const std::string &path() const { return path_; }
+
+  private:
+    Kind kind_ = Kind::Null;
+    std::string scalar_;
+    std::vector<ConfigNode> sequence_;
+    std::vector<std::string> keys_;
+    std::map<std::string, ConfigNode> map_;
+    std::string path_ = "<root>";
+
+    friend class ConfigParser;
+};
+
+} // namespace ruby
+
+#endif // RUBY_IO_CONFIG_NODE_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Config-driven construction of architectures, workloads and mapper
+ * settings — the text front end of the library, mirroring Timeloop's
+ * YAML-driven workflow.
+ *
+ * Architecture document:
+ * @code
+ * architecture:
+ *   name: my-accel
+ *   word_bits: 16
+ *   levels:                 # inner to outer; last is backing store
+ *     - name: PEspad
+ *       per_tensor_capacity: [224, 12, 16]
+ *       bandwidth: 6
+ *     - name: GLB
+ *       capacity_words: 65536
+ *       bandwidth: 16
+ *       fanout_x: 14
+ *       fanout_y: 12
+ *     - name: DRAM
+ *       backing_store: true
+ *       bandwidth: 16
+ * @endcode
+ *
+ * Workload document:
+ * @code
+ * workload:
+ *   type: conv              # conv | gemm | vector
+ *   name: conv3_1x1b
+ *   c: 128
+ *   m: 512
+ *   p: 28
+ *   q: 28
+ * @endcode
+ *
+ * Mapper document:
+ * @code
+ * mapper:
+ *   mapspace: ruby-s        # pfm | ruby | ruby-s | ruby-t
+ *   objective: edp          # edp | energy | delay
+ *   constraints: eyeriss-rs # none | eyeriss-rs | simba | toy-cm
+ *   termination_streak: 3000
+ *   max_evaluations: 100000
+ *   seed: 42
+ *   pad: false
+ * @endcode
+ */
+
+#ifndef RUBY_IO_LOADERS_HPP
+#define RUBY_IO_LOADERS_HPP
+
+#include <string>
+
+#include "ruby/core/mapper.hpp"
+#include "ruby/io/config_node.hpp"
+
+namespace ruby
+{
+
+/** Build an ArchSpec from an "architecture:" document. */
+ArchSpec loadArchSpec(const ConfigNode &root);
+
+/** Build a Problem from a "workload:" document. */
+Problem loadProblem(const ConfigNode &root);
+
+/** Build a MapperConfig from a "mapper:" document (all optional). */
+MapperConfig loadMapperConfig(const ConfigNode &root);
+
+/** Parse @p text and assemble a ready-to-run Mapper from all three
+ *  sections ("architecture" and "workload" required). */
+Mapper loadMapper(const std::string &text);
+
+/** Parse the named mapspace variant ("pfm", "ruby", "ruby-s", ...). */
+MapspaceVariant parseVariant(const std::string &name);
+
+/** Parse the named objective ("edp", "energy", "delay"). */
+Objective parseObjective(const std::string &name);
+
+/** Parse the named constraint preset ("none", "eyeriss-rs", ...). */
+ConstraintPreset parsePreset(const std::string &name);
+
+} // namespace ruby
+
+#endif // RUBY_IO_LOADERS_HPP

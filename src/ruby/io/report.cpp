@@ -1,0 +1,105 @@
+#include "ruby/io/report.hpp"
+
+#include "ruby/common/table.hpp"
+
+namespace ruby
+{
+
+void
+printReport(std::ostream &os, const Problem &problem,
+            const ArchSpec &arch, const EvalResult &result)
+{
+    os << "=== evaluation: " << problem.name() << " on "
+       << arch.name() << " ===\n";
+    if (!result.valid) {
+        os << "INVALID: " << result.invalidReason << "\n";
+        return;
+    }
+
+    std::vector<std::string> headers{"level"};
+    for (int t = 0; t < problem.numTensors(); ++t) {
+        headers.push_back(problem.tensor(t).name + " reads");
+        headers.push_back(problem.tensor(t).name + " writes");
+    }
+    headers.push_back("energy (pJ)");
+    Table table(std::move(headers));
+    for (int l = arch.numLevels() - 1; l >= 0; --l) {
+        std::vector<std::string> row{arch.level(l).name};
+        for (int t = 0; t < problem.numTensors(); ++t) {
+            row.push_back(formatCompact(
+                result.accesses
+                    .reads[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(t)]));
+            row.push_back(formatCompact(
+                result.accesses
+                    .writes[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(t)]));
+        }
+        row.push_back(formatCompact(
+            result.levelEnergy[static_cast<std::size_t>(l)]));
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+
+    os << "MACs            : " << formatCompact(
+              static_cast<double>(result.ops))
+       << "\n"
+       << "MAC energy      : " << formatCompact(result.macEnergy)
+       << " pJ\n"
+       << "network energy  : " << formatCompact(result.networkEnergy)
+       << " pJ\n"
+       << "total energy    : " << formatCompact(result.energy)
+       << " pJ\n"
+       << "compute cycles  : "
+       << formatCompact(result.latency.computeCycles) << "\n";
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        const double bw =
+            result.latency.bandwidthCycles[static_cast<std::size_t>(l)];
+        if (bw > 0)
+            os << "bw cycles @" << arch.level(l).name << "  : "
+               << formatCompact(bw) << "\n";
+    }
+    os << "total cycles    : " << formatCompact(result.cycles) << "\n"
+       << "utilization     : "
+       << formatFixed(100 * result.utilization, 1) << " %\n"
+       << "EDP             : " << formatCompact(result.edp) << "\n";
+}
+
+void
+writeResultYaml(std::ostream &os, const Problem &problem,
+                const ArchSpec &arch, const EvalResult &result)
+{
+    os << "result:\n"
+       << "  workload: " << problem.name() << "\n"
+       << "  architecture: " << arch.name() << "\n"
+       << "  valid: " << (result.valid ? "true" : "false") << "\n";
+    if (!result.valid) {
+        os << "  reason: \"" << result.invalidReason << "\"\n";
+        return;
+    }
+    os << "  macs: " << result.ops << "\n"
+       << "  energy_pj: " << result.energy << "\n"
+       << "  cycles: " << result.cycles << "\n"
+       << "  edp: " << result.edp << "\n"
+       << "  utilization: " << result.utilization << "\n"
+       << "  levels:\n";
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        os << "    - name: " << arch.level(l).name << "\n"
+           << "      energy_pj: "
+           << result.levelEnergy[static_cast<std::size_t>(l)] << "\n"
+           << "      tensors:\n";
+        for (int t = 0; t < problem.numTensors(); ++t) {
+            os << "        - name: " << problem.tensor(t).name << "\n"
+               << "          reads: "
+               << result.accesses.reads[static_cast<std::size_t>(l)]
+                                       [static_cast<std::size_t>(t)]
+               << "\n"
+               << "          writes: "
+               << result.accesses.writes[static_cast<std::size_t>(l)]
+                                        [static_cast<std::size_t>(t)]
+               << "\n";
+        }
+    }
+}
+
+} // namespace ruby

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Evaluation reporting: a human-readable per-level breakdown (akin to
+ * Timeloop's stats output) and a machine-readable YAML-style dump of
+ * one mapping evaluation.
+ */
+
+#ifndef RUBY_IO_REPORT_HPP
+#define RUBY_IO_REPORT_HPP
+
+#include <ostream>
+
+#include "ruby/model/evaluator.hpp"
+
+namespace ruby
+{
+
+/**
+ * Print a full breakdown of @p result: per-level reads/writes and
+ * energy per tensor, latency components and the headline metrics.
+ */
+void printReport(std::ostream &os, const Problem &problem,
+                 const ArchSpec &arch, const EvalResult &result);
+
+/**
+ * Emit the evaluation as a YAML document (parseable back by
+ * ConfigNode::parse; used for logging results from scripts).
+ */
+void writeResultYaml(std::ostream &os, const Problem &problem,
+                     const ArchSpec &arch, const EvalResult &result);
+
+} // namespace ruby
+
+#endif // RUBY_IO_REPORT_HPP

@@ -1,0 +1,61 @@
+#include "ruby/mapping/factor_chain.hpp"
+
+#include "ruby/common/error.hpp"
+#include "ruby/common/math_util.hpp"
+
+namespace ruby
+{
+
+FactorChain::FactorChain(std::uint64_t dim,
+                         std::vector<std::uint64_t> steady)
+    : dim_(dim)
+{
+    RUBY_ASSERT(dim >= 1, "dimension must be >= 1");
+    const auto tails = deriveTails(dim, steady);
+    factors_.resize(steady.size());
+    for (std::size_t k = 0; k < steady.size(); ++k)
+        factors_[k] = FactorPair{steady[k], tails[k]};
+
+    const auto bodies = bodyCounts(steady, tails);
+    bodies_.assign(bodies.begin(), bodies.end());
+    bodies_.push_back(1);
+    RUBY_ASSERT(bodies_.front() == dim,
+                "ragged body count must equal the dimension");
+
+    extents_.resize(steady.size() + 1);
+    extents_[0] = 1;
+    for (std::size_t k = 0; k < steady.size(); ++k)
+        extents_[k + 1] = extents_[k] * steady[k];
+}
+
+const FactorPair &
+FactorChain::at(int slot) const
+{
+    RUBY_ASSERT(slot >= 0 && slot < numSlots());
+    return factors_[static_cast<std::size_t>(slot)];
+}
+
+std::uint64_t
+FactorChain::bodyCount(int slot) const
+{
+    RUBY_ASSERT(slot >= 0 && slot <= numSlots());
+    return bodies_[static_cast<std::size_t>(slot)];
+}
+
+std::uint64_t
+FactorChain::steadyExtentBelow(int slot) const
+{
+    RUBY_ASSERT(slot >= 0 && slot <= numSlots());
+    return extents_[static_cast<std::size_t>(slot)];
+}
+
+bool
+FactorChain::fullyPerfect() const
+{
+    for (const auto &f : factors_)
+        if (!f.perfect())
+            return false;
+    return true;
+}
+
+} // namespace ruby

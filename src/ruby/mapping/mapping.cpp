@@ -1,0 +1,196 @@
+#include "ruby/mapping/mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+Mapping::Mapping(const Problem &problem, const ArchSpec &arch,
+                 const std::vector<std::vector<std::uint64_t>> &steady,
+                 std::vector<std::vector<DimId>> perms,
+                 std::vector<std::vector<char>> keep,
+                 std::vector<std::vector<SpatialAxis>> axes)
+    : problem_(&problem), arch_(&arch), perms_(std::move(perms)),
+      keep_(std::move(keep)), axes_(std::move(axes))
+{
+    const int nd = problem.numDims();
+    const int nl = arch.numLevels();
+    const int nt = problem.numTensors();
+    const std::size_t slots = static_cast<std::size_t>(2 * nl);
+
+    RUBY_CHECK(static_cast<int>(steady.size()) == nd,
+               "mapping needs one factor chain per dimension");
+    chains_.reserve(static_cast<std::size_t>(nd));
+    for (DimId d = 0; d < nd; ++d) {
+        RUBY_CHECK(steady[static_cast<std::size_t>(d)].size() == slots,
+                   "dimension ", problem.dimName(d), ": chain must have ",
+                   slots, " slots");
+        chains_.emplace_back(problem.dimSize(d),
+                             steady[static_cast<std::size_t>(d)]);
+    }
+
+    RUBY_CHECK(static_cast<int>(perms_.size()) == nl,
+               "mapping needs one permutation per level");
+    for (int l = 0; l < nl; ++l) {
+        auto sorted = perms_[static_cast<std::size_t>(l)];
+        std::sort(sorted.begin(), sorted.end());
+        bool ok = static_cast<int>(sorted.size()) == nd;
+        for (DimId d = 0; ok && d < nd; ++d)
+            ok = sorted[static_cast<std::size_t>(d)] == d;
+        RUBY_CHECK(ok, "level ", arch.level(l).name,
+                   ": permutation must cover every dimension once");
+    }
+
+    RUBY_CHECK(static_cast<int>(keep_.size()) == nl,
+               "mapping needs keep flags per level");
+    for (int l = 0; l < nl; ++l) {
+        RUBY_CHECK(static_cast<int>(keep_[static_cast<std::size_t>(l)]
+                                        .size()) == nt,
+                   "level ", arch.level(l).name,
+                   ": keep flags must cover every tensor");
+    }
+    for (int t = 0; t < nt; ++t) {
+        RUBY_CHECK(keep_.front()[static_cast<std::size_t>(t)],
+                   "innermost level must keep every tensor");
+        RUBY_CHECK(keep_.back()[static_cast<std::size_t>(t)],
+                   "outermost level must keep every tensor");
+    }
+
+    if (!axes_.empty()) {
+        RUBY_CHECK(static_cast<int>(axes_.size()) == nl,
+                   "spatial axes must cover every level");
+        for (int l = 0; l < nl; ++l)
+            RUBY_CHECK(static_cast<int>(
+                           axes_[static_cast<std::size_t>(l)].size()) ==
+                           nd,
+                       "spatial axes must cover every dimension");
+    }
+}
+
+const FactorChain &
+Mapping::chain(DimId d) const
+{
+    RUBY_ASSERT(d >= 0 && d < problem_->numDims());
+    return chains_[static_cast<std::size_t>(d)];
+}
+
+const std::vector<DimId> &
+Mapping::permutation(int level) const
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    return perms_[static_cast<std::size_t>(level)];
+}
+
+bool
+Mapping::keeps(int level, int tensor) const
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    RUBY_ASSERT(tensor >= 0 && tensor < problem_->numTensors());
+    return keep_[static_cast<std::size_t>(level)]
+                [static_cast<std::size_t>(tensor)] != 0;
+}
+
+std::vector<std::uint64_t>
+Mapping::extentsBelow(int slot) const
+{
+    std::vector<std::uint64_t> extents(
+        static_cast<std::size_t>(problem_->numDims()));
+    for (DimId d = 0; d < problem_->numDims(); ++d)
+        extents[static_cast<std::size_t>(d)] =
+            chain(d).steadyExtentBelow(slot);
+    return extents;
+}
+
+std::uint64_t
+Mapping::spatialUsage(int level) const
+{
+    std::uint64_t usage = 1;
+    for (DimId d = 0; d < problem_->numDims(); ++d)
+        usage *= factor(d, spatialSlot(level)).steady;
+    return usage;
+}
+
+std::uint64_t
+Mapping::spatialUsage(int level, SpatialAxis axis) const
+{
+    std::uint64_t usage = 1;
+    for (DimId d = 0; d < problem_->numDims(); ++d)
+        if (spatialAxis(level, d) == axis)
+            usage *= factor(d, spatialSlot(level)).steady;
+    return usage;
+}
+
+SpatialAxis
+Mapping::spatialAxis(int level, DimId d) const
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    RUBY_ASSERT(d >= 0 && d < problem_->numDims());
+    if (axes_.empty())
+        return SpatialAxis::X;
+    return axes_[static_cast<std::size_t>(level)]
+                [static_cast<std::size_t>(d)];
+}
+
+bool
+Mapping::fullyPerfect() const
+{
+    for (const auto &c : chains_)
+        if (!c.fullyPerfect())
+            return false;
+    return true;
+}
+
+bool
+Mapping::spatialOnlyImperfection() const
+{
+    for (const auto &c : chains_)
+        for (int k = 0; k < c.numSlots(); ++k)
+            if (!isSpatialSlot(k) && !c.at(k).perfect())
+                return false;
+    return true;
+}
+
+std::string
+Mapping::toString() const
+{
+    std::ostringstream oss;
+    auto emitFactor = [&](const FactorPair &f) {
+        oss << f.steady;
+        if (!f.perfect())
+            oss << "(tail " << f.tail << ")";
+    };
+    for (int l = arch_->numLevels() - 1; l >= 0; --l) {
+        oss << arch_->level(l).name << " [keep:";
+        for (int t = 0; t < problem_->numTensors(); ++t)
+            if (keeps(l, t))
+                oss << " " << problem_->tensor(t).name;
+        oss << "]\n";
+        oss << "  for:";
+        for (DimId d : permutation(l)) {
+            const auto &f = factor(d, temporalSlot(l));
+            if (f.steady == 1 && f.tail == 1)
+                continue;
+            oss << " " << problem_->dimName(d) << "=";
+            emitFactor(f);
+        }
+        oss << "\n  parFor:";
+        for (DimId d = 0; d < problem_->numDims(); ++d) {
+            const auto &f = factor(d, spatialSlot(l));
+            if (f.steady == 1 && f.tail == 1)
+                continue;
+            oss << " " << problem_->dimName(d);
+            if (arch_->level(l).fanoutY > 1)
+                oss << (spatialAxis(l, d) == SpatialAxis::Y ? "@Y"
+                                                            : "@X");
+            oss << "=";
+            emitFactor(f);
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace ruby

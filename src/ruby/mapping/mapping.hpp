@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The mapping IR: a complete allocation of a problem onto an
+ * architecture — per-dimension factor chains over the slot layout,
+ * per-level temporal loop orders, and per-level per-tensor residency
+ * (keep/bypass) decisions.
+ */
+
+#ifndef RUBY_MAPPING_MAPPING_HPP
+#define RUBY_MAPPING_MAPPING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ruby/arch/arch_spec.hpp"
+#include "ruby/mapping/factor_chain.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/** Mesh axis a spatial factor occupies (PE arrays are X x Y grids). */
+enum class SpatialAxis : char
+{
+    X = 0,
+    Y = 1,
+};
+
+/**
+ * An immutable mapping of @c Problem onto @c ArchSpec.
+ *
+ * The referenced problem and architecture must outlive the mapping.
+ */
+class Mapping
+{
+  public:
+    /**
+     * @param problem Problem being mapped.
+     * @param arch    Target architecture.
+     * @param steady  steady[d] = per-slot steady bounds of dimension
+     *                d, inner to outer; 2 * numLevels slots each.
+     *                prod(steady[d]) must be >= dimSize(d).
+     * @param perms   perms[l] = order of level l's temporal loops,
+     *                outermost first; each a permutation of all dims.
+     * @param keep    keep[l][t] = tensor t resides at level l. The
+     *                innermost and outermost levels must keep all.
+     * @param axes    axes[l][d] = mesh axis dimension d's spatial
+     *                factor at level l occupies; empty = all X.
+     *                Validity requires the per-axis products to fit
+     *                the level's fanoutX / fanoutY.
+     */
+    Mapping(const Problem &problem, const ArchSpec &arch,
+            const std::vector<std::vector<std::uint64_t>> &steady,
+            std::vector<std::vector<DimId>> perms,
+            std::vector<std::vector<char>> keep,
+            std::vector<std::vector<SpatialAxis>> axes = {});
+
+    /** The mapped problem. */
+    const Problem &problem() const { return *problem_; }
+
+    /** The target architecture. */
+    const ArchSpec &arch() const { return *arch_; }
+
+    /** Number of tiling slots (2 per storage level). */
+    int numSlots() const { return 2 * arch_->numLevels(); }
+
+    /** Factor chain of dimension d. */
+    const FactorChain &chain(DimId d) const;
+
+    /** The (steady, tail) pair of dimension d at slot k. */
+    const FactorPair &factor(DimId d, int slot) const
+    {
+        return chain(d).at(slot);
+    }
+
+    /** Temporal loop order of level l, outermost first. */
+    const std::vector<DimId> &permutation(int level) const;
+
+    /** True iff tensor t is kept (not bypassed) at level l. */
+    bool keeps(int level, int tensor) const;
+
+    /**
+     * Per-dimension steady tile extents at slot boundary @p slot:
+     * the iteration-space box covered by slots [0, slot).
+     */
+    std::vector<std::uint64_t> extentsBelow(int slot) const;
+
+    /**
+     * Product over dimensions of the steady spatial bounds at level
+     * l: how many child instances level l drives concurrently in
+     * steady state. Must not exceed the level's fanout for the
+     * mapping to be valid.
+     */
+    std::uint64_t spatialUsage(int level) const;
+
+    /** Spatial usage restricted to one mesh axis of level l. */
+    std::uint64_t spatialUsage(int level, SpatialAxis axis) const;
+
+    /** Mesh axis dimension d's spatial factor occupies at level l. */
+    SpatialAxis spatialAxis(int level, DimId d) const;
+
+    /** True iff every chain is perfect (a PFM mapping). */
+    bool fullyPerfect() const;
+
+    /**
+     * True iff all *temporal* slots are perfect (a Ruby-S mapping:
+     * remainders only at spatial slots). PFMs satisfy this trivially.
+     */
+    bool spatialOnlyImperfection() const;
+
+    /** Human-readable multi-line rendering of the loop nest. */
+    std::string toString() const;
+
+  private:
+    const Problem *problem_;
+    const ArchSpec *arch_;
+    std::vector<FactorChain> chains_;
+    std::vector<std::vector<DimId>> perms_;
+    std::vector<std::vector<char>> keep_;
+    /** axes_[l][d]; empty means all X. */
+    std::vector<std::vector<SpatialAxis>> axes_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_MAPPING_MAPPING_HPP

@@ -1,0 +1,51 @@
+#include "ruby/mapping/nest.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+Nest::Nest(const Mapping &mapping)
+{
+    const Problem &prob = mapping.problem();
+    const ArchSpec &arch = mapping.arch();
+
+    auto push = [&](DimId d, int slot, bool spatial) {
+        const auto &f = mapping.factor(d, slot);
+        if (f.steady == 1)
+            return;
+        const auto &chain = mapping.chain(d);
+        Loop loop;
+        loop.dim = d;
+        loop.slot = slot;
+        loop.level = slotLevel(slot);
+        loop.spatial = spatial;
+        loop.steady = f.steady;
+        loop.tail = f.tail;
+        loop.avgBound = static_cast<double>(chain.bodyCount(slot)) /
+                        static_cast<double>(chain.bodyCount(slot + 1));
+        loops_.push_back(loop);
+    };
+
+    for (int l = arch.numLevels() - 1; l >= 0; --l) {
+        for (DimId d : mapping.permutation(l))
+            push(d, temporalSlot(l), false);
+        for (DimId d = 0; d < prob.numDims(); ++d)
+            push(d, spatialSlot(l), true);
+    }
+
+    for (std::size_t i = 1; i < loops_.size(); ++i)
+        RUBY_ASSERT(loops_[i - 1].slot >= loops_[i].slot,
+                    "nest must be ordered by non-increasing slot");
+}
+
+std::size_t
+Nest::regionSize(int boundary) const
+{
+    std::size_t n = 0;
+    while (n < loops_.size() && loops_[n].slot >= boundary)
+        ++n;
+    return n;
+}
+
+} // namespace ruby

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Flattened loop nest derived from a mapping: the single ordered list
+ * of temporal and spatial loops that the analytic model walks.
+ */
+
+#ifndef RUBY_MAPPING_NEST_HPP
+#define RUBY_MAPPING_NEST_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/mapping/mapping.hpp"
+
+namespace ruby
+{
+
+/**
+ * One loop of the flattened nest.
+ */
+struct Loop
+{
+    DimId dim;            ///< problem dimension iterated
+    int slot;             ///< tiling slot index in the dim's chain
+    int level;            ///< storage level owning the slot
+    bool spatial;         ///< parFor (true) or for (false)
+    std::uint64_t steady; ///< P: steady bound
+    std::uint64_t tail;   ///< R: tail bound
+    /**
+     * Exact average bound: bodyCount(slot) / bodyCount(slot + 1).
+     * Products of average bounds over a dimension's slots telescope
+     * to exact ragged iteration totals.
+     */
+    double avgBound;
+};
+
+/**
+ * The flattened nest, loops ordered outermost (index 0) to innermost.
+ * Trivial loops (steady bound 1) are omitted. Because slots are
+ * visited from the outermost level inwards, loop slot indices are
+ * non-increasing along the nest, so "all loops outer to slot
+ * boundary b" is always a prefix.
+ */
+class Nest
+{
+  public:
+    /** Flatten @p mapping. */
+    explicit Nest(const Mapping &mapping);
+
+    /** The loops, outermost first. */
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /**
+     * Number of leading loops whose slot index is >= @p boundary:
+     * the loops outside the tile boundary at slot @p boundary.
+     */
+    std::size_t regionSize(int boundary) const;
+
+  private:
+    std::vector<Loop> loops_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_MAPPING_NEST_HPP

@@ -1,0 +1,107 @@
+#include "ruby/mapspace/counting.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ruby/common/error.hpp"
+#include "ruby/common/math_util.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** Memo key packing (slot, remaining). */
+std::uint64_t
+key(std::size_t slot, std::uint64_t m)
+{
+    return (static_cast<std::uint64_t>(slot) << 48) | m;
+}
+
+double
+countRec(std::uint64_t m, std::size_t slot,
+         const std::vector<SlotRule> &rules,
+         std::unordered_map<std::uint64_t, double> &memo)
+{
+    if (slot == rules.size() - 1) {
+        const auto &rule = rules[slot];
+        return (rule.cap == 0 || m <= rule.cap) ? 1.0 : 0.0;
+    }
+    const auto k = key(slot, m);
+    if (auto it = memo.find(k); it != memo.end())
+        return it->second;
+
+    const auto &rule = rules[slot];
+    const std::uint64_t hi = rule.cap == 0 ? m : std::min(rule.cap, m);
+    double total = 0.0;
+    if (rule.imperfect) {
+        // Group bounds by the resulting ceil(m / p): consecutive p
+        // share quotients, so this stays near O(sqrt(m)) per state.
+        std::uint64_t p = 1;
+        while (p <= hi) {
+            const std::uint64_t q = ceilDiv(m, p);
+            // Largest p' with ceil(m / p') == q.
+            std::uint64_t p_last =
+                q == 1 ? hi : std::min(hi, (m - 1) / (q - 1));
+            total += static_cast<double>(p_last - p + 1) *
+                     countRec(q, slot + 1, rules, memo);
+            p = p_last + 1;
+        }
+    } else {
+        for (std::uint64_t d : divisors(m)) {
+            if (d > hi)
+                break;
+            total += countRec(m / d, slot + 1, rules, memo);
+        }
+    }
+    memo.emplace(k, total);
+    return total;
+}
+
+} // namespace
+
+double
+countChains(std::uint64_t dim, const std::vector<SlotRule> &rules)
+{
+    RUBY_CHECK(dim >= 1 && !rules.empty(),
+               "counting needs dim >= 1 and >= 1 slot");
+    std::unordered_map<std::uint64_t, double> memo;
+    return countRec(dim, 0, rules, memo);
+}
+
+double
+countPerfectValid(std::uint64_t dim, const std::vector<SlotRule> &rules,
+                  int tile_slot, std::uint64_t tile_cap)
+{
+    RUBY_CHECK(dim >= 1 && !rules.empty(),
+               "counting needs dim >= 1 and >= 1 slot");
+    for (const auto &rule : rules)
+        RUBY_CHECK(!rule.imperfect,
+                   "valid-counting requires an all-perfect space");
+
+    double count = 0.0;
+    auto recurse = [&](auto &&self, std::size_t slot, std::uint64_t m,
+                       std::uint64_t extent) -> void {
+        if (tile_cap != 0 && static_cast<int>(slot) == tile_slot &&
+            extent > tile_cap)
+            return;
+        if (slot == rules.size() - 1) {
+            if (rules[slot].cap == 0 || m <= rules[slot].cap)
+                count += 1.0;
+            return;
+        }
+        const auto &rule = rules[slot];
+        const std::uint64_t hi =
+            rule.cap == 0 ? m : std::min(rule.cap, m);
+        for (std::uint64_t d : divisors(m)) {
+            if (d > hi)
+                break;
+            self(self, slot + 1, m / d, extent * d);
+        }
+    };
+    recurse(recurse, 0, dim, 1);
+    return count;
+}
+
+} // namespace ruby

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exact mapspace-size counting (the paper's Table I).
+ *
+ * Counts canonical factor chains per dimension under per-slot rules
+ * using a memoized recursion over the remaining tile count. For the
+ * perfect-only space a "valid" count additionally enforces a tile
+ * (buffer capacity) limit — exact because a perfect walk's cumulative
+ * tile extent is determined by the remaining count (extent = D / m).
+ * Imperfect spaces are reported unfiltered, matching the paper's
+ * observation that filtering the full Ruby space is infeasible.
+ */
+
+#ifndef RUBY_MAPSPACE_COUNTING_HPP
+#define RUBY_MAPSPACE_COUNTING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/mapspace/factor_space.hpp"
+
+namespace ruby
+{
+
+/**
+ * Number of canonical chains for a dimension of size @p dim under
+ * @p rules. Returned as double: imperfect counts overflow 64 bits
+ * for large dims.
+ */
+double countChains(std::uint64_t dim,
+                   const std::vector<SlotRule> &rules);
+
+/**
+ * Number of *valid* perfect chains: every rule must be perfect; a
+ * chain also passes only if its cumulative tile extent below slot
+ * @p tile_slot is at most @p tile_cap words (0 = no tile check).
+ */
+double countPerfectValid(std::uint64_t dim,
+                         const std::vector<SlotRule> &rules,
+                         int tile_slot, std::uint64_t tile_cap);
+
+} // namespace ruby
+
+#endif // RUBY_MAPSPACE_COUNTING_HPP

@@ -1,0 +1,221 @@
+#include "ruby/mapspace/mapspace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ruby/common/error.hpp"
+#include "ruby/common/math_util.hpp"
+
+namespace ruby
+{
+
+std::string
+variantName(MapspaceVariant variant)
+{
+    switch (variant) {
+      case MapspaceVariant::PFM:
+        return "PFM";
+      case MapspaceVariant::Ruby:
+        return "Ruby";
+      case MapspaceVariant::RubyS:
+        return "Ruby-S";
+      case MapspaceVariant::RubyT:
+        return "Ruby-T";
+    }
+    RUBY_ASSERT(false, "unknown mapspace variant");
+    return {};
+}
+
+bool
+imperfectSpatial(MapspaceVariant variant)
+{
+    return variant == MapspaceVariant::Ruby ||
+           variant == MapspaceVariant::RubyS;
+}
+
+bool
+imperfectTemporal(MapspaceVariant variant)
+{
+    return variant == MapspaceVariant::Ruby ||
+           variant == MapspaceVariant::RubyT;
+}
+
+Mapspace::Mapspace(const MappingConstraints &constraints,
+                   MapspaceVariant variant)
+    : constraints_(&constraints), variant_(variant)
+{
+}
+
+std::uint64_t
+Mapspace::slotCap(DimId d, int slot) const
+{
+    if (!isSpatialSlot(slot))
+        return 0; // unbounded
+    const int level = slotLevel(slot);
+    const auto &lvl = arch().level(level);
+    std::uint64_t cap = 1;
+    if (constraints_->spatialAllowed(level, d, SpatialAxis::X))
+        cap = std::max(cap, lvl.fanoutX);
+    if (constraints_->spatialAllowed(level, d, SpatialAxis::Y))
+        cap = std::max(cap, lvl.fanoutY);
+    return cap;
+}
+
+bool
+Mapspace::slotImperfect(int slot) const
+{
+    return isSpatialSlot(slot) ? imperfectSpatial(variant_)
+                               : imperfectTemporal(variant_);
+}
+
+Mapping
+Mapspace::sample(Rng &rng) const
+{
+    const Problem &prob = problem();
+    const ArchSpec &arch_spec = arch();
+    const int nd = prob.numDims();
+    const int nl = arch_spec.numLevels();
+    const int nt = prob.numTensors();
+    const int slots = 2 * nl;
+
+    std::vector<std::vector<std::uint64_t>> steady(
+        static_cast<std::size_t>(nd),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(slots), 1));
+    std::vector<std::uint64_t> remaining(
+        static_cast<std::size_t>(nd));
+    for (DimId d = 0; d < nd; ++d)
+        remaining[static_cast<std::size_t>(d)] = prob.dimSize(d);
+
+    // Visit dimensions in random order per slot so no dimension is
+    // systematically favoured for the shared spatial budget.
+    std::vector<DimId> order(static_cast<std::size_t>(nd));
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<std::vector<SpatialAxis>> axes(
+        static_cast<std::size_t>(nl),
+        std::vector<SpatialAxis>(static_cast<std::size_t>(nd),
+                                 SpatialAxis::X));
+
+    for (int k = 0; k < slots; ++k) {
+        const bool spatial = isSpatialSlot(k);
+        const bool imperfect = slotImperfect(k);
+        const bool last = k == slots - 1;
+        const int level = slotLevel(k);
+        // Independent mesh-axis budgets at spatial slots.
+        std::uint64_t budget_x =
+            spatial ? arch_spec.level(level).fanoutX : 0;
+        std::uint64_t budget_y =
+            spatial ? arch_spec.level(level).fanoutY : 0;
+
+        for (std::size_t i = order.size(); i-- > 0;)
+            std::swap(order[i], order[rng.below(i + 1)]);
+
+        for (DimId d : order) {
+            auto &m = remaining[static_cast<std::size_t>(d)];
+            std::uint64_t cap = 0; // unbounded (temporal)
+            if (spatial) {
+                // Pick the mesh axis: among the axes this dimension
+                // may occupy, prefer ones with remaining room.
+                const bool may_x = constraints_->spatialAllowed(
+                    level, d, SpatialAxis::X);
+                const bool may_y = constraints_->spatialAllowed(
+                    level, d, SpatialAxis::Y);
+                const std::uint64_t cap_x = may_x ? budget_x : 0;
+                const std::uint64_t cap_y = may_y ? budget_y : 0;
+                SpatialAxis axis = SpatialAxis::X;
+                if (cap_x > 1 && cap_y > 1)
+                    axis = rng.below(2) == 0 ? SpatialAxis::X
+                                             : SpatialAxis::Y;
+                else if (cap_y > cap_x)
+                    axis = SpatialAxis::Y;
+                axes[static_cast<std::size_t>(level)]
+                    [static_cast<std::size_t>(d)] = axis;
+                cap = std::max<std::uint64_t>(
+                    axis == SpatialAxis::X ? cap_x : cap_y, 1);
+            }
+            std::uint64_t choice = 1;
+            if (last) {
+                // The outermost temporal slot absorbs the residual.
+                choice = m;
+            } else if (cap == 1 || m == 1) {
+                choice = 1;
+            } else if (imperfect) {
+                // Mixture proposal over the imperfect range: divisors
+                // (the PFM sub-space), the full cap (the maximum-
+                // utilization choice Ruby exists to reach), and a
+                // uniform draw keeping the whole space reachable.
+                const std::uint64_t hi = std::min<std::uint64_t>(
+                    cap == 0 ? m : cap, m);
+                switch (rng.below(3)) {
+                  case 0: {
+                    const auto divs = divisors(m);
+                    std::size_t usable = 0;
+                    while (usable < divs.size() && divs[usable] <= hi)
+                        ++usable;
+                    choice = divs[rng.below(usable)];
+                    break;
+                  }
+                  case 1:
+                    choice = hi;
+                    break;
+                  default:
+                    choice = rng.between(1, hi);
+                }
+            } else {
+                // Perfect slot: uniform over divisors of m within cap.
+                const auto divs = divisors(m);
+                std::size_t usable = divs.size();
+                if (cap != 0) {
+                    usable = 0;
+                    while (usable < divs.size() && divs[usable] <= cap)
+                        ++usable;
+                }
+                choice = divs[rng.below(usable)];
+            }
+            steady[static_cast<std::size_t>(d)]
+                  [static_cast<std::size_t>(k)] = choice;
+            m = ceilDiv(m, choice);
+            if (spatial && choice > 1) {
+                auto &budget = axes[static_cast<std::size_t>(level)]
+                                       [static_cast<std::size_t>(d)] ==
+                                       SpatialAxis::X
+                                   ? budget_x
+                                   : budget_y;
+                RUBY_ASSERT(budget >= choice);
+                budget /= choice;
+            }
+        }
+    }
+
+    // Random temporal loop order per level.
+    std::vector<std::vector<DimId>> perms(
+        static_cast<std::size_t>(nl));
+    for (int l = 0; l < nl; ++l) {
+        auto &perm = perms[static_cast<std::size_t>(l)];
+        perm.resize(static_cast<std::size_t>(nd));
+        std::iota(perm.begin(), perm.end(), 0);
+        for (std::size_t i = perm.size(); i-- > 1;)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+
+    // Residency: endpoints keep everything; forced bypasses honoured;
+    // remaining intermediate (level, tensor) pairs explored randomly.
+    std::vector<std::vector<char>> keep(
+        static_cast<std::size_t>(nl),
+        std::vector<char>(static_cast<std::size_t>(nt), 1));
+    for (int l = 1; l < nl - 1; ++l)
+        for (int t = 0; t < nt; ++t) {
+            char flag = 1;
+            if (constraints_->bypassForced(l, t))
+                flag = 0;
+            else
+                flag = rng.below(2) == 0 ? 0 : 1;
+            keep[static_cast<std::size_t>(l)]
+                [static_cast<std::size_t>(t)] = flag;
+        }
+
+    return Mapping(prob, arch_spec, steady, std::move(perms),
+                   std::move(keep), std::move(axes));
+}
+
+} // namespace ruby

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Mapspace definition and random sampling for the four spaces the
+ * paper studies.
+ *
+ * A mapspace variant fixes, per tiling slot, whether factors must be
+ * perfect (divide the remaining tile count) or may be imperfect (any
+ * bound; the tail pass covers the remainder). Sampling walks each
+ * dimension's slots inner to outer maintaining the remaining tile
+ * count m: a perfect slot draws a divisor of m, an imperfect slot
+ * draws any bound in [1, min(cap, m)] and continues with ceil(m / P);
+ * the outermost temporal slot absorbs what remains. By construction
+ * (see math_util.hpp) the derived tails are perfect exactly at the
+ * perfect slots, so Ruby-S chains carry remainders only at spatial
+ * slots, Ruby-T only at temporal ones.
+ */
+
+#ifndef RUBY_MAPSPACE_MAPSPACE_HPP
+#define RUBY_MAPSPACE_MAPSPACE_HPP
+
+#include <string>
+
+#include "ruby/common/rng.hpp"
+#include "ruby/mapping/constraints.hpp"
+#include "ruby/mapping/mapping.hpp"
+
+namespace ruby
+{
+
+/** The four mapspaces of the paper (Sec. III-A). */
+enum class MapspaceVariant
+{
+    PFM,   ///< perfect factorization only (the Timeloop baseline)
+    Ruby,  ///< imperfect factors at every slot
+    RubyS, ///< imperfect factors at spatial slots only
+    RubyT, ///< imperfect factors at temporal slots only
+};
+
+/** Short display name ("PFM", "Ruby", "Ruby-S", "Ruby-T"). */
+std::string variantName(MapspaceVariant variant);
+
+/** Does @p variant allow imperfect factors at spatial slots? */
+bool imperfectSpatial(MapspaceVariant variant);
+
+/** Does @p variant allow imperfect factors at temporal slots? */
+bool imperfectTemporal(MapspaceVariant variant);
+
+/**
+ * A mapspace over one (problem, architecture, constraints) triple.
+ * The constraints object (and the problem/arch it references) must
+ * outlive the mapspace.
+ */
+class Mapspace
+{
+  public:
+    Mapspace(const MappingConstraints &constraints,
+             MapspaceVariant variant);
+
+    const Problem &problem() const { return constraints_->problem(); }
+    const ArchSpec &arch() const { return constraints_->arch(); }
+    const MappingConstraints &constraints() const
+    {
+        return *constraints_;
+    }
+    MapspaceVariant variant() const { return variant_; }
+
+    /**
+     * Draw a random mapping. Factor chains and spatial fanout usage
+     * are valid by construction; capacity may still be violated (the
+     * evaluator filters, mirroring Timeloop's generate-then-filter
+     * flow).
+     */
+    Mapping sample(Rng &rng) const;
+
+    /**
+     * Per-slot factor cap for dimension d at slot k: the level
+     * fanout at allowed spatial slots, 1 at disallowed spatial
+     * slots, unbounded (0) at temporal slots.
+     */
+    std::uint64_t slotCap(DimId d, int slot) const;
+
+    /** Is slot k allowed to carry a remainder under this variant? */
+    bool slotImperfect(int slot) const;
+
+  private:
+    const MappingConstraints *constraints_;
+    MapspaceVariant variant_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_MAPSPACE_MAPSPACE_HPP

@@ -1,0 +1,77 @@
+#include "ruby/mapspace/padding.hpp"
+
+#include <algorithm>
+
+#include "ruby/common/error.hpp"
+#include "ruby/common/math_util.hpp"
+
+namespace ruby
+{
+
+Problem
+padDim(const Problem &problem, DimId d, std::uint64_t quantum)
+{
+    RUBY_CHECK(quantum >= 1, "padding quantum must be >= 1");
+    const std::uint64_t size = problem.dimSize(d);
+    const std::uint64_t padded = ceilDiv(size, quantum) * quantum;
+    if (padded == size)
+        return problem;
+    return problem.withDimSize(d, padded);
+}
+
+Problem
+padForArray(const Problem &problem,
+            const MappingConstraints &constraints)
+{
+    const ArchSpec &arch = constraints.arch();
+
+    // Find the widest spatial level.
+    int wide = -1;
+    for (int l = 0; l < arch.numLevels(); ++l)
+        if (wide < 0 ||
+            arch.level(l).fanout() > arch.level(wide).fanout())
+            wide = l;
+    if (wide < 0 || arch.level(wide).fanout() <= 1)
+        return problem;
+
+    // Candidate dims: allowed spatially at that level, sorted by size
+    // (largest first) so padding targets the dims a mapper would
+    // actually spread over the array.
+    std::vector<DimId> dims;
+    for (DimId d = 0; d < problem.numDims(); ++d)
+        if (constraints.spatialAllowed(wide, d) &&
+            problem.dimSize(d) > 1)
+            dims.push_back(d);
+    std::sort(dims.begin(), dims.end(), [&](DimId a, DimId b) {
+        return problem.dimSize(a) > problem.dimSize(b);
+    });
+
+    const std::uint64_t fx = arch.level(wide).fanoutX;
+    const std::uint64_t fy = arch.level(wide).fanoutY;
+
+    if (dims.empty())
+        return problem;
+    if (dims.size() == 1 || fy == 1) {
+        return padDim(problem, dims[0],
+                      fy == 1 ? fx : arch.level(wide).fanout());
+    }
+
+    // Two dims: try both (X, Y) assignments, keep the cheaper one.
+    auto cost = [&](DimId a, std::uint64_t qa, DimId b,
+                    std::uint64_t qb) {
+        const double ra =
+            static_cast<double>(ceilDiv(problem.dimSize(a), qa) * qa) /
+            static_cast<double>(problem.dimSize(a));
+        const double rb =
+            static_cast<double>(ceilDiv(problem.dimSize(b), qb) * qb) /
+            static_cast<double>(problem.dimSize(b));
+        return ra * rb;
+    };
+    const DimId a = dims[0];
+    const DimId b = dims[1];
+    if (cost(a, fx, b, fy) <= cost(a, fy, b, fx))
+        return padDim(padDim(problem, a, fx), b, fy);
+    return padDim(padDim(problem, a, fy), b, fx);
+}
+
+} // namespace ruby

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The padding baseline (paper Sec. III-B and Figs. 8/13/14): pad
+ * tensor dimensions up to the next multiple of the hardware fanout
+ * so perfect factorization can parallelize them fully. Padded
+ * (ineffectual) work is charged at full cost — no gating or sparsity
+ * exploitation, per the paper.
+ */
+
+#ifndef RUBY_MAPSPACE_PADDING_HPP
+#define RUBY_MAPSPACE_PADDING_HPP
+
+#include <cstdint>
+
+#include "ruby/mapping/constraints.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/** Pad dimension @p d of @p problem up to a multiple of @p quantum. */
+Problem padDim(const Problem &problem, DimId d, std::uint64_t quantum);
+
+/**
+ * Heuristic whole-problem padding for an array architecture: among
+ * the dimensions allowed to map spatially at the widest fanout
+ * level, pad so the two largest such dimensions become multiples of
+ * the level's X and Y fanouts (assignment chosen to minimize added
+ * work). Dimensions already divisible are left untouched.
+ */
+Problem padForArray(const Problem &problem,
+                    const MappingConstraints &constraints);
+
+} // namespace ruby
+
+#endif // RUBY_MAPSPACE_PADDING_HPP

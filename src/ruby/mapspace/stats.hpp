@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Mapspace quality statistics: sampled validity rates and objective
+ * quantiles per mapspace variant. The paper's Sec. III-A argues the
+ * interesting property of a mapspace is not its size but its density
+ * of high-quality mappings; this module measures exactly that.
+ */
+
+#ifndef RUBY_MAPSPACE_STATS_HPP
+#define RUBY_MAPSPACE_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/mapspace/mapspace.hpp"
+#include "ruby/model/evaluator.hpp"
+
+namespace ruby
+{
+
+/** Sampled statistics of one mapspace under one cost model. */
+struct MapspaceStats
+{
+    std::uint64_t samples = 0; ///< mappings drawn
+    std::uint64_t valid = 0;   ///< mappings passing validity
+
+    /** Fraction of samples that were valid. */
+    double validityRate() const;
+
+    double best = 0.0;   ///< minimum objective among valid samples
+    double median = 0.0; ///< 50th percentile
+    double p10 = 0.0;    ///< 10th percentile (the "good tail")
+    double p90 = 0.0;    ///< 90th percentile
+
+    /**
+     * Density of high-quality mappings: fraction of *valid* samples
+     * within @c qualityFactor of the best sampled objective.
+     */
+    double goodDensity = 0.0;
+};
+
+/** Options for collectStats. */
+struct StatsOptions
+{
+    Objective objective = Objective::EDP;
+    std::uint64_t samples = 10'000;
+    std::uint64_t seed = 42;
+    /** "Within this multiple of the best" counts as high quality. */
+    double qualityFactor = 2.0;
+};
+
+/** Sample @p space and summarize objective quality. */
+MapspaceStats collectStats(const Mapspace &space,
+                           const Evaluator &evaluator,
+                           const StatsOptions &options = {});
+
+} // namespace ruby
+
+#endif // RUBY_MAPSPACE_STATS_HPP

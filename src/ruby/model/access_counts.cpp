@@ -1,0 +1,207 @@
+#include "ruby/model/access_counts.hpp"
+
+#include <algorithm>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+double
+AccessCounts::totalAt(int level) const
+{
+    RUBY_ASSERT(level >= 0 &&
+                level < static_cast<int>(reads.size()));
+    double total = 0.0;
+    const auto l = static_cast<std::size_t>(level);
+    for (std::size_t t = 0; t < reads[l].size(); ++t)
+        total += reads[l][t] + writes[l][t];
+    return total;
+}
+
+namespace
+{
+
+/**
+ * Multipliers for one (tensor, child boundary, parent boundary)
+ * traversal of the outer-region loops.
+ */
+struct RegionMults
+{
+    /** Per-instance deliveries into the child (copies included). */
+    double deliveries = 1.0;
+    /** Reads the parent performs to serve them (multicast-reduced). */
+    double parentReads = 1.0;
+    /** Distinct tiles (relevant loops only; used for output drains). */
+    double distinct = 1.0;
+};
+
+RegionMults
+walkRegion(const Problem &prob, const Nest &nest, int tensor,
+           int child_boundary, int parent_boundary,
+           const ModelOptions &opts)
+{
+    RegionMults m;
+    const auto &loops = nest.loops();
+    const std::size_t region = nest.regionSize(child_boundary);
+
+    // Walk inner -> outer: region loops are the nest prefix, so we
+    // iterate the prefix backwards.
+    bool seen_relevant_temporal = false;
+    for (std::size_t i = region; i-- > 0;) {
+        const Loop &loop = loops[i];
+        const bool relevant = prob.relevant(tensor, loop.dim);
+        if (loop.spatial) {
+            m.deliveries *= loop.avgBound;
+            if (relevant) {
+                m.parentReads *= loop.avgBound;
+                m.distinct *= loop.avgBound;
+            } else if (!opts.multicast || loop.slot >= parent_boundary) {
+                m.parentReads *= loop.avgBound;
+            }
+        } else {
+            const bool contributes =
+                relevant ||
+                (opts.orderAwareReuse && seen_relevant_temporal);
+            if (contributes) {
+                m.deliveries *= loop.avgBound;
+                m.parentReads *= loop.avgBound;
+            }
+            if (relevant) {
+                m.distinct *= loop.avgBound;
+                seen_relevant_temporal = true;
+            }
+        }
+    }
+    return m;
+}
+
+/**
+ * Product of average bounds of spatial loops strictly below
+ * @p boundary that are irrelevant to @p tensor: the broadcast (for
+ * operands) or spatial-reduction (for outputs) factor feeding the
+ * datapath from the innermost storage.
+ */
+double
+spatialSharingBelow(const Problem &prob, const Nest &nest, int tensor,
+                    int boundary)
+{
+    double factor = 1.0;
+    for (const Loop &loop : nest.loops()) {
+        if (loop.slot >= boundary || !loop.spatial)
+            continue;
+        if (!prob.relevant(tensor, loop.dim))
+            factor *= loop.avgBound;
+    }
+    return factor;
+}
+
+/**
+ * Mean per-dimension tile extents at a boundary slot: total covered
+ * size over the exact number of tiles. Mean volume times tile count
+ * telescopes to exact word totals for ragged chains (steady extents
+ * would overcount the tail passes).
+ */
+std::vector<double>
+averageExtents(const Mapping &mapping, int boundary)
+{
+    const Problem &prob = mapping.problem();
+    std::vector<double> extents(
+        static_cast<std::size_t>(prob.numDims()));
+    for (DimId d = 0; d < prob.numDims(); ++d) {
+        const auto &chain = mapping.chain(d);
+        const int b = std::min(boundary, chain.numSlots());
+        extents[static_cast<std::size_t>(d)] =
+            static_cast<double>(chain.bodyCount(0)) /
+            static_cast<double>(chain.bodyCount(b));
+    }
+    return extents;
+}
+
+} // namespace
+
+AccessCounts
+computeAccesses(const Mapping &mapping, const Nest &nest,
+                const TileInfo &tiles, const ModelOptions &opts)
+{
+    (void)tiles;
+    const Problem &prob = mapping.problem();
+    const ArchSpec &arch = mapping.arch();
+    const int nl = arch.numLevels();
+    const int nt = prob.numTensors();
+    const int out = prob.outputTensor();
+
+    AccessCounts counts;
+    counts.reads.assign(static_cast<std::size_t>(nl),
+                        std::vector<double>(
+                            static_cast<std::size_t>(nt), 0.0));
+    counts.writes.assign(static_cast<std::size_t>(nl),
+                         std::vector<double>(
+                             static_cast<std::size_t>(nt), 0.0));
+
+    const double ops = static_cast<double>(prob.totalOperations());
+
+    for (int t = 0; t < nt; ++t) {
+        // Kept levels, inner to outer; levels 0 and nl-1 always keep.
+        std::vector<int> kept;
+        for (int l = 0; l < nl; ++l)
+            if (mapping.keeps(l, t))
+                kept.push_back(l);
+        RUBY_ASSERT(!kept.empty() && kept.front() == 0 &&
+                    kept.back() == nl - 1);
+
+        // Datapath-side traffic at the innermost store: one operand
+        // read (or one psum read-modify-write) per MAC, shared across
+        // the spatial loops below the boundary that don't index t
+        // (operand broadcast / partial-sum spatial reduction).
+        const double sharing =
+            spatialSharingBelow(prob, nest, t, temporalSlot(0));
+        const double datapath = ops / sharing;
+        if (t == out) {
+            counts.reads[0][static_cast<std::size_t>(t)] += datapath;
+            counts.writes[0][static_cast<std::size_t>(t)] += datapath;
+        } else {
+            counts.reads[0][static_cast<std::size_t>(t)] += datapath;
+        }
+
+        // Boundary traffic between adjacent kept levels.
+        for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
+            const int c = kept[i];
+            const int p = kept[i + 1];
+            const int b_c =
+                std::min(TileInfo::boundarySlot(c), mapping.numSlots());
+            const int b_p =
+                std::min(TileInfo::boundarySlot(p), mapping.numSlots());
+            const double tile =
+                prob.tileVolume(t, averageExtents(mapping, b_c));
+            const RegionMults m =
+                walkRegion(prob, nest, t, b_c, b_p, opts);
+
+            const auto tc = static_cast<std::size_t>(t);
+            if (t == out) {
+                // Partial-sum drains up and refills back down.
+                const double drains = tile * m.deliveries;
+                const double final_tiles = tile * m.distinct;
+                const double refills =
+                    std::max(0.0, drains - final_tiles);
+                counts.reads[static_cast<std::size_t>(c)][tc] += drains;
+                counts.writes[static_cast<std::size_t>(c)][tc] +=
+                    refills;
+                counts.writes[static_cast<std::size_t>(p)][tc] +=
+                    drains;
+                counts.reads[static_cast<std::size_t>(p)][tc] +=
+                    refills;
+                counts.networkWords += drains + refills;
+            } else {
+                const double fills = tile * m.deliveries;
+                counts.writes[static_cast<std::size_t>(c)][tc] += fills;
+                counts.reads[static_cast<std::size_t>(p)][tc] +=
+                    tile * m.parentReads;
+                counts.networkWords += fills;
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace ruby

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Order-aware access counting: how many words each storage level
+ * reads and writes under a mapping.
+ *
+ * Model (see DESIGN.md Sec. 3): for tensor t kept at level c with
+ * nearest kept ancestor p, the loops outside c's tile boundary are
+ * walked inner to outer. A temporal loop multiplies the delivery
+ * count when it is relevant to t or when a relevant temporal loop
+ * lies strictly inside it (re-iteration destroys single-tile reuse);
+ * otherwise it contributes reuse. Spatial loops always multiply the
+ * per-instance delivery count (every instance receives its copy) but
+ * irrelevant spatial loops below p's boundary are multicast: the
+ * parent reads the tile once and the network fans it out. Outputs are
+ * read-modify-written across boundaries while reduction loops outside
+ * the tile re-traverse partial sums. Loop multiplicities use exact
+ * ragged average bounds, so imperfect mappings are costed by their
+ * true iteration counts.
+ */
+
+#ifndef RUBY_MODEL_ACCESS_COUNTS_HPP
+#define RUBY_MODEL_ACCESS_COUNTS_HPP
+
+#include <vector>
+
+#include "ruby/mapping/mapping.hpp"
+#include "ruby/mapping/nest.hpp"
+#include "ruby/model/tile_analysis.hpp"
+
+namespace ruby
+{
+
+/** Feature toggles for model ablation studies. */
+struct ModelOptions
+{
+    /**
+     * Honour loop order in the reuse analysis. When false, any
+     * irrelevant loop contributes reuse regardless of position
+     * (optimistic, order-insensitive).
+     */
+    bool orderAwareReuse = true;
+
+    /** Model multicast from shared buffers (parent reads once). */
+    bool multicast = true;
+};
+
+/** Aggregate machine-wide access counts. */
+struct AccessCounts
+{
+    /** reads[level][tensor], writes[level][tensor] in words. */
+    std::vector<std::vector<double>> reads;
+    std::vector<std::vector<double>> writes;
+
+    /** Words delivered over the array network (for network energy). */
+    double networkWords = 0.0;
+
+    /** Total reads + writes at level l (all tensors). */
+    double totalAt(int level) const;
+};
+
+/** Count accesses for @p mapping. */
+AccessCounts computeAccesses(const Mapping &mapping, const Nest &nest,
+                             const TileInfo &tiles,
+                             const ModelOptions &opts = {});
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_ACCESS_COUNTS_HPP

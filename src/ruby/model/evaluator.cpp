@@ -1,0 +1,87 @@
+#include "ruby/model/evaluator.hpp"
+
+#include "ruby/arch/energy_model.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/mapping/nest.hpp"
+#include "ruby/model/tile_analysis.hpp"
+
+namespace ruby
+{
+
+double
+EvalResult::objective(Objective obj) const
+{
+    switch (obj) {
+      case Objective::EDP:
+        return edp;
+      case Objective::Energy:
+        return energy;
+      case Objective::Delay:
+        return cycles;
+    }
+    RUBY_ASSERT(false, "unknown objective");
+    return 0.0;
+}
+
+Evaluator::Evaluator(const Problem &problem, const ArchSpec &arch,
+                     ModelOptions opts)
+    : problem_(&problem), arch_(&arch), opts_(opts)
+{
+}
+
+EvalResult
+Evaluator::evaluate(const Mapping &mapping) const
+{
+    RUBY_ASSERT(&mapping.problem() == problem_ &&
+                    &mapping.arch() == arch_,
+                "mapping evaluated against a different problem/arch");
+
+    EvalResult res;
+    res.ops = problem_->totalOperations();
+
+    if (auto reason = checkSpatialFit(mapping); !reason.empty()) {
+        res.invalidReason = std::move(reason);
+        return res;
+    }
+    const TileInfo tiles = analyzeTiles(mapping);
+    if (auto reason = checkCapacity(mapping, tiles); !reason.empty()) {
+        res.invalidReason = std::move(reason);
+        return res;
+    }
+
+    const Nest nest(mapping);
+    res.accesses = computeAccesses(mapping, nest, tiles, opts_);
+    res.latency = computeLatency(mapping, res.accesses);
+
+    res.levelEnergy.assign(
+        static_cast<std::size_t>(arch_->numLevels()), 0.0);
+    double total = 0.0;
+    for (int l = 0; l < arch_->numLevels(); ++l) {
+        const auto &lvl = arch_->level(l);
+        double reads = 0.0, writes = 0.0;
+        for (int t = 0; t < problem_->numTensors(); ++t) {
+            reads += res.accesses.reads[static_cast<std::size_t>(l)]
+                                       [static_cast<std::size_t>(t)];
+            writes += res.accesses.writes[static_cast<std::size_t>(l)]
+                                         [static_cast<std::size_t>(t)];
+        }
+        const double e =
+            reads * lvl.readEnergy + writes * lvl.writeEnergy;
+        res.levelEnergy[static_cast<std::size_t>(l)] = e;
+        total += e;
+    }
+    res.macEnergy =
+        static_cast<double>(res.ops) * arch_->macEnergy();
+    res.networkEnergy = res.accesses.networkWords *
+                        EnergyModel::networkHop(arch_->wordBits());
+    total += res.macEnergy + res.networkEnergy;
+
+    res.energy = total;
+    res.cycles = res.latency.cycles;
+    res.edp = res.energy * res.cycles;
+    res.utilization = res.latency.utilization;
+    res.valid = true;
+    return res;
+}
+
+} // namespace ruby

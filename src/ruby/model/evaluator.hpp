@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The top of the analytic cost model: validity, energy, latency, EDP.
+ */
+
+#ifndef RUBY_MODEL_EVALUATOR_HPP
+#define RUBY_MODEL_EVALUATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "ruby/arch/arch_spec.hpp"
+#include "ruby/mapping/mapping.hpp"
+#include "ruby/model/access_counts.hpp"
+#include "ruby/model/latency.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/** Search objective (the paper optimizes EDP; Sec. IV-D also delay). */
+enum class Objective
+{
+    EDP,
+    Energy,
+    Delay,
+};
+
+/** Full evaluation of one mapping. */
+struct EvalResult
+{
+    /** False when the mapping violates capacity or fanout. */
+    bool valid = false;
+    /** Human-readable reason when invalid. */
+    std::string invalidReason;
+
+    std::uint64_t ops = 0;      ///< total MACs
+    double energy = 0.0;        ///< total energy, pJ
+    double cycles = 0.0;        ///< total delay, cycles
+    double edp = 0.0;           ///< energy * cycles
+    double utilization = 0.0;   ///< datapath utilization in [0, 1]
+
+    /** Energy per storage level (pJ), same order as arch levels. */
+    std::vector<double> levelEnergy;
+    double macEnergy = 0.0;     ///< datapath energy, pJ
+    double networkEnergy = 0.0; ///< array-network energy, pJ
+
+    AccessCounts accesses;      ///< access-count breakdown
+    LatencyResult latency;      ///< latency breakdown
+
+    /** The metric being minimized under @p obj. */
+    double objective(Objective obj) const;
+};
+
+/**
+ * Evaluates mappings of one (problem, architecture) pair. Stateless
+ * apart from cached references; cheap to copy and thread-safe to use
+ * concurrently from multiple threads.
+ */
+class Evaluator
+{
+  public:
+    /**
+     * @param problem Problem every evaluated mapping must reference.
+     * @param arch    Architecture every evaluated mapping must target.
+     * @param opts    Model feature toggles (ablations).
+     */
+    Evaluator(const Problem &problem, const ArchSpec &arch,
+              ModelOptions opts = {});
+
+    /** The modeled problem. */
+    const Problem &problem() const { return *problem_; }
+
+    /** The modeled architecture. */
+    const ArchSpec &arch() const { return *arch_; }
+
+    /**
+     * Evaluate @p mapping. Invalid mappings get valid == false and a
+     * reason; metric fields are then unspecified.
+     */
+    EvalResult evaluate(const Mapping &mapping) const;
+
+  private:
+    const Problem *problem_;
+    const ArchSpec *arch_;
+    ModelOptions opts_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_EVALUATOR_HPP

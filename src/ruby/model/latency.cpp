@@ -1,0 +1,69 @@
+#include "ruby/model/latency.hpp"
+
+#include <algorithm>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+std::uint64_t
+serialSteps(const FactorChain &chain)
+{
+    // full = serial steps of a steady subtree below the current slot;
+    // tail = serial steps of the tail subtree (the paper's ragged
+    // final pass), built inner to outer.
+    std::uint64_t full = 1;
+    std::uint64_t tail = 1;
+    for (int k = 0; k < chain.numSlots(); ++k) {
+        const FactorPair &f = chain.at(k);
+        if (isSpatialSlot(k)) {
+            // Parallel: steady passes take one subtree's time. A tail
+            // pass with >= 2 active instances is dominated by a full
+            // (steady) instance; with exactly 1, only the recursive
+            // tail instance runs.
+            tail = f.tail >= 2 ? full : tail;
+            // full unchanged.
+        } else {
+            tail = (f.tail - 1) * full + tail;
+            full = f.steady * full;
+        }
+    }
+    return tail;
+}
+
+LatencyResult
+computeLatency(const Mapping &mapping, const AccessCounts &accesses)
+{
+    const Problem &prob = mapping.problem();
+    const ArchSpec &arch = mapping.arch();
+
+    LatencyResult res;
+    double compute = 1.0;
+    for (DimId d = 0; d < prob.numDims(); ++d)
+        compute *= static_cast<double>(serialSteps(mapping.chain(d)));
+    res.computeCycles = compute;
+
+    res.bandwidthCycles.assign(
+        static_cast<std::size_t>(arch.numLevels()), 0.0);
+    double worst_bw = 0.0;
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        const double bw = arch.level(l).bandwidthWordsPerCycle;
+        if (bw <= 0.0)
+            continue;
+        const double instances =
+            static_cast<double>(arch.instancesOf(l));
+        const double cycles = accesses.totalAt(l) / (bw * instances);
+        res.bandwidthCycles[static_cast<std::size_t>(l)] = cycles;
+        worst_bw = std::max(worst_bw, cycles);
+    }
+
+    res.cycles = std::max(res.computeCycles, worst_bw);
+    const double ops = static_cast<double>(prob.totalOperations());
+    const double macs = static_cast<double>(arch.totalMacs());
+    RUBY_ASSERT(res.computeCycles > 0.0);
+    res.utilization = ops / (res.computeCycles * macs);
+    return res;
+}
+
+} // namespace ruby

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Latency model: exact ragged compute cycles plus per-level bandwidth
+ * serialization.
+ *
+ * Compute cycles are the product over dimensions of each dimension's
+ * *serial* step count: temporal slots multiply time; spatial slots are
+ * transparent (parallel), except that a partially-filled tail pass of
+ * a spatial loop still takes as long as its slowest active instance.
+ * This reproduces the paper's toy result exactly: 100 elements over
+ * 6 PEs take 17 cycles with a (6, tail 4) spatial factor versus 20
+ * cycles for the best perfect factorization (5 x 20).
+ */
+
+#ifndef RUBY_MODEL_LATENCY_HPP
+#define RUBY_MODEL_LATENCY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/mapping/mapping.hpp"
+#include "ruby/model/access_counts.hpp"
+
+namespace ruby
+{
+
+/** Latency breakdown. */
+struct LatencyResult
+{
+    /** Serial datapath steps (MAC issue cycles). */
+    double computeCycles = 0.0;
+    /** Per-level cycles implied by bandwidth (same length as levels). */
+    std::vector<double> bandwidthCycles;
+    /** max(compute, bandwidth...). */
+    double cycles = 0.0;
+    /** MAC utilization: ops / (computeCycles * total MACs). */
+    double utilization = 0.0;
+};
+
+/** Exact serial step count of one dimension's factor chain. */
+std::uint64_t serialSteps(const FactorChain &chain);
+
+/** Compute the latency of @p mapping given its access counts. */
+LatencyResult computeLatency(const Mapping &mapping,
+                             const AccessCounts &accesses);
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_LATENCY_HPP

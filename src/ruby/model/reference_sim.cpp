@@ -1,0 +1,195 @@
+#include "ruby/model/reference_sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ruby/common/error.hpp"
+#include "ruby/model/tile_analysis.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** One loop of the traversal (non-trivial slots only). */
+struct SimLoop
+{
+    DimId dim;
+    int slot;
+    bool spatial;
+    std::uint64_t steady;
+    std::uint64_t tail;
+    /** Iteration-space stride: steady extent below the slot. */
+    std::uint64_t stride;
+    /** Current index (traversal state). */
+    std::uint64_t index = 0;
+};
+
+class Simulator
+{
+  public:
+    explicit Simulator(const Mapping &mapping)
+        : mapping_(mapping), prob_(mapping.problem()),
+          arch_(mapping.arch())
+    {
+        // Outer-to-inner, matching the cost model's nest order.
+        for (int l = arch_.numLevels() - 1; l >= 0; --l) {
+            for (DimId d : mapping.permutation(l))
+                push(d, temporalSlot(l), false);
+            for (DimId d = 0; d < prob_.numDims(); ++d)
+                push(d, spatialSlot(l), true);
+        }
+
+        const auto nl = static_cast<std::size_t>(arch_.numLevels());
+        const auto nt = static_cast<std::size_t>(prob_.numTensors());
+        counts_.fills.assign(nl, std::vector<double>(nt, 0.0));
+        counts_.tileChanges.assign(nl, std::vector<double>(nt, 0.0));
+        last_tile_.resize(nl * nt);
+    }
+
+    SimCounts
+    run()
+    {
+        std::vector<char> on_tail(
+            static_cast<std::size_t>(prob_.numDims()), 1);
+        counts_.serialSteps = recurse(0, on_tail);
+        return counts_;
+    }
+
+  private:
+    const Mapping &mapping_;
+    const Problem &prob_;
+    const ArchSpec &arch_;
+    std::vector<SimLoop> loops_;
+    SimCounts counts_;
+    /** last_tile_[level * nt + tensor]: instance -> base coords. */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint64_t>>>
+        last_tile_;
+
+    void
+    push(DimId d, int slot, bool spatial)
+    {
+        const FactorPair &f = mapping_.factor(d, slot);
+        if (f.steady == 1)
+            return;
+        loops_.push_back(SimLoop{
+            d, slot, spatial, f.steady, f.tail,
+            mapping_.chain(d).steadyExtentBelow(slot), 0});
+    }
+
+    /** Traverse loop @p i; returns the serial steps of the subtree. */
+    double
+    recurse(std::size_t i, std::vector<char> &on_tail)
+    {
+        if (i == loops_.size()) {
+            visitLeaf();
+            counts_.operations += 1.0;
+            return 1.0;
+        }
+        SimLoop &loop = loops_[i];
+        const auto d = static_cast<std::size_t>(loop.dim);
+        const char outer_tail = on_tail[d];
+        const std::uint64_t bound =
+            outer_tail ? loop.tail : loop.steady;
+
+        double serial_sum = 0.0;
+        double serial_max = 0.0;
+        for (std::uint64_t idx = 0; idx < bound; ++idx) {
+            loop.index = idx;
+            on_tail[d] =
+                static_cast<char>(outer_tail && idx == bound - 1);
+            const double inner = recurse(i + 1, on_tail);
+            serial_sum += inner;
+            serial_max = std::max(serial_max, inner);
+        }
+        loop.index = 0;
+        on_tail[d] = outer_tail;
+        return loop.spatial ? serial_max : serial_sum;
+    }
+
+    void
+    visitLeaf()
+    {
+        const int nt = prob_.numTensors();
+        for (int l = 0; l < arch_.numLevels() - 1; ++l) {
+            const int boundary = TileInfo::boundarySlot(l);
+
+            // Level-l instance: spatial loop indices above the tile.
+            std::uint64_t instance = 0;
+            for (const SimLoop &loop : loops_) {
+                if (!loop.spatial || loop.slot < boundary)
+                    continue;
+                instance = instance * loop.steady + loop.index;
+            }
+
+            // Tile base per dim: contributions of loops above the
+            // boundary.
+            std::vector<std::uint64_t> base(
+                static_cast<std::size_t>(prob_.numDims()), 0);
+            for (const SimLoop &loop : loops_) {
+                if (loop.slot < boundary)
+                    continue;
+                base[static_cast<std::size_t>(loop.dim)] +=
+                    loop.index * loop.stride;
+            }
+
+            for (int t = 0; t < nt; ++t) {
+                if (!mapping_.keeps(l, t))
+                    continue;
+                // Project the base onto the tensor: loops over dims
+                // it does not index never move its tile.
+                std::vector<std::uint64_t> key = base;
+                for (DimId d = 0; d < prob_.numDims(); ++d)
+                    if (!prob_.relevant(t, d))
+                        key[static_cast<std::size_t>(d)] = 0;
+                auto &slot_map =
+                    last_tile_[static_cast<std::size_t>(l) *
+                                   static_cast<std::size_t>(nt) +
+                               static_cast<std::size_t>(t)];
+                auto it = slot_map.find(instance);
+                if (it != slot_map.end() && it->second == key)
+                    continue;
+                slot_map[instance] = std::move(key);
+                counts_.tileChanges[static_cast<std::size_t>(l)]
+                                   [static_cast<std::size_t>(t)] +=
+                    1.0;
+                counts_.fills[static_cast<std::size_t>(l)]
+                             [static_cast<std::size_t>(t)] +=
+                    clippedVolume(t, base, boundary);
+            }
+        }
+    }
+
+    double
+    clippedVolume(int t, const std::vector<std::uint64_t> &base,
+                  int boundary) const
+    {
+        std::vector<std::uint64_t> extents(
+            static_cast<std::size_t>(prob_.numDims()));
+        for (DimId d = 0; d < prob_.numDims(); ++d) {
+            const std::uint64_t dim_size = prob_.dimSize(d);
+            const std::uint64_t b =
+                base[static_cast<std::size_t>(d)];
+            RUBY_ASSERT(b < dim_size,
+                        "tile base beyond the iteration space");
+            const std::uint64_t steady =
+                mapping_.chain(d).steadyExtentBelow(
+                    std::min(boundary, mapping_.numSlots()));
+            extents[static_cast<std::size_t>(d)] =
+                std::min(steady, dim_size - b);
+        }
+        return static_cast<double>(prob_.tileVolume(t, extents));
+    }
+};
+
+} // namespace
+
+SimCounts
+simulateMapping(const Mapping &mapping)
+{
+    return Simulator(mapping).run();
+}
+
+} // namespace ruby

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tile footprint analysis and validity checks.
+ *
+ * The steady (maximum) tile of tensor t at storage level l is the
+ * tensor's projection of the iteration-space box covered by all slots
+ * strictly inside level l+1's temporal block — i.e. slots
+ * [0, spatialSlot(l+1)). Capacity checks use steady tiles because the
+ * buffer must hold the largest tile; tail tiles are never larger.
+ */
+
+#ifndef RUBY_MODEL_TILE_ANALYSIS_HPP
+#define RUBY_MODEL_TILE_ANALYSIS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ruby/mapping/mapping.hpp"
+
+namespace ruby
+{
+
+/**
+ * Per-level, per-tensor steady tile volumes (words, per instance).
+ */
+struct TileInfo
+{
+    /** tileWords[level][tensor]. */
+    std::vector<std::vector<std::uint64_t>> tileWords;
+
+    /** Tile boundary slot of level l: spatialSlot(l + 1). */
+    static int boundarySlot(int level) { return 2 * (level + 1); }
+};
+
+/** Compute steady tile volumes for every level and tensor. */
+TileInfo analyzeTiles(const Mapping &mapping);
+
+/**
+ * Check that every kept tile fits its level (dedicated partitions
+ * first, remaining tensors against the shared pool).
+ *
+ * @return empty string if valid, else a human-readable reason.
+ */
+std::string checkCapacity(const Mapping &mapping, const TileInfo &tiles);
+
+/**
+ * Check that each level's steady spatial usage fits its fanout.
+ *
+ * @return empty string if valid, else a human-readable reason.
+ */
+std::string checkSpatialFit(const Mapping &mapping);
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_TILE_ANALYSIS_HPP

@@ -1,0 +1,82 @@
+#include "ruby/search/driver.hpp"
+
+#include "ruby/common/error.hpp"
+#include "ruby/mapspace/padding.hpp"
+
+namespace ruby
+{
+
+MappingConstraints
+makeConstraints(ConstraintPreset preset, const Problem &problem,
+                const ArchSpec &arch)
+{
+    switch (preset) {
+      case ConstraintPreset::None:
+        return MappingConstraints(problem, arch);
+      case ConstraintPreset::EyerissRS:
+        return MappingConstraints::eyerissRowStationary(problem, arch);
+      case ConstraintPreset::Simba:
+        return MappingConstraints::simba(problem, arch);
+      case ConstraintPreset::ToyCM:
+        return MappingConstraints::toySpatialCM(problem, arch);
+    }
+    RUBY_ASSERT(false, "unknown constraint preset");
+    return MappingConstraints(problem, arch);
+}
+
+LayerOutcome
+searchLayer(const Problem &problem, const ArchSpec &arch,
+            ConstraintPreset preset, MapspaceVariant variant,
+            const SearchOptions &options, bool pad)
+{
+    LayerOutcome outcome;
+    outcome.name = problem.name();
+
+    // Padding baseline: round dims up, then search the (usually PFM)
+    // space over the padded problem. Costs include the padded work.
+    const MappingConstraints pad_probe =
+        makeConstraints(preset, problem, arch);
+    const Problem searched =
+        pad ? padForArray(problem, pad_probe) : problem;
+
+    const MappingConstraints constraints =
+        makeConstraints(preset, searched, arch);
+    const Mapspace space(constraints, variant);
+    const Evaluator evaluator(searched, arch);
+    const SearchResult res = randomSearch(space, evaluator, options);
+
+    outcome.evaluated = res.evaluated;
+    outcome.found = res.best.has_value();
+    if (outcome.found) {
+        outcome.result = res.bestResult;
+        outcome.bestMapping = res.best->toString();
+    }
+    return outcome;
+}
+
+NetworkOutcome
+searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
+              ConstraintPreset preset, MapspaceVariant variant,
+              const SearchOptions &options, bool pad)
+{
+    NetworkOutcome net;
+    for (const auto &layer : layers) {
+        const Problem problem = makeConv(layer.shape);
+        LayerOutcome outcome =
+            searchLayer(problem, arch, preset, variant, options, pad);
+        outcome.count = layer.count;
+        outcome.group = layer.group;
+        if (outcome.found) {
+            const double n = static_cast<double>(layer.count);
+            net.totalEnergy += n * outcome.result.energy;
+            net.totalCycles += n * outcome.result.cycles;
+        } else {
+            net.allFound = false;
+        }
+        net.layers.push_back(std::move(outcome));
+    }
+    net.edp = net.totalEnergy * net.totalCycles;
+    return net;
+}
+
+} // namespace ruby

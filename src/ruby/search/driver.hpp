@@ -1,0 +1,79 @@
+/**
+ * @file
+ * High-level search driver: run one mapspace search per layer and
+ * aggregate whole-network results (the per-layer bars and "total"
+ * columns of the paper's Figs. 10-12).
+ */
+
+#ifndef RUBY_SEARCH_DRIVER_HPP
+#define RUBY_SEARCH_DRIVER_HPP
+
+#include <string>
+#include <vector>
+
+#include "ruby/mapspace/mapspace.hpp"
+#include "ruby/search/random_search.hpp"
+#include "ruby/workload/conv.hpp"
+
+namespace ruby
+{
+
+/** Constraint presets mirroring the paper's setups. */
+enum class ConstraintPreset
+{
+    None,      ///< unconstrained
+    EyerissRS, ///< row-stationary Eyeriss (Sec. IV-A)
+    Simba,     ///< channel-parallel Simba (Sec. IV-C)
+    ToyCM,     ///< C/M-only PE parallelism (Figs. 7c/7d)
+};
+
+/** Build the constraints object for a preset. */
+MappingConstraints makeConstraints(ConstraintPreset preset,
+                                   const Problem &problem,
+                                   const ArchSpec &arch);
+
+/** Result of searching one layer. */
+struct LayerOutcome
+{
+    std::string name;  ///< layer name
+    std::string group; ///< layer-type/category label
+    int count = 1;     ///< occurrences in the network
+    bool found = false;
+    EvalResult result; ///< best mapping's evaluation
+    std::uint64_t evaluated = 0;
+    std::string bestMapping; ///< rendered best mapping
+};
+
+/** Whole-network aggregate (count-weighted). */
+struct NetworkOutcome
+{
+    std::vector<LayerOutcome> layers;
+    double totalEnergy = 0.0;
+    double totalCycles = 0.0;
+    /** Network EDP: total energy x total delay. */
+    double edp = 0.0;
+    bool allFound = true;
+};
+
+/**
+ * Search one problem. When @p pad is true the problem is first padded
+ * for the architecture's widest fanout level (the PFM+padding
+ * baseline); the searched mapspace is then @p variant on the padded
+ * problem.
+ */
+LayerOutcome searchLayer(const Problem &problem, const ArchSpec &arch,
+                         ConstraintPreset preset,
+                         MapspaceVariant variant,
+                         const SearchOptions &options, bool pad = false);
+
+/** Search every layer of a network and aggregate. */
+NetworkOutcome searchNetwork(const std::vector<Layer> &layers,
+                             const ArchSpec &arch,
+                             ConstraintPreset preset,
+                             MapspaceVariant variant,
+                             const SearchOptions &options,
+                             bool pad = false);
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_DRIVER_HPP

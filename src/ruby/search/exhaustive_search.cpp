@@ -1,0 +1,130 @@
+#include "ruby/search/exhaustive_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "ruby/common/error.hpp"
+#include "ruby/mapspace/factor_space.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+ExhaustiveResult
+exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
+                 const ExhaustiveOptions &options)
+{
+    const Problem &prob = space.problem();
+    const ArchSpec &arch = space.arch();
+    const int nd = prob.numDims();
+    const int nl = arch.numLevels();
+    const int nt = prob.numTensors();
+
+    // Enumerate each dimension's canonical chains once.
+    std::vector<std::vector<std::vector<std::uint64_t>>> chains(
+        static_cast<std::size_t>(nd));
+    for (DimId d = 0; d < nd; ++d) {
+        chains[static_cast<std::size_t>(d)] =
+            enumerateChains(prob.dimSize(d), chainRules(space, d));
+        RUBY_CHECK(!chains[static_cast<std::size_t>(d)].empty(),
+                   "dimension ", prob.dimName(d),
+                   " has no feasible chain");
+    }
+
+    // Permutation sets.
+    std::vector<std::vector<DimId>> perm_set;
+    {
+        std::vector<DimId> identity(static_cast<std::size_t>(nd));
+        std::iota(identity.begin(), identity.end(), 0);
+        if (options.permutations) {
+            std::vector<DimId> p = identity;
+            do {
+                perm_set.push_back(p);
+            } while (std::next_permutation(p.begin(), p.end()));
+        } else {
+            perm_set.push_back(identity);
+        }
+    }
+
+    ExhaustiveResult out;
+    double best = kInf;
+
+    // Keep-all residency honouring forced bypasses.
+    std::vector<std::vector<char>> keep(
+        static_cast<std::size_t>(nl),
+        std::vector<char>(static_cast<std::size_t>(nt), 1));
+    for (int l = 1; l < nl - 1; ++l)
+        for (int t = 0; t < nt; ++t)
+            if (space.constraints().bypassForced(l, t))
+                keep[static_cast<std::size_t>(l)]
+                    [static_cast<std::size_t>(t)] = 0;
+
+    std::vector<std::size_t> pick(static_cast<std::size_t>(nd), 0);
+    std::vector<std::size_t> perm_pick(static_cast<std::size_t>(nl), 0);
+
+    auto evaluateCurrent = [&]() {
+        std::vector<std::vector<std::uint64_t>> steady(
+            static_cast<std::size_t>(nd));
+        for (DimId d = 0; d < nd; ++d)
+            steady[static_cast<std::size_t>(d)] =
+                chains[static_cast<std::size_t>(d)]
+                      [pick[static_cast<std::size_t>(d)]];
+        std::vector<std::vector<DimId>> perms(
+            static_cast<std::size_t>(nl));
+        for (int l = 0; l < nl; ++l)
+            perms[static_cast<std::size_t>(l)] =
+                perm_set[perm_pick[static_cast<std::size_t>(l)]];
+
+        Mapping mapping(prob, arch, steady, std::move(perms), keep);
+        const EvalResult result = evaluator.evaluate(mapping);
+        ++out.evaluated;
+        if (result.valid) {
+            ++out.valid;
+            const double metric = result.objective(options.objective);
+            if (metric < best) {
+                best = metric;
+                out.best = std::move(mapping);
+                out.bestResult = result;
+            }
+        }
+    };
+
+    // Odometer over chain picks x permutation picks.
+    auto advance = [&](auto &counters, const auto &limits) -> bool {
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            if (++counters[i] < limits(i))
+                return true;
+            counters[i] = 0;
+        }
+        return false;
+    };
+
+    bool more = true;
+    while (more) {
+        bool more_perms = true;
+        while (more_perms) {
+            if (options.maxEvaluations != 0 &&
+                out.evaluated >= options.maxEvaluations) {
+                out.truncated = true;
+                return out;
+            }
+            evaluateCurrent();
+            more_perms = advance(perm_pick, [&](std::size_t) {
+                return perm_set.size();
+            });
+        }
+        more = advance(pick, [&](std::size_t i) {
+            return chains[i].size();
+        });
+    }
+    return out;
+}
+
+} // namespace ruby

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Exhaustive mapspace search for toy problems: enumerates every
+ * canonical factor-chain combination (optionally crossed with all
+ * temporal permutations at every level). Used to validate the random
+ * sampler and to study small mapspaces end to end.
+ */
+
+#ifndef RUBY_SEARCH_EXHAUSTIVE_SEARCH_HPP
+#define RUBY_SEARCH_EXHAUSTIVE_SEARCH_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "ruby/mapspace/mapspace.hpp"
+#include "ruby/model/evaluator.hpp"
+
+namespace ruby
+{
+
+/** Exhaustive-search configuration. */
+struct ExhaustiveOptions
+{
+    Objective objective = Objective::EDP;
+
+    /**
+     * Enumerate all temporal permutations per level. Factorial in the
+     * number of non-trivial loops; off by default (identity order).
+     */
+    bool permutations = false;
+
+    /** Safety cap on evaluated mappings (0 = unlimited). */
+    std::uint64_t maxEvaluations = 1'000'000;
+};
+
+/** Exhaustive-search outcome. */
+struct ExhaustiveResult
+{
+    std::optional<Mapping> best;
+    EvalResult bestResult;
+    std::uint64_t evaluated = 0;
+    std::uint64_t valid = 0;
+    /** True when the cap stopped enumeration before completion. */
+    bool truncated = false;
+};
+
+/**
+ * Enumerate and evaluate @p space (keep-all residency; identity or
+ * enumerated permutations) keeping the best valid mapping.
+ */
+ExhaustiveResult exhaustiveSearch(const Mapspace &space,
+                                  const Evaluator &evaluator,
+                                  const ExhaustiveOptions &options = {});
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_EXHAUSTIVE_SEARCH_HPP

@@ -1,0 +1,104 @@
+#include "ruby/search/genetic_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ruby/common/error.hpp"
+#include "ruby/search/genome.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Individual
+{
+    MappingGenome genome;
+    double fitness = kInf; ///< objective value; lower is better
+};
+
+} // namespace
+
+SearchResult
+geneticSearch(const Mapspace &space, const Evaluator &evaluator,
+              const GeneticOptions &options)
+{
+    RUBY_CHECK(options.populationSize >= 2,
+               "genetic search needs a population of >= 2");
+    RUBY_CHECK(options.tournament >= 1, "tournament size must be >= 1");
+
+    SearchResult out;
+    Rng rng(options.seed);
+    double global_best = kInf;
+
+    auto score = [&](Individual &ind) {
+        const Mapping mapping =
+            ind.genome.materialize(space.problem(), space.arch());
+        const EvalResult res = evaluator.evaluate(mapping);
+        ++out.evaluated;
+        if (!res.valid) {
+            ind.fitness = kInf;
+            return;
+        }
+        ++out.valid;
+        ind.fitness = res.objective(options.objective);
+        if (ind.fitness < global_best) {
+            global_best = ind.fitness;
+            out.best = mapping;
+            out.bestResult = res;
+        }
+    };
+
+    // Seed population from the random sampler.
+    std::vector<Individual> population(options.populationSize);
+    for (auto &ind : population) {
+        ind.genome = extractGenome(space.sample(rng));
+        score(ind);
+    }
+
+    auto selectParent = [&]() -> const Individual & {
+        const Individual *best = nullptr;
+        for (unsigned t = 0; t < options.tournament; ++t) {
+            const Individual &cand =
+                population[rng.below(population.size())];
+            if (best == nullptr || cand.fitness < best->fitness)
+                best = &cand;
+        }
+        return *best;
+    };
+
+    for (unsigned gen = 0; gen < options.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(population.size());
+
+        // Elitism: carry the best genomes over unchanged.
+        std::vector<std::size_t> order(population.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return population[a].fitness <
+                             population[b].fitness;
+                  });
+        for (unsigned e = 0;
+             e < options.elites && e < population.size(); ++e)
+            next.push_back(population[order[e]]);
+
+        while (next.size() < population.size()) {
+            Individual child;
+            child.genome = crossover(selectParent().genome,
+                                     selectParent().genome, rng);
+            if (rng.uniform() < options.mutationRate)
+                mutate(child.genome, space, rng);
+            score(child);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+    return out;
+}
+
+} // namespace ruby

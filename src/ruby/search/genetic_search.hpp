@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Genetic mapspace search in the spirit of GAMMA (Kao & Krishna,
+ * ICCAD 2020), which the paper cites as an orthogonal search strategy
+ * its mapspaces can leverage: tournament selection, uniform
+ * crossover of factor chains / loop orders / residency rows, and the
+ * same mutation operators as local search.
+ */
+
+#ifndef RUBY_SEARCH_GENETIC_SEARCH_HPP
+#define RUBY_SEARCH_GENETIC_SEARCH_HPP
+
+#include "ruby/search/random_search.hpp"
+
+namespace ruby
+{
+
+/** Genetic-search configuration. */
+struct GeneticOptions
+{
+    Objective objective = Objective::EDP;
+
+    unsigned populationSize = 64;
+    unsigned generations = 60;
+
+    /** Probability a child is mutated after crossover. */
+    double mutationRate = 0.4;
+
+    /** Tournament size for parent selection. */
+    unsigned tournament = 3;
+
+    /** Top genomes copied unchanged into the next generation. */
+    unsigned elites = 2;
+
+    std::uint64_t seed = 42;
+};
+
+/** Evolve mappings of @p space; returns the best valid one found. */
+SearchResult geneticSearch(const Mapspace &space,
+                           const Evaluator &evaluator,
+                           const GeneticOptions &options = {});
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_GENETIC_SEARCH_HPP

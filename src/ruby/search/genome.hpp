@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Mutable mapping genome for neighbourhood/evolutionary search.
+ *
+ * A genome is the raw decision vector behind a Mapping: per-dimension
+ * steady chains, per-level loop orders, residency flags and mesh-axis
+ * assignments. Local and genetic search mutate genomes and
+ * materialize them back into (immutable) mappings; structural chain
+ * validity is preserved by construction, while fanout/capacity
+ * violations are left to the evaluator's filter, mirroring the
+ * generate-then-filter flow of the random sampler.
+ */
+
+#ifndef RUBY_SEARCH_GENOME_HPP
+#define RUBY_SEARCH_GENOME_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/common/rng.hpp"
+#include "ruby/mapspace/mapspace.hpp"
+
+namespace ruby
+{
+
+/** The decision vector of one mapping. */
+struct MappingGenome
+{
+    /** steady[d][slot]. */
+    std::vector<std::vector<std::uint64_t>> steady;
+    /** perms[level] = temporal order, outermost first. */
+    std::vector<std::vector<DimId>> perms;
+    /** keep[level][tensor]. */
+    std::vector<std::vector<char>> keep;
+    /** axes[level][dim]. */
+    std::vector<std::vector<SpatialAxis>> axes;
+
+    /** Rebuild the immutable mapping (throws on broken chains). */
+    Mapping materialize(const Problem &problem,
+                        const ArchSpec &arch) const;
+};
+
+/** Extract the genome of an existing mapping. */
+MappingGenome extractGenome(const Mapping &mapping);
+
+/**
+ * Resample one dimension's chain under @p space's variant rules
+ * (divisors at perfect slots, free bounds at imperfect ones; the
+ * outermost slot absorbs the residual). Other dimensions untouched.
+ */
+void mutateChain(MappingGenome &genome, const Mapspace &space,
+                 DimId d, Rng &rng);
+
+/**
+ * Apply one random mutation: resample a chain, swap two loops in a
+ * permutation, flip a residency bit, or flip a mesh axis. Honours
+ * forced bypasses and spatial-dim constraints.
+ */
+void mutate(MappingGenome &genome, const Mapspace &space, Rng &rng);
+
+/**
+ * Uniform crossover: child takes each dimension's chain, each level's
+ * permutation and each residency/axis row from one of the parents.
+ */
+MappingGenome crossover(const MappingGenome &a, const MappingGenome &b,
+                        Rng &rng);
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_GENOME_HPP

@@ -1,0 +1,82 @@
+#include "ruby/search/local_search.hpp"
+
+#include <limits>
+
+#include "ruby/common/error.hpp"
+#include "ruby/search/genome.hpp"
+
+namespace ruby
+{
+
+SearchResult
+localSearch(const Mapspace &space, const Evaluator &evaluator,
+            const LocalSearchOptions &options)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    SearchResult out;
+    Rng rng(options.seed);
+
+    double global_best = kInf;
+
+    auto evaluate = [&](const MappingGenome &genome,
+                        double &metric) -> bool {
+        const Mapping mapping =
+            genome.materialize(space.problem(), space.arch());
+        const EvalResult res = evaluator.evaluate(mapping);
+        ++out.evaluated;
+        if (!res.valid)
+            return false;
+        ++out.valid;
+        metric = res.objective(options.objective);
+        if (metric < global_best) {
+            global_best = metric;
+            out.best = mapping;
+            out.bestResult = res;
+        }
+        return true;
+    };
+
+    while (out.evaluated < options.maxEvaluations) {
+        // Random (valid) start.
+        MappingGenome current;
+        double current_metric = kInf;
+        bool started = false;
+        while (!started && out.evaluated < options.maxEvaluations) {
+            current = extractGenome(space.sample(rng));
+            started = evaluate(current, current_metric);
+        }
+        if (!started)
+            break;
+
+        // Climb until patience runs out.
+        unsigned stale = 0;
+        while (stale < options.patience &&
+               out.evaluated < options.maxEvaluations) {
+            MappingGenome best_neighbour;
+            double best_metric = kInf;
+            for (unsigned n = 0; n < options.neighboursPerStep &&
+                                 out.evaluated <
+                                     options.maxEvaluations;
+                 ++n) {
+                MappingGenome neighbour = current;
+                mutate(neighbour, space, rng);
+                double metric = kInf;
+                if (evaluate(neighbour, metric) &&
+                    metric < best_metric) {
+                    best_metric = metric;
+                    best_neighbour = std::move(neighbour);
+                }
+            }
+            if (best_metric < current_metric) {
+                current = std::move(best_neighbour);
+                current_metric = best_metric;
+                stale = 0;
+            } else {
+                ++stale;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ruby

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Greedy local search (hill climbing with random restarts) over a
+ * mapspace: an example of the "better search" family the paper calls
+ * orthogonal to mapspace generation (COSA, Mind Mappings, GAMMA).
+ */
+
+#ifndef RUBY_SEARCH_LOCAL_SEARCH_HPP
+#define RUBY_SEARCH_LOCAL_SEARCH_HPP
+
+#include "ruby/search/random_search.hpp"
+
+namespace ruby
+{
+
+/** Local-search configuration. */
+struct LocalSearchOptions
+{
+    Objective objective = Objective::EDP;
+
+    /** Hard cap on evaluated mappings across all restarts. */
+    std::uint64_t maxEvaluations = 50'000;
+
+    /** Mutated neighbours examined per climbing step. */
+    unsigned neighboursPerStep = 8;
+
+    /** Non-improving steps before a random restart. */
+    unsigned patience = 20;
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Hill-climb @p space from random valid starts, keeping the best
+ * mapping seen anywhere.
+ */
+SearchResult localSearch(const Mapspace &space,
+                         const Evaluator &evaluator,
+                         const LocalSearchOptions &options = {});
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_LOCAL_SEARCH_HPP

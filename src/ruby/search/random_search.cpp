@@ -1,0 +1,171 @@
+#include "ruby/search/random_search.hpp"
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Shared best-so-far state for the multithreaded path. */
+struct SharedState
+{
+    std::mutex mutex;
+    std::optional<Mapping> best;
+    EvalResult bestResult;
+    double bestObjective = kInf;
+    std::atomic<std::uint64_t> evaluated{0};
+    std::atomic<std::uint64_t> valid{0};
+    std::atomic<std::uint64_t> streak{0};
+    std::atomic<bool> stop{false};
+};
+
+void
+workerLoop(const Mapspace &space, const Evaluator &evaluator,
+           const SearchOptions &opts, Rng rng, SharedState &state)
+{
+    while (!state.stop.load(std::memory_order_relaxed)) {
+        if (opts.maxEvaluations != 0 &&
+            state.evaluated.load(std::memory_order_relaxed) >=
+                opts.maxEvaluations) {
+            state.stop.store(true, std::memory_order_relaxed);
+            break;
+        }
+        const Mapping mapping = space.sample(rng);
+        const EvalResult result = evaluator.evaluate(mapping);
+        state.evaluated.fetch_add(1, std::memory_order_relaxed);
+        if (!result.valid)
+            continue;
+        state.valid.fetch_add(1, std::memory_order_relaxed);
+
+        const double metric = result.objective(opts.objective);
+        bool improved = false;
+        {
+            std::lock_guard lock(state.mutex);
+            if (metric < state.bestObjective) {
+                state.bestObjective = metric;
+                state.best = mapping;
+                state.bestResult = result;
+                improved = true;
+            }
+        }
+        if (improved) {
+            state.streak.store(0, std::memory_order_relaxed);
+        } else if (opts.terminationStreak != 0) {
+            const auto streak =
+                state.streak.fetch_add(1, std::memory_order_relaxed) +
+                1;
+            if (streak >= opts.terminationStreak)
+                state.stop.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+SearchResult runOne(const Mapspace &space, const Evaluator &evaluator,
+                    const SearchOptions &options);
+
+} // namespace
+
+SearchResult
+randomSearch(const Mapspace &space, const Evaluator &evaluator,
+             const SearchOptions &options)
+{
+    if (options.restarts <= 1 || options.recordTrajectory)
+        return runOne(space, evaluator, options);
+
+    SearchResult best;
+    for (unsigned r = 0; r < options.restarts; ++r) {
+        SearchOptions opts = options;
+        opts.seed = options.seed + 1000003ull * r;
+        SearchResult res = runOne(space, evaluator, opts);
+        const bool better =
+            res.best &&
+            (!best.best ||
+             res.bestResult.objective(options.objective) <
+                 best.bestResult.objective(options.objective));
+        if (better) {
+            best.best = std::move(res.best);
+            best.bestResult = std::move(res.bestResult);
+        }
+        best.evaluated += res.evaluated;
+        best.valid += res.valid;
+    }
+    return best;
+}
+
+namespace
+{
+
+SearchResult
+runOne(const Mapspace &space, const Evaluator &evaluator,
+       const SearchOptions &options)
+{
+    SearchResult out;
+
+    if (options.recordTrajectory || options.threads <= 1) {
+        Rng rng(options.seed);
+        double best = kInf;
+        std::uint64_t streak = 0;
+        for (std::uint64_t i = 0;; ++i) {
+            if (options.maxEvaluations != 0 &&
+                i >= options.maxEvaluations)
+                break;
+            const Mapping mapping = space.sample(rng);
+            const EvalResult result = evaluator.evaluate(mapping);
+            ++out.evaluated;
+            if (result.valid) {
+                ++out.valid;
+                const double metric =
+                    result.objective(options.objective);
+                if (metric < best) {
+                    best = metric;
+                    out.best = mapping;
+                    out.bestResult = result;
+                    streak = 0;
+                } else {
+                    ++streak;
+                }
+            }
+            if (options.recordTrajectory)
+                out.trajectory.push_back(best);
+            if (options.terminationStreak != 0 &&
+                streak >= options.terminationStreak)
+                break;
+        }
+        return out;
+    }
+
+    SharedState state;
+    std::vector<std::thread> workers;
+    Rng seeder(options.seed);
+    workers.reserve(options.threads);
+    for (unsigned i = 0; i < options.threads; ++i)
+        workers.emplace_back([&, stream = seeder.split()] {
+            workerLoop(space, evaluator, options, stream, state);
+        });
+    for (auto &w : workers)
+        w.join();
+
+    out.best = std::move(state.best);
+    out.bestResult = std::move(state.bestResult);
+    out.evaluated = state.evaluated.load();
+    out.valid = state.valid.load();
+    return out;
+}
+
+} // namespace
+
+} // namespace ruby

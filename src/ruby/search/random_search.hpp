@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Timeloop-style random-sampling mapspace search (the only search the
+ * paper uses, to isolate mapspace quality from search heuristics).
+ */
+
+#ifndef RUBY_SEARCH_RANDOM_SEARCH_HPP
+#define RUBY_SEARCH_RANDOM_SEARCH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ruby/mapspace/mapspace.hpp"
+#include "ruby/model/evaluator.hpp"
+
+namespace ruby
+{
+
+/** Search configuration. */
+struct SearchOptions
+{
+    /** Metric to minimize. */
+    Objective objective = Objective::EDP;
+
+    /**
+     * Terminate after this many consecutive *valid* mappings without
+     * improvement (the paper uses 3000). 0 disables the rule.
+     */
+    std::uint64_t terminationStreak = 3000;
+
+    /** Hard cap on evaluated mappings (0 = unlimited). */
+    std::uint64_t maxEvaluations = 0;
+
+    /** RNG seed; searches are deterministic per (seed, threads). */
+    std::uint64_t seed = 42;
+
+    /** Worker threads (the paper uses 24). */
+    unsigned threads = 1;
+
+    /**
+     * Independent restarts (fresh seed each); the best result across
+     * restarts is kept. Smooths random-search variance when
+     * comparing mapspaces of very different sizes.
+     */
+    unsigned restarts = 1;
+
+    /**
+     * Record the best-objective-so-far after every evaluated mapping
+     * (Fig. 7 trajectories). Forces single-threaded execution.
+     */
+    bool recordTrajectory = false;
+};
+
+/** Search outcome. */
+struct SearchResult
+{
+    /** Best valid mapping found, if any. */
+    std::optional<Mapping> best;
+    /** Its evaluation. */
+    EvalResult bestResult;
+
+    std::uint64_t evaluated = 0; ///< mappings drawn
+    std::uint64_t valid = 0;     ///< mappings passing validity
+
+    /**
+     * bestObjective[i] = best metric seen after i+1 evaluations
+     * (infinity until the first valid mapping); only filled when
+     * recordTrajectory is set.
+     */
+    std::vector<double> trajectory;
+};
+
+/**
+ * Randomly sample @p space, evaluate with @p evaluator, and keep the
+ * best valid mapping under the configured objective.
+ */
+SearchResult randomSearch(const Mapspace &space,
+                          const Evaluator &evaluator,
+                          const SearchOptions &options = {});
+
+} // namespace ruby
+
+#endif // RUBY_SEARCH_RANDOM_SEARCH_HPP

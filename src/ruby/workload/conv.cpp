@@ -1,0 +1,41 @@
+#include "ruby/workload/conv.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+Problem
+makeConv(const ConvShape &sh)
+{
+    RUBY_CHECK(sh.strideH >= 1 && sh.strideW >= 1 && sh.dilationH >= 1 &&
+                   sh.dilationW >= 1,
+               "conv ", sh.name, ": strides/dilations must be >= 1");
+
+    TensorSpec weights{"Weights",
+                       {TensorAxis{{{CONV_M, 1}}},
+                        TensorAxis{{{CONV_C, 1}}},
+                        TensorAxis{{{CONV_R, 1}}},
+                        TensorAxis{{{CONV_S, 1}}}},
+                       false};
+    TensorSpec inputs{"Inputs",
+                      {TensorAxis{{{CONV_N, 1}}},
+                       TensorAxis{{{CONV_C, 1}}},
+                       TensorAxis{{{CONV_P, sh.strideH},
+                                   {CONV_R, sh.dilationH}}},
+                       TensorAxis{{{CONV_Q, sh.strideW},
+                                   {CONV_S, sh.dilationW}}}},
+                      false};
+    TensorSpec outputs{"Outputs",
+                       {TensorAxis{{{CONV_N, 1}}},
+                        TensorAxis{{{CONV_M, 1}}},
+                        TensorAxis{{{CONV_P, 1}}},
+                        TensorAxis{{{CONV_Q, 1}}}},
+                       true};
+
+    return Problem(sh.name, {"N", "C", "M", "P", "Q", "R", "S"},
+                   {sh.n, sh.c, sh.m, sh.p, sh.q, sh.r, sh.s},
+                   {weights, inputs, outputs});
+}
+
+} // namespace ruby

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Convolution-layer workload builder (the paper's Fig. 1 loop nest).
+ */
+
+#ifndef RUBY_WORKLOAD_CONV_HPP
+#define RUBY_WORKLOAD_CONV_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/**
+ * Shape of a 2D convolution layer in output-centric form. The input
+ * feature map size is implied: H = strideH*(P-1) + dilationH*(R-1) + 1
+ * (i.e. the post-padding sliding-window extent).
+ */
+struct ConvShape
+{
+    std::string name;       ///< layer name
+    std::uint64_t n = 1;    ///< batch
+    std::uint64_t c = 1;    ///< input channels
+    std::uint64_t m = 1;    ///< output channels
+    std::uint64_t p = 1;    ///< output height
+    std::uint64_t q = 1;    ///< output width
+    std::uint64_t r = 1;    ///< filter height
+    std::uint64_t s = 1;    ///< filter width
+    std::uint64_t strideH = 1;
+    std::uint64_t strideW = 1;
+    std::uint64_t dilationH = 1;
+    std::uint64_t dilationW = 1;
+};
+
+/**
+ * Canonical dimension order used by every conv Problem this builder
+ * produces: (N, C, M, P, Q, R, S) — matching the paper's Fig. 1.
+ */
+enum ConvDim : DimId
+{
+    CONV_N = 0,
+    CONV_C = 1,
+    CONV_M = 2,
+    CONV_P = 3,
+    CONV_Q = 4,
+    CONV_R = 5,
+    CONV_S = 6,
+};
+
+/** Tensor order in conv Problems: weights, inputs, outputs. */
+enum ConvTensor : int
+{
+    CONV_WEIGHTS = 0,
+    CONV_INPUTS = 1,
+    CONV_OUTPUTS = 2,
+};
+
+/**
+ * Build the 7-dimensional convolution Problem:
+ *   Outputs[n][m][p][q] += Weights[m][c][r][s]
+ *                        * Inputs[n][c][sH*p + dH*r][sW*q + dW*s]
+ */
+Problem makeConv(const ConvShape &shape);
+
+/**
+ * A convolution layer together with how many times it occurs in a
+ * network (used to weight whole-network aggregates, e.g. the final
+ * column of the paper's Fig. 10).
+ */
+struct Layer
+{
+    ConvShape shape;
+    int count = 1;
+    std::string group; ///< layer-type/category label for reporting
+};
+
+} // namespace ruby
+
+#endif // RUBY_WORKLOAD_CONV_HPP

@@ -1,0 +1,26 @@
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+
+Problem
+makeGemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+         const std::string &name)
+{
+    TensorSpec a{"A",
+                 {TensorAxis{{{GEMM_M, 1}}}, TensorAxis{{{GEMM_K, 1}}}},
+                 false};
+    TensorSpec b{"B",
+                 {TensorAxis{{{GEMM_K, 1}}}, TensorAxis{{{GEMM_N, 1}}}},
+                 false};
+    TensorSpec c{"C",
+                 {TensorAxis{{{GEMM_M, 1}}}, TensorAxis{{{GEMM_N, 1}}}},
+                 true};
+    std::string nm = name.empty() ? "gemm-" + std::to_string(m) + "x" +
+                                        std::to_string(n) + "x" +
+                                        std::to_string(k)
+                                  : name;
+    return Problem(std::move(nm), {"M", "N", "K"}, {m, n, k}, {a, b, c});
+}
+
+} // namespace ruby

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dense matrix-multiplication workload builder.
+ */
+
+#ifndef RUBY_WORKLOAD_GEMM_HPP
+#define RUBY_WORKLOAD_GEMM_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+
+/** Dimension order in GEMM Problems: (M, N, K). */
+enum GemmDim : DimId
+{
+    GEMM_M = 0,
+    GEMM_N = 1,
+    GEMM_K = 2,
+};
+
+/** Tensor order in GEMM Problems: A, B, C (output). */
+enum GemmTensor : int
+{
+    GEMM_A = 0,
+    GEMM_B = 1,
+    GEMM_C = 2,
+};
+
+/**
+ * Build C[m][n] += A[m][k] * B[k][n] with the given sizes.
+ */
+Problem makeGemm(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                 const std::string &name = "");
+
+} // namespace ruby
+
+#endif // RUBY_WORKLOAD_GEMM_HPP

@@ -1,0 +1,67 @@
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+Layer
+layer(const char *name, std::uint64_t c, std::uint64_t m,
+      std::uint64_t pq, std::uint64_t rs, std::uint64_t stride,
+      int count, const char *group)
+{
+    ConvShape sh;
+    sh.name = name;
+    sh.c = c;
+    sh.m = m;
+    sh.p = pq;
+    sh.q = pq;
+    sh.r = rs;
+    sh.s = rs;
+    sh.strideH = stride;
+    sh.strideW = stride;
+    Layer l;
+    l.shape = sh;
+    l.count = count;
+    l.group = group;
+    return l;
+}
+
+} // namespace
+
+std::vector<Layer>
+alexnetLayers()
+{
+    // Grouped convolutions (conv2, conv4, conv5) are listed as their
+    // per-group shape with count 2, matching the paper's per-group
+    // dims for layer 2 (48 -> 96... x2 groups = 48 -> 128 halves).
+    return {
+        layer("alexnet_conv1", 3, 96, 55, 11, 4, 1, "conv"),
+        layer("alexnet_conv2", 48, 128, 27, 5, 1, 2, "conv"),
+        layer("alexnet_conv3", 256, 384, 13, 3, 1, 1, "conv"),
+        layer("alexnet_conv4", 192, 192, 13, 3, 1, 2, "conv"),
+        layer("alexnet_conv5", 192, 128, 13, 3, 1, 2, "conv"),
+        layer("alexnet_fc6", 9216, 4096, 1, 1, 1, 1, "fc"),
+        layer("alexnet_fc7", 4096, 4096, 1, 1, 1, 1, "fc"),
+        layer("alexnet_fc8", 4096, 1000, 1, 1, 1, 1, "fc"),
+    };
+}
+
+ConvShape
+alexnetLayer2()
+{
+    // Dimensions as quoted in the paper's Sec. IV-B: IFM 27x27x48,
+    // weights 5x5x96, unit stride, 'same' padding (output 27x27).
+    ConvShape sh;
+    sh.name = "alexnet_conv2";
+    sh.c = 48;
+    sh.m = 96;
+    sh.p = 27;
+    sh.q = 27;
+    sh.r = 5;
+    sh.s = 5;
+    return sh;
+}
+
+} // namespace ruby

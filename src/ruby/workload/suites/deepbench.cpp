@@ -1,0 +1,109 @@
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** General conv layer with independent H/W shape and strides. */
+Layer
+conv2d(const char *name, const char *group, std::uint64_t c,
+       std::uint64_t m, std::uint64_t p, std::uint64_t q,
+       std::uint64_t r, std::uint64_t s, std::uint64_t stride_h,
+       std::uint64_t stride_w)
+{
+    ConvShape sh;
+    sh.name = name;
+    sh.c = c;
+    sh.m = m;
+    sh.p = p;
+    sh.q = q;
+    sh.r = r;
+    sh.s = s;
+    sh.strideH = stride_h;
+    sh.strideW = stride_w;
+    Layer layer;
+    layer.shape = sh;
+    layer.count = 1;
+    layer.group = group;
+    return layer;
+}
+
+/**
+ * GEMM encoded as a 1x1 "convolution": C <- input channels (K),
+ * M <- output rows (M), P x Q <- batch/columns (N split into a
+ * roughly square grid so spatial mappers see two mappable dims).
+ */
+Layer
+gemmLayer(const char *name, const char *group, std::uint64_t m,
+          std::uint64_t n, std::uint64_t k)
+{
+    // Split n = p*q as squarely as possible.
+    std::uint64_t p = 1;
+    for (std::uint64_t d = 1; d * d <= n; ++d)
+        if (n % d == 0)
+            p = d;
+    return conv2d(name, group, k, m, p, n / p, 1, 1, 1, 1);
+}
+
+} // namespace
+
+std::vector<Layer>
+deepbenchLayers()
+{
+    // Representative shapes from the public DeepBench suite, one
+    // cluster per application domain. Vision layers are ImageNet-
+    // derived (factor-of-7 friendly); speech/face/speaker layers have
+    // the irregular shapes the paper highlights.
+    return {
+        // --- Vision (ImageNet classification backbones) ---
+        conv2d("vision_vgg_l1", "vision", 3, 64, 224, 224, 3, 3, 1, 1),
+        conv2d("vision_vgg_l4", "vision", 128, 256, 56, 56, 3, 3, 1, 1),
+        conv2d("vision_resnet_3x3", "vision", 256, 256, 14, 14, 3, 3,
+               1, 1),
+        conv2d("vision_resnet_1x1", "vision", 512, 2048, 7, 7, 1, 1,
+               1, 1),
+        conv2d("vision_googlenet_5x5", "vision", 32, 96, 28, 28, 5, 5,
+               1, 1),
+
+        // --- Face recognition (DeepFace-style, odd planes) ---
+        conv2d("face_l1", "face", 3, 32, 71, 71, 11, 11, 2, 2),
+        conv2d("face_l2", "face", 32, 16, 63, 63, 9, 9, 1, 1),
+        conv2d("face_l3", "face", 16, 16, 55, 55, 9, 9, 1, 1),
+
+        // --- Speaker identification ---
+        conv2d("speaker_l1", "speaker", 64, 128, 79, 19, 5, 5, 1, 1),
+        conv2d("speaker_l2", "speaker", 128, 256, 38, 9, 3, 3, 2, 2),
+
+        // --- Speech-to-text (DeepSpeech) ---
+        // Layer 1: spectrogram 700x161, filter 5x20, stride 2x2.
+        conv2d("speech_ds_l1", "speech", 1, 32, 341, 79, 20, 5, 2, 2),
+        // Layer 2 as quoted in the paper: IFM 341x79x32, filter
+        // 5x10x32, stride 2x2.
+        conv2d("speech_ds_l2", "speech", 32, 32, 166, 38, 10, 5, 2, 2),
+
+        // --- GEMM workloads (speech/NLP dense layers) ---
+        gemmLayer("gemm_ds_rnn", "gemm", 1760, 128, 1760),
+        gemmLayer("gemm_ds_out", "gemm", 5124, 700, 2048),
+        gemmLayer("gemm_attention", "gemm", 35, 700, 2560),
+        gemmLayer("gemm_lm_small", "gemm", 512, 24, 2816),
+    };
+}
+
+std::vector<Layer>
+deepbenchSweepSubset()
+{
+    auto all = deepbenchLayers();
+    std::vector<Layer> subset;
+    const char *picks[] = {"vision_vgg_l4",  "vision_resnet_1x1",
+                           "face_l2",        "speaker_l1",
+                           "speech_ds_l2",   "gemm_attention"};
+    for (const auto &layer : all)
+        for (const char *pick : picks)
+            if (layer.shape.name == pick)
+                subset.push_back(layer);
+    return subset;
+}
+
+} // namespace ruby

@@ -1,0 +1,76 @@
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/** Shorthand for a square conv layer. */
+Layer
+conv(const char *name, const char *group, std::uint64_t c,
+     std::uint64_t m, std::uint64_t pq, std::uint64_t rs,
+     std::uint64_t stride, int count)
+{
+    ConvShape sh;
+    sh.name = name;
+    sh.c = c;
+    sh.m = m;
+    sh.p = pq;
+    sh.q = pq;
+    sh.r = rs;
+    sh.s = rs;
+    sh.strideH = stride;
+    sh.strideW = stride;
+    Layer layer;
+    layer.shape = sh;
+    layer.shape.name = name;
+    layer.count = count;
+    layer.group = group;
+    return layer;
+}
+
+} // namespace
+
+std::vector<Layer>
+resnet50Layers()
+{
+    // Unique conv shapes of ResNet-50 at batch 1 with repeat counts.
+    // Strided 3x3s inside stages and strided 1x1 shortcuts are listed
+    // separately because their shapes differ.
+    return {
+        conv("conv1", "conv1", 3, 64, 112, 7, 2, 1),
+
+        // conv2_x: 56x56, bottleneck 64-64-256, 3 blocks.
+        conv("conv2_1x1a", "conv2_x", 64, 64, 56, 1, 1, 3),
+        conv("conv2_3x3", "conv2_x", 64, 64, 56, 3, 1, 3),
+        conv("conv2_1x1b", "conv2_x", 64, 256, 56, 1, 1, 3),
+        conv("conv2_proj", "conv2_x", 64, 256, 56, 1, 1, 1),
+
+        // conv3_x: 28x28, bottleneck 128-128-512, 4 blocks.
+        conv("conv3_1x1a", "conv3_x", 256, 128, 28, 1, 1, 4),
+        conv("conv3_3x3s2", "conv3_x", 128, 128, 28, 3, 2, 1),
+        conv("conv3_3x3", "conv3_x", 128, 128, 28, 3, 1, 3),
+        conv("conv3_1x1b", "conv3_x", 128, 512, 28, 1, 1, 4),
+        conv("conv3_proj", "conv3_x", 256, 512, 28, 1, 2, 1),
+
+        // conv4_x: 14x14, bottleneck 256-256-1024, 6 blocks.
+        conv("conv4_1x1a", "conv4_x", 512, 256, 14, 1, 1, 6),
+        conv("conv4_3x3s2", "conv4_x", 256, 256, 14, 3, 2, 1),
+        conv("conv4_3x3", "conv4_x", 256, 256, 14, 3, 1, 5),
+        conv("conv4_1x1b", "conv4_x", 256, 1024, 14, 1, 1, 6),
+        conv("conv4_proj", "conv4_x", 512, 1024, 14, 1, 2, 1),
+
+        // conv5_x: 7x7, bottleneck 512-512-2048, 3 blocks.
+        conv("conv5_1x1a", "conv5_x", 1024, 512, 7, 1, 1, 3),
+        conv("conv5_3x3s2", "conv5_x", 512, 512, 7, 3, 2, 1),
+        conv("conv5_3x3", "conv5_x", 512, 512, 7, 3, 1, 2),
+        conv("conv5_1x1b", "conv5_x", 512, 2048, 7, 1, 1, 3),
+        conv("conv5_proj", "conv5_x", 1024, 2048, 7, 1, 2, 1),
+
+        // Classifier as a 1x1 convolution over 2048 -> 1000.
+        conv("fc1000", "fc", 2048, 1000, 1, 1, 1, 1),
+    };
+}
+
+} // namespace ruby

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Benchmark workload suites used by the paper's evaluation:
+ * ResNet-50 (Figs. 10, 12, 13a, 14a), AlexNet layer 2 (Fig. 9) and a
+ * DeepBench subset (Figs. 11, 13b, 14b).
+ *
+ * ResNet-50 layers are the standard unique convolution shapes with
+ * their occurrence counts (batch 1). DeepBench entries are
+ * representative shapes from the public suite's conv and GEMM lists;
+ * the DeepSpeech layer the paper quotes (IFM 341x79x32, filter
+ * 5x10x32) is included verbatim. See DESIGN.md for the substitution
+ * note (shapes are what matters to a mapper; no trace data needed).
+ */
+
+#ifndef RUBY_WORKLOAD_SUITES_SUITES_HPP
+#define RUBY_WORKLOAD_SUITES_SUITES_HPP
+
+#include <vector>
+
+#include "ruby/workload/conv.hpp"
+
+namespace ruby
+{
+
+/**
+ * The unique convolution/FC layers of ResNet-50 (batch 1), each with
+ * its repeat count. Group labels follow the network's stage naming
+ * (conv1, conv2_x .. conv5_x, fc).
+ */
+std::vector<Layer> resnet50Layers();
+
+/**
+ * AlexNet layer 2 as quoted by the paper (IFM 27x27x48, weights
+ * 5x5x96): the known case where handcrafted strip-mining beats PFMs.
+ */
+ConvShape alexnetLayer2();
+
+/**
+ * The full AlexNet network (batch 1, grouped convs folded to their
+ * per-group shapes, FC layers as 1x1 convs): a small extra suite for
+ * experiments beyond the paper's Fig. 9 single-layer study.
+ */
+std::vector<Layer> alexnetLayers();
+
+/**
+ * Representative DeepBench workloads: vision, face recognition,
+ * speaker identification, speech-to-text convolutions plus GEMMs.
+ * GEMM entries are encoded as 1x1 convolutions over (M, K) with
+ * P*Q = N so one suite type serves all benches.
+ */
+std::vector<Layer> deepbenchLayers();
+
+/**
+ * Compact subset of deepbenchLayers() (one per category) used by the
+ * architectural sweep of Figs. 13b/14b, where every workload runs on
+ * ~15 array configurations.
+ */
+std::vector<Layer> deepbenchSweepSubset();
+
+} // namespace ruby
+
+#endif // RUBY_WORKLOAD_SUITES_SUITES_HPP

@@ -1,0 +1,112 @@
+#include "ruby/analysis/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+std::vector<Layer>
+tinySuite()
+{
+    ConvShape sh;
+    sh.name = "tiny";
+    sh.c = 16;
+    sh.m = 24;
+    sh.p = 10;
+    sh.q = 10;
+    sh.r = 3;
+    sh.s = 3;
+    Layer a{sh, 2, "g"};
+    sh.name = "tiny_pw";
+    sh.r = sh.s = 1;
+    sh.m = 100;
+    Layer b{sh, 1, "g"};
+    return {a, b};
+}
+
+DseOptions
+quickOptions()
+{
+    DseOptions opts;
+    opts.search.maxEvaluations = 2500;
+    opts.search.terminationStreak = 0;
+    opts.search.seed = 12;
+    opts.strategies = {
+        DseStrategy{"PFM", MapspaceVariant::PFM, false},
+        DseStrategy{"Ruby-S", MapspaceVariant::RubyS, false},
+    };
+    return opts;
+}
+
+TEST(Dse, SweepShapesAndCells)
+{
+    const auto layers = tinySuite();
+    const DseResult res = sweepArchitectures(
+        layers, 3,
+        [](std::size_t i) { return makeToyLinear(4 + 3 * i); },
+        quickOptions());
+    ASSERT_EQ(res.configNames.size(), 3u);
+    ASSERT_EQ(res.cells.size(), 3u);
+    ASSERT_EQ(res.cells[0].size(), 2u);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_GT(res.areas[c], 0.0);
+        for (const DseCell &cell : res.cells[c]) {
+            EXPECT_TRUE(cell.found);
+            EXPECT_GT(cell.edp, 0.0);
+            EXPECT_NEAR(cell.edp, cell.energy * cell.cycles,
+                        1e-6 * cell.edp);
+        }
+    }
+    // Areas grow with the array.
+    EXPECT_LT(res.areas[0], res.areas[1]);
+    EXPECT_LT(res.areas[1], res.areas[2]);
+}
+
+TEST(Dse, PointsAndImprovements)
+{
+    const auto layers = tinySuite();
+    const DseResult res = sweepArchitectures(
+        layers, 2,
+        [](std::size_t i) { return makeToyLinear(5 + 8 * i); },
+        quickOptions());
+    const auto pfm_points = res.points(0);
+    ASSERT_EQ(pfm_points.size(), 2u);
+    EXPECT_EQ(pfm_points[0].tag, 0u);
+
+    const auto impr = res.improvementOver(1, 0);
+    ASSERT_EQ(impr.size(), 2u);
+    for (double v : impr)
+        EXPECT_LT(v, 100.0);
+    // Self-improvement is zero.
+    const auto self_impr = res.improvementOver(0, 0);
+    for (double v : self_impr)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Dse, RejectsDegenerateInputs)
+{
+    DseOptions no_strategies;
+    EXPECT_THROW(sweepArchitectures(
+                     tinySuite(), 1,
+                     [](std::size_t) { return makeToyLinear(4); },
+                     no_strategies),
+                 Error);
+    EXPECT_THROW(sweepArchitectures(
+                     {}, 1,
+                     [](std::size_t) { return makeToyLinear(4); },
+                     quickOptions()),
+                 Error);
+    EXPECT_THROW(sweepArchitectures(
+                     tinySuite(), 0,
+                     [](std::size_t) { return makeToyLinear(4); },
+                     quickOptions()),
+                 Error);
+}
+
+} // namespace
+} // namespace ruby

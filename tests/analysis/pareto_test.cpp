@@ -1,0 +1,65 @@
+#include "ruby/analysis/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Pareto, Dominates)
+{
+    EXPECT_TRUE(dominates({1, 1, 0}, {2, 2, 0}));
+    EXPECT_TRUE(dominates({1, 2, 0}, {2, 2, 0}));
+    EXPECT_TRUE(dominates({1, 1, 0}, {1, 2, 0}));
+    EXPECT_FALSE(dominates({1, 1, 0}, {1, 1, 0})); // equal: no
+    EXPECT_FALSE(dominates({1, 3, 0}, {2, 2, 0})); // trade-off
+    EXPECT_FALSE(dominates({2, 2, 0}, {1, 1, 0}));
+}
+
+TEST(Pareto, FrontierExtraction)
+{
+    // Points: (1,10) (2,5) (3,7) (4,4) (5,4).
+    const std::vector<ParetoPoint> pts{
+        {1, 10, 0}, {2, 5, 1}, {3, 7, 2}, {4, 4, 3}, {5, 4, 4}};
+    const auto frontier = paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].tag, 0u); // (1,10)
+    EXPECT_EQ(frontier[1].tag, 1u); // (2,5)
+    EXPECT_EQ(frontier[2].tag, 3u); // (4,4); (5,4) dominated
+}
+
+TEST(Pareto, MembershipMatchesFrontier)
+{
+    const std::vector<ParetoPoint> pts{
+        {1, 10, 0}, {2, 5, 1}, {3, 7, 2}, {4, 4, 3}, {5, 4, 4}};
+    const auto member = paretoMembership(pts);
+    EXPECT_EQ(member,
+              (std::vector<bool>{true, true, false, true, false}));
+}
+
+TEST(Pareto, SinglePointIsFrontier)
+{
+    const std::vector<ParetoPoint> pts{{3, 3, 7}};
+    EXPECT_EQ(paretoFrontier(pts).size(), 1u);
+    EXPECT_TRUE(paretoMembership(pts)[0]);
+}
+
+TEST(Pareto, DuplicatesCollapse)
+{
+    const std::vector<ParetoPoint> pts{{1, 1, 0}, {1, 1, 1}};
+    EXPECT_EQ(paretoFrontier(pts).size(), 1u);
+    // Equal points do not dominate each other: both are members.
+    const auto member = paretoMembership(pts);
+    EXPECT_TRUE(member[0]);
+    EXPECT_TRUE(member[1]);
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+    EXPECT_TRUE(paretoMembership({}).empty());
+}
+
+} // namespace
+} // namespace ruby

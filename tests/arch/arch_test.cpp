@@ -1,0 +1,126 @@
+#include "ruby/arch/arch_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/area_model.hpp"
+#include "ruby/arch/energy_model.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(EnergyModel, OrderingMatchesPublishedNumbers)
+{
+    const double dram = EnergyModel::dramAccess();
+    const double glb = EnergyModel::sramAccess(128 * 1024 / 2);
+    const double spad = EnergyModel::sramAccess(252);
+    const double mac = EnergyModel::macOp();
+    // DRAM >> GLB >> spad ~ MAC (the ordering the paper's EDP
+    // results depend on).
+    EXPECT_GT(dram, 20 * glb);
+    EXPECT_GT(glb, 5 * spad);
+    EXPECT_NEAR(glb, 6.0, 1.0);   // ~6 pJ for a 128 KiB GLB
+    EXPECT_NEAR(spad, 0.56, 0.2); // ~0.5 pJ PE scratchpad
+    EXPECT_NEAR(mac, 1.0, 0.25);
+}
+
+TEST(EnergyModel, SramMonotonicInSize)
+{
+    double prev = 0.0;
+    for (std::uint64_t words : {16ull, 256ull, 4096ull, 65536ull}) {
+        const double e = EnergyModel::sramAccess(words);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(AreaModel, MonotonicAndPositive)
+{
+    EXPECT_GT(AreaModel::sram(1024), AreaModel::sram(64));
+    EXPECT_GT(AreaModel::mac(), 0.0);
+    EXPECT_GT(AreaModel::registerWord(), 0.0);
+}
+
+TEST(ArchSpec, EyerissPresetStructure)
+{
+    const ArchSpec arch = makeEyeriss();
+    EXPECT_EQ(arch.numLevels(), 3);
+    EXPECT_EQ(arch.totalMacs(), 14u * 12);
+    EXPECT_EQ(arch.instancesOf(0), 168u); // one spad per PE
+    EXPECT_EQ(arch.instancesOf(1), 1u);   // one GLB
+    EXPECT_EQ(arch.instancesOf(2), 1u);   // one DRAM
+    EXPECT_EQ(arch.level(1).capacityWords, 128u * 1024 / 2);
+    // Eyeriss PE partitions: weights 224, inputs 12, psums 16.
+    ASSERT_EQ(arch.level(0).perTensorCapacity.size(), 3u);
+    EXPECT_EQ(arch.level(0).perTensorCapacity[0], 224u);
+    EXPECT_EQ(arch.level(0).perTensorCapacity[1], 12u);
+    EXPECT_EQ(arch.level(0).perTensorCapacity[2], 16u);
+}
+
+TEST(ArchSpec, SimbaPresetStructure)
+{
+    const ArchSpec arch = makeSimba(15, 4, 4);
+    EXPECT_EQ(arch.totalMacs(), 15u * 16);
+    EXPECT_EQ(arch.level(0).fanout(), 16u); // 4x 4-wide vMACs
+    EXPECT_EQ(arch.level(1).fanout(), 15u);
+    const ArchSpec nine = makeSimba(9, 3, 3);
+    EXPECT_EQ(nine.totalMacs(), 81u);
+}
+
+TEST(ArchSpec, ToyPresets)
+{
+    const ArchSpec linear = makeToyLinear(16);
+    EXPECT_EQ(linear.numLevels(), 2);
+    EXPECT_EQ(linear.totalMacs(), 16u);
+    EXPECT_EQ(linear.level(0).capacityWords, 512u); // 1 KiB spad
+
+    const ArchSpec glb = makeToyGlb(6);
+    EXPECT_EQ(glb.numLevels(), 3);
+    EXPECT_EQ(glb.totalMacs(), 6u);
+}
+
+TEST(ArchSpec, AreaGrowsWithArray)
+{
+    const double small = makeEyeriss(2, 7).totalArea();
+    const double medium = makeEyeriss(14, 12).totalArea();
+    const double large = makeEyeriss(16, 16).totalArea();
+    EXPECT_LT(small, medium);
+    EXPECT_LT(medium, large);
+}
+
+TEST(ArchSpec, RejectsBadSpecs)
+{
+    // Outermost level must be unbounded.
+    StorageLevelSpec bounded;
+    bounded.name = "L";
+    bounded.capacityWords = 64;
+    EXPECT_THROW(ArchSpec("bad", {bounded}, 1.0, 1.0), Error);
+
+    // No levels at all.
+    EXPECT_THROW(ArchSpec("bad", {}, 1.0, 1.0), Error);
+
+    // Zero fanout.
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.fanoutX = 0;
+    EXPECT_THROW(ArchSpec("bad", {dram}, 1.0, 1.0), Error);
+}
+
+TEST(ArchSpec, DramExcludedFromArea)
+{
+    // Toy: a single DRAM level with huge fanout contributes only MACs.
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.fanoutX = 8;
+    dram.readEnergy = 200;
+    dram.writeEnergy = 200;
+    dram.area = 1e9; // would dominate if wrongly counted
+    const ArchSpec arch("dram-only", {dram}, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(arch.totalArea(), 8.0);
+}
+
+} // namespace
+} // namespace ruby

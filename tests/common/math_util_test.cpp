@@ -1,0 +1,182 @@
+#include "ruby/common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Divisors, SmallValues)
+{
+    EXPECT_EQ(divisors(1), (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(divisors(12), (std::vector<std::uint64_t>{1, 2, 3, 4, 6,
+                                                        12}));
+    EXPECT_EQ(divisors(13), (std::vector<std::uint64_t>{1, 13}));
+    EXPECT_EQ(divisors(100),
+              (std::vector<std::uint64_t>{1, 2, 4, 5, 10, 20, 25, 50,
+                                          100}));
+}
+
+TEST(Divisors, SortedAndDividing)
+{
+    for (std::uint64_t n : {36ull, 97ull, 360ull, 4096ull, 4095ull}) {
+        const auto divs = divisors(n);
+        for (std::size_t i = 0; i < divs.size(); ++i) {
+            EXPECT_EQ(n % divs[i], 0u);
+            if (i > 0) {
+                EXPECT_LT(divs[i - 1], divs[i]);
+            }
+        }
+    }
+}
+
+TEST(PrimeFactorization, Basics)
+{
+    using PF = std::vector<std::pair<std::uint64_t, int>>;
+    EXPECT_EQ(primeFactorization(1), PF{});
+    EXPECT_EQ(primeFactorization(12), (PF{{2, 2}, {3, 1}}));
+    EXPECT_EQ(primeFactorization(97), (PF{{97, 1}}));
+    EXPECT_EQ(primeFactorization(4096), (PF{{2, 12}}));
+}
+
+TEST(OrderedFactorizations, CountMatchesEnumeration)
+{
+    for (std::uint64_t n : {1ull, 2ull, 12ull, 36ull, 97ull, 100ull,
+                            360ull}) {
+        for (int k = 1; k <= 4; ++k) {
+            const auto all = orderedFactorizations(n, k);
+            EXPECT_EQ(countOrderedFactorizations(n, k), all.size())
+                << "n=" << n << " k=" << k;
+            for (const auto &f : all) {
+                std::uint64_t prod = 1;
+                for (auto v : f)
+                    prod *= v;
+                EXPECT_EQ(prod, n);
+                EXPECT_EQ(f.size(), static_cast<std::size_t>(k));
+            }
+        }
+    }
+}
+
+TEST(OrderedFactorizations, KnownCounts)
+{
+    // 100 = 2^2 * 5^2 over 3 slots: C(4,2)^2 = 36.
+    EXPECT_EQ(countOrderedFactorizations(100, 3), 36u);
+    // A prime over k slots has exactly k placements.
+    EXPECT_EQ(countOrderedFactorizations(13, 4), 4u);
+    // n = 1: single all-ones assignment.
+    EXPECT_EQ(countOrderedFactorizations(1, 5), 1u);
+}
+
+TEST(DeriveTails, PerfectChainsHaveMaximalTails)
+{
+    // prod == D implies R == P everywhere (paper eq. (1) recovered).
+    const std::vector<std::uint64_t> steady{5, 20, 1};
+    const auto tails = deriveTails(100, steady);
+    EXPECT_EQ(tails, steady);
+}
+
+TEST(DeriveTails, PaperFig5Example)
+{
+    // 100 elements, chain (6 spatial, 17 temporal, 1 DRAM):
+    // tails (4, 17, 1) per the paper's walkthrough of eq. (5).
+    const auto tails = deriveTails(100, {6, 17, 1});
+    EXPECT_EQ(tails, (std::vector<std::uint64_t>{4, 17, 1}));
+}
+
+TEST(DeriveTails, CoverageIdentitySweep)
+{
+    // Property: every derived tail satisfies the coverage identity.
+    for (std::uint64_t d = 1; d <= 300; ++d) {
+        for (std::uint64_t p0 : {1ull, 2ull, 3ull, 7ull, 16ull}) {
+            for (std::uint64_t p1 : {1ull, 5ull, 9ull, 32ull}) {
+                const std::uint64_t top =
+                    (d + p0 * p1 - 1) / (p0 * p1);
+                const std::vector<std::uint64_t> steady{p0, p1, top};
+                const auto tails = deriveTails(d, steady);
+                EXPECT_TRUE(coverageHolds(d, steady, tails))
+                    << "D=" << d << " chain=(" << p0 << "," << p1
+                    << "," << top << ")";
+            }
+        }
+    }
+}
+
+TEST(CoverageHolds, RejectsBadTails)
+{
+    EXPECT_TRUE(coverageHolds(100, {6, 17, 1}, {4, 17, 1}));
+    EXPECT_FALSE(coverageHolds(100, {6, 17, 1}, {5, 17, 1}));
+    EXPECT_FALSE(coverageHolds(100, {6, 17, 1}, {0, 17, 1}));
+    EXPECT_FALSE(coverageHolds(100, {6, 17, 1}, {7, 17, 1}));
+    EXPECT_FALSE(coverageHolds(100, {6, 17}, {4, 17, 1}));
+}
+
+TEST(BodyCounts, PaperFig5Example)
+{
+    // B_2 = 1, B_1 = 17, B_0 = 100 for the (6, 17, 1) chain.
+    const auto counts = bodyCounts({6, 17, 1}, {4, 17, 1});
+    EXPECT_EQ(counts, (std::vector<std::uint64_t>{100, 17, 1}));
+}
+
+TEST(BodyCounts, BottomAlwaysEqualsDim)
+{
+    for (std::uint64_t d = 1; d <= 500; d += 7) {
+        const std::vector<std::uint64_t> steady{
+            3, 4, (d + 11) / 12};
+        const auto tails = deriveTails(d, steady);
+        const auto counts = bodyCounts(steady, tails);
+        EXPECT_EQ(counts.front(), d);
+    }
+}
+
+TEST(CeilDiv, Basics)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+    EXPECT_EQ(ceilDiv(5, 1), 5u);
+}
+
+/** Parameterized sweep: mixed-radix uniqueness over many dims. */
+class TailSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TailSweep, TailsUniqueAndPerfectSlotsDetected)
+{
+    const std::uint64_t d = GetParam();
+    // Canonical ceil-walk: inner divisor, middle free, top absorbs.
+    for (std::uint64_t inner : divisors(d)) {
+        if (inner > 64)
+            break;
+        const std::uint64_t m = d / inner;
+        for (std::uint64_t mid = 1; mid <= std::min<std::uint64_t>(
+                                        m, 11);
+             ++mid) {
+            const std::uint64_t top = (m + mid - 1) / mid;
+            const std::vector<std::uint64_t> steady{inner, mid, top};
+            const auto tails = deriveTails(d, steady);
+            ASSERT_TRUE(coverageHolds(d, steady, tails));
+            // The inner perfect slot must come out remainderless.
+            EXPECT_EQ(tails[0], inner);
+            // The top slot of a canonical walk is remainderless.
+            EXPECT_EQ(tails[2], top);
+            // Exactness of the body counts at every slot.
+            const auto counts = bodyCounts(steady, tails);
+            EXPECT_EQ(counts[0], d);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyDims, TailSweep,
+                         ::testing::Values(3, 13, 27, 96, 100, 113,
+                                           127, 128, 224, 341, 1000,
+                                           2048, 4095, 4096));
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,93 @@
+#include "ruby/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    std::vector<std::uint64_t> va, vb, vc;
+    for (int i = 0; i < 100; ++i) {
+        va.push_back(a.next());
+        vb.push_back(b.next());
+        vc.push_back(c.next());
+    }
+    EXPECT_EQ(va, vb);
+    EXPECT_NE(va, vc);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of 10k uniforms should be close to 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsDiffer)
+{
+    Rng parent(42);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    bool differ = false;
+    for (int i = 0; i < 50; ++i)
+        if (child1.next() != child2.next())
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng p1(42), p2(42);
+    Rng c1 = p1.split();
+    Rng c2 = p2.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+} // namespace
+} // namespace ruby

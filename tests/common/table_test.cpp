@@ -1,0 +1,69 @@
+#include "ruby/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"layer", "edp"});
+    t.setTitle("demo");
+    t.addRow({"conv1", "1.25"});
+    t.addRow({"fc", "0.5"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("layer"), std::string::npos);
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    EXPECT_NE(s.find("0.5"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(Format, Ratio)
+{
+    EXPECT_EQ(formatRatio(0.861, 2), "0.86x");
+}
+
+TEST(Format, Compact)
+{
+    EXPECT_EQ(formatCompact(0.0), "0");
+    EXPECT_NE(formatCompact(1.5e9).find("e"), std::string::npos);
+    EXPECT_EQ(formatCompact(12.0), "12");
+}
+
+} // namespace
+} // namespace ruby

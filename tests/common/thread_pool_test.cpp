@@ -1,0 +1,60 @@
+#include "ruby/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, SizeReflectsWorkers)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroThreads)
+{
+    EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ThreadPool, DestructionJoinsCleanly)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { count.fetch_add(1); });
+        pool.waitIdle();
+    }
+    EXPECT_EQ(count.load(), 10);
+}
+
+} // namespace
+} // namespace ruby

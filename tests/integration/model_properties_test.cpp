@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Parameterized property tests of the cost model and mapspaces:
+ * invariants that must hold for any workload/architecture pair, far
+ * beyond the single hand-computed cases of the unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/math_util.hpp"
+#include "ruby/mapping/nest.hpp"
+#include "ruby/search/exhaustive_search.hpp"
+#include "ruby/workload/gemm.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+/** (dimension size, PE count) grid for the 1-D invariants. */
+class OneDimSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(OneDimSweep, RubySNeverLosesToPfmExhaustively)
+{
+    const auto [d, pes] = GetParam();
+    const Problem prob = makeVector1D(d);
+    const ArchSpec arch = makeToyLinear(pes);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    const ExhaustiveResult pfm = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval);
+    const ExhaustiveResult rubys = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval);
+    ASSERT_TRUE(pfm.best && rubys.best) << "d=" << d << " pes=" << pes;
+    // Superset: the optimum can only improve.
+    EXPECT_LE(rubys.bestResult.edp,
+              pfm.bestResult.edp * (1 + 1e-12));
+    // Perfect divisibility: both spaces contain the same optimum
+    // shape, so cycles match.
+    if (d % pes == 0) {
+        EXPECT_DOUBLE_EQ(rubys.bestResult.cycles,
+                         pfm.bestResult.cycles);
+    }
+}
+
+TEST_P(OneDimSweep, BestRubySCyclesMatchCeilFormula)
+{
+    const auto [d, pes] = GetParam();
+    const Problem prob = makeVector1D(d);
+    const ArchSpec arch = makeToyLinear(pes);
+    const MappingConstraints cons(prob, arch);
+    // Optimize delay: the best possible is ceil(d / pes) serial
+    // passes (modulo bandwidth, which the toy presets out-provision).
+    Evaluator eval(prob, arch);
+    const ExhaustiveResult rubys = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval,
+        ExhaustiveOptions{Objective::Delay, false, 1'000'000});
+    ASSERT_TRUE(rubys.best.has_value());
+    EXPECT_DOUBLE_EQ(rubys.bestResult.latency.computeCycles,
+                     static_cast<double>(ceilDiv(d, pes)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OneDimSweep,
+    ::testing::Combine(::testing::Values(17, 96, 100, 113, 127, 128,
+                                         224, 341),
+                       ::testing::Values(5, 9, 12, 16)));
+
+TEST(ModelProperties, EnergyAndEdpScaleWithWork)
+{
+    // Doubling the problem at a fixed mapping shape must not reduce
+    // any metric.
+    const ArchSpec arch = makeToyLinear(8);
+    for (std::uint64_t d : {64ull, 200ull, 1000ull}) {
+        const Problem small = makeVector1D(d);
+        const Problem big = makeVector1D(2 * d);
+        const Evaluator eval_s(small, arch);
+        const Evaluator eval_b(big, arch);
+        const Mapping m_s = test::makeMapping(
+            small, arch, {{1, 1, 8, ceilDiv(d, 8)}});
+        const Mapping m_b = test::makeMapping(
+            big, arch, {{1, 1, 8, ceilDiv(2 * d, 8)}});
+        const EvalResult s = eval_s.evaluate(m_s);
+        const EvalResult b = eval_b.evaluate(m_b);
+        ASSERT_TRUE(s.valid && b.valid);
+        EXPECT_GT(b.energy, s.energy);
+        EXPECT_GT(b.cycles, s.cycles);
+        EXPECT_GT(b.edp, s.edp);
+    }
+}
+
+TEST(ModelProperties, IrrelevantLoopHoistingNeverRaisesTraffic)
+{
+    // For a GEMM where K is reduced, moving K innermost at the GLB
+    // (so partial sums settle in the latch) can only reduce output
+    // traffic at the GLB.
+    const Problem prob = makeGemm(6, 8, 10);
+    const ArchSpec arch = makeToyGlb(1);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 1, 6, 1, 1}, {1, 1, 1, 8, 1, 1}, {1, 1, 1, 10, 1, 1}};
+    auto keep = test::keepAll(prob, arch);
+    const Evaluator eval(prob, arch);
+
+    auto glb_out_traffic = [&](std::vector<DimId> order) {
+        auto perms = test::identityPerms(prob, arch);
+        perms[1] = std::move(order);
+        const Mapping m(prob, arch, steady, perms, keep);
+        const EvalResult r = eval.evaluate(m);
+        return r.accesses.reads[1][GEMM_C] +
+               r.accesses.writes[1][GEMM_C];
+    };
+    const double k_inner =
+        glb_out_traffic({GEMM_M, GEMM_N, GEMM_K});
+    const double k_middle =
+        glb_out_traffic({GEMM_M, GEMM_K, GEMM_N});
+    const double k_outer =
+        glb_out_traffic({GEMM_K, GEMM_M, GEMM_N});
+    EXPECT_LE(k_inner, k_middle);
+    EXPECT_LE(k_middle, k_outer);
+}
+
+TEST(ModelProperties, SpatialAxisAssignmentOnlyAffectsValidity)
+{
+    // The mesh axis of a factor changes where it fits, not its cost.
+    const Problem prob = makeGemm(12, 8, 4);
+    const ArchSpec arch = makeEyeriss(4, 3, 8);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 4, 3, 1, 1}, // M spatial 4
+        {1, 1, 3, 3, 1, 1}, // N spatial 3
+        {1, 1, 1, 4, 1, 1}};
+    auto perms = test::identityPerms(prob, arch);
+    auto keep = test::keepAll(prob, arch);
+    const Evaluator eval(prob, arch);
+
+    std::vector<std::vector<SpatialAxis>> good(
+        3, std::vector<SpatialAxis>(3, SpatialAxis::X));
+    good[1][GEMM_N] = SpatialAxis::Y; // 4 on X, 3 on Y: fits
+    const EvalResult fits = eval.evaluate(
+        Mapping(prob, arch, steady, perms, keep, good));
+    ASSERT_TRUE(fits.valid);
+
+    std::vector<std::vector<SpatialAxis>> bad(
+        3, std::vector<SpatialAxis>(3, SpatialAxis::X));
+    const EvalResult broken = eval.evaluate(
+        Mapping(prob, arch, steady, perms, keep, bad));
+    EXPECT_FALSE(broken.valid); // 12 on the 4-wide X axis
+
+    std::vector<std::vector<SpatialAxis>> swapped(
+        3, std::vector<SpatialAxis>(3, SpatialAxis::Y));
+    swapped[1][GEMM_N] = SpatialAxis::Y;
+    swapped[1][GEMM_M] = SpatialAxis::X;
+    const EvalResult same = eval.evaluate(
+        Mapping(prob, arch, steady, perms, keep, swapped));
+    ASSERT_TRUE(same.valid);
+    EXPECT_DOUBLE_EQ(same.edp, fits.edp);
+}
+
+TEST(ModelProperties, AccessTotalsAreExactForAllVariants)
+{
+    // DRAM reads of a fully-relevant 1-D stream equal the dimension
+    // exactly, whatever the (possibly ragged) chain.
+    const ArchSpec arch = makeToyGlb(7);
+    for (std::uint64_t d : {50ull, 97ull, 100ull, 127ull}) {
+        const Problem prob = makeVector1D(d);
+        const MappingConstraints cons(prob, arch);
+        const Evaluator eval(prob, arch);
+        Rng rng(d);
+        for (MapspaceVariant v :
+             {MapspaceVariant::PFM, MapspaceVariant::Ruby,
+              MapspaceVariant::RubyS, MapspaceVariant::RubyT}) {
+            const Mapspace space(cons, v);
+            for (int i = 0; i < 30; ++i) {
+                const Mapping m = space.sample(rng);
+                const EvalResult r = eval.evaluate(m);
+                if (!r.valid)
+                    continue;
+                EXPECT_NEAR(r.accesses.reads[2][0],
+                            static_cast<double>(d), 1e-6)
+                    << variantName(v) << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(ModelProperties, UtilizationBoundedByOne)
+{
+    const Problem prob = makeGemm(37, 53, 29);
+    const ArchSpec arch = makeToyLinear(11);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    Rng rng(1);
+    const Mapspace space(cons, MapspaceVariant::Ruby);
+    for (int i = 0; i < 500; ++i) {
+        const EvalResult r = eval.evaluate(space.sample(rng));
+        if (!r.valid)
+            continue;
+        EXPECT_GT(r.utilization, 0.0);
+        EXPECT_LE(r.utilization, 1.0 + 1e-12);
+    }
+}
+
+} // namespace
+} // namespace ruby

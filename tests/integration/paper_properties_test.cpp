@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests asserting the paper's qualitative claims as
+ * properties of the whole pipeline (workload -> mapspace -> search ->
+ * model). These are the invariants every figure bench relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/mapspace/counting.hpp"
+#include "ruby/mapspace/padding.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/search/exhaustive_search.hpp"
+#include "ruby/workload/gemm.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+SearchOptions
+quickSearch(std::uint64_t evals, std::uint64_t seed = 42)
+{
+    SearchOptions opts;
+    opts.maxEvaluations = evals;
+    opts.terminationStreak = 0;
+    opts.seed = seed;
+    return opts;
+}
+
+TEST(PaperProperties, RubyIsASupersetOfPfm)
+{
+    // Every PFM chain is a Ruby chain (eq. (5) with R == P); the
+    // exhaustive enumerations must nest accordingly.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    const ExhaustiveResult pfm = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval);
+    const ExhaustiveResult ruby = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::Ruby), eval);
+    ASSERT_TRUE(pfm.best && ruby.best);
+    EXPECT_GT(ruby.evaluated, pfm.evaluated);
+    // A superset can only improve the optimum.
+    EXPECT_LE(ruby.bestResult.edp, pfm.bestResult.edp);
+}
+
+TEST(PaperProperties, SectionIIIToyNumbers)
+{
+    // 100 elements over 6 PEs: Ruby-S utilizes all PEs for 16 passes
+    // plus a 4-wide tail (17 cycles) vs the PFM's 5x20 (20 cycles).
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    const ExhaustiveResult pfm = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval);
+    const ExhaustiveResult rubys = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval);
+    ASSERT_TRUE(pfm.best && rubys.best);
+    EXPECT_DOUBLE_EQ(pfm.bestResult.latency.computeCycles, 20.0);
+    EXPECT_DOUBLE_EQ(rubys.bestResult.latency.computeCycles, 17.0);
+}
+
+TEST(PaperProperties, PrimeDimensionIsTheWorstCaseForPfm)
+{
+    // Fig. 8: at D = 127 (prime) the PFM cannot parallelize at all;
+    // Ruby-S keeps utilization near 1.
+    const ArchSpec arch = makeToyLinear(16);
+    const Problem prob = makeVector1D(127);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    const ExhaustiveResult pfm = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval);
+    const ExhaustiveResult rubys = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval);
+    ASSERT_TRUE(pfm.best && rubys.best);
+    EXPECT_DOUBLE_EQ(pfm.bestResult.utilization, 127.0 / (127 * 16));
+    EXPECT_GT(rubys.bestResult.utilization, 0.9);
+    EXPECT_LT(rubys.bestResult.edp, 0.5 * pfm.bestResult.edp);
+}
+
+TEST(PaperProperties, PaddingRecoversPrimeButWastesElsewhere)
+{
+    // Fig. 8: padding 127 -> 128 is nearly free; padding 113 -> 128
+    // carries ~12% ineffectual work that Ruby-S avoids.
+    const ArchSpec arch = makeToyLinear(16);
+    auto bestEdp = [&](std::uint64_t d, MapspaceVariant v, bool pad) {
+        const Problem raw = makeVector1D(d);
+        const MappingConstraints pad_cons(raw, arch);
+        const Problem prob =
+            pad ? padForArray(raw, pad_cons) : raw;
+        const MappingConstraints cons(prob, arch);
+        const Evaluator eval(prob, arch);
+        const ExhaustiveResult res =
+            exhaustiveSearch(Mapspace(cons, v), eval);
+        EXPECT_TRUE(res.best.has_value());
+        return res.bestResult.edp;
+    };
+    const double ruby_127 =
+        bestEdp(127, MapspaceVariant::RubyS, false);
+    const double pad_127 = bestEdp(127, MapspaceVariant::PFM, true);
+    EXPECT_NEAR(pad_127 / ruby_127, 1.0, 0.1);
+
+    const double ruby_113 =
+        bestEdp(113, MapspaceVariant::RubyS, false);
+    const double pad_113 = bestEdp(113, MapspaceVariant::PFM, true);
+    EXPECT_GT(pad_113 / ruby_113, 1.1);
+}
+
+TEST(PaperProperties, RubySImprovesMisalignedGemmOn16Pes)
+{
+    // Fig. 7(b) flavour: 100x100x100 matmul, 16 PEs.
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+    const SearchResult pfm =
+        randomSearch(Mapspace(cons, MapspaceVariant::PFM), eval,
+                     quickSearch(4000));
+    const SearchResult rubys =
+        randomSearch(Mapspace(cons, MapspaceVariant::RubyS), eval,
+                     quickSearch(4000));
+    ASSERT_TRUE(pfm.best && rubys.best);
+    EXPECT_LT(rubys.bestResult.edp, pfm.bestResult.edp);
+}
+
+TEST(PaperProperties, EyerissLayerSearchProducesValidMappings)
+{
+    // A pointwise ResNet layer (misaligned with 14x12) end to end on
+    // the Eyeriss preset with row-stationary constraints.
+    ConvShape sh;
+    sh.name = "conv5_1x1a";
+    sh.c = 64;
+    sh.m = 256;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 1;
+    sh.s = 1;
+    const Problem prob = makeConv(sh);
+    const ArchSpec arch = makeEyeriss();
+    // Converged searches (the paper's streak rule) so the comparison
+    // reflects mapspace quality, not sampling noise.
+    SearchOptions opts;
+    opts.terminationStreak = 2000;
+    opts.maxEvaluations = 150'000;
+    opts.seed = 42;
+    const LayerOutcome pfm =
+        searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                    MapspaceVariant::PFM, opts);
+    const LayerOutcome rubys =
+        searchLayer(prob, arch, ConstraintPreset::EyerissRS,
+                    MapspaceVariant::RubyS, opts);
+    ASSERT_TRUE(pfm.found && rubys.found);
+    EXPECT_TRUE(pfm.result.valid && rubys.result.valid);
+    // Ruby-S never loses by much and typically wins. The tolerance
+    // absorbs random-search noise in the (larger) Ruby-S space —
+    // the paper reports the same effect (Fig. 12, layer 1).
+    EXPECT_LE(rubys.result.edp, pfm.result.edp * 1.25);
+}
+
+TEST(PaperProperties, NetworkAggregationWeightsByCount)
+{
+    std::vector<Layer> layers;
+    ConvShape sh;
+    sh.name = "tiny";
+    sh.c = 8;
+    sh.m = 8;
+    sh.p = 7;
+    sh.q = 7;
+    sh.r = 3;
+    sh.s = 3;
+    Layer l1{sh, 1, "g"};
+    Layer l3{sh, 3, "g"};
+    const ArchSpec arch = makeToyLinear(8);
+    const NetworkOutcome once = searchNetwork(
+        {l1}, arch, ConstraintPreset::None, MapspaceVariant::PFM,
+        quickSearch(500));
+    const NetworkOutcome thrice = searchNetwork(
+        {l3}, arch, ConstraintPreset::None, MapspaceVariant::PFM,
+        quickSearch(500));
+    ASSERT_TRUE(once.allFound && thrice.allFound);
+    EXPECT_NEAR(thrice.totalEnergy, 3.0 * once.totalEnergy, 1e-6);
+    EXPECT_NEAR(thrice.totalCycles, 3.0 * once.totalCycles, 1e-6);
+}
+
+TEST(PaperProperties, TableOneOrderingHolds)
+{
+    // Mapspace sizes: PFM < Ruby-S << Ruby-T <= Ruby (Table I).
+    const std::vector<SlotRule> pfm{{0, false}, {9, false}, {0, false}};
+    const std::vector<SlotRule> rs{{0, false}, {9, true}, {0, false}};
+    const std::vector<SlotRule> rt{{0, true}, {9, false}, {0, true}};
+    const std::vector<SlotRule> ruby{{0, true}, {9, true}, {0, true}};
+    for (std::uint64_t d : {100ull, 1000ull, 4096ull}) {
+        EXPECT_LT(countChains(d, pfm), countChains(d, rs)) << d;
+        EXPECT_LT(countChains(d, rs), countChains(d, rt)) << d;
+        EXPECT_LE(countChains(d, rt), countChains(d, ruby)) << d;
+    }
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,146 @@
+#include "ruby/io/config_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(ConfigNode, ScalarsAndTypes)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "count: 42\n"
+        "ratio: 2.5\n"
+        "flag: true\n"
+        "off: no\n"
+        "name: hello world\n"
+        "quoted: \"a: b # c\"\n");
+    EXPECT_EQ(root.at("count").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(root.at("ratio").asDouble(), 2.5);
+    EXPECT_TRUE(root.at("flag").asBool());
+    EXPECT_FALSE(root.at("off").asBool());
+    EXPECT_EQ(root.at("name").asString(), "hello world");
+    EXPECT_EQ(root.at("quoted").asString(), "a: b # c");
+}
+
+TEST(ConfigNode, NestedMaps)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "outer:\n"
+        "  inner:\n"
+        "    leaf: 7\n"
+        "  sibling: x\n");
+    EXPECT_EQ(root.at("outer").at("inner").at("leaf").asU64(), 7u);
+    EXPECT_EQ(root.at("outer").at("sibling").asString(), "x");
+    EXPECT_EQ(root.at("outer").keys(),
+              (std::vector<std::string>{"inner", "sibling"}));
+}
+
+TEST(ConfigNode, BlockSequences)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "items:\n"
+        "  - 1\n"
+        "  - 2\n"
+        "  - 3\n");
+    const ConfigNode &items = root.at("items");
+    ASSERT_TRUE(items.isSequence());
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].asU64(), 1u);
+    EXPECT_EQ(items[2].asU64(), 3u);
+}
+
+TEST(ConfigNode, SequenceOfMaps)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "levels:\n"
+        "  - name: spad\n"
+        "    capacity: 224\n"
+        "  - name: dram\n");
+    const ConfigNode &levels = root.at("levels");
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0].at("name").asString(), "spad");
+    EXPECT_EQ(levels[0].at("capacity").asU64(), 224u);
+    EXPECT_EQ(levels[1].at("name").asString(), "dram");
+    EXPECT_FALSE(levels[1].has("capacity"));
+}
+
+TEST(ConfigNode, FlowSequences)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "caps: [224, 12, 16]\n"
+        "empty: []\n");
+    const ConfigNode &caps = root.at("caps");
+    ASSERT_EQ(caps.size(), 3u);
+    EXPECT_EQ(caps[1].asU64(), 12u);
+    EXPECT_EQ(root.at("empty").size(), 0u);
+}
+
+TEST(ConfigNode, CommentsAndBlankLines)
+{
+    const ConfigNode root = ConfigNode::parse(
+        "# full-line comment\n"
+        "\n"
+        "a: 1  # trailing comment\n"
+        "\n"
+        "b: 2\n");
+    EXPECT_EQ(root.at("a").asU64(), 1u);
+    EXPECT_EQ(root.at("b").asU64(), 2u);
+}
+
+TEST(ConfigNode, GettersWithDefaults)
+{
+    const ConfigNode root = ConfigNode::parse("present: 5\n");
+    EXPECT_EQ(root.getU64("present", 9), 5u);
+    EXPECT_EQ(root.getU64("absent", 9), 9u);
+    EXPECT_DOUBLE_EQ(root.getDouble("absent", 1.5), 1.5);
+    EXPECT_TRUE(root.getBool("absent", true));
+    EXPECT_EQ(root.getString("absent", "dflt"), "dflt");
+}
+
+TEST(ConfigNode, ErrorsCarryContext)
+{
+    const ConfigNode root = ConfigNode::parse("a:\n  b: x\n");
+    try {
+        root.at("a").at("missing");
+        FAIL() << "expected throw";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("missing"),
+                  std::string::npos);
+    }
+    try {
+        root.at("a").at("b").asU64();
+        FAIL() << "expected throw";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("a/b"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigNode, RejectsMalformedInput)
+{
+    EXPECT_THROW(ConfigNode::parse("a: 1\n\tb: 2\n"), Error); // tab
+    EXPECT_THROW(ConfigNode::parse("justtext\n"), Error);
+    EXPECT_THROW(ConfigNode::parse("a: 1\na: 2\n"), Error); // dup
+    EXPECT_THROW(ConfigNode::parse("a: [1, 2\n"), Error); // open flow
+    EXPECT_THROW(ConfigNode::parse("a: 1\n    stray: 2\n"), Error);
+}
+
+TEST(ConfigNode, EmptyDocumentIsNull)
+{
+    const ConfigNode root = ConfigNode::parse("# nothing here\n");
+    EXPECT_TRUE(root.isNull());
+}
+
+TEST(ConfigNode, NullValuesForBareKeys)
+{
+    const ConfigNode root = ConfigNode::parse("a:\nb: 1\n");
+    EXPECT_TRUE(root.at("a").isNull());
+    EXPECT_EQ(root.at("b").asU64(), 1u);
+}
+
+} // namespace
+} // namespace ruby

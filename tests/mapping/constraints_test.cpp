@@ -1,0 +1,116 @@
+#include "ruby/mapping/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/gemm.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Constraints, UnconstrainedAllowsEverything)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss();
+    const MappingConstraints c(prob, arch);
+    for (int l = 0; l < arch.numLevels(); ++l)
+        for (DimId d = 0; d < prob.numDims(); ++d)
+            EXPECT_TRUE(c.spatialAllowed(l, d));
+    for (int t = 0; t < prob.numTensors(); ++t)
+        EXPECT_FALSE(c.bypassForced(1, t));
+}
+
+TEST(Constraints, EyerissPresetRestrictsSpatialDims)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss();
+    const auto c =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    // Array level: R, Q, M, C allowed; N, P, S not.
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_R));
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_Q));
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_M));
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_C));
+    EXPECT_FALSE(c.spatialAllowed(1, CONV_P));
+    EXPECT_FALSE(c.spatialAllowed(1, CONV_N));
+    EXPECT_FALSE(c.spatialAllowed(1, CONV_S));
+    // No parallelism below the PE.
+    EXPECT_FALSE(c.spatialAllowed(0, CONV_M));
+    // Weights bypass the GLB.
+    EXPECT_TRUE(c.bypassForced(1, CONV_WEIGHTS));
+    EXPECT_FALSE(c.bypassForced(1, CONV_INPUTS));
+}
+
+TEST(Constraints, SimbaPresetChannelsOnly)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeSimba();
+    const auto c = MappingConstraints::simba(prob, arch);
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_C));
+    EXPECT_TRUE(c.spatialAllowed(1, CONV_M));
+    EXPECT_FALSE(c.spatialAllowed(1, CONV_Q));
+    EXPECT_TRUE(c.spatialAllowed(0, CONV_C));
+    EXPECT_FALSE(c.spatialAllowed(0, CONV_R));
+}
+
+TEST(Constraints, GemmNamesDegradeGracefully)
+{
+    // GEMM has no C dimension named "C"... it does not have R/Q.
+    const Problem prob = makeGemm(64, 64, 64);
+    const ArchSpec arch = makeEyeriss();
+    const auto c =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    // "M" exists in GEMM; "R"/"Q"/"C" do not -> only M allowed.
+    EXPECT_TRUE(c.spatialAllowed(1, GEMM_M));
+    EXPECT_FALSE(c.spatialAllowed(1, GEMM_N));
+    EXPECT_FALSE(c.spatialAllowed(1, GEMM_K));
+}
+
+TEST(Constraints, AdmitsChecksSpatialDims)
+{
+    const Problem prob = makeVector1D(100, "v");
+    const ArchSpec arch = makeToyGlb(6);
+    MappingConstraints c(prob, arch);
+    c.allowSpatialOnly(1, {}); // nothing may go spatial
+    const Mapping spatial =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const Mapping serial =
+        test::makeMapping(prob, arch, {{1, 1, 1, 100, 1, 1}});
+    EXPECT_FALSE(c.admits(spatial));
+    EXPECT_TRUE(c.admits(serial));
+}
+
+TEST(Constraints, AdmitsChecksBypass)
+{
+    const Problem prob = makeVector1D(100, "v");
+    const ArchSpec arch = makeToyGlb(6);
+    MappingConstraints c(prob, arch);
+    c.forceBypass(1, 0);
+    auto keep = test::keepAll(prob, arch);
+    const Mapping keeps(prob, arch, {{1, 1, 5, 20, 1, 1}},
+                        test::identityPerms(prob, arch), keep);
+    EXPECT_FALSE(c.admits(keeps));
+    keep[1][0] = 0;
+    const Mapping bypasses(prob, arch, {{1, 1, 5, 20, 1, 1}},
+                           test::identityPerms(prob, arch), keep);
+    EXPECT_TRUE(c.admits(bypasses));
+}
+
+TEST(Constraints, RejectsEndpointBypass)
+{
+    const Problem prob = makeVector1D(100, "v");
+    const ArchSpec arch = makeToyGlb(6);
+    MappingConstraints c(prob, arch);
+    EXPECT_THROW(c.forceBypass(0, 0), Error);
+    EXPECT_THROW(c.forceBypass(2, 0), Error);
+    EXPECT_THROW(c.forceBypass(1, 7), Error);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,99 @@
+#include "ruby/mapping/factor_chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ruby
+{
+namespace
+{
+
+TEST(SlotLayout, IndexingHelpers)
+{
+    EXPECT_EQ(spatialSlot(0), 0);
+    EXPECT_EQ(temporalSlot(0), 1);
+    EXPECT_EQ(spatialSlot(2), 4);
+    EXPECT_EQ(temporalSlot(2), 5);
+    EXPECT_TRUE(isSpatialSlot(0));
+    EXPECT_FALSE(isSpatialSlot(1));
+    EXPECT_EQ(slotLevel(4), 2);
+    EXPECT_EQ(slotLevel(5), 2);
+}
+
+TEST(FactorChain, PerfectChain)
+{
+    // 100 = 5 * 20 * 1: the PFM mapping of the paper's Fig. 4.
+    const FactorChain chain(100, {5, 20, 1});
+    EXPECT_TRUE(chain.fullyPerfect());
+    EXPECT_EQ(chain.at(0).steady, 5u);
+    EXPECT_EQ(chain.at(0).tail, 5u);
+    EXPECT_EQ(chain.bodyCount(0), 100u);
+    EXPECT_EQ(chain.bodyCount(1), 20u);
+    EXPECT_EQ(chain.bodyCount(2), 1u);
+    EXPECT_EQ(chain.bodyCount(3), 1u);
+}
+
+TEST(FactorChain, PaperFig5ImperfectChain)
+{
+    // 100 over (6 spatial, 17 temporal, 1): tails (4, 17, 1).
+    const FactorChain chain(100, {6, 17, 1});
+    EXPECT_FALSE(chain.fullyPerfect());
+    EXPECT_EQ(chain.at(0).steady, 6u);
+    EXPECT_EQ(chain.at(0).tail, 4u);
+    EXPECT_FALSE(chain.at(0).perfect());
+    EXPECT_TRUE(chain.at(1).perfect());
+    EXPECT_EQ(chain.bodyCount(0), 100u); // covers the dim exactly
+    EXPECT_EQ(chain.bodyCount(1), 17u);  // 16 full + 1 tail pass
+}
+
+TEST(FactorChain, SteadyExtents)
+{
+    const FactorChain chain(100, {6, 17, 1});
+    EXPECT_EQ(chain.steadyExtentBelow(0), 1u);
+    EXPECT_EQ(chain.steadyExtentBelow(1), 6u);
+    EXPECT_EQ(chain.steadyExtentBelow(2), 102u);
+    EXPECT_EQ(chain.steadyExtentBelow(3), 102u);
+}
+
+TEST(FactorChain, SingleSlotAbsorbsAll)
+{
+    const FactorChain chain(13, {13});
+    EXPECT_TRUE(chain.fullyPerfect());
+    EXPECT_EQ(chain.bodyCount(0), 13u);
+}
+
+TEST(FactorChain, DimensionOfOne)
+{
+    const FactorChain chain(1, {1, 1, 1, 1});
+    EXPECT_TRUE(chain.fullyPerfect());
+    EXPECT_EQ(chain.bodyCount(0), 1u);
+    EXPECT_EQ(chain.steadyExtentBelow(4), 1u);
+}
+
+/** Property sweep: coverage and perfect-slot detection across dims. */
+class ChainSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(ChainSweep, CeilWalkChainsCoverExactly)
+{
+    const auto [dim, inner] = GetParam();
+    // Canonical walk: imperfect inner factor, absorbing outer factor.
+    const std::uint64_t outer = (dim + inner - 1) / inner;
+    const FactorChain chain(dim, {inner, outer});
+    EXPECT_EQ(chain.bodyCount(0), dim);
+    // Outer slot of a canonical walk is remainderless.
+    EXPECT_TRUE(chain.at(1).perfect());
+    // Inner slot perfect iff inner divides dim.
+    EXPECT_EQ(chain.at(0).perfect(), dim % inner == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChainSweep,
+    ::testing::Combine(::testing::Values(3, 27, 100, 113, 127, 128,
+                                         224, 1000, 4096),
+                       ::testing::Values(1, 2, 6, 9, 14, 16)));
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,95 @@
+#include "ruby/mapping/nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Nest, OmitsTrivialLoopsAndOrdersOuterToInner)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    const Nest nest(m);
+    ASSERT_EQ(nest.loops().size(), 2u);
+    // Outer: GLB temporal (slot 3); inner: GLB spatial (slot 2).
+    EXPECT_EQ(nest.loops()[0].slot, 3);
+    EXPECT_FALSE(nest.loops()[0].spatial);
+    EXPECT_EQ(nest.loops()[0].steady, 17u);
+    EXPECT_EQ(nest.loops()[1].slot, 2);
+    EXPECT_TRUE(nest.loops()[1].spatial);
+    EXPECT_EQ(nest.loops()[1].tail, 4u);
+}
+
+TEST(Nest, AvgBoundsTelescopeToDim)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    const Nest nest(m);
+    double product = 1.0;
+    for (const auto &loop : nest.loops())
+        product *= loop.avgBound;
+    EXPECT_NEAR(product, 100.0, 1e-9);
+}
+
+TEST(Nest, RegionSizeSelectsOuterPrefix)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    const Nest nest(m);
+    EXPECT_EQ(nest.regionSize(4), 0u); // nothing above GLB's tile
+    EXPECT_EQ(nest.regionSize(3), 1u); // the temporal-17 loop
+    EXPECT_EQ(nest.regionSize(2), 2u); // + the spatial-6 loop
+    EXPECT_EQ(nest.regionSize(0), 2u);
+}
+
+TEST(Nest, PermutationControlsTemporalOrder)
+{
+    const Problem prob = makeGemm(4, 6, 8);
+    const ArchSpec arch = makeToyGlb(4);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 1, 4, 1, 1}, // M temporal at GLB
+        {1, 1, 1, 6, 1, 1}, // N temporal at GLB
+        {1, 1, 1, 8, 1, 1}, // K temporal at GLB
+    };
+    auto perms = test::identityPerms(prob, arch);
+    perms[1] = {GEMM_K, GEMM_M, GEMM_N}; // K outermost at GLB
+    const Mapping m(prob, arch, steady, perms,
+                    test::keepAll(prob, arch));
+    const Nest nest(m);
+    ASSERT_EQ(nest.loops().size(), 3u);
+    EXPECT_EQ(nest.loops()[0].dim, GEMM_K);
+    EXPECT_EQ(nest.loops()[1].dim, GEMM_M);
+    EXPECT_EQ(nest.loops()[2].dim, GEMM_N);
+}
+
+TEST(Nest, MultiDimAvgBoundsAreExact)
+{
+    const Problem prob = makeGemm(10, 7, 5);
+    const ArchSpec arch = makeToyGlb(8);
+    // M: imperfect spatial 3 (10 -> ceil 4 outer), N perfect,
+    // K imperfect temporal 2 at level 0.
+    const Mapping m = test::makeMapping(prob, arch,
+                                        {{1, 1, 3, 4, 1, 1},
+                                         {1, 1, 1, 7, 1, 1},
+                                         {1, 2, 1, 3, 1, 1}});
+    const Nest nest(m);
+    double product = 1.0;
+    for (const auto &loop : nest.loops())
+        product *= loop.avgBound;
+    EXPECT_NEAR(product, 10.0 * 7.0 * 5.0, 1e-9);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,125 @@
+#include "ruby/mapspace/counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/common/math_util.hpp"
+#include "ruby/mapspace/factor_space.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+/** The Table I setting: (temporal, spatial<=9, temporal) slots. */
+std::vector<SlotRule>
+tableOneRules(bool imperfect_spatial, bool imperfect_temporal)
+{
+    return {SlotRule{0, imperfect_temporal},
+            SlotRule{9, imperfect_spatial},
+            SlotRule{0, imperfect_temporal}};
+}
+
+TEST(Counting, MatchesEnumerationAcrossVariantsAndDims)
+{
+    for (std::uint64_t d : {3ull, 12ull, 13ull, 36ull, 100ull}) {
+        for (bool sp : {false, true}) {
+            for (bool tp : {false, true}) {
+                const auto rules = tableOneRules(sp, tp);
+                const auto chains = enumerateChains(d, rules);
+                EXPECT_DOUBLE_EQ(countChains(d, rules),
+                                 static_cast<double>(chains.size()))
+                    << "d=" << d << " sp=" << sp << " tp=" << tp;
+            }
+        }
+    }
+}
+
+TEST(Counting, PerfectCountsMatchFactorizationTheory)
+{
+    // Without caps, perfect chains over k slots = ordered
+    // factorizations into k factors.
+    for (std::uint64_t d : {12ull, 97ull, 100ull, 360ull}) {
+        const std::vector<SlotRule> rules{{0, false},
+                                          {0, false},
+                                          {0, false}};
+        EXPECT_DOUBLE_EQ(countChains(d, rules),
+                         static_cast<double>(
+                             countOrderedFactorizations(d, 3)));
+    }
+}
+
+TEST(Counting, SpatialCapPrunesPerfectChains)
+{
+    // D=100, slots (t, s<=9, t): s in {1,2,4,5} (divisor <= 9 of the
+    // remaining count); enumerate and compare.
+    const auto capped = tableOneRules(false, false);
+    const std::vector<SlotRule> uncapped{{0, false},
+                                         {0, false},
+                                         {0, false}};
+    EXPECT_LT(countChains(100, capped), countChains(100, uncapped));
+}
+
+TEST(Counting, MapspaceOrderingMatchesPaperTableOne)
+{
+    // Ruby and Ruby-T explode; Ruby-S stays moderate; PFM smallest.
+    for (std::uint64_t d : {100ull, 1000ull, 4096ull}) {
+        const double pfm = countChains(d, tableOneRules(false, false));
+        const double ruby_s =
+            countChains(d, tableOneRules(true, false));
+        const double ruby_t =
+            countChains(d, tableOneRules(false, true));
+        const double ruby = countChains(d, tableOneRules(true, true));
+        EXPECT_LT(pfm, ruby_s) << d;
+        EXPECT_LT(ruby_s, ruby_t) << d;
+        EXPECT_LE(ruby_t, ruby) << d;
+    }
+}
+
+TEST(Counting, PrimeDimsCrippleOnlyPerfectSpaces)
+{
+    // For a prime D the PFM space over (t, s<=9, t) cannot
+    // parallelize at all: chains are (1,1,D), (D,1,1) and (1, ...):
+    // exactly the placements of D among uncapped slots.
+    const double pfm = countChains(127, tableOneRules(false, false));
+    EXPECT_DOUBLE_EQ(pfm, 2.0); // t0=127 or t2=127 only
+    const double ruby_s = countChains(127, tableOneRules(true, false));
+    EXPECT_GT(ruby_s, 2.0);
+}
+
+TEST(Counting, PerfectValidRespectsTileCap)
+{
+    // Tile cap at slot 1 (the spad tile = the t0 factor): with cap 8,
+    // chains whose first factor exceeds 8 are dropped.
+    const auto rules = tableOneRules(false, false);
+    const double all = countPerfectValid(100, rules, 1, 0);
+    const double capped = countPerfectValid(100, rules, 1, 8);
+    EXPECT_DOUBLE_EQ(all, countChains(100, rules));
+    EXPECT_LT(capped, all);
+
+    // Hand check: valid t0 in {1,2,4,5} (<=8); for each, s | 100/t0
+    // with s <= 9; count pairs: t0=1: s in {1,2,4,5}; t0=2: s in
+    // {1,2,5}: 50 -> {1,2,5}; t0=4: 25 -> {1,5}; t0=5: 20 -> {1,2,4,5}.
+    EXPECT_DOUBLE_EQ(capped, 4.0 + 3.0 + 2.0 + 4.0);
+}
+
+TEST(Counting, PerfectValidRejectsImperfectRules)
+{
+    EXPECT_THROW(countPerfectValid(10, tableOneRules(true, false), 1,
+                                   0),
+                 Error);
+}
+
+TEST(Counting, CountsGrowWithDim)
+{
+    double prev = 0.0;
+    for (std::uint64_t d : {16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+        const double c = countChains(d, tableOneRules(true, true));
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+} // namespace
+} // namespace ruby

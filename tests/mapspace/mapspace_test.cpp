@@ -1,0 +1,162 @@
+#include "ruby/mapspace/mapspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/rng.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/gemm.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(MapspaceVariantApi, NamesAndFlags)
+{
+    EXPECT_EQ(variantName(MapspaceVariant::PFM), "PFM");
+    EXPECT_EQ(variantName(MapspaceVariant::Ruby), "Ruby");
+    EXPECT_EQ(variantName(MapspaceVariant::RubyS), "Ruby-S");
+    EXPECT_EQ(variantName(MapspaceVariant::RubyT), "Ruby-T");
+    EXPECT_FALSE(imperfectSpatial(MapspaceVariant::PFM));
+    EXPECT_TRUE(imperfectSpatial(MapspaceVariant::Ruby));
+    EXPECT_TRUE(imperfectSpatial(MapspaceVariant::RubyS));
+    EXPECT_FALSE(imperfectSpatial(MapspaceVariant::RubyT));
+    EXPECT_TRUE(imperfectTemporal(MapspaceVariant::RubyT));
+    EXPECT_FALSE(imperfectTemporal(MapspaceVariant::RubyS));
+}
+
+/** Parameterized over all four variants. */
+class VariantSampling
+    : public ::testing::TestWithParam<MapspaceVariant>
+{
+};
+
+TEST_P(VariantSampling, SamplesAreStructurallyValid)
+{
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, GetParam());
+    Rng rng(1);
+    for (int i = 0; i < 300; ++i) {
+        const Mapping m = space.sample(rng);
+        // Chains cover every dim exactly (checked internally) and
+        // the spatial budget holds by construction.
+        for (int l = 0; l < arch.numLevels(); ++l)
+            EXPECT_LE(m.spatialUsage(l), arch.level(l).fanout());
+        EXPECT_TRUE(cons.admits(m));
+    }
+}
+
+TEST_P(VariantSampling, VariantPurityHolds)
+{
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, GetParam());
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+        const Mapping m = space.sample(rng);
+        switch (GetParam()) {
+          case MapspaceVariant::PFM:
+            EXPECT_TRUE(m.fullyPerfect());
+            break;
+          case MapspaceVariant::RubyS:
+            EXPECT_TRUE(m.spatialOnlyImperfection());
+            break;
+          case MapspaceVariant::RubyT:
+            // No spatial slot may carry a remainder.
+            for (DimId d = 0; d < prob.numDims(); ++d)
+                for (int l = 0; l < arch.numLevels(); ++l)
+                    EXPECT_TRUE(
+                        m.factor(d, spatialSlot(l)).perfect());
+            break;
+          case MapspaceVariant::Ruby:
+            break; // anything goes
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantSampling,
+                         ::testing::Values(MapspaceVariant::PFM,
+                                           MapspaceVariant::Ruby,
+                                           MapspaceVariant::RubyS,
+                                           MapspaceVariant::RubyT));
+
+TEST(Mapspace, RubySReachesImperfectSpatialFactors)
+{
+    // With 16 PEs and D = 100, Ruby-S must be able to propose a
+    // spatial factor that does not divide 100 (e.g. 16 itself).
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    Rng rng(3);
+    bool imperfect_seen = false;
+    for (int i = 0; i < 2000 && !imperfect_seen; ++i) {
+        const Mapping m = space.sample(rng);
+        imperfect_seen = !m.fullyPerfect();
+    }
+    EXPECT_TRUE(imperfect_seen);
+}
+
+TEST(Mapspace, PfmNeverUsesNonDivisorSpatial)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::PFM);
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const Mapping m = space.sample(rng);
+        const std::uint64_t s =
+            m.factor(0, spatialSlot(1)).steady;
+        EXPECT_EQ(100 % s, 0u) << "spatial factor " << s;
+    }
+}
+
+TEST(Mapspace, ConstraintsForceSerialDims)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss();
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const Mapping m = space.sample(rng);
+        EXPECT_EQ(m.factor(CONV_P, spatialSlot(1)).steady, 1u);
+        EXPECT_EQ(m.factor(CONV_N, spatialSlot(1)).steady, 1u);
+        EXPECT_FALSE(m.keeps(1, CONV_WEIGHTS)); // forced bypass
+    }
+}
+
+TEST(Mapspace, SlotCapsReflectArchitecture)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::Ruby);
+    EXPECT_EQ(space.slotCap(0, spatialSlot(0)), 1u);  // latch fanout
+    EXPECT_EQ(space.slotCap(0, spatialSlot(1)), 6u);  // PE array
+    EXPECT_EQ(space.slotCap(0, temporalSlot(1)), 0u); // unbounded
+}
+
+TEST(Mapspace, DeterministicForSeed)
+{
+    const Problem prob = makeGemm(36, 48, 60);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::Ruby);
+    Rng r1(77), r2(77);
+    for (int i = 0; i < 50; ++i) {
+        const Mapping a = space.sample(r1);
+        const Mapping b = space.sample(r2);
+        EXPECT_EQ(a.toString(), b.toString());
+    }
+}
+
+} // namespace
+} // namespace ruby

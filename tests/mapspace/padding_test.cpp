@@ -1,0 +1,97 @@
+#include "ruby/mapspace/padding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(PadDim, RoundsUpToQuantum)
+{
+    const Problem prob = makeVector1D(127);
+    const Problem padded = padDim(prob, 0, 16);
+    EXPECT_EQ(padded.dimSize(0), 128u);
+    // Already divisible: untouched (and cheap: same sizes).
+    const Problem same = padDim(padDim(prob, 0, 16), 0, 16);
+    EXPECT_EQ(same.dimSize(0), 128u);
+}
+
+TEST(PadDim, PaperFig8Examples)
+{
+    // D=127 pads by one element; D=113 pads by 15 (~12% waste).
+    EXPECT_EQ(padDim(makeVector1D(127), 0, 16).dimSize(0), 128u);
+    EXPECT_EQ(padDim(makeVector1D(113), 0, 16).dimSize(0), 128u);
+    const double waste =
+        static_cast<double>(128 - 113) / 113.0;
+    EXPECT_NEAR(waste, 0.13, 0.02);
+}
+
+TEST(PadDim, QuantumOneIsIdentity)
+{
+    const Problem prob = makeVector1D(113);
+    EXPECT_EQ(padDim(prob, 0, 1).dimSize(0), 113u);
+}
+
+TEST(PadForArray, PadsSpatialCandidatesOnly)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss(); // widest fanout 14x12 at GLB
+    const auto cons =
+        MappingConstraints::eyerissRowStationary(prob, arch);
+    const Problem padded = padForArray(prob, cons);
+    // Disallowed spatial dims must be untouched.
+    EXPECT_EQ(padded.dimSize(CONV_P), prob.dimSize(CONV_P));
+    EXPECT_EQ(padded.dimSize(CONV_N), prob.dimSize(CONV_N));
+    // The two largest allowed dims (M=96, C=48) round up to
+    // multiples of the array axes.
+    const std::uint64_t m = padded.dimSize(CONV_M);
+    const std::uint64_t c = padded.dimSize(CONV_C);
+    EXPECT_TRUE(m % 14 == 0 || m % 12 == 0);
+    EXPECT_TRUE(c % 14 == 0 || c % 12 == 0);
+    EXPECT_GE(m, 96u);
+    EXPECT_GE(c, 48u);
+    // Padding is bounded: never more than one quantum.
+    EXPECT_LT(m, 96u + 14);
+    EXPECT_LT(c, 48u + 14);
+}
+
+TEST(PadForArray, NoSpatialLevelMeansNoPadding)
+{
+    const Problem prob = makeVector1D(113);
+    const ArchSpec arch = makeToyLinear(1); // fanout 1 everywhere
+    const MappingConstraints cons(prob, arch);
+    const Problem padded = padForArray(prob, cons);
+    EXPECT_EQ(padded.dimSize(0), 113u);
+}
+
+TEST(PadForArray, LinearArrayPadsTheStreamDim)
+{
+    const Problem prob = makeVector1D(113);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Problem padded = padForArray(prob, cons);
+    EXPECT_EQ(padded.dimSize(0), 128u);
+}
+
+TEST(PadForArray, AddsIneffectualWork)
+{
+    const Problem prob = makeVector1D(113);
+    const ArchSpec arch = makeToyLinear(16);
+    const MappingConstraints cons(prob, arch);
+    const Problem padded = padForArray(prob, cons);
+    EXPECT_GT(padded.totalOperations(), prob.totalOperations());
+}
+
+TEST(PadDim, RejectsZeroQuantum)
+{
+    EXPECT_THROW(padDim(makeVector1D(10), 0, 0), Error);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,95 @@
+#include "ruby/mapspace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+struct StatsFixture
+{
+    Problem prob = makeGemm(100, 100, 100);
+    ArchSpec arch = makeToyLinear(16);
+    MappingConstraints cons{prob, arch};
+    Evaluator eval{prob, arch};
+};
+
+TEST(MapspaceStats, BasicInvariants)
+{
+    StatsFixture fx;
+    const Mapspace space(fx.cons, MapspaceVariant::RubyS);
+    StatsOptions opts;
+    opts.samples = 2000;
+    const MapspaceStats st = collectStats(space, fx.eval, opts);
+    EXPECT_EQ(st.samples, 2000u);
+    EXPECT_GT(st.valid, 0u);
+    EXPECT_LE(st.valid, st.samples);
+    EXPECT_GT(st.validityRate(), 0.0);
+    EXPECT_LE(st.validityRate(), 1.0);
+    EXPECT_LE(st.best, st.p10);
+    EXPECT_LE(st.p10, st.median);
+    EXPECT_LE(st.median, st.p90);
+    EXPECT_GT(st.goodDensity, 0.0);
+    EXPECT_LE(st.goodDensity, 1.0);
+}
+
+TEST(MapspaceStats, DeterministicPerSeed)
+{
+    StatsFixture fx;
+    const Mapspace space(fx.cons, MapspaceVariant::Ruby);
+    StatsOptions opts;
+    opts.samples = 1000;
+    opts.seed = 3;
+    const MapspaceStats a = collectStats(space, fx.eval, opts);
+    const MapspaceStats b = collectStats(space, fx.eval, opts);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_DOUBLE_EQ(a.best, b.best);
+    EXPECT_DOUBLE_EQ(a.median, b.median);
+}
+
+TEST(MapspaceStats, WiderQualityFactorRaisesDensity)
+{
+    StatsFixture fx;
+    const Mapspace space(fx.cons, MapspaceVariant::RubyS);
+    StatsOptions tight, loose;
+    tight.samples = loose.samples = 1500;
+    tight.qualityFactor = 1.2;
+    loose.qualityFactor = 10.0;
+    const MapspaceStats t = collectStats(space, fx.eval, tight);
+    const MapspaceStats l = collectStats(space, fx.eval, loose);
+    EXPECT_LE(t.goodDensity, l.goodDensity);
+}
+
+TEST(MapspaceStats, RubySReachesBetterBestOnMisalignedToy)
+{
+    StatsFixture fx;
+    StatsOptions opts;
+    opts.samples = 6000;
+    const MapspaceStats pfm = collectStats(
+        Mapspace(fx.cons, MapspaceVariant::PFM), fx.eval, opts);
+    const MapspaceStats rubys = collectStats(
+        Mapspace(fx.cons, MapspaceVariant::RubyS), fx.eval, opts);
+    ASSERT_GT(pfm.valid, 0u);
+    ASSERT_GT(rubys.valid, 0u);
+    EXPECT_LE(rubys.best, pfm.best * 1.02);
+}
+
+TEST(MapspaceStats, RejectsBadOptions)
+{
+    StatsFixture fx;
+    const Mapspace space(fx.cons, MapspaceVariant::PFM);
+    StatsOptions zero;
+    zero.samples = 0;
+    EXPECT_THROW(collectStats(space, fx.eval, zero), Error);
+    StatsOptions bad_factor;
+    bad_factor.qualityFactor = 0.5;
+    EXPECT_THROW(collectStats(space, fx.eval, bad_factor), Error);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,182 @@
+#include "ruby/model/access_counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+AccessCounts
+countFor(const Mapping &m, const ModelOptions &opts = {})
+{
+    const Nest nest(m);
+    const TileInfo tiles = analyzeTiles(m);
+    return computeAccesses(m, nest, tiles, opts);
+}
+
+TEST(AccessCounts, Vector1DHandComputed)
+{
+    // 100 elements, (1 . 20 . 5) over 5 of 6 PEs, everything kept.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const AccessCounts c = countFor(m);
+
+    // Input X: each element read once at every level on its way down.
+    EXPECT_DOUBLE_EQ(c.reads[2][0], 100.0);  // DRAM
+    EXPECT_DOUBLE_EQ(c.writes[1][0], 100.0); // into GLB
+    EXPECT_DOUBLE_EQ(c.reads[1][0], 100.0);  // GLB -> latches
+    EXPECT_DOUBLE_EQ(c.writes[0][0], 100.0); // into latches
+    EXPECT_DOUBLE_EQ(c.reads[0][0], 100.0);  // latch -> MAC
+
+    // Output Z: one RMW per MAC at the latch, drained upward once.
+    EXPECT_DOUBLE_EQ(c.writes[0][1], 100.0); // MAC results
+    EXPECT_DOUBLE_EQ(c.reads[0][1], 200.0);  // RMW reads + drains
+    EXPECT_DOUBLE_EQ(c.writes[1][1], 100.0); // arrive in GLB
+    EXPECT_DOUBLE_EQ(c.reads[1][1], 100.0);  // drain toward DRAM
+    EXPECT_DOUBLE_EQ(c.writes[2][1], 100.0); // final result in DRAM
+    EXPECT_DOUBLE_EQ(c.reads[2][1], 0.0);
+}
+
+TEST(AccessCounts, LoopOrderChangesReuse)
+{
+    // GEMM 4x6x8 on a single-PE toy; all temporal loops at the GLB.
+    const Problem prob = makeGemm(4, 6, 8);
+    const ArchSpec arch = makeToyGlb(1);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 1, 4, 1, 1},
+        {1, 1, 1, 6, 1, 1},
+        {1, 1, 1, 8, 1, 1},
+    };
+    auto keep = test::keepAll(prob, arch);
+
+    // Order (M, N, K): N sits between A-relevant loops M and K, so
+    // every N iteration refetches A tiles: 4*6*8 GLB reads of A.
+    auto perms = test::identityPerms(prob, arch);
+    perms[1] = {GEMM_M, GEMM_N, GEMM_K};
+    const Mapping worse(prob, arch, steady, perms, keep);
+    const AccessCounts c_worse = countFor(worse);
+    EXPECT_DOUBLE_EQ(c_worse.reads[1][GEMM_A], 192.0);
+
+    // Order (M, K, N): N is innermost with no A-relevant loop inside,
+    // so A enjoys reuse across N: 4*8 reads.
+    perms[1] = {GEMM_M, GEMM_K, GEMM_N};
+    const Mapping better(prob, arch, steady, perms, keep);
+    const AccessCounts c_better = countFor(better);
+    EXPECT_DOUBLE_EQ(c_better.reads[1][GEMM_A], 32.0);
+
+    // The order-insensitive ablation sees 32 for both.
+    ModelOptions no_order;
+    no_order.orderAwareReuse = false;
+    EXPECT_DOUBLE_EQ(countFor(worse, no_order).reads[1][GEMM_A], 32.0);
+}
+
+TEST(AccessCounts, MulticastSavesParentReads)
+{
+    // GEMM with K=1: spatial M over 4 PEs; B (indexed by K,N) is
+    // irrelevant to M, so the GLB multicasts one B read to 4 latches.
+    const Problem prob = makeGemm(4, 6, 1);
+    const ArchSpec arch = makeToyGlb(4);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 4, 1, 1, 1}, // M spatial at GLB
+        {1, 1, 1, 6, 1, 1}, // N temporal at GLB
+        {1, 1, 1, 1, 1, 1},
+    };
+    const Mapping m = test::makeMapping(prob, arch, steady);
+
+    const AccessCounts with_mc = countFor(m);
+    // Every latch still receives its copy.
+    EXPECT_DOUBLE_EQ(with_mc.writes[0][GEMM_B], 24.0);
+    // But the GLB reads each B element once per N iteration.
+    EXPECT_DOUBLE_EQ(with_mc.reads[1][GEMM_B], 6.0);
+
+    ModelOptions no_mc;
+    no_mc.multicast = false;
+    EXPECT_DOUBLE_EQ(countFor(m, no_mc).reads[1][GEMM_B], 24.0);
+
+    // A (indexed by M, K) differs per PE: no multicast either way.
+    EXPECT_DOUBLE_EQ(with_mc.reads[1][GEMM_A], 4.0);
+}
+
+TEST(AccessCounts, ReductionLoopOutsideOutputCausesRefills)
+{
+    // GEMM 2x3x4 on one PE; order (K, M, N) puts the reduction loop
+    // outermost: every K iteration re-traverses all 6 output tiles.
+    const Problem prob = makeGemm(2, 3, 4);
+    const ArchSpec arch = makeToyGlb(1);
+    std::vector<std::vector<std::uint64_t>> steady{
+        {1, 1, 1, 2, 1, 1},
+        {1, 1, 1, 3, 1, 1},
+        {1, 1, 1, 4, 1, 1},
+    };
+    auto perms = test::identityPerms(prob, arch);
+    perms[1] = {GEMM_K, GEMM_M, GEMM_N};
+    const Mapping k_outer(prob, arch, steady, perms,
+                          test::keepAll(prob, arch));
+    const AccessCounts c1 = countFor(k_outer);
+    // Drains into GLB: 2*3*4 = 24 partial words; 6 are final.
+    EXPECT_DOUBLE_EQ(c1.writes[1][GEMM_C], 24.0);
+    EXPECT_DOUBLE_EQ(c1.reads[1][GEMM_C], 24.0 - 6.0 + 6.0);
+
+    // Order (M, N, K): accumulation completes in the latch; only the
+    // 6 final values cross the boundary.
+    perms[1] = {GEMM_M, GEMM_N, GEMM_K};
+    const Mapping k_inner(prob, arch, steady, perms,
+                          test::keepAll(prob, arch));
+    const AccessCounts c2 = countFor(k_inner);
+    EXPECT_DOUBLE_EQ(c2.writes[1][GEMM_C], 6.0);
+}
+
+TEST(AccessCounts, BypassRoutesTrafficToGrandparent)
+{
+    // Bypassing X at the GLB: DRAM serves latch fills directly, so
+    // DRAM reads jump from 100 (one pass) to per-delivery counts.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    auto keep = test::keepAll(prob, arch);
+    keep[1][0] = 0; // X skips the GLB
+    const Mapping m(prob, arch, {{1, 1, 5, 20, 1, 1}},
+                    test::identityPerms(prob, arch), keep);
+    const AccessCounts c = countFor(m);
+    EXPECT_DOUBLE_EQ(c.reads[1][0], 0.0);  // GLB untouched by X
+    EXPECT_DOUBLE_EQ(c.writes[1][0], 0.0);
+    EXPECT_DOUBLE_EQ(c.reads[2][0], 100.0); // DRAM feeds latches
+    EXPECT_DOUBLE_EQ(c.writes[0][0], 100.0);
+}
+
+TEST(AccessCounts, ImperfectChainsCostExactCounts)
+{
+    // 100 over (6 spatial, 17 temporal): ragged body counts, not
+    // 6*17 = 102 steady products.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    const AccessCounts c = countFor(m);
+    EXPECT_NEAR(c.reads[2][0], 100.0, 1e-9);
+    EXPECT_NEAR(c.writes[0][0], 100.0, 1e-9);
+    EXPECT_NEAR(c.reads[0][0], 100.0, 1e-9);
+}
+
+TEST(AccessCounts, TotalAtSumsTensors)
+{
+    const Problem prob = makeVector1D(10);
+    const ArchSpec arch = makeToyGlb(2);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 2, 5, 1, 1}});
+    const AccessCounts c = countFor(m);
+    double manual = 0.0;
+    for (int t = 0; t < prob.numTensors(); ++t)
+        manual += c.reads[1][static_cast<std::size_t>(t)] +
+                  c.writes[1][static_cast<std::size_t>(t)];
+    EXPECT_DOUBLE_EQ(c.totalAt(1), manual);
+}
+
+} // namespace
+} // namespace ruby

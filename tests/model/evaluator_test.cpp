@@ -1,0 +1,130 @@
+#include "ruby/model/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Evaluator, ValidMappingGetsFullMetrics)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const EvalResult res = eval.evaluate(m);
+    ASSERT_TRUE(res.valid);
+    EXPECT_EQ(res.ops, 100u);
+    EXPECT_GT(res.energy, 0.0);
+    EXPECT_GT(res.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(res.edp, res.energy * res.cycles);
+    EXPECT_GT(res.utilization, 0.0);
+    EXPECT_LE(res.utilization, 1.0);
+}
+
+TEST(Evaluator, EnergyDecomposesExactly)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const EvalResult res = eval.evaluate(m);
+    double sum = res.macEnergy + res.networkEnergy;
+    for (double e : res.levelEnergy)
+        sum += e;
+    EXPECT_NEAR(res.energy, sum, 1e-9 * res.energy);
+}
+
+TEST(Evaluator, SpatialOversubscriptionInvalid)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 10, 10, 1, 1}});
+    const EvalResult res = eval.evaluate(m);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.invalidReason.find("fanout"), std::string::npos);
+}
+
+TEST(Evaluator, CapacityViolationInvalid)
+{
+    const Problem prob = makeVector1D(4000);
+    const ArchSpec arch = makeToyGlb(6, 512);
+    const Evaluator eval(prob, arch);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 800, 1, 1}});
+    const EvalResult res = eval.evaluate(m);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.invalidReason.find("GLB"), std::string::npos);
+}
+
+TEST(Evaluator, PaperToyImperfectBeatsPerfectOnEdp)
+{
+    // The headline micro-claim of Sec. III: with 6 PEs and D = 100,
+    // the (6 tail-4, 17) Ruby-S mapping beats the best PFM (5, 20).
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const EvalResult pfm = eval.evaluate(
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}}));
+    const EvalResult ruby = eval.evaluate(
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}}));
+    ASSERT_TRUE(pfm.valid && ruby.valid);
+    EXPECT_LT(ruby.cycles, pfm.cycles);
+    EXPECT_LT(ruby.edp, pfm.edp);
+    EXPECT_GT(ruby.utilization, pfm.utilization);
+}
+
+TEST(Evaluator, ObjectiveSelectsMetric)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const EvalResult res = eval.evaluate(
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}}));
+    EXPECT_DOUBLE_EQ(res.objective(Objective::EDP), res.edp);
+    EXPECT_DOUBLE_EQ(res.objective(Objective::Energy), res.energy);
+    EXPECT_DOUBLE_EQ(res.objective(Objective::Delay), res.cycles);
+}
+
+TEST(Evaluator, SerialDramMappingHasWorseEdp)
+{
+    // Iterating from DRAM 100 times (100 . 1 . 1 of Fig. 4) wastes
+    // the PE array: the utilization/latency penalty shows in EDP.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Evaluator eval(prob, arch);
+    const EvalResult serial = eval.evaluate(
+        test::makeMapping(prob, arch, {{1, 1, 1, 1, 1, 100}}));
+    const EvalResult staged = eval.evaluate(
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}}));
+    ASSERT_TRUE(serial.valid && staged.valid);
+    EXPECT_GT(serial.cycles, staged.cycles);
+    EXPECT_GT(serial.edp, staged.edp);
+}
+
+TEST(Evaluator, ModelOptionsChangeCosts)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    ModelOptions no_mc;
+    no_mc.multicast = false;
+    const EvalResult with_mc =
+        Evaluator(prob, arch).evaluate(m);
+    const EvalResult without_mc =
+        Evaluator(prob, arch, no_mc).evaluate(m);
+    // The 1-D stream is fully relevant: multicast changes nothing.
+    EXPECT_DOUBLE_EQ(with_mc.energy, without_mc.energy);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,110 @@
+#include "ruby/model/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/mapping/nest.hpp"
+#include "ruby/model/access_counts.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+LatencyResult
+latencyFor(const Mapping &m)
+{
+    const Nest nest(m);
+    const TileInfo tiles = analyzeTiles(m);
+    const AccessCounts counts = computeAccesses(m, nest, tiles);
+    return computeLatency(m, counts);
+}
+
+TEST(SerialSteps, PaperToyExample)
+{
+    // Slots of a 3-level hierarchy collapse to a 3-slot chain here
+    // by parity: (spatial, temporal, spatial). The paper's Fig. 5
+    // mapping: spatial 6 (tail 4), temporal 17 -> 17 serial steps.
+    EXPECT_EQ(serialSteps(FactorChain(100, {6, 17, 1})), 17u);
+    // The best PFM mapping: spatial 5, temporal 20 -> 20 steps.
+    EXPECT_EQ(serialSteps(FactorChain(100, {5, 20, 1})), 20u);
+    // "This saves 3 cycles" (paper Sec. III).
+}
+
+TEST(SerialSteps, SpatialTailBoundedByFullSiblings)
+{
+    // D=10 over spatial 7: passes of 7 then 3 -> 2 serial steps.
+    EXPECT_EQ(serialSteps(FactorChain(10, {7, 2})), 2u);
+    // D=10, temporal 3 below spatial 4 (4 instances, tiles 3,3,3,1):
+    // slowest instance runs 3 steps.
+    EXPECT_EQ(serialSteps(FactorChain(10, {1, 3, 4, 1})), 3u);
+}
+
+TEST(SerialSteps, TemporalRaggednessIsExact)
+{
+    // Pure temporal chain 10 = (7 tail 3) x 2: 7 + 3 = 10 steps,
+    // not the steady 14.
+    EXPECT_EQ(serialSteps(FactorChain(10, {1, 7, 1, 2})), 10u);
+    // Perfect temporal chain: product.
+    EXPECT_EQ(serialSteps(FactorChain(12, {1, 3, 1, 4})), 12u);
+}
+
+TEST(Latency, UtilizationImprovesWithImperfectSpatial)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping pfm =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const Mapping rubys =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    const LatencyResult l_pfm = latencyFor(pfm);
+    const LatencyResult l_ruby = latencyFor(rubys);
+    EXPECT_DOUBLE_EQ(l_pfm.computeCycles, 20.0);
+    EXPECT_DOUBLE_EQ(l_ruby.computeCycles, 17.0);
+    EXPECT_GT(l_ruby.utilization, l_pfm.utilization);
+    EXPECT_NEAR(l_ruby.utilization, 100.0 / (17 * 6), 1e-9);
+}
+
+TEST(Latency, BandwidthBoundWhenStarved)
+{
+    // Choke the DRAM: 100 reads + 100 writes at 0.05 words/cycle.
+    const Problem prob = makeVector1D(100);
+    ArchSpec arch = makeToyGlb(6);
+    arch.level(2).bandwidthWordsPerCycle = 0.05;
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const LatencyResult l = latencyFor(m);
+    EXPECT_GT(l.cycles, l.computeCycles);
+    EXPECT_DOUBLE_EQ(l.cycles, l.bandwidthCycles[2]);
+}
+
+TEST(Latency, UnboundedBandwidthIsComputeBound)
+{
+    const Problem prob = makeVector1D(100);
+    ArchSpec arch = makeToyGlb(6);
+    for (int l = 0; l < arch.numLevels(); ++l)
+        arch.level(l).bandwidthWordsPerCycle = 0.0;
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const LatencyResult res = latencyFor(m);
+    EXPECT_DOUBLE_EQ(res.cycles, res.computeCycles);
+}
+
+TEST(Latency, MultiDimSerialStepsMultiply)
+{
+    // 8x6 GEMM-ish grid, M spatial 4, N temporal 6, M outer 2.
+    const Problem prob("p2", {"A", "B"}, {8, 6},
+                       {TensorSpec{"X", {TensorAxis{{{0, 1}}}}, false},
+                        TensorSpec{"Z",
+                                   {TensorAxis{{{0, 1}}},
+                                    TensorAxis{{{1, 1}}}},
+                                   true}});
+    const ArchSpec arch = makeToyGlb(4);
+    const Mapping m = test::makeMapping(
+        prob, arch, {{1, 1, 4, 2, 1, 1}, {1, 1, 1, 6, 1, 1}});
+    EXPECT_DOUBLE_EQ(latencyFor(m).computeCycles, 2.0 * 6.0);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,140 @@
+#include "ruby/model/tile_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "ruby/arch/presets.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(TileAnalysis, PaperFig4GlbHoldsEverything)
+{
+    // "the GLB must contain all 100 elements" for the (1 . 20 . 5)
+    // mapping: the GLB tile is the footprint below DRAM's temporals.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 20, 1, 1}});
+    const TileInfo tiles = analyzeTiles(m);
+    EXPECT_EQ(tiles.tileWords[0][0], 1u);   // latch: one element
+    EXPECT_EQ(tiles.tileWords[1][0], 100u); // GLB: all 100
+    EXPECT_EQ(tiles.tileWords[2][0], 100u); // DRAM: the tensor
+}
+
+TEST(TileAnalysis, SmallerGlbTileWhenDramIterates)
+{
+    // (5 . 4 . 5): DRAM streams 4 tiles of 25 into the GLB.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 5, 1, 4}});
+    const TileInfo tiles = analyzeTiles(m);
+    EXPECT_EQ(tiles.tileWords[1][0], 25u);
+}
+
+TEST(TileAnalysis, ConvInputTileHasHalo)
+{
+    ConvShape sh;
+    sh.name = "t";
+    sh.c = 4;
+    sh.m = 8;
+    sh.p = 16;
+    sh.q = 16;
+    sh.r = 3;
+    sh.s = 3;
+    const Problem prob = makeConv(sh);
+    const ArchSpec arch = makeEyeriss(4, 4);
+    // Tile 4x4 of outputs per PE pass: chain P: temporal 4 at spad;
+    // Q: temporal 4 at spad; rest absorbed at DRAM.
+    std::vector<std::vector<std::uint64_t>> steady(
+        7, std::vector<std::uint64_t>(6, 1));
+    steady[CONV_P][temporalSlot(0)] = 4;
+    steady[CONV_P][temporalSlot(2)] = 4;
+    steady[CONV_Q][temporalSlot(0)] = 4;
+    steady[CONV_Q][temporalSlot(2)] = 4;
+    steady[CONV_R][temporalSlot(0)] = 3;
+    steady[CONV_S][temporalSlot(0)] = 3;
+    steady[CONV_C][temporalSlot(2)] = 4;
+    steady[CONV_M][temporalSlot(2)] = 8;
+    const Mapping m = test::makeMapping(prob, arch, steady);
+    const TileInfo tiles = analyzeTiles(m);
+    // Input tile at spad: window (4-1+3) x (4-1+3) = 36 words.
+    EXPECT_EQ(tiles.tileWords[0][CONV_INPUTS], 36u);
+    // Weight tile at spad: 3x3 over 1 channel, 1 filter.
+    EXPECT_EQ(tiles.tileWords[0][CONV_WEIGHTS], 9u);
+    // Output tile at spad: 4x4.
+    EXPECT_EQ(tiles.tileWords[0][CONV_OUTPUTS], 16u);
+}
+
+TEST(CheckCapacity, SharedPoolViolationDetected)
+{
+    const Problem prob = makeVector1D(2000);
+    const ArchSpec arch = makeToyGlb(6, 512);
+    // Everything lives in the GLB at once: 2000 in + 2000 out > 512.
+    const Mapping m =
+        test::makeMapping(prob, arch, {{1, 1, 5, 400, 1, 1}});
+    const TileInfo tiles = analyzeTiles(m);
+    const std::string reason = checkCapacity(m, tiles);
+    EXPECT_NE(reason.find("GLB"), std::string::npos);
+
+    // Streaming from DRAM keeps the GLB tile small: valid.
+    const Mapping ok =
+        test::makeMapping(prob, arch, {{1, 1, 5, 10, 1, 40}});
+    EXPECT_EQ(checkCapacity(ok, analyzeTiles(ok)), "");
+}
+
+TEST(CheckCapacity, PerTensorPartitionViolation)
+{
+    const Problem prob = makeConv(alexnetLayer2());
+    const ArchSpec arch = makeEyeriss();
+    // Weight tile of 5x5x48x96 per PE wildly exceeds 224 words.
+    std::vector<std::vector<std::uint64_t>> steady(
+        7, std::vector<std::uint64_t>(6, 1));
+    steady[CONV_C][temporalSlot(0)] = 48;
+    steady[CONV_M][temporalSlot(0)] = 96;
+    steady[CONV_R][temporalSlot(0)] = 5;
+    steady[CONV_S][temporalSlot(0)] = 5;
+    steady[CONV_P][temporalSlot(2)] = 27;
+    steady[CONV_Q][temporalSlot(2)] = 27;
+    const Mapping m = test::makeMapping(prob, arch, steady);
+    const std::string reason = checkCapacity(m, analyzeTiles(m));
+    EXPECT_NE(reason.find("Weights"), std::string::npos);
+    EXPECT_NE(reason.find("PEspad"), std::string::npos);
+}
+
+TEST(CheckSpatialFit, DetectsOversubscription)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6);
+    const Mapping over =
+        test::makeMapping(prob, arch, {{1, 1, 7, 15, 1, 1}});
+    EXPECT_NE(checkSpatialFit(over).find("fanout"),
+              std::string::npos);
+    const Mapping fits =
+        test::makeMapping(prob, arch, {{1, 1, 6, 17, 1, 1}});
+    EXPECT_EQ(checkSpatialFit(fits), "");
+}
+
+TEST(TileAnalysis, BypassDoesNotAffectTileGeometry)
+{
+    // Tiles are geometric; residency only affects capacity checks.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyGlb(6, 1);
+    auto keep = test::keepAll(prob, arch);
+    keep[1][0] = 0;
+    keep[1][1] = 0;
+    const Mapping m(prob, arch, {{1, 1, 5, 20, 1, 1}},
+                    test::identityPerms(prob, arch), keep);
+    const TileInfo tiles = analyzeTiles(m);
+    EXPECT_EQ(tiles.tileWords[1][0], 100u);
+    // With both tensors bypassing the 1-word GLB, capacity passes.
+    EXPECT_EQ(checkCapacity(m, tiles), "");
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,113 @@
+#include "ruby/search/exhaustive_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/mapspace/counting.hpp"
+#include "ruby/search/random_search.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(ExhaustiveSearch, EnumeratesWholeToySpace)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::PFM);
+    const Evaluator eval(prob, arch);
+    const ExhaustiveResult res = exhaustiveSearch(space, eval);
+    EXPECT_FALSE(res.truncated);
+    ASSERT_TRUE(res.best.has_value());
+
+    // Evaluated count equals the counted chain space (1-D problem,
+    // identity permutation, keep-all).
+    double expected = 1.0;
+    for (DimId d = 0; d < prob.numDims(); ++d)
+        expected *= countChains(prob.dimSize(d), chainRules(space, d));
+    EXPECT_DOUBLE_EQ(static_cast<double>(res.evaluated), expected);
+}
+
+TEST(ExhaustiveSearch, BeatsOrTiesRandomOnSameSpace)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    const ExhaustiveResult ex = exhaustiveSearch(space, eval);
+    ASSERT_TRUE(ex.best.has_value());
+
+    SearchOptions opts;
+    opts.maxEvaluations = 3000;
+    opts.terminationStreak = 0;
+    const SearchResult rs = randomSearch(space, eval, opts);
+    ASSERT_TRUE(rs.best.has_value());
+    EXPECT_LE(ex.bestResult.edp, rs.bestResult.edp * (1 + 1e-12));
+}
+
+TEST(ExhaustiveSearch, ImperfectSpaceContainsBetterMapping)
+{
+    // 100 elements on 9 PEs: the best PFM spatial factor is 5 (the
+    // largest divisor <= 9) while Ruby-S can use all 9.
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Evaluator eval(prob, arch);
+
+    const ExhaustiveResult pfm = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::PFM), eval);
+    const ExhaustiveResult rubys = exhaustiveSearch(
+        Mapspace(cons, MapspaceVariant::RubyS), eval);
+    ASSERT_TRUE(pfm.best && rubys.best);
+    EXPECT_LT(rubys.bestResult.edp, pfm.bestResult.edp);
+    EXPECT_GT(rubys.bestResult.utilization,
+              pfm.bestResult.utilization);
+}
+
+TEST(ExhaustiveSearch, TruncationCapRespected)
+{
+    const Problem prob = makeVector1D(1000);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::Ruby);
+    const Evaluator eval(prob, arch);
+    ExhaustiveOptions opts;
+    opts.maxEvaluations = 100;
+    const ExhaustiveResult res = exhaustiveSearch(space, eval, opts);
+    EXPECT_TRUE(res.truncated);
+    EXPECT_EQ(res.evaluated, 100u);
+}
+
+TEST(ExhaustiveSearch, PermutationEnumerationImprovesOrTies)
+{
+    const Problem prob("p2", {"A", "B"}, {12, 18},
+                       {TensorSpec{"X", {TensorAxis{{{0, 1}}}}, false},
+                        TensorSpec{"Y", {TensorAxis{{{1, 1}}}}, false},
+                        TensorSpec{"Z",
+                                   {TensorAxis{{{0, 1}}},
+                                    TensorAxis{{{1, 1}}}},
+                                   true}});
+    const ArchSpec arch = makeToyLinear(4);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::PFM);
+    const Evaluator eval(prob, arch);
+
+    ExhaustiveOptions identity_only;
+    const ExhaustiveResult base =
+        exhaustiveSearch(space, eval, identity_only);
+    ExhaustiveOptions with_perms;
+    with_perms.permutations = true;
+    const ExhaustiveResult perms =
+        exhaustiveSearch(space, eval, with_perms);
+    ASSERT_TRUE(base.best && perms.best);
+    EXPECT_LE(perms.bestResult.edp, base.bestResult.edp);
+    EXPECT_GT(perms.evaluated, base.evaluated);
+}
+
+} // namespace
+} // namespace ruby

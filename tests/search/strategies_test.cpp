@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/search/genetic_search.hpp"
+#include "ruby/search/local_search.hpp"
+#include "ruby/search/random_search.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+struct StrategyFixture
+{
+    Problem prob = makeGemm(100, 100, 100);
+    ArchSpec arch = makeToyLinear(16);
+    MappingConstraints cons{prob, arch};
+    Mapspace space{cons, MapspaceVariant::RubyS};
+    Evaluator eval{prob, arch};
+};
+
+TEST(LocalSearch, FindsValidMapping)
+{
+    StrategyFixture fx;
+    LocalSearchOptions opts;
+    opts.maxEvaluations = 4000;
+    opts.seed = 3;
+    const SearchResult res = localSearch(fx.space, fx.eval, opts);
+    ASSERT_TRUE(res.best.has_value());
+    EXPECT_TRUE(res.bestResult.valid);
+    EXPECT_LE(res.evaluated, 4000u);
+    EXPECT_GT(res.valid, 0u);
+}
+
+TEST(LocalSearch, DeterministicPerSeed)
+{
+    StrategyFixture fx;
+    LocalSearchOptions opts;
+    opts.maxEvaluations = 2000;
+    opts.seed = 11;
+    const SearchResult a = localSearch(fx.space, fx.eval, opts);
+    const SearchResult b = localSearch(fx.space, fx.eval, opts);
+    ASSERT_TRUE(a.best && b.best);
+    EXPECT_DOUBLE_EQ(a.bestResult.edp, b.bestResult.edp);
+}
+
+TEST(LocalSearch, CompetitiveWithRandomAtEqualBudget)
+{
+    StrategyFixture fx;
+    const std::uint64_t budget = 5000;
+    LocalSearchOptions lopts;
+    lopts.maxEvaluations = budget;
+    lopts.seed = 4;
+    SearchOptions ropts;
+    ropts.maxEvaluations = budget;
+    ropts.terminationStreak = 0;
+    ropts.seed = 4;
+    const SearchResult local = localSearch(fx.space, fx.eval, lopts);
+    const SearchResult random =
+        randomSearch(fx.space, fx.eval, ropts);
+    ASSERT_TRUE(local.best && random.best);
+    // Hill climbing exploits structure: allow a little slack but it
+    // should be in the same league or better.
+    EXPECT_LE(local.bestResult.edp, random.bestResult.edp * 1.5);
+}
+
+TEST(GeneticSearch, FindsValidMapping)
+{
+    StrategyFixture fx;
+    GeneticOptions opts;
+    opts.populationSize = 24;
+    opts.generations = 15;
+    opts.seed = 5;
+    const SearchResult res = geneticSearch(fx.space, fx.eval, opts);
+    ASSERT_TRUE(res.best.has_value());
+    EXPECT_TRUE(res.bestResult.valid);
+    // population + (generations * (population - elites)) evaluations.
+    EXPECT_GT(res.evaluated, 24u);
+}
+
+TEST(GeneticSearch, DeterministicPerSeed)
+{
+    StrategyFixture fx;
+    GeneticOptions opts;
+    opts.populationSize = 16;
+    opts.generations = 10;
+    opts.seed = 21;
+    const SearchResult a = geneticSearch(fx.space, fx.eval, opts);
+    const SearchResult b = geneticSearch(fx.space, fx.eval, opts);
+    ASSERT_TRUE(a.best && b.best);
+    EXPECT_DOUBLE_EQ(a.bestResult.edp, b.bestResult.edp);
+}
+
+TEST(GeneticSearch, MoreGenerationsNeverHurt)
+{
+    StrategyFixture fx;
+    GeneticOptions small, large;
+    small.populationSize = large.populationSize = 20;
+    small.generations = 3;
+    large.generations = 30;
+    small.seed = large.seed = 31;
+    const SearchResult s = geneticSearch(fx.space, fx.eval, small);
+    const SearchResult l = geneticSearch(fx.space, fx.eval, large);
+    ASSERT_TRUE(s.best && l.best);
+    // Same seed stream prefix + elitism: the longer run can only
+    // match or improve.
+    EXPECT_LE(l.bestResult.edp, s.bestResult.edp * (1 + 1e-12));
+}
+
+TEST(GeneticSearch, RejectsDegenerateConfigs)
+{
+    StrategyFixture fx;
+    GeneticOptions opts;
+    opts.populationSize = 1;
+    EXPECT_THROW(geneticSearch(fx.space, fx.eval, opts), Error);
+}
+
+TEST(Strategies, RubySStillBeatsPfmUnderEveryStrategy)
+{
+    // The paper's orthogonality claim: the mapspace advantage
+    // survives a change of search strategy.
+    StrategyFixture fx;
+    const Mapspace pfm(fx.cons, MapspaceVariant::PFM);
+
+    LocalSearchOptions lopts;
+    lopts.maxEvaluations = 6000;
+    lopts.seed = 8;
+    const double local_pfm =
+        localSearch(pfm, fx.eval, lopts).bestResult.edp;
+    const double local_ruby =
+        localSearch(fx.space, fx.eval, lopts).bestResult.edp;
+    EXPECT_LE(local_ruby, local_pfm * 1.02);
+
+    GeneticOptions gopts;
+    gopts.populationSize = 32;
+    gopts.generations = 25;
+    gopts.seed = 8;
+    const double gen_pfm =
+        geneticSearch(pfm, fx.eval, gopts).bestResult.edp;
+    const double gen_ruby =
+        geneticSearch(fx.space, fx.eval, gopts).bestResult.edp;
+    EXPECT_LE(gen_ruby, gen_pfm * 1.02);
+}
+
+} // namespace
+} // namespace ruby

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compact constructors for
+ * mappings with identity permutations and keep-all residency.
+ */
+
+#ifndef RUBY_TESTS_TEST_UTIL_HPP
+#define RUBY_TESTS_TEST_UTIL_HPP
+
+#include <numeric>
+#include <vector>
+
+#include "ruby/arch/arch_spec.hpp"
+#include "ruby/mapping/mapping.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby::test
+{
+
+/** Identity permutations for every level. */
+inline std::vector<std::vector<DimId>>
+identityPerms(const Problem &prob, const ArchSpec &arch)
+{
+    std::vector<DimId> identity(
+        static_cast<std::size_t>(prob.numDims()));
+    std::iota(identity.begin(), identity.end(), 0);
+    return std::vector<std::vector<DimId>>(
+        static_cast<std::size_t>(arch.numLevels()), identity);
+}
+
+/** Keep-all residency flags. */
+inline std::vector<std::vector<char>>
+keepAll(const Problem &prob, const ArchSpec &arch)
+{
+    return std::vector<std::vector<char>>(
+        static_cast<std::size_t>(arch.numLevels()),
+        std::vector<char>(static_cast<std::size_t>(prob.numTensors()),
+                          1));
+}
+
+/**
+ * Mapping from per-dimension steady chains with identity permutations
+ * and keep-all residency.
+ */
+inline Mapping
+makeMapping(const Problem &prob, const ArchSpec &arch,
+            std::vector<std::vector<std::uint64_t>> steady)
+{
+    return Mapping(prob, arch, steady, identityPerms(prob, arch),
+                   keepAll(prob, arch));
+}
+
+} // namespace ruby::test
+
+#endif // RUBY_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,164 @@
+#include "ruby/workload/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/common/error.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+ConvShape
+smallConv()
+{
+    ConvShape sh;
+    sh.name = "test";
+    sh.n = 2;
+    sh.c = 3;
+    sh.m = 4;
+    sh.p = 8;
+    sh.q = 8;
+    sh.r = 3;
+    sh.s = 3;
+    return sh;
+}
+
+TEST(Problem, ConvDimsAndNames)
+{
+    const Problem prob = makeConv(smallConv());
+    EXPECT_EQ(prob.numDims(), 7);
+    EXPECT_EQ(prob.numTensors(), 3);
+    EXPECT_EQ(prob.dimName(CONV_C), "C");
+    EXPECT_EQ(prob.dimSize(CONV_M), 4u);
+    EXPECT_EQ(prob.dimByName("Q"), CONV_Q);
+    EXPECT_THROW(prob.dimByName("Z"), Error);
+}
+
+TEST(Problem, ConvRelevancy)
+{
+    const Problem prob = makeConv(smallConv());
+    // Weights: M, C, R, S.
+    EXPECT_TRUE(prob.relevant(CONV_WEIGHTS, CONV_M));
+    EXPECT_TRUE(prob.relevant(CONV_WEIGHTS, CONV_R));
+    EXPECT_FALSE(prob.relevant(CONV_WEIGHTS, CONV_P));
+    EXPECT_FALSE(prob.relevant(CONV_WEIGHTS, CONV_N));
+    // Inputs: N, C, and via the window P, Q, R, S — not M.
+    EXPECT_TRUE(prob.relevant(CONV_INPUTS, CONV_P));
+    EXPECT_TRUE(prob.relevant(CONV_INPUTS, CONV_S));
+    EXPECT_FALSE(prob.relevant(CONV_INPUTS, CONV_M));
+    // Outputs: N, M, P, Q.
+    EXPECT_TRUE(prob.relevant(CONV_OUTPUTS, CONV_Q));
+    EXPECT_FALSE(prob.relevant(CONV_OUTPUTS, CONV_C));
+}
+
+TEST(Problem, ConvReductionDims)
+{
+    const Problem prob = makeConv(smallConv());
+    EXPECT_TRUE(prob.isReductionDim(CONV_C));
+    EXPECT_TRUE(prob.isReductionDim(CONV_R));
+    EXPECT_TRUE(prob.isReductionDim(CONV_S));
+    EXPECT_FALSE(prob.isReductionDim(CONV_N));
+    EXPECT_FALSE(prob.isReductionDim(CONV_M));
+    EXPECT_FALSE(prob.isReductionDim(CONV_P));
+    EXPECT_EQ(prob.outputTensor(), CONV_OUTPUTS);
+}
+
+TEST(Problem, ConvTensorSizesWithHalo)
+{
+    const Problem prob = makeConv(smallConv());
+    // Weights: M*C*R*S.
+    EXPECT_EQ(prob.tensorSize(CONV_WEIGHTS), 4u * 3 * 3 * 3);
+    // Inputs: N * C * (P-1+R) * (Q-1+S) for unit stride.
+    EXPECT_EQ(prob.tensorSize(CONV_INPUTS), 2u * 3 * 10 * 10);
+    // Outputs: N*M*P*Q.
+    EXPECT_EQ(prob.tensorSize(CONV_OUTPUTS), 2u * 4 * 8 * 8);
+}
+
+TEST(Problem, StridedConvHalo)
+{
+    ConvShape sh = smallConv();
+    sh.strideH = 2;
+    sh.strideW = 2;
+    const Problem prob = makeConv(sh);
+    // Input height = 2*(P-1) + (R-1) + 1 = 2*7 + 2 + 1 = 17.
+    EXPECT_EQ(prob.tensorSize(CONV_INPUTS), 2u * 3 * 17 * 17);
+}
+
+TEST(Problem, TileVolumeProjectsExtents)
+{
+    const Problem prob = makeConv(smallConv());
+    // A tile of 1x1x2x4x4x3x3 (N..S order).
+    std::vector<std::uint64_t> extents{1, 1, 2, 4, 4, 3, 3};
+    EXPECT_EQ(prob.tileVolume(CONV_WEIGHTS, extents), 2u * 1 * 3 * 3);
+    // Input window: (4-1+3) x (4-1+3) = 6x6 over 1 channel, 1 batch.
+    EXPECT_EQ(prob.tileVolume(CONV_INPUTS, extents), 1u * 1 * 6 * 6);
+    EXPECT_EQ(prob.tileVolume(CONV_OUTPUTS, extents), 1u * 2 * 4 * 4);
+}
+
+TEST(Problem, TotalOperations)
+{
+    const Problem prob = makeConv(smallConv());
+    EXPECT_EQ(prob.totalOperations(), 2ull * 3 * 4 * 8 * 8 * 3 * 3);
+}
+
+TEST(Problem, WithDimSizeCopies)
+{
+    const Problem prob = makeConv(smallConv());
+    const Problem padded = prob.withDimSize(CONV_M, 16);
+    EXPECT_EQ(padded.dimSize(CONV_M), 16u);
+    EXPECT_EQ(prob.dimSize(CONV_M), 4u); // original untouched
+    EXPECT_EQ(padded.numDims(), prob.numDims());
+}
+
+TEST(Problem, GemmStructure)
+{
+    const Problem prob = makeGemm(100, 100, 100);
+    EXPECT_EQ(prob.numDims(), 3);
+    EXPECT_EQ(prob.totalOperations(), 1000000u);
+    EXPECT_TRUE(prob.isReductionDim(GEMM_K));
+    EXPECT_FALSE(prob.isReductionDim(GEMM_M));
+    EXPECT_EQ(prob.tensorSize(GEMM_A), 10000u);
+    EXPECT_EQ(prob.outputTensor(), GEMM_C);
+}
+
+TEST(Problem, Vector1D)
+{
+    const Problem prob = makeVector1D(100);
+    EXPECT_EQ(prob.numDims(), 1);
+    EXPECT_EQ(prob.totalOperations(), 100u);
+    EXPECT_EQ(prob.numTensors(), 2);
+    EXPECT_TRUE(prob.relevant(0, 0));
+    EXPECT_TRUE(prob.relevant(1, 0));
+    EXPECT_FALSE(prob.isReductionDim(0));
+}
+
+TEST(Problem, RejectsInvalidSpecs)
+{
+    // No output tensor.
+    EXPECT_THROW(Problem("bad", {"I"}, {4},
+                         {TensorSpec{"X", {TensorAxis{{{0, 1}}}},
+                                     false}}),
+                 Error);
+    // Two outputs.
+    EXPECT_THROW(
+        Problem("bad", {"I"}, {4},
+                {TensorSpec{"X", {TensorAxis{{{0, 1}}}}, true},
+                 TensorSpec{"Y", {TensorAxis{{{0, 1}}}}, true}}),
+        Error);
+    // Axis referencing a missing dimension.
+    EXPECT_THROW(
+        Problem("bad", {"I"}, {4},
+                {TensorSpec{"X", {TensorAxis{{{3, 1}}}}, true}}),
+        Error);
+    // Zero-size dimension.
+    EXPECT_THROW(
+        Problem("bad", {"I"}, {0},
+                {TensorSpec{"X", {TensorAxis{{{0, 1}}}}, true}}),
+        Error);
+}
+
+} // namespace
+} // namespace ruby

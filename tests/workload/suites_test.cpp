@@ -1,0 +1,160 @@
+#include "ruby/workload/suites/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ruby/workload/conv.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+TEST(Resnet50, HasExpectedStructure)
+{
+    const auto layers = resnet50Layers();
+    EXPECT_GE(layers.size(), 20u);
+
+    // Total conv layer instances in ResNet-50: 53 convs + fc = 54.
+    int total = 0;
+    for (const auto &l : layers)
+        total += l.count;
+    EXPECT_EQ(total, 54);
+}
+
+TEST(Resnet50, Conv1Shape)
+{
+    const auto layers = resnet50Layers();
+    const auto &conv1 = layers.front();
+    EXPECT_EQ(conv1.shape.name, "conv1");
+    EXPECT_EQ(conv1.shape.c, 3u);
+    EXPECT_EQ(conv1.shape.m, 64u);
+    EXPECT_EQ(conv1.shape.p, 112u);
+    EXPECT_EQ(conv1.shape.r, 7u);
+    EXPECT_EQ(conv1.shape.strideH, 2u);
+}
+
+TEST(Resnet50, TotalMacsPlausible)
+{
+    // ResNet-50 is ~4.1 GMACs at batch 1 (224x224). Our per-stage
+    // encoding approximates strided-layer bookkeeping, so allow a
+    // modest band around the published number.
+    const auto layers = resnet50Layers();
+    double macs = 0;
+    for (const auto &l : layers)
+        macs += static_cast<double>(l.count) *
+                static_cast<double>(makeConv(l.shape).totalOperations());
+    EXPECT_GT(macs, 3.0e9);
+    EXPECT_LT(macs, 5.0e9);
+}
+
+TEST(Resnet50, AllProblemsConstruct)
+{
+    for (const auto &l : resnet50Layers()) {
+        const Problem prob = makeConv(l.shape);
+        EXPECT_GT(prob.totalOperations(), 0u);
+        EXPECT_EQ(prob.numDims(), 7);
+    }
+}
+
+TEST(Alexnet, Layer2MatchesPaperQuote)
+{
+    const ConvShape sh = alexnetLayer2();
+    EXPECT_EQ(sh.c, 48u);  // IFM 27x27x48
+    EXPECT_EQ(sh.m, 96u);  // weights 5x5x96
+    EXPECT_EQ(sh.p, 27u);
+    EXPECT_EQ(sh.q, 27u);
+    EXPECT_EQ(sh.r, 5u);
+    EXPECT_EQ(sh.s, 5u);
+}
+
+TEST(Alexnet, FullNetworkStructure)
+{
+    const auto layers = alexnetLayers();
+    ASSERT_EQ(layers.size(), 8u);
+    // The grouped conv2 per-group shape matches the paper's quote.
+    const auto &conv2 = layers[1];
+    EXPECT_EQ(conv2.shape.c, alexnetLayer2().c);
+    EXPECT_EQ(conv2.shape.m, 128u);
+    EXPECT_EQ(conv2.count, 2);
+    // Total MACs ~ 0.7-1.2 GMAC for batch-1 AlexNet.
+    double macs = 0;
+    for (const auto &l : layers)
+        macs += static_cast<double>(l.count) *
+                static_cast<double>(
+                    makeConv(l.shape).totalOperations());
+    EXPECT_GT(macs, 6.0e8);
+    EXPECT_LT(macs, 1.5e9);
+}
+
+TEST(DeepBench, CoversAllCategories)
+{
+    const auto layers = deepbenchLayers();
+    EXPECT_GE(layers.size(), 12u);
+    bool vision = false, face = false, speaker = false, speech = false,
+         gemm = false;
+    for (const auto &l : layers) {
+        vision |= l.group == "vision";
+        face |= l.group == "face";
+        speaker |= l.group == "speaker";
+        speech |= l.group == "speech";
+        gemm |= l.group == "gemm";
+    }
+    EXPECT_TRUE(vision && face && speaker && speech && gemm);
+}
+
+TEST(DeepBench, IncludesPaperQuotedDeepSpeechLayer)
+{
+    // Paper: "DeepSpeech layer 1 IFM is 341x79x32 and a filter is
+    // 5x10x32" — our speech_ds_l2 entry.
+    const auto layers = deepbenchLayers();
+    bool found = false;
+    for (const auto &l : layers) {
+        if (l.shape.name != "speech_ds_l2")
+            continue;
+        found = true;
+        EXPECT_EQ(l.shape.c, 32u);
+        EXPECT_EQ(l.shape.r, 10u);
+        EXPECT_EQ(l.shape.s, 5u);
+        const Problem prob = makeConv(l.shape);
+        // IFM height = stride*(P-1) + (R-1) + 1. The real layer
+        // floor-truncates its output, so the effective window is
+        // 340 of the 341 input rows; the width matches exactly.
+        const std::uint64_t h =
+            l.shape.strideH * (l.shape.p - 1) + (l.shape.r - 1) + 1;
+        const std::uint64_t w =
+            l.shape.strideW * (l.shape.q - 1) + (l.shape.s - 1) + 1;
+        EXPECT_GE(h, 340u);
+        EXPECT_LE(h, 341u);
+        EXPECT_EQ(w, 79u);
+        EXPECT_GT(prob.totalOperations(), 0u);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DeepBench, GemmLayersEncodeAsUnitFilters)
+{
+    for (const auto &l : deepbenchLayers()) {
+        if (l.group != "gemm")
+            continue;
+        EXPECT_EQ(l.shape.r, 1u);
+        EXPECT_EQ(l.shape.s, 1u);
+        EXPECT_EQ(l.shape.strideH, 1u);
+    }
+}
+
+TEST(DeepBench, SweepSubsetIsSubset)
+{
+    const auto all = deepbenchLayers();
+    const auto subset = deepbenchSweepSubset();
+    EXPECT_GE(subset.size(), 4u);
+    EXPECT_LT(subset.size(), all.size());
+    for (const auto &s : subset) {
+        bool present = false;
+        for (const auto &l : all)
+            present |= l.shape.name == s.shape.name;
+        EXPECT_TRUE(present) << s.shape.name;
+    }
+}
+
+} // namespace
+} // namespace ruby

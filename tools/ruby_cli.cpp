@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Command-line front end.
+ *
+ *   ruby-map map <config.yaml> [overrides]   run a mapping search
+ *   ruby-map count <dim> [options]           mapspace sizes (Table I)
+ *   ruby-map suites                          list built-in workloads
+ *
+ * `map` overrides: --mapspace pfm|ruby|ruby-s|ruby-t,
+ * --objective edp|energy|delay, --constraints <preset>, --evals N,
+ * --streak N, --seed N, --threads N, --pad, --yaml (machine-readable
+ * output instead of the human report).
+ *
+ * `count` options: --fanout N (default 9), --spad-words N (tile cap
+ * for the valid-PFM column; default 512).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ruby/ruby.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  ruby-map map <config.yaml> [--mapspace V] [--objective"
+           " O]\n"
+           "          [--constraints P] [--evals N] [--streak N]"
+           " [--seed N]\n"
+           "          [--threads N] [--pad] [--yaml]\n"
+           "  ruby-map count <dim> [--fanout N] [--spad-words N]\n"
+           "  ruby-map suites\n";
+    return 2;
+}
+
+std::uint64_t
+parseU64Arg(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        RUBY_FATAL(flag, ": '", value, "' is not an integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+int
+runMap(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::ifstream in(args[0]);
+    if (!in) {
+        std::cerr << "cannot open " << args[0] << "\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Mapper mapper = loadMapper(text.str());
+    bool yaml = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (flag == "--mapspace")
+            mapper.config().variant = parseVariant(next());
+        else if (flag == "--objective")
+            mapper.config().search.objective = parseObjective(next());
+        else if (flag == "--constraints")
+            mapper.config().preset = parsePreset(next());
+        else if (flag == "--evals")
+            mapper.config().search.maxEvaluations =
+                parseU64Arg(flag, next());
+        else if (flag == "--streak")
+            mapper.config().search.terminationStreak =
+                parseU64Arg(flag, next());
+        else if (flag == "--seed")
+            mapper.config().search.seed = parseU64Arg(flag, next());
+        else if (flag == "--threads")
+            mapper.config().search.threads = static_cast<unsigned>(
+                parseU64Arg(flag, next()));
+        else if (flag == "--pad")
+            mapper.config().pad = true;
+        else if (flag == "--yaml")
+            yaml = true;
+        else
+            RUBY_FATAL("unknown flag '", flag, "'");
+    }
+
+    const MapperResult result = mapper.run();
+    if (!result.found) {
+        std::cerr << "no valid mapping found ("
+                  << result.evaluated << " evaluated)\n";
+        return 1;
+    }
+    if (yaml) {
+        writeResultYaml(std::cout, mapper.problem(), mapper.arch(),
+                        result.eval);
+    } else {
+        std::cout << "evaluated " << result.evaluated
+                  << " mappings\nbest mapping:\n"
+                  << result.mappingText << "\n";
+        printReport(std::cout, mapper.problem(), mapper.arch(),
+                    result.eval);
+    }
+    return 0;
+}
+
+int
+runCount(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const std::uint64_t dim = parseU64Arg("dim", args[0]);
+    std::uint64_t fanout = 9;
+    std::uint64_t spad_words = 512;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (flag == "--fanout")
+            fanout = parseU64Arg(flag, next());
+        else if (flag == "--spad-words")
+            spad_words = parseU64Arg(flag, next());
+        else
+            RUBY_FATAL("unknown flag '", flag, "'");
+    }
+
+    auto rules = [&](bool sp, bool tp) {
+        return std::vector<SlotRule>{SlotRule{0, tp},
+                                     SlotRule{fanout, sp},
+                                     SlotRule{0, tp}};
+    };
+    Table table({"space", "chains"});
+    table.setTitle("mapspace sizes for D=" + std::to_string(dim) +
+                   ", fanout " + std::to_string(fanout));
+    table.addRow({"PFM (all)",
+                  formatCompact(countChains(
+                      dim, {SlotRule{0, false}, SlotRule{0, false},
+                            SlotRule{0, false}}))});
+    table.addRow({"PFM (valid)",
+                  formatCompact(countPerfectValid(
+                      dim, rules(false, false), 1, spad_words))});
+    table.addRow({"Ruby-S",
+                  formatCompact(countChains(dim, rules(true, false)))});
+    table.addRow({"Ruby-T",
+                  formatCompact(countChains(dim, rules(false, true)))});
+    table.addRow({"Ruby",
+                  formatCompact(countChains(dim, rules(true, true)))});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+runSuites()
+{
+    Table table({"suite", "layer", "group", "MACs"});
+    table.setTitle("built-in workload suites");
+    for (const Layer &layer : resnet50Layers())
+        table.addRow({"resnet50", layer.shape.name, layer.group,
+                      formatCompact(static_cast<double>(
+                          makeConv(layer.shape).totalOperations()))});
+    for (const Layer &layer : deepbenchLayers())
+        table.addRow({"deepbench", layer.shape.name, layer.group,
+                      formatCompact(static_cast<double>(
+                          makeConv(layer.shape).totalOperations()))});
+    const ConvShape alex = alexnetLayer2();
+    table.addRow({"alexnet", alex.name, "conv",
+                  formatCompact(static_cast<double>(
+                      makeConv(alex).totalOperations()))});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    const std::string command = args.front();
+    args.erase(args.begin());
+    try {
+        if (command == "map")
+            return runMap(args);
+        if (command == "count")
+            return runCount(args);
+        if (command == "suites")
+            return runSuites();
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
