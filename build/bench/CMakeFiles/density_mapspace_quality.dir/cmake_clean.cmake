@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_mapspace_quality.dir/density_mapspace_quality.cpp.o"
+  "CMakeFiles/density_mapspace_quality.dir/density_mapspace_quality.cpp.o.d"
+  "density_mapspace_quality"
+  "density_mapspace_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_mapspace_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

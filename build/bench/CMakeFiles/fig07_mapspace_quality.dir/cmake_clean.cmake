@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mapspace_quality.dir/fig07_mapspace_quality.cpp.o"
+  "CMakeFiles/fig07_mapspace_quality.dir/fig07_mapspace_quality.cpp.o.d"
+  "fig07_mapspace_quality"
+  "fig07_mapspace_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mapspace_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

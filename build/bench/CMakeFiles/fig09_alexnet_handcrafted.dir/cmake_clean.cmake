@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_alexnet_handcrafted.dir/fig09_alexnet_handcrafted.cpp.o"
+  "CMakeFiles/fig09_alexnet_handcrafted.dir/fig09_alexnet_handcrafted.cpp.o.d"
+  "fig09_alexnet_handcrafted"
+  "fig09_alexnet_handcrafted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_alexnet_handcrafted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

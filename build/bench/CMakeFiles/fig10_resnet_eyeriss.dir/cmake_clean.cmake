@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_resnet_eyeriss.dir/fig10_resnet_eyeriss.cpp.o"
+  "CMakeFiles/fig10_resnet_eyeriss.dir/fig10_resnet_eyeriss.cpp.o.d"
+  "fig10_resnet_eyeriss"
+  "fig10_resnet_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_resnet_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

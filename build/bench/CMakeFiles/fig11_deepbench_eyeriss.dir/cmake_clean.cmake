@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_deepbench_eyeriss.dir/fig11_deepbench_eyeriss.cpp.o"
+  "CMakeFiles/fig11_deepbench_eyeriss.dir/fig11_deepbench_eyeriss.cpp.o.d"
+  "fig11_deepbench_eyeriss"
+  "fig11_deepbench_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deepbench_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_resnet_simba.dir/fig12_resnet_simba.cpp.o"
+  "CMakeFiles/fig12_resnet_simba.dir/fig12_resnet_simba.cpp.o.d"
+  "fig12_resnet_simba"
+  "fig12_resnet_simba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_resnet_simba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_model_perf.dir/micro_model_perf.cpp.o"
+  "CMakeFiles/micro_model_perf.dir/micro_model_perf.cpp.o.d"
+  "micro_model_perf"
+  "micro_model_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepspeech_case_study.dir/deepspeech_case_study.cpp.o"
+  "CMakeFiles/deepspeech_case_study.dir/deepspeech_case_study.cpp.o.d"
+  "deepspeech_case_study"
+  "deepspeech_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepspeech_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

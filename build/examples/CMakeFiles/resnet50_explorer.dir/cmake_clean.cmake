@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_explorer.dir/resnet50_explorer.cpp.o"
+  "CMakeFiles/resnet50_explorer.dir/resnet50_explorer.cpp.o.d"
+  "resnet50_explorer"
+  "resnet50_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ruby/analysis/dse.cpp" "src/CMakeFiles/ruby.dir/ruby/analysis/dse.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/analysis/dse.cpp.o.d"
+  "/root/repo/src/ruby/analysis/pareto.cpp" "src/CMakeFiles/ruby.dir/ruby/analysis/pareto.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/analysis/pareto.cpp.o.d"
+  "/root/repo/src/ruby/arch/arch_spec.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/arch_spec.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/arch_spec.cpp.o.d"
+  "/root/repo/src/ruby/arch/area_model.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/area_model.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/area_model.cpp.o.d"
+  "/root/repo/src/ruby/arch/energy_model.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/energy_model.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/energy_model.cpp.o.d"
+  "/root/repo/src/ruby/arch/presets.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/presets.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/presets.cpp.o.d"
+  "/root/repo/src/ruby/common/error.cpp" "src/CMakeFiles/ruby.dir/ruby/common/error.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/error.cpp.o.d"
+  "/root/repo/src/ruby/common/math_util.cpp" "src/CMakeFiles/ruby.dir/ruby/common/math_util.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/math_util.cpp.o.d"
+  "/root/repo/src/ruby/common/rng.cpp" "src/CMakeFiles/ruby.dir/ruby/common/rng.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/rng.cpp.o.d"
+  "/root/repo/src/ruby/common/table.cpp" "src/CMakeFiles/ruby.dir/ruby/common/table.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/table.cpp.o.d"
+  "/root/repo/src/ruby/common/thread_pool.cpp" "src/CMakeFiles/ruby.dir/ruby/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/thread_pool.cpp.o.d"
+  "/root/repo/src/ruby/core/mapper.cpp" "src/CMakeFiles/ruby.dir/ruby/core/mapper.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/core/mapper.cpp.o.d"
+  "/root/repo/src/ruby/io/config_node.cpp" "src/CMakeFiles/ruby.dir/ruby/io/config_node.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/io/config_node.cpp.o.d"
+  "/root/repo/src/ruby/io/loaders.cpp" "src/CMakeFiles/ruby.dir/ruby/io/loaders.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/io/loaders.cpp.o.d"
+  "/root/repo/src/ruby/io/report.cpp" "src/CMakeFiles/ruby.dir/ruby/io/report.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/io/report.cpp.o.d"
+  "/root/repo/src/ruby/mapping/constraints.cpp" "src/CMakeFiles/ruby.dir/ruby/mapping/constraints.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapping/constraints.cpp.o.d"
+  "/root/repo/src/ruby/mapping/factor_chain.cpp" "src/CMakeFiles/ruby.dir/ruby/mapping/factor_chain.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapping/factor_chain.cpp.o.d"
+  "/root/repo/src/ruby/mapping/mapping.cpp" "src/CMakeFiles/ruby.dir/ruby/mapping/mapping.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapping/mapping.cpp.o.d"
+  "/root/repo/src/ruby/mapping/nest.cpp" "src/CMakeFiles/ruby.dir/ruby/mapping/nest.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapping/nest.cpp.o.d"
+  "/root/repo/src/ruby/mapspace/counting.cpp" "src/CMakeFiles/ruby.dir/ruby/mapspace/counting.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapspace/counting.cpp.o.d"
+  "/root/repo/src/ruby/mapspace/factor_space.cpp" "src/CMakeFiles/ruby.dir/ruby/mapspace/factor_space.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapspace/factor_space.cpp.o.d"
+  "/root/repo/src/ruby/mapspace/mapspace.cpp" "src/CMakeFiles/ruby.dir/ruby/mapspace/mapspace.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapspace/mapspace.cpp.o.d"
+  "/root/repo/src/ruby/mapspace/padding.cpp" "src/CMakeFiles/ruby.dir/ruby/mapspace/padding.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapspace/padding.cpp.o.d"
+  "/root/repo/src/ruby/mapspace/stats.cpp" "src/CMakeFiles/ruby.dir/ruby/mapspace/stats.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/mapspace/stats.cpp.o.d"
+  "/root/repo/src/ruby/model/access_counts.cpp" "src/CMakeFiles/ruby.dir/ruby/model/access_counts.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/model/access_counts.cpp.o.d"
+  "/root/repo/src/ruby/model/evaluator.cpp" "src/CMakeFiles/ruby.dir/ruby/model/evaluator.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/model/evaluator.cpp.o.d"
+  "/root/repo/src/ruby/model/latency.cpp" "src/CMakeFiles/ruby.dir/ruby/model/latency.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/model/latency.cpp.o.d"
+  "/root/repo/src/ruby/model/reference_sim.cpp" "src/CMakeFiles/ruby.dir/ruby/model/reference_sim.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/model/reference_sim.cpp.o.d"
+  "/root/repo/src/ruby/model/tile_analysis.cpp" "src/CMakeFiles/ruby.dir/ruby/model/tile_analysis.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/model/tile_analysis.cpp.o.d"
+  "/root/repo/src/ruby/search/driver.cpp" "src/CMakeFiles/ruby.dir/ruby/search/driver.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/driver.cpp.o.d"
+  "/root/repo/src/ruby/search/exhaustive_search.cpp" "src/CMakeFiles/ruby.dir/ruby/search/exhaustive_search.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/exhaustive_search.cpp.o.d"
+  "/root/repo/src/ruby/search/genetic_search.cpp" "src/CMakeFiles/ruby.dir/ruby/search/genetic_search.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/genetic_search.cpp.o.d"
+  "/root/repo/src/ruby/search/genome.cpp" "src/CMakeFiles/ruby.dir/ruby/search/genome.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/genome.cpp.o.d"
+  "/root/repo/src/ruby/search/local_search.cpp" "src/CMakeFiles/ruby.dir/ruby/search/local_search.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/local_search.cpp.o.d"
+  "/root/repo/src/ruby/search/random_search.cpp" "src/CMakeFiles/ruby.dir/ruby/search/random_search.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/search/random_search.cpp.o.d"
+  "/root/repo/src/ruby/workload/conv.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/conv.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/conv.cpp.o.d"
+  "/root/repo/src/ruby/workload/gemm.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/gemm.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/gemm.cpp.o.d"
+  "/root/repo/src/ruby/workload/problem.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/problem.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/problem.cpp.o.d"
+  "/root/repo/src/ruby/workload/suites/alexnet.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/suites/alexnet.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/suites/alexnet.cpp.o.d"
+  "/root/repo/src/ruby/workload/suites/deepbench.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/suites/deepbench.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/suites/deepbench.cpp.o.d"
+  "/root/repo/src/ruby/workload/suites/resnet50.cpp" "src/CMakeFiles/ruby.dir/ruby/workload/suites/resnet50.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/workload/suites/resnet50.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_counts_test.dir/model/access_counts_test.cpp.o"
+  "CMakeFiles/access_counts_test.dir/model/access_counts_test.cpp.o.d"
+  "access_counts_test"
+  "access_counts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_counts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_node_test.dir/io/config_node_test.cpp.o"
+  "CMakeFiles/config_node_test.dir/io/config_node_test.cpp.o.d"
+  "config_node_test"
+  "config_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_chain_test.dir/mapping/factor_chain_test.cpp.o"
+  "CMakeFiles/factor_chain_test.dir/mapping/factor_chain_test.cpp.o.d"
+  "factor_chain_test"
+  "factor_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_test.dir/search/genome_test.cpp.o"
+  "CMakeFiles/genome_test.dir/search/genome_test.cpp.o.d"
+  "genome_test"
+  "genome_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapspace_test.dir/mapspace/mapspace_test.cpp.o"
+  "CMakeFiles/mapspace_test.dir/mapspace/mapspace_test.cpp.o.d"
+  "mapspace_test"
+  "mapspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_test.dir/mapping/nest_test.cpp.o"
+  "CMakeFiles/nest_test.dir/mapping/nest_test.cpp.o.d"
+  "nest_test"
+  "nest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

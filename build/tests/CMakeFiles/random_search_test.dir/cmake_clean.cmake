@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_search_test.dir/search/random_search_test.cpp.o"
+  "CMakeFiles/random_search_test.dir/search/random_search_test.cpp.o.d"
+  "random_search_test"
+  "random_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

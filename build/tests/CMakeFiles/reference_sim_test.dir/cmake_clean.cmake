@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_sim_test.dir/model/reference_sim_test.cpp.o"
+  "CMakeFiles/reference_sim_test.dir/model/reference_sim_test.cpp.o.d"
+  "reference_sim_test"
+  "reference_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_analysis_test.dir/model/tile_analysis_test.cpp.o"
+  "CMakeFiles/tile_analysis_test.dir/model/tile_analysis_test.cpp.o.d"
+  "tile_analysis_test"
+  "tile_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruby-map.dir/ruby_cli.cpp.o"
+  "CMakeFiles/ruby-map.dir/ruby_cli.cpp.o.d"
+  "ruby-map"
+  "ruby-map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruby-map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
