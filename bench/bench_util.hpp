@@ -6,6 +6,7 @@
 #ifndef RUBY_BENCH_BENCH_UTIL_HPP
 #define RUBY_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -43,6 +44,20 @@ emit(const Table &table)
 }
 
 /**
+ * Opt-in wall-clock cap per layer search: RUBY_BENCH_BUDGET_MS=N
+ * bounds each searchLayer call to N milliseconds (0/unset = no cap).
+ * Budget-hit layers report best-so-far, so figures stay comparable.
+ */
+inline std::chrono::milliseconds
+layerBudget()
+{
+    const char *env = std::getenv("RUBY_BENCH_BUDGET_MS");
+    if (env == nullptr)
+        return std::chrono::milliseconds(0);
+    return std::chrono::milliseconds(std::strtoull(env, nullptr, 10));
+}
+
+/**
  * Search options for layer searches: converged-ish quick budgets by
  * default, the paper's 3000-streak in full mode.
  */
@@ -60,6 +75,7 @@ layerSearch(std::uint64_t seed)
         opts.restarts = 2;
     }
     opts.seed = seed;
+    opts.timeBudget = layerBudget();
     return opts;
 }
 

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ruby/arch/energy_model.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/energy_model.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/energy_model.cpp.o.d"
   "/root/repo/src/ruby/arch/presets.cpp" "src/CMakeFiles/ruby.dir/ruby/arch/presets.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/arch/presets.cpp.o.d"
   "/root/repo/src/ruby/common/error.cpp" "src/CMakeFiles/ruby.dir/ruby/common/error.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/error.cpp.o.d"
+  "/root/repo/src/ruby/common/fault_injector.cpp" "src/CMakeFiles/ruby.dir/ruby/common/fault_injector.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/fault_injector.cpp.o.d"
   "/root/repo/src/ruby/common/math_util.cpp" "src/CMakeFiles/ruby.dir/ruby/common/math_util.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/math_util.cpp.o.d"
   "/root/repo/src/ruby/common/rng.cpp" "src/CMakeFiles/ruby.dir/ruby/common/rng.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/rng.cpp.o.d"
   "/root/repo/src/ruby/common/table.cpp" "src/CMakeFiles/ruby.dir/ruby/common/table.cpp.o" "gcc" "src/CMakeFiles/ruby.dir/ruby/common/table.cpp.o.d"

@@ -146,30 +146,25 @@ src/CMakeFiles/ruby.dir/ruby/analysis/dse.cpp.o: \
  /root/repo/src/ruby/mapping/mapping.hpp \
  /root/repo/src/ruby/mapping/factor_chain.hpp \
  /root/repo/src/ruby/workload/problem.hpp \
- /root/repo/src/ruby/search/random_search.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/x86_64-linux-gnu/bits/time.h \
+ /usr/include/x86_64-linux-gnu/bits/timex.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/ruby/model/evaluator.hpp \
- /root/repo/src/ruby/model/access_counts.hpp \
- /root/repo/src/ruby/mapping/nest.hpp \
- /root/repo/src/ruby/model/tile_analysis.hpp \
- /root/repo/src/ruby/model/latency.hpp \
- /root/repo/src/ruby/workload/conv.hpp \
- /root/repo/src/ruby/common/error.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
  /usr/include/x86_64-linux-gnu/bits/sched.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_sched_param.h \
- /usr/include/x86_64-linux-gnu/bits/cpu-set.h /usr/include/time.h \
- /usr/include/x86_64-linux-gnu/bits/time.h \
- /usr/include/x86_64-linux-gnu/bits/timex.h \
- /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
- /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
+ /usr/include/x86_64-linux-gnu/bits/cpu-set.h \
  /usr/include/x86_64-linux-gnu/bits/setjmp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct___jmp_buf_tag.h \
  /usr/include/x86_64-linux-gnu/bits/pthread_stack_min-dynamic.h \
@@ -191,4 +186,11 @@ src/CMakeFiles/ruby.dir/ruby/analysis/dse.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
+ /root/repo/src/ruby/model/evaluator.hpp \
+ /root/repo/src/ruby/model/access_counts.hpp \
+ /root/repo/src/ruby/mapping/nest.hpp \
+ /root/repo/src/ruby/model/tile_analysis.hpp \
+ /root/repo/src/ruby/model/latency.hpp \
+ /root/repo/src/ruby/workload/conv.hpp \
+ /root/repo/src/ruby/common/error.hpp

@@ -206,8 +206,12 @@ src/CMakeFiles/ruby.dir/ruby/core/mapper.cpp.o: \
  /root/repo/src/ruby/mapping/mapping.hpp \
  /root/repo/src/ruby/mapping/factor_chain.hpp \
  /root/repo/src/ruby/workload/problem.hpp \
- /root/repo/src/ruby/search/random_search.hpp \
- /usr/include/c++/12/optional \
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/ruby/model/evaluator.hpp \
  /root/repo/src/ruby/model/access_counts.hpp \

@@ -166,4 +166,16 @@ src/CMakeFiles/ruby.dir/ruby/io/report.cpp.o: \
  /root/repo/src/ruby/mapping/nest.hpp \
  /root/repo/src/ruby/model/tile_analysis.hpp \
  /root/repo/src/ruby/model/latency.hpp \
+ /root/repo/src/ruby/search/driver.hpp \
+ /root/repo/src/ruby/mapspace/mapspace.hpp \
+ /root/repo/src/ruby/common/rng.hpp \
+ /root/repo/src/ruby/mapping/constraints.hpp \
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/ruby/workload/conv.hpp \
  /root/repo/src/ruby/common/table.hpp

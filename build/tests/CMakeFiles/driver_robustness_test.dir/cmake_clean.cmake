@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_robustness_test.dir/search/driver_robustness_test.cpp.o"
+  "CMakeFiles/driver_robustness_test.dir/search/driver_robustness_test.cpp.o.d"
+  "driver_robustness_test"
+  "driver_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

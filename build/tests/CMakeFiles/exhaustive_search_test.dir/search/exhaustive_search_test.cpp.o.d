@@ -310,4 +310,5 @@ tests/CMakeFiles/exhaustive_search_test.dir/search/exhaustive_search_test.cpp.o:
  /root/repo/src/ruby/arch/presets.hpp \
  /root/repo/src/ruby/mapspace/counting.hpp \
  /root/repo/src/ruby/mapspace/factor_space.hpp \
- /root/repo/src/ruby/search/random_search.hpp
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio

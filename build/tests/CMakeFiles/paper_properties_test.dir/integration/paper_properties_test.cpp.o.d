@@ -306,7 +306,8 @@ tests/CMakeFiles/paper_properties_test.dir/integration/paper_properties_test.cpp
  /root/repo/src/ruby/workload/problem.hpp \
  /root/repo/src/ruby/mapspace/padding.hpp \
  /root/repo/src/ruby/search/driver.hpp \
- /root/repo/src/ruby/search/random_search.hpp \
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/ruby/model/evaluator.hpp \
  /root/repo/src/ruby/model/access_counts.hpp \
  /root/repo/src/ruby/mapping/nest.hpp \

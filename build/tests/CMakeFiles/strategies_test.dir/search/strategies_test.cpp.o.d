@@ -297,7 +297,8 @@ tests/CMakeFiles/strategies_test.dir/search/strategies_test.cpp.o: \
  /root/repo/src/ruby/arch/arch_spec.hpp \
  /root/repo/src/ruby/common/error.hpp \
  /root/repo/src/ruby/search/genetic_search.hpp \
- /root/repo/src/ruby/search/random_search.hpp \
+ /root/repo/src/ruby/search/random_search.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/ruby/mapspace/mapspace.hpp \
  /root/repo/src/ruby/common/rng.hpp \
  /root/repo/src/ruby/mapping/constraints.hpp \

@@ -12,3 +12,11 @@ add_test(cli_map "/root/repo/build/tools/ruby-map" "map" "/root/repo/tools/confi
 set_tests_properties(cli_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_usage "/root/repo/build/tools/ruby-map")
 set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map_time_budget "/root/repo/build/tools/ruby-map" "map" "/root/repo/tools/configs/tutorial.yaml" "--evals" "0" "--streak" "0" "--time-budget" "200")
+set_tests_properties(cli_map_time_budget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map_bad_flag "/root/repo/build/tools/ruby-map" "map" "/root/repo/tools/configs/tutorial.yaml" "--no-such-flag")
+set_tests_properties(cli_map_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_net_budget "/root/repo/build/tools/ruby-map" "net" "alexnet" "--evals" "1500" "--streak" "200" "--network-budget" "4000")
+set_tests_properties(cli_net_budget PROPERTIES  PASS_REGULAR_EXPRESSION "network search summary" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_net_fault_injection "/root/repo/build/tools/ruby-map" "net" "alexnet" "--evals" "1500" "--streak" "200")
+set_tests_properties(cli_net_fault_injection PROPERTIES  ENVIRONMENT "RUBY_FAULT_RATE=0.02;RUBY_FAULT_SEED=3" PASS_REGULAR_EXPRESSION "internal-error" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cooperative cancellation and wall-clock deadlines for long-running
+ * work (thread-pool jobs, search shards). Both are polling-based: the
+ * running code checks cancelled()/expired() at convenient points; no
+ * thread is ever interrupted preemptively.
+ */
+
+#ifndef RUBY_COMMON_CANCEL_HPP
+#define RUBY_COMMON_CANCEL_HPP
+
+#include <atomic>
+#include <chrono>
+
+namespace ruby
+{
+
+/**
+ * A latch-style cancellation flag shared between a controller and any
+ * number of workers. Setting it is a request, not a command: workers
+ * observe it via cancelled() and wind down at their own pace.
+ * Thread-safe; reset() may only be called while no worker is polling.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Ask every observer to stop as soon as convenient. */
+    void requestCancel() noexcept
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    /** True once cancellation has been requested. */
+    bool cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** Re-arm the token (only when no observers are running). */
+    void reset() noexcept
+    {
+        cancelled_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * A wall-clock deadline against the steady clock. Default-constructed
+ * deadlines never expire (an unlimited budget); armed ones expire
+ * @p budget after the moment of construction via after().
+ */
+class Deadline
+{
+  public:
+    /** An unarmed deadline: never expires. */
+    Deadline() = default;
+
+    /** A deadline @p budget from now; a zero budget means unarmed. */
+    static Deadline
+    after(std::chrono::milliseconds budget)
+    {
+        Deadline d;
+        if (budget.count() > 0) {
+            d.armed_ = true;
+            d.at_ = std::chrono::steady_clock::now() + budget;
+        }
+        return d;
+    }
+
+    /** True when a finite budget was set. */
+    bool armed() const { return armed_; }
+
+    /** True once the budget has elapsed (never for unarmed). */
+    bool
+    expired() const
+    {
+        return armed_ && std::chrono::steady_clock::now() >= at_;
+    }
+
+    /**
+     * Time left before expiry, clamped at zero. Unarmed deadlines
+     * report milliseconds::max().
+     */
+    std::chrono::milliseconds
+    remaining() const
+    {
+        if (!armed_)
+            return std::chrono::milliseconds::max();
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                at_ - std::chrono::steady_clock::now());
+        return left.count() > 0 ? left : std::chrono::milliseconds(0);
+    }
+
+  private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point at_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_CANCEL_HPP

@@ -1,0 +1,75 @@
+#include "ruby/common/fault_injector.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ruby
+{
+
+namespace
+{
+
+/** splitmix64: decorrelate the call index into a uniform word. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector()
+{
+    const char *rate_env = std::getenv("RUBY_FAULT_RATE");
+    if (rate_env == nullptr)
+        return;
+    char *end = nullptr;
+    const double rate = std::strtod(rate_env, &end);
+    RUBY_CHECK(end != rate_env && *end == '\0',
+               "RUBY_FAULT_RATE: '", rate_env, "' is not a number");
+    std::uint64_t seed = 1;
+    if (const char *seed_env = std::getenv("RUBY_FAULT_SEED"))
+        seed = std::strtoull(seed_env, nullptr, 10);
+    configure(rate, seed);
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(double rate, std::uint64_t seed)
+{
+    rate_ = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+    seed_ = seed;
+    calls_.store(0, std::memory_order_relaxed);
+    injected_.store(0, std::memory_order_relaxed);
+    enabled_.store(rate_ > 0.0, std::memory_order_release);
+}
+
+void
+FaultInjector::probe(const char *site)
+{
+    // Decide per call index so a given (seed, rate) produces the same
+    // fault pattern regardless of which thread probes; the counter is
+    // shared, so cross-thread interleaving only permutes *which*
+    // thread receives each fault.
+    const std::uint64_t call =
+        calls_.fetch_add(1, std::memory_order_relaxed);
+    const double draw =
+        static_cast<double>(mix(seed_ ^ call) >> 11) * 0x1.0p-53;
+    if (draw >= rate_)
+        return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault(detail::composeMessage(
+        "injected fault at ", site, " (call ", call, ", rate ", rate_,
+        ")"));
+}
+
+} // namespace ruby

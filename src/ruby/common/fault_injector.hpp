@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic probabilistic fault injection for robustness testing.
+ *
+ * The injector sits on cold-configured hot paths (mapping evaluation
+ * in the search loops): when enabled it throws InjectedFault from a
+ * fraction of calls, letting tests and operators prove that the
+ * thread pool, the search driver and the CLI survive worker failures
+ * instead of terminating the process.
+ *
+ * Knobs (process-wide, read once on first use of global()):
+ *   RUBY_FAULT_RATE  probability in [0, 1] that a probe throws
+ *   RUBY_FAULT_SEED  stream seed (default 1); same seed + same call
+ *                    sequence => same faults
+ *
+ * Tests configure the singleton programmatically via configure().
+ */
+
+#ifndef RUBY_COMMON_FAULT_INJECTOR_HPP
+#define RUBY_COMMON_FAULT_INJECTOR_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+/**
+ * Exception thrown by injected faults. Derived from Error so generic
+ * handlers recover, but distinguishable where the failure taxonomy
+ * cares (the driver reports it as an internal error, not bad input).
+ */
+class InjectedFault : public Error
+{
+  public:
+    explicit InjectedFault(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * Process-wide fault injector. Disabled (rate 0) unless configured by
+ * environment or code. Thread-safe: probes may run concurrently from
+ * search workers.
+ */
+class FaultInjector
+{
+  public:
+    /** The singleton, env-configured on first access. */
+    static FaultInjector &global();
+
+    /** Set rate (clamped to [0, 1]) and seed; resets counters. */
+    void configure(double rate, std::uint64_t seed = 1);
+
+    /** Disable injection and reset counters. */
+    void disable() { configure(0.0); }
+
+    /** True when the rate is > 0 (cheap; poll before probing). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Probe: with the configured probability, throw InjectedFault
+     * naming @p site. No-op when disabled.
+     */
+    void
+    maybeThrow(const char *site)
+    {
+        if (enabled())
+            probe(site);
+    }
+
+    /** Faults thrown since the last configure(). */
+    std::uint64_t
+    injected() const
+    {
+        return injected_.load(std::memory_order_relaxed);
+    }
+
+    /** Probes made since the last configure(). */
+    std::uint64_t
+    probes() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    FaultInjector();
+
+    void probe(const char *site);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> calls_{0};
+    std::atomic<std::uint64_t> injected_{0};
+    std::uint64_t seed_ = 1;
+    double rate_ = 0.0;
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_FAULT_INJECTOR_HPP

@@ -5,6 +5,40 @@
 namespace ruby
 {
 
+namespace
+{
+
+/**
+ * RAII idle accounting: guarantees the active-job count drops and the
+ * idle barrier is notified even when the job throws.
+ */
+class ActiveGuard
+{
+  public:
+    ActiveGuard(std::mutex &mutex, std::condition_variable &idle,
+                const std::deque<std::function<void()>> &queue,
+                unsigned &active)
+        : mutex_(mutex), idle_(idle), queue_(queue), active_(active)
+    {
+    }
+
+    ~ActiveGuard()
+    {
+        std::unique_lock lock(mutex_);
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idle_.notify_all();
+    }
+
+  private:
+    std::mutex &mutex_;
+    std::condition_variable &idle_;
+    const std::deque<std::function<void()>> &queue_;
+    unsigned &active_;
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads)
 {
     RUBY_CHECK(num_threads >= 1, "thread pool needs >= 1 thread");
@@ -39,6 +73,15 @@ ThreadPool::waitIdle()
 {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (error_) {
+        // Hand the first failure to the caller and re-arm: with the
+        // pool drained no worker touches the token concurrently.
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        cancel_.reset();
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -56,12 +99,18 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++active_;
         }
-        job();
-        {
+        ActiveGuard guard(mutex_, idle_, queue_, active_);
+        // Once cancelled, drain: dequeue jobs without running them so
+        // waitIdle() is reached instead of executing doomed work.
+        if (cancel_.cancelled())
+            continue;
+        try {
+            job();
+        } catch (...) {
             std::unique_lock lock(mutex_);
-            --active_;
-            if (queue_.empty() && active_ == 0)
-                idle_.notify_all();
+            if (!error_)
+                error_ = std::current_exception();
+            cancel_.requestCancel();
         }
     }
 }

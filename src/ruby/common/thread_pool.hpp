@@ -2,6 +2,12 @@
  * @file
  * A minimal fixed-size thread pool used by the search driver to run
  * independent search shards (the paper's 24-thread random search).
+ *
+ * Failure model: a job that throws does not take the process down.
+ * The pool captures the first exception, requests cancellation on its
+ * CancelToken (jobs and queued work observe it and drain), and
+ * rethrows from the next waitIdle(). After waitIdle() returns or
+ * throws, the pool is idle, re-armed and fully usable again.
  */
 
 #ifndef RUBY_COMMON_THREAD_POOL_HPP
@@ -9,10 +15,13 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "ruby/common/cancel.hpp"
 
 namespace ruby
 {
@@ -30,13 +39,31 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /**
+     * Joins all workers. Queued jobs still run first (unless
+     * cancelled); a pending captured exception is discarded — call
+     * waitIdle() before destruction to observe job failures.
+     */
     ~ThreadPool();
 
     /** Enqueue a job for asynchronous execution. */
     void submit(std::function<void()> job);
 
-    /** Block until the queue is empty and all workers are idle. */
+    /**
+     * Block until the queue is empty and all workers are idle. If any
+     * job threw since the last waitIdle(), rethrows the first such
+     * exception (after the pool has fully drained) and re-arms the
+     * cancel token, leaving the pool usable.
+     */
     void waitIdle();
+
+    /**
+     * The pool's cancellation token. Long-running jobs should poll
+     * cancelled() and return early; the pool trips it when a job
+     * throws, and callers may trip it directly (e.g. on a deadline)
+     * to drain queued work without running it.
+     */
+    CancelToken &cancelToken() { return cancel_; }
 
     /** Number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
@@ -49,6 +76,8 @@ class ThreadPool
     std::condition_variable idle_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    CancelToken cancel_;
+    std::exception_ptr error_; ///< first job exception; guarded by mutex_
     unsigned active_ = 0;
     bool stopping_ = false;
 };

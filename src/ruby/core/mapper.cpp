@@ -21,6 +21,9 @@ Mapper::run() const
     res.eval = outcome.result;
     res.mappingText = outcome.bestMapping;
     res.evaluated = outcome.evaluated;
+    res.failure = outcome.failure;
+    res.diagnostic = outcome.diagnostic;
+    res.timedOut = outcome.timedOut;
     return res;
 }
 

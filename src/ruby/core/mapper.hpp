@@ -44,6 +44,13 @@ struct MapperResult
     EvalResult eval;           ///< best mapping's metrics
     std::string mappingText;   ///< rendered best mapping
     std::uint64_t evaluated = 0;
+
+    /** None iff found; otherwise why the run produced no mapping. */
+    FailureKind failure = FailureKind::None;
+    /** Human-readable failure detail (empty on success). */
+    std::string diagnostic;
+    /** True when the search's time budget expired. */
+    bool timedOut = false;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "ruby/io/loaders.hpp"
 
+#include <chrono>
+
 #include "ruby/arch/area_model.hpp"
 #include "ruby/arch/energy_model.hpp"
 #include "ruby/common/error.hpp"
@@ -11,6 +13,13 @@ namespace ruby
 
 namespace
 {
+
+/** "": no prefix; otherwise "context: " for error messages. */
+std::string
+errorPrefix(const std::string &context)
+{
+    return context.empty() ? std::string() : context + ": ";
+}
 
 StorageLevelSpec
 loadLevel(const ConfigNode &node, bool is_last)
@@ -122,7 +131,7 @@ loadProblem(const ConfigNode &root)
 }
 
 MapspaceVariant
-parseVariant(const std::string &name)
+parseVariant(const std::string &name, const std::string &context)
 {
     if (name == "pfm")
         return MapspaceVariant::PFM;
@@ -132,12 +141,12 @@ parseVariant(const std::string &name)
         return MapspaceVariant::RubyS;
     if (name == "ruby-t")
         return MapspaceVariant::RubyT;
-    RUBY_FATAL("unknown mapspace '", name,
+    RUBY_FATAL(errorPrefix(context), "unknown mapspace '", name,
                "' (expected pfm | ruby | ruby-s | ruby-t)");
 }
 
 Objective
-parseObjective(const std::string &name)
+parseObjective(const std::string &name, const std::string &context)
 {
     if (name == "edp")
         return Objective::EDP;
@@ -145,12 +154,12 @@ parseObjective(const std::string &name)
         return Objective::Energy;
     if (name == "delay")
         return Objective::Delay;
-    RUBY_FATAL("unknown objective '", name,
+    RUBY_FATAL(errorPrefix(context), "unknown objective '", name,
                "' (expected edp | energy | delay)");
 }
 
 ConstraintPreset
-parsePreset(const std::string &name)
+parsePreset(const std::string &name, const std::string &context)
 {
     if (name == "none")
         return ConstraintPreset::None;
@@ -160,8 +169,8 @@ parsePreset(const std::string &name)
         return ConstraintPreset::Simba;
     if (name == "toy-cm")
         return ConstraintPreset::ToyCM;
-    RUBY_FATAL("unknown constraint preset '", name,
-               "' (expected none | eyeriss-rs | simba | toy-cm)");
+    RUBY_FATAL(errorPrefix(context), "unknown constraint preset '",
+               name, "' (expected none | eyeriss-rs | simba | toy-cm)");
 }
 
 MapperConfig
@@ -172,21 +181,32 @@ loadMapperConfig(const ConfigNode &root)
     if (mapper == nullptr)
         return config;
     config.variant =
-        parseVariant(mapper->getString("mapspace", "ruby-s"));
+        parseVariant(mapper->getString("mapspace", "ruby-s"),
+                     mapper->path() + "/mapspace");
     config.preset =
-        parsePreset(mapper->getString("constraints", "none"));
+        parsePreset(mapper->getString("constraints", "none"),
+                    mapper->path() + "/constraints");
     config.pad = mapper->getBool("pad", false);
     config.search.objective =
-        parseObjective(mapper->getString("objective", "edp"));
+        parseObjective(mapper->getString("objective", "edp"),
+                       mapper->path() + "/objective");
     config.search.terminationStreak =
         mapper->getU64("termination_streak", 3000);
     config.search.maxEvaluations =
         mapper->getU64("max_evaluations", 0);
     config.search.seed = mapper->getU64("seed", 42);
-    config.search.threads = static_cast<unsigned>(
-        mapper->getU64("threads", 1));
-    config.search.restarts = static_cast<unsigned>(
-        mapper->getU64("restarts", 1));
+    const std::uint64_t threads = mapper->getU64("threads", 1);
+    RUBY_CHECK(threads <= 4096, mapper->path(),
+               "/threads: ", threads, " exceeds the cap of 4096");
+    config.search.threads = static_cast<unsigned>(threads);
+    const std::uint64_t restarts = mapper->getU64("restarts", 1);
+    RUBY_CHECK(restarts >= 1 && restarts <= 4096, mapper->path(),
+               "/restarts: must be in [1, 4096], got ", restarts);
+    config.search.restarts = static_cast<unsigned>(restarts);
+    config.search.timeBudget = std::chrono::milliseconds(
+        mapper->getU64("time_budget_ms", 0));
+    config.search.networkTimeBudget = std::chrono::milliseconds(
+        mapper->getU64("network_time_budget_ms", 0));
     return config;
 }
 

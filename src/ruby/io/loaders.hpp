@@ -43,8 +43,16 @@
  *   termination_streak: 3000
  *   max_evaluations: 100000
  *   seed: 42
+ *   threads: 1              # 0 = one per hardware thread
+ *   restarts: 1
+ *   time_budget_ms: 0       # wall-clock cap per search; 0 = none
+ *   network_time_budget_ms: 0  # cap for whole-network sweeps
  *   pad: false
  * @endcode
+ *
+ * Every load error identifies the document section and key being
+ * parsed (e.g. "architecture/levels[1]/fanout_x: ...") so malformed
+ * configs can be located without reading the loader source.
  */
 
 #ifndef RUBY_IO_LOADERS_HPP
@@ -71,14 +79,20 @@ MapperConfig loadMapperConfig(const ConfigNode &root);
  *  sections ("architecture" and "workload" required). */
 Mapper loadMapper(const std::string &text);
 
-/** Parse the named mapspace variant ("pfm", "ruby", "ruby-s", ...). */
-MapspaceVariant parseVariant(const std::string &name);
+/**
+ * Parse the named mapspace variant ("pfm", "ruby", "ruby-s", ...).
+ * @p context (a document path or CLI flag) prefixes error messages.
+ */
+MapspaceVariant parseVariant(const std::string &name,
+                             const std::string &context = "");
 
 /** Parse the named objective ("edp", "energy", "delay"). */
-Objective parseObjective(const std::string &name);
+Objective parseObjective(const std::string &name,
+                         const std::string &context = "");
 
 /** Parse the named constraint preset ("none", "eyeriss-rs", ...). */
-ConstraintPreset parsePreset(const std::string &name);
+ConstraintPreset parsePreset(const std::string &name,
+                             const std::string &context = "");
 
 } // namespace ruby
 

@@ -66,6 +66,46 @@ printReport(std::ostream &os, const Problem &problem,
 }
 
 void
+printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
+{
+    Table table({"layer", "group", "count", "status", "evals", "EDP",
+                 "detail"});
+    table.setTitle("network search summary");
+    for (const LayerOutcome &layer : net.layers) {
+        std::string status;
+        if (layer.found)
+            status = layer.timedOut ? "ok (budget hit)" : "ok";
+        else
+            status = failureKindName(layer.failure);
+        table.addRow({layer.name, layer.group,
+                      std::to_string(layer.count), status,
+                      formatCompact(
+                          static_cast<double>(layer.evaluated)),
+                      layer.found ? formatCompact(layer.result.edp)
+                                  : "-",
+                      layer.diagnostic});
+    }
+    table.print(os);
+
+    const std::size_t mapped =
+        net.layers.size() - static_cast<std::size_t>(net.failedLayers);
+    os << "mapped " << mapped << "/" << net.layers.size()
+       << " unique layers\n";
+    if (net.allFound) {
+        os << "network energy : " << formatCompact(net.totalEnergy)
+           << " pJ\nnetwork cycles : "
+           << formatCompact(net.totalCycles)
+           << "\nnetwork EDP    : " << formatCompact(net.edp) << "\n";
+    } else {
+        os << "PARTIAL RESULT: " << net.failedLayers
+           << " layer(s) failed; totals cover mapped layers only\n"
+           << "mapped energy  : " << formatCompact(net.totalEnergy)
+           << " pJ\nmapped cycles  : "
+           << formatCompact(net.totalCycles) << "\n";
+    }
+}
+
+void
 writeResultYaml(std::ostream &os, const Problem &problem,
                 const ArchSpec &arch, const EvalResult &result)
 {

@@ -11,6 +11,7 @@
 #include <ostream>
 
 #include "ruby/model/evaluator.hpp"
+#include "ruby/search/driver.hpp"
 
 namespace ruby
 {
@@ -28,6 +29,14 @@ void printReport(std::ostream &os, const Problem &problem,
  */
 void writeResultYaml(std::ostream &os, const Problem &problem,
                      const ArchSpec &arch, const EvalResult &result);
+
+/**
+ * Print a per-layer status table for a whole-network sweep: mapped
+ * layers with their metrics, failed layers with their FailureKind and
+ * diagnostic, then the count-weighted totals and a failure summary.
+ * Renders partial results instead of requiring every layer to map.
+ */
+void printNetworkSummary(std::ostream &os, const NetworkOutcome &net);
 
 } // namespace ruby
 

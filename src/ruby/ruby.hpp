@@ -12,10 +12,13 @@
 #include "ruby/arch/area_model.hpp"
 #include "ruby/arch/energy_model.hpp"
 #include "ruby/arch/presets.hpp"
+#include "ruby/common/cancel.hpp"
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
 #include "ruby/common/math_util.hpp"
 #include "ruby/common/rng.hpp"
 #include "ruby/common/table.hpp"
+#include "ruby/common/thread_pool.hpp"
 #include "ruby/core/mapper.hpp"
 #include "ruby/io/config_node.hpp"
 #include "ruby/io/loaders.hpp"

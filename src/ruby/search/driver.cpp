@@ -1,6 +1,9 @@
 #include "ruby/search/driver.hpp"
 
+#include <chrono>
+
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
 #include "ruby/mapspace/padding.hpp"
 
 namespace ruby
@@ -24,6 +27,25 @@ makeConstraints(ConstraintPreset preset, const Problem &problem,
     return MappingConstraints(problem, arch);
 }
 
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "none";
+      case FailureKind::InvalidConfig:
+        return "invalid-config";
+      case FailureKind::NoValidMapping:
+        return "no-valid-mapping";
+      case FailureKind::DeadlineExceeded:
+        return "deadline-exceeded";
+      case FailureKind::InternalError:
+        return "internal-error";
+    }
+    RUBY_ASSERT(false, "unknown failure kind");
+    return "?";
+}
+
 LayerOutcome
 searchLayer(const Problem &problem, const ArchSpec &arch,
             ConstraintPreset preset, MapspaceVariant variant,
@@ -32,24 +54,63 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
     LayerOutcome outcome;
     outcome.name = problem.name();
 
-    // Padding baseline: round dims up, then search the (usually PFM)
-    // space over the padded problem. Costs include the padded work.
-    const MappingConstraints pad_probe =
-        makeConstraints(preset, problem, arch);
-    const Problem searched =
-        pad ? padForArray(problem, pad_probe) : problem;
+    try {
+        // Padding baseline: round dims up, then search the (usually
+        // PFM) space over the padded problem. Costs include the
+        // padded work.
+        const MappingConstraints pad_probe =
+            makeConstraints(preset, problem, arch);
+        const Problem searched =
+            pad ? padForArray(problem, pad_probe) : problem;
 
-    const MappingConstraints constraints =
-        makeConstraints(preset, searched, arch);
-    const Mapspace space(constraints, variant);
-    const Evaluator evaluator(searched, arch);
-    const SearchResult res = randomSearch(space, evaluator, options);
+        const MappingConstraints constraints =
+            makeConstraints(preset, searched, arch);
+        const Mapspace space(constraints, variant);
+        const Evaluator evaluator(searched, arch);
 
-    outcome.evaluated = res.evaluated;
-    outcome.found = res.best.has_value();
-    if (outcome.found) {
-        outcome.result = res.bestResult;
-        outcome.bestMapping = res.best->toString();
+        SearchResult res;
+        try {
+            res = randomSearch(space, evaluator, options);
+        } catch (const InjectedFault &e) {
+            outcome.failure = FailureKind::InternalError;
+            outcome.diagnostic = e.what();
+            return outcome;
+        } catch (const Error &e) {
+            // An Error escaping the search itself (not setup) means
+            // rejected options or a user-visible condition raised
+            // mid-search; either way the input needs fixing.
+            outcome.failure = FailureKind::InvalidConfig;
+            outcome.diagnostic = e.what();
+            return outcome;
+        } catch (const std::exception &e) {
+            outcome.failure = FailureKind::InternalError;
+            outcome.diagnostic = e.what();
+            return outcome;
+        }
+
+        outcome.evaluated = res.evaluated;
+        outcome.timedOut = res.deadlineExceeded;
+        outcome.found = res.best.has_value();
+        if (outcome.found) {
+            outcome.result = res.bestResult;
+            outcome.bestMapping = res.best->toString();
+        } else if (res.deadlineExceeded) {
+            outcome.failure = FailureKind::DeadlineExceeded;
+            outcome.diagnostic = detail::composeMessage(
+                "time budget expired after ", res.evaluated,
+                " evaluations with no valid mapping");
+        } else {
+            outcome.failure = FailureKind::NoValidMapping;
+            outcome.diagnostic = detail::composeMessage(
+                "no valid mapping among ", res.evaluated,
+                " evaluated");
+        }
+    } catch (const Error &e) {
+        outcome.failure = FailureKind::InvalidConfig;
+        outcome.diagnostic = e.what();
+    } catch (const std::exception &e) {
+        outcome.failure = FailureKind::InternalError;
+        outcome.diagnostic = e.what();
     }
     return outcome;
 }
@@ -59,11 +120,60 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
               ConstraintPreset preset, MapspaceVariant variant,
               const SearchOptions &options, bool pad)
 {
+    using std::chrono::duration_cast;
+    using std::chrono::milliseconds;
+    using std::chrono::steady_clock;
+
     NetworkOutcome net;
-    for (const auto &layer : layers) {
-        const Problem problem = makeConv(layer.shape);
-        LayerOutcome outcome =
-            searchLayer(problem, arch, preset, variant, options, pad);
+    const bool budgeted = options.networkTimeBudget.count() > 0;
+    const auto start = steady_clock::now();
+
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Layer &layer = layers[i];
+        SearchOptions layer_opts = options;
+
+        if (budgeted) {
+            const auto elapsed = duration_cast<milliseconds>(
+                steady_clock::now() - start);
+            const auto remaining =
+                options.networkTimeBudget - elapsed;
+            if (remaining.count() <= 0) {
+                // Budget already gone: record the layer as timed out
+                // without paying for constraint/mapspace setup.
+                LayerOutcome skipped;
+                skipped.name = layer.shape.name;
+                skipped.group = layer.group;
+                skipped.count = layer.count;
+                skipped.failure = FailureKind::DeadlineExceeded;
+                skipped.timedOut = true;
+                skipped.diagnostic =
+                    "network time budget exhausted before this layer";
+                net.allFound = false;
+                ++net.failedLayers;
+                net.layers.push_back(std::move(skipped));
+                continue;
+            }
+            // Even split of what is left over the layers still to
+            // run; a tighter per-layer budget keeps precedence.
+            const auto share =
+                remaining / static_cast<long>(layers.size() - i);
+            if (layer_opts.timeBudget.count() == 0 ||
+                share < layer_opts.timeBudget)
+                layer_opts.timeBudget =
+                    share.count() > 0 ? share : milliseconds(1);
+        }
+
+        LayerOutcome outcome;
+        try {
+            const Problem problem = makeConv(layer.shape);
+            outcome = searchLayer(problem, arch, preset, variant,
+                                  layer_opts, pad);
+        } catch (const Error &e) {
+            outcome.failure = FailureKind::InvalidConfig;
+            outcome.diagnostic = e.what();
+        }
+        if (outcome.name.empty())
+            outcome.name = layer.shape.name;
         outcome.count = layer.count;
         outcome.group = layer.group;
         if (outcome.found) {
@@ -72,6 +182,7 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
             net.totalCycles += n * outcome.result.cycles;
         } else {
             net.allFound = false;
+            ++net.failedLayers;
         }
         net.layers.push_back(std::move(outcome));
     }

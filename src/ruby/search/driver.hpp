@@ -32,6 +32,26 @@ MappingConstraints makeConstraints(ConstraintPreset preset,
                                    const Problem &problem,
                                    const ArchSpec &arch);
 
+/**
+ * Why a layer search produced no mapping. The taxonomy mirrors the
+ * Error-vs-ASSERT split in common/error.hpp: user-fixable conditions
+ * (InvalidConfig, NoValidMapping), operational limits
+ * (DeadlineExceeded) and unexpected worker failures (InternalError,
+ * e.g. injected faults). RUBY_ASSERT violations still abort — they
+ * are library bugs, not recoverable outcomes.
+ */
+enum class FailureKind
+{
+    None,             ///< the search succeeded
+    InvalidConfig,    ///< constraints/mapspace setup rejected inputs
+    NoValidMapping,   ///< search completed; nothing valid found
+    DeadlineExceeded, ///< time budget expired before a valid mapping
+    InternalError,    ///< an exception escaped the search itself
+};
+
+/** Stable lower-case label for a FailureKind ("invalid-config"...). */
+const char *failureKindName(FailureKind kind);
+
 /** Result of searching one layer. */
 struct LayerOutcome
 {
@@ -42,6 +62,17 @@ struct LayerOutcome
     EvalResult result; ///< best mapping's evaluation
     std::uint64_t evaluated = 0;
     std::string bestMapping; ///< rendered best mapping
+
+    /** None iff found; otherwise why the layer has no mapping. */
+    FailureKind failure = FailureKind::None;
+    /** Human-readable failure detail (empty on success). */
+    std::string diagnostic;
+    /**
+     * True when the time budget expired during this layer's search.
+     * Can hold together with found: the best-so-far mapping is then
+     * still returned (and failure stays None).
+     */
+    bool timedOut = false;
 };
 
 /** Whole-network aggregate (count-weighted). */
@@ -53,6 +84,8 @@ struct NetworkOutcome
     /** Network EDP: total energy x total delay. */
     double edp = 0.0;
     bool allFound = true;
+    /** Layers with found == false (unique shapes, not counts). */
+    int failedLayers = 0;
 };
 
 /**
@@ -60,13 +93,23 @@ struct NetworkOutcome
  * for the architecture's widest fanout level (the PFM+padding
  * baseline); the searched mapspace is then @p variant on the padded
  * problem.
+ *
+ * Never throws for recoverable conditions: bad inputs, exhausted
+ * budgets and worker exceptions (including injected faults) come back
+ * as a structured failure in the outcome.
  */
 LayerOutcome searchLayer(const Problem &problem, const ArchSpec &arch,
                          ConstraintPreset preset,
                          MapspaceVariant variant,
                          const SearchOptions &options, bool pad = false);
 
-/** Search every layer of a network and aggregate. */
+/**
+ * Search every layer of a network and aggregate. A failing layer is
+ * recorded and skipped in the totals; the sweep always continues.
+ * options.networkTimeBudget bounds the whole sweep: the remaining
+ * budget is split evenly across unsearched layers, and layers reached
+ * after expiry are marked DeadlineExceeded without searching.
+ */
 NetworkOutcome searchNetwork(const std::vector<Layer> &layers,
                              const ArchSpec &arch,
                              ConstraintPreset preset,

@@ -5,7 +5,10 @@
 #include <mutex>
 #include <thread>
 
+#include "ruby/common/cancel.hpp"
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
+#include "ruby/common/thread_pool.hpp"
 
 namespace ruby
 {
@@ -14,6 +17,40 @@ namespace
 {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Upper bound keeping thread/restart typos from exhausting the OS. */
+constexpr unsigned kMaxParallelism = 4096;
+
+/**
+ * Evaluations between wall-clock checks: coarse enough that the hot
+ * loop never waits on the clock, fine enough that a 100 ms budget is
+ * honoured within a few milliseconds of slack.
+ */
+constexpr std::uint64_t kDeadlineStride = 64;
+
+/**
+ * Validate and normalize user-settable options: threads == 0 means
+ * "one per hardware thread", restarts must be a positive count, and
+ * both are capped to sane bounds.
+ */
+SearchOptions
+resolveOptions(const SearchOptions &options)
+{
+    SearchOptions opts = options;
+    if (opts.threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        opts.threads = hw != 0 ? hw : 1;
+    }
+    RUBY_CHECK(opts.threads <= kMaxParallelism,
+               "search options: threads (", opts.threads,
+               ") exceeds the cap of ", kMaxParallelism);
+    RUBY_CHECK(opts.restarts >= 1,
+               "search options: restarts must be >= 1");
+    RUBY_CHECK(opts.restarts <= kMaxParallelism,
+               "search options: restarts (", opts.restarts,
+               ") exceeds the cap of ", kMaxParallelism);
+    return opts;
+}
 
 /** Shared best-so-far state for the multithreaded path. */
 struct SharedState
@@ -26,13 +63,24 @@ struct SharedState
     std::atomic<std::uint64_t> valid{0};
     std::atomic<std::uint64_t> streak{0};
     std::atomic<bool> stop{false};
+    std::atomic<bool> deadlineHit{false};
 };
 
 void
-workerLoop(const Mapspace &space, const Evaluator &evaluator,
-           const SearchOptions &opts, Rng rng, SharedState &state)
+shardLoop(const Mapspace &space, const Evaluator &evaluator,
+          const SearchOptions &opts, Rng rng, SharedState &state,
+          const CancelToken &cancel, const Deadline &deadline)
 {
+    FaultInjector &faults = FaultInjector::global();
+    std::uint64_t local = 0;
     while (!state.stop.load(std::memory_order_relaxed)) {
+        if (cancel.cancelled())
+            break;
+        if ((local++ % kDeadlineStride) == 0 && deadline.expired()) {
+            state.deadlineHit.store(true, std::memory_order_relaxed);
+            state.stop.store(true, std::memory_order_relaxed);
+            break;
+        }
         if (opts.maxEvaluations != 0 &&
             state.evaluated.load(std::memory_order_relaxed) >=
                 opts.maxEvaluations) {
@@ -40,6 +88,8 @@ workerLoop(const Mapspace &space, const Evaluator &evaluator,
             break;
         }
         const Mapping mapping = space.sample(rng);
+        if (faults.enabled())
+            faults.maybeThrow("random_search.evaluate");
         const EvalResult result = evaluator.evaluate(mapping);
         state.evaluated.fetch_add(1, std::memory_order_relaxed);
         if (!result.valid)
@@ -69,53 +119,14 @@ workerLoop(const Mapspace &space, const Evaluator &evaluator,
     }
 }
 
-} // namespace
-
-namespace
-{
-
-SearchResult runOne(const Mapspace &space, const Evaluator &evaluator,
-                    const SearchOptions &options);
-
-} // namespace
-
-SearchResult
-randomSearch(const Mapspace &space, const Evaluator &evaluator,
-             const SearchOptions &options)
-{
-    if (options.restarts <= 1 || options.recordTrajectory)
-        return runOne(space, evaluator, options);
-
-    SearchResult best;
-    for (unsigned r = 0; r < options.restarts; ++r) {
-        SearchOptions opts = options;
-        opts.seed = options.seed + 1000003ull * r;
-        SearchResult res = runOne(space, evaluator, opts);
-        const bool better =
-            res.best &&
-            (!best.best ||
-             res.bestResult.objective(options.objective) <
-                 best.bestResult.objective(options.objective));
-        if (better) {
-            best.best = std::move(res.best);
-            best.bestResult = std::move(res.bestResult);
-        }
-        best.evaluated += res.evaluated;
-        best.valid += res.valid;
-    }
-    return best;
-}
-
-namespace
-{
-
 SearchResult
 runOne(const Mapspace &space, const Evaluator &evaluator,
-       const SearchOptions &options)
+       const SearchOptions &options, const Deadline &deadline)
 {
     SearchResult out;
 
     if (options.recordTrajectory || options.threads <= 1) {
+        FaultInjector &faults = FaultInjector::global();
         Rng rng(options.seed);
         double best = kInf;
         std::uint64_t streak = 0;
@@ -123,7 +134,13 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
             if (options.maxEvaluations != 0 &&
                 i >= options.maxEvaluations)
                 break;
+            if ((i % kDeadlineStride) == 0 && deadline.expired()) {
+                out.deadlineExceeded = true;
+                break;
+            }
             const Mapping mapping = space.sample(rng);
+            if (faults.enabled())
+                faults.maybeThrow("random_search.evaluate");
             const EvalResult result = evaluator.evaluate(mapping);
             ++out.evaluated;
             if (result.valid) {
@@ -148,24 +165,65 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
         return out;
     }
 
+    // One shard per worker on an exception-safe pool: a shard that
+    // throws (e.g. an injected fault) trips the pool's cancel token,
+    // the remaining shards observe it and drain, and waitIdle()
+    // rethrows the failure once the pool is quiescent.
     SharedState state;
-    std::vector<std::thread> workers;
+    ThreadPool pool(options.threads);
+    const CancelToken &cancel = pool.cancelToken();
     Rng seeder(options.seed);
-    workers.reserve(options.threads);
     for (unsigned i = 0; i < options.threads; ++i)
-        workers.emplace_back([&, stream = seeder.split()] {
-            workerLoop(space, evaluator, options, stream, state);
+        pool.submit([&, stream = seeder.split()]() mutable {
+            shardLoop(space, evaluator, options, stream, state, cancel,
+                      deadline);
         });
-    for (auto &w : workers)
-        w.join();
+    pool.waitIdle();
 
     out.best = std::move(state.best);
     out.bestResult = std::move(state.bestResult);
     out.evaluated = state.evaluated.load();
     out.valid = state.valid.load();
+    out.deadlineExceeded = state.deadlineHit.load();
     return out;
 }
 
 } // namespace
+
+SearchResult
+randomSearch(const Mapspace &space, const Evaluator &evaluator,
+             const SearchOptions &options)
+{
+    const SearchOptions resolved = resolveOptions(options);
+    // One deadline covers every restart: timeBudget bounds the whole
+    // call, not each restart individually.
+    const Deadline deadline = Deadline::after(resolved.timeBudget);
+
+    if (resolved.restarts <= 1 || resolved.recordTrajectory)
+        return runOne(space, evaluator, resolved, deadline);
+
+    SearchResult best;
+    for (unsigned r = 0; r < resolved.restarts; ++r) {
+        SearchOptions opts = resolved;
+        opts.seed = resolved.seed + 1000003ull * r;
+        SearchResult res = runOne(space, evaluator, opts, deadline);
+        const bool better =
+            res.best &&
+            (!best.best ||
+             res.bestResult.objective(resolved.objective) <
+                 best.bestResult.objective(resolved.objective));
+        if (better) {
+            best.best = std::move(res.best);
+            best.bestResult = std::move(res.bestResult);
+        }
+        best.evaluated += res.evaluated;
+        best.valid += res.valid;
+        if (res.deadlineExceeded) {
+            best.deadlineExceeded = true;
+            break;
+        }
+    }
+    return best;
+}
 
 } // namespace ruby

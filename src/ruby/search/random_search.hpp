@@ -7,6 +7,7 @@
 #ifndef RUBY_SEARCH_RANDOM_SEARCH_HPP
 #define RUBY_SEARCH_RANDOM_SEARCH_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -35,15 +36,35 @@ struct SearchOptions
     /** RNG seed; searches are deterministic per (seed, threads). */
     std::uint64_t seed = 42;
 
-    /** Worker threads (the paper uses 24). */
+    /**
+     * Worker threads (the paper uses 24). 0 selects
+     * std::thread::hardware_concurrency(). Capped at 4096.
+     */
     unsigned threads = 1;
 
     /**
      * Independent restarts (fresh seed each); the best result across
      * restarts is kept. Smooths random-search variance when
-     * comparing mapspaces of very different sizes.
+     * comparing mapspaces of very different sizes. Must be >= 1;
+     * capped at 4096.
      */
     unsigned restarts = 1;
+
+    /**
+     * Wall-clock budget for the whole search (all restarts together);
+     * zero = unlimited. Checked on a coarse evaluation stride, so the
+     * search may overshoot by a few dozen evaluations. On expiry the
+     * search returns the best-so-far with deadlineExceeded set.
+     */
+    std::chrono::milliseconds timeBudget{0};
+
+    /**
+     * Wall-clock budget for a whole searchNetwork() sweep; zero =
+     * unlimited. The driver apportions the remaining budget evenly
+     * across the layers still to be searched (never exceeding
+     * timeBudget when both are set). Ignored by randomSearch itself.
+     */
+    std::chrono::milliseconds networkTimeBudget{0};
 
     /**
      * Record the best-objective-so-far after every evaluated mapping
@@ -63,6 +84,9 @@ struct SearchResult
     std::uint64_t evaluated = 0; ///< mappings drawn
     std::uint64_t valid = 0;     ///< mappings passing validity
 
+    /** True when the time budget expired before natural termination. */
+    bool deadlineExceeded = false;
+
     /**
      * bestObjective[i] = best metric seen after i+1 evaluations
      * (infinity until the first valid mapping); only filled when
@@ -74,6 +98,12 @@ struct SearchResult
 /**
  * Randomly sample @p space, evaluate with @p evaluator, and keep the
  * best valid mapping under the configured objective.
+ *
+ * Throws ruby::Error on out-of-range options (restarts == 0 or either
+ * of threads/restarts above 4096). A fault injected into evaluation
+ * (see FaultInjector) cancels the worker pool, drains it cleanly and
+ * propagates as InjectedFault; the driver layer turns that into a
+ * structured per-layer failure.
  */
 SearchResult randomSearch(const Mapspace &space,
                           const Evaluator &evaluator,

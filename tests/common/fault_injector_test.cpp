@@ -1,0 +1,112 @@
+#include "ruby/common/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ruby
+{
+namespace
+{
+
+/** Restore the (process-global) injector after each test. */
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::global().disable(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledNeverThrows)
+{
+    FaultInjector &inj = FaultInjector::global();
+    inj.disable();
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 10'000; ++i)
+        inj.maybeThrow("test.site");
+    EXPECT_EQ(inj.injected(), 0u);
+}
+
+TEST_F(FaultInjectorTest, RateOneAlwaysThrows)
+{
+    FaultInjector &inj = FaultInjector::global();
+    inj.configure(1.0, 5);
+    EXPECT_TRUE(inj.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_THROW(inj.maybeThrow("test.site"), InjectedFault);
+    EXPECT_EQ(inj.injected(), 100u);
+}
+
+TEST_F(FaultInjectorTest, InjectedFaultIsAnError)
+{
+    FaultInjector &inj = FaultInjector::global();
+    inj.configure(1.0, 5);
+    // Generic Error handlers recover from injected faults too.
+    EXPECT_THROW(inj.maybeThrow("test.site"), Error);
+}
+
+TEST_F(FaultInjectorTest, RateIsRoughlyHonoured)
+{
+    FaultInjector &inj = FaultInjector::global();
+    inj.configure(0.1, 99);
+    int thrown = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        try {
+            inj.maybeThrow("test.site");
+        } catch (const InjectedFault &) {
+            ++thrown;
+        }
+    }
+    // 10% +- a wide tolerance; the stream is deterministic so this
+    // cannot flake.
+    EXPECT_GT(thrown, 1'000);
+    EXPECT_LT(thrown, 4'000);
+}
+
+TEST_F(FaultInjectorTest, DeterministicPerSeed)
+{
+    FaultInjector &inj = FaultInjector::global();
+    auto pattern = [&](std::uint64_t seed) {
+        inj.configure(0.25, seed);
+        std::vector<bool> hits;
+        for (int i = 0; i < 256; ++i) {
+            bool hit = false;
+            try {
+                inj.maybeThrow("test.site");
+            } catch (const InjectedFault &) {
+                hit = true;
+            }
+            hits.push_back(hit);
+        }
+        return hits;
+    };
+    EXPECT_EQ(pattern(7), pattern(7));
+    EXPECT_NE(pattern(7), pattern(8));
+}
+
+TEST_F(FaultInjectorTest, ThreadSafeUnderConcurrentProbes)
+{
+    FaultInjector &inj = FaultInjector::global();
+    inj.configure(0.5, 11);
+    std::atomic<std::uint64_t> caught{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 5'000; ++i) {
+                try {
+                    inj.maybeThrow("test.site");
+                } catch (const InjectedFault &) {
+                    caught.fetch_add(1);
+                }
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(inj.probes(), 20'000u);
+    EXPECT_EQ(inj.injected(), caught.load());
+    EXPECT_GT(caught.load(), 0u);
+}
+
+} // namespace
+} // namespace ruby

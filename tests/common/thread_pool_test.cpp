@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "ruby/common/error.hpp"
 
@@ -54,6 +55,95 @@ TEST(ThreadPool, DestructionJoinsCleanly)
         pool.waitIdle();
     }
     EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ThrowingJobRethrownFromWaitIdle)
+{
+    ThreadPool pool(4);
+    pool.submit([] { throw Error("boom"); });
+    EXPECT_THROW(pool.waitIdle(), Error);
+
+    // The failure was consumed: the pool is re-armed and every
+    // worker is still alive and usable.
+    EXPECT_FALSE(pool.cancelToken().cancelled());
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndMessageSurvives)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw Error("first"); });
+    pool.submit([] { throw Error("second"); });
+    try {
+        pool.waitIdle();
+        FAIL() << "expected waitIdle to rethrow";
+    } catch (const Error &e) {
+        // One worker runs jobs in order; once "first" throws the
+        // token cancels, so "second" is drained without running.
+        EXPECT_STREQ(e.what(), "first");
+    }
+    pool.waitIdle(); // nothing pending; must not throw again
+}
+
+TEST(ThreadPool, FailureCancelsQueuedJobs)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw Error("boom"); });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.waitIdle(), Error);
+    // All queued work was drained, none of it executed.
+    EXPECT_EQ(ran.load(), 0);
+
+    // Post-failure submissions run normally again.
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ExternalCancellationDrainsWithoutError)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<bool> release{false};
+    // Two blockers occupy both workers so the queue builds up.
+    for (int i = 0; i < 2; ++i)
+        pool.submit([&] {
+            while (!release.load())
+                std::this_thread::yield();
+        });
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.cancelToken().requestCancel();
+    release.store(true);
+    pool.waitIdle(); // no exception: cancellation is not a failure
+    EXPECT_EQ(ran.load(), 0);
+
+    pool.cancelToken().reset();
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ManyThrowingJobsUnderContention)
+{
+    ThreadPool pool(8);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int> ran{0};
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&, i] {
+                if (i % 7 == 3)
+                    throw Error("unlucky");
+                ran.fetch_add(1);
+            });
+        EXPECT_THROW(pool.waitIdle(), Error);
+        EXPECT_LT(ran.load(), 200);
+    }
 }
 
 } // namespace

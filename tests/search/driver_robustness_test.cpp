@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Fault-tolerance tests for the search execution layer: wall-clock
+ * deadlines, option validation, structured per-layer failures and
+ * fault-injected whole-network sweeps (ISSUE 1 acceptance criteria).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/fault_injector.hpp"
+#include "ruby/core/mapper.hpp"
+#include "ruby/io/report.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/**
+ * An architecture on which no mapping is valid: the innermost level
+ * (which always keeps every tensor) holds one word, below any
+ * 3-tensor problem's minimum footprint.
+ */
+ArchSpec
+makeImpossibleArch()
+{
+    StorageLevelSpec spad;
+    spad.name = "tiny";
+    spad.capacityWords = 1;
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.readEnergy = dram.writeEnergy = 200.0;
+    return ArchSpec("impossible", {spad, dram}, 1.0, 0.0);
+}
+
+/** A small multi-layer "network" built from gemm-as-conv shapes. */
+std::vector<Layer>
+tinyNetwork()
+{
+    std::vector<Layer> layers;
+    for (std::uint64_t m : {60, 100, 140}) {
+        ConvShape sh;
+        sh.name = "gemm_m" + std::to_string(m);
+        sh.c = 64;
+        sh.m = m;
+        sh.p = 10;
+        sh.q = 10;
+        Layer layer;
+        layer.shape = sh;
+        layer.group = "gemm";
+        layer.count = 2;
+        layers.push_back(layer);
+    }
+    return layers;
+}
+
+/** Restore the process-global fault injector after each test. */
+class DriverRobustness : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::global().disable(); }
+};
+
+TEST_F(DriverRobustness, TimeBudgetTerminatesUnboundedSearch)
+{
+    // maxEvaluations = 0 and streak = 0: nothing stops this search
+    // except the wall clock.
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0;
+    opts.timeBudget = milliseconds(100);
+
+    const auto start = steady_clock::now();
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::RubyS,
+        opts);
+    const auto elapsed = steady_clock::now() - start;
+
+    // Returned (did not hang), well within an order of magnitude of
+    // the budget, with either a best-so-far mapping or a structured
+    // deadline failure.
+    EXPECT_LT(elapsed, milliseconds(5'000));
+    EXPECT_TRUE(out.timedOut);
+    if (out.found) {
+        EXPECT_EQ(out.failure, FailureKind::None);
+        EXPECT_TRUE(out.result.valid);
+    } else {
+        EXPECT_EQ(out.failure, FailureKind::DeadlineExceeded);
+        EXPECT_FALSE(out.diagnostic.empty());
+    }
+    EXPECT_GT(out.evaluated, 0u);
+}
+
+TEST_F(DriverRobustness, TimeBudgetTerminatesThreadedSearch)
+{
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0;
+    opts.timeBudget = milliseconds(100);
+    opts.threads = 4;
+
+    const auto start = steady_clock::now();
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::RubyS,
+        opts);
+    EXPECT_LT(steady_clock::now() - start, milliseconds(5'000));
+    EXPECT_TRUE(out.timedOut);
+    EXPECT_TRUE(out.found ||
+                out.failure == FailureKind::DeadlineExceeded);
+}
+
+TEST_F(DriverRobustness, TimeBudgetCoversAllRestarts)
+{
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0;
+    opts.timeBudget = milliseconds(100);
+    opts.restarts = 50; // must not multiply the budget by 50
+
+    const auto start = steady_clock::now();
+    (void)searchLayer(prob, arch, ConstraintPreset::None,
+                      MapspaceVariant::RubyS, opts);
+    EXPECT_LT(steady_clock::now() - start, milliseconds(5'000));
+}
+
+TEST_F(DriverRobustness, DeadlineWithNoValidMappingIsStructured)
+{
+    // Nothing is ever valid on the impossible arch, so the deadline
+    // is the only way out and no best-so-far exists.
+    const Problem prob = makeGemm(16, 16, 16);
+    const ArchSpec arch = makeImpossibleArch();
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0;
+    opts.timeBudget = milliseconds(50);
+
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::PFM,
+        opts);
+    EXPECT_FALSE(out.found);
+    EXPECT_TRUE(out.timedOut);
+    EXPECT_EQ(out.failure, FailureKind::DeadlineExceeded);
+    EXPECT_NE(out.diagnostic.find("time budget"), std::string::npos);
+}
+
+TEST_F(DriverRobustness, ExhaustedSearchReportsNoValidMapping)
+{
+    const Problem prob = makeGemm(16, 16, 16);
+    const ArchSpec arch = makeImpossibleArch();
+    SearchOptions opts;
+    opts.maxEvaluations = 200;
+    opts.terminationStreak = 0;
+
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::PFM,
+        opts);
+    EXPECT_FALSE(out.found);
+    EXPECT_FALSE(out.timedOut);
+    EXPECT_EQ(out.failure, FailureKind::NoValidMapping);
+    EXPECT_EQ(out.evaluated, 200u);
+}
+
+TEST_F(DriverRobustness, BadOptionsReportedAsInvalidConfig)
+{
+    const Problem prob = makeGemm(32, 32, 32);
+    const ArchSpec arch = makeToyLinear(8);
+    SearchOptions opts;
+    opts.restarts = 0; // rejected by randomSearch's validation
+
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::PFM,
+        opts);
+    EXPECT_FALSE(out.found);
+    EXPECT_EQ(out.failure, FailureKind::InvalidConfig);
+    EXPECT_NE(out.diagnostic.find("restarts"), std::string::npos);
+}
+
+TEST_F(DriverRobustness, SearchOptionValidation)
+{
+    const Problem prob = makeGemm(32, 32, 32);
+    const ArchSpec arch = makeToyLinear(8);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::PFM);
+    const Evaluator eval(prob, arch);
+
+    SearchOptions opts;
+    opts.maxEvaluations = 10;
+    opts.terminationStreak = 0;
+
+    SearchOptions bad = opts;
+    bad.restarts = 0;
+    EXPECT_THROW(randomSearch(space, eval, bad), Error);
+    bad = opts;
+    bad.threads = 100'000;
+    EXPECT_THROW(randomSearch(space, eval, bad), Error);
+    bad = opts;
+    bad.restarts = 100'000;
+    EXPECT_THROW(randomSearch(space, eval, bad), Error);
+
+    // threads == 0 resolves to hardware concurrency and works.
+    SearchOptions hw = opts;
+    hw.threads = 0;
+    hw.maxEvaluations = 500;
+    const SearchResult res = randomSearch(space, eval, hw);
+    EXPECT_GT(res.evaluated, 0u);
+}
+
+TEST_F(DriverRobustness, NetworkBudgetBoundsWholeSweep)
+{
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0; // each layer would run forever
+    opts.networkTimeBudget = milliseconds(300);
+
+    const auto start = steady_clock::now();
+    const NetworkOutcome net = searchNetwork(
+        tinyNetwork(), arch, ConstraintPreset::None,
+        MapspaceVariant::RubyS, opts);
+    EXPECT_LT(steady_clock::now() - start, milliseconds(10'000));
+
+    ASSERT_EQ(net.layers.size(), 3u);
+    for (const LayerOutcome &layer : net.layers) {
+        // Every layer either hit its share of the budget while
+        // searching or was skipped once the budget was gone.
+        EXPECT_TRUE(layer.timedOut ||
+                    layer.failure == FailureKind::DeadlineExceeded)
+            << layer.name;
+    }
+}
+
+TEST_F(DriverRobustness, NetworkExhaustedBudgetSkipsTrailingLayers)
+{
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 0;
+    opts.terminationStreak = 0;
+    // A 1 ms budget: the first layer eats it; later layers must be
+    // recorded as deadline-exceeded, not silently dropped.
+    opts.networkTimeBudget = milliseconds(1);
+
+    const NetworkOutcome net = searchNetwork(
+        tinyNetwork(), arch, ConstraintPreset::None,
+        MapspaceVariant::RubyS, opts);
+    ASSERT_EQ(net.layers.size(), 3u);
+    EXPECT_EQ(net.layers.back().failure,
+              FailureKind::DeadlineExceeded);
+    EXPECT_FALSE(net.layers.back().diagnostic.empty());
+}
+
+TEST_F(DriverRobustness, FaultInjectedNetworkSweepCompletes)
+{
+    // Rate 1.0: the very first evaluation of every layer throws, yet
+    // the sweep records all layers and never terminates the process.
+    FaultInjector::global().configure(1.0, 17);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 500;
+    opts.terminationStreak = 0;
+
+    const NetworkOutcome net = searchNetwork(
+        tinyNetwork(), arch, ConstraintPreset::None,
+        MapspaceVariant::RubyS, opts);
+    ASSERT_EQ(net.layers.size(), 3u);
+    EXPECT_FALSE(net.allFound);
+    EXPECT_EQ(net.failedLayers, 3);
+    for (const LayerOutcome &layer : net.layers) {
+        EXPECT_EQ(layer.failure, FailureKind::InternalError);
+        EXPECT_NE(layer.diagnostic.find("injected fault"),
+                  std::string::npos);
+    }
+
+    // Recovery: with injection off the same sweep succeeds, proving
+    // nothing was left in a broken state.
+    FaultInjector::global().disable();
+    SearchOptions good = opts;
+    good.terminationStreak = 100;
+    good.maxEvaluations = 20'000;
+    const NetworkOutcome ok = searchNetwork(
+        tinyNetwork(), arch, ConstraintPreset::None,
+        MapspaceVariant::RubyS, good);
+    EXPECT_TRUE(ok.allFound);
+    EXPECT_EQ(ok.failedLayers, 0);
+}
+
+TEST_F(DriverRobustness, FaultInjectedThreadedSearchSurvives)
+{
+    // A fault in one shard cancels the pool; the failure surfaces as
+    // a structured outcome, not std::terminate.
+    FaultInjector::global().configure(0.05, 23);
+    const Problem prob = makeGemm(100, 100, 100);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 50'000;
+    opts.terminationStreak = 0;
+    opts.threads = 4;
+
+    const LayerOutcome out = searchLayer(
+        prob, arch, ConstraintPreset::None, MapspaceVariant::RubyS,
+        opts);
+    EXPECT_FALSE(out.found);
+    EXPECT_EQ(out.failure, FailureKind::InternalError);
+}
+
+TEST_F(DriverRobustness, MapperSurfacesStructuredFailure)
+{
+    FaultInjector::global().configure(1.0, 29);
+    Mapper mapper(makeGemm(64, 64, 64), makeToyLinear(8));
+    mapper.config().search.maxEvaluations = 100;
+    mapper.config().search.terminationStreak = 0;
+
+    const MapperResult res = mapper.run();
+    EXPECT_FALSE(res.found);
+    EXPECT_EQ(res.failure, FailureKind::InternalError);
+    EXPECT_FALSE(res.diagnostic.empty());
+}
+
+TEST_F(DriverRobustness, NetworkSummaryRendersFailures)
+{
+    FaultInjector::global().configure(1.0, 31);
+    const ArchSpec arch = makeToyLinear(16);
+    SearchOptions opts;
+    opts.maxEvaluations = 100;
+    opts.terminationStreak = 0;
+    const NetworkOutcome net = searchNetwork(
+        tinyNetwork(), arch, ConstraintPreset::None,
+        MapspaceVariant::RubyS, opts);
+
+    std::ostringstream os;
+    printNetworkSummary(os, net);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("network search summary"), std::string::npos);
+    EXPECT_NE(text.find("internal-error"), std::string::npos);
+    EXPECT_NE(text.find("PARTIAL RESULT"), std::string::npos);
+}
+
+TEST_F(DriverRobustness, FailureKindNamesAreStable)
+{
+    EXPECT_STREQ(failureKindName(FailureKind::None), "none");
+    EXPECT_STREQ(failureKindName(FailureKind::InvalidConfig),
+                 "invalid-config");
+    EXPECT_STREQ(failureKindName(FailureKind::NoValidMapping),
+                 "no-valid-mapping");
+    EXPECT_STREQ(failureKindName(FailureKind::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(failureKindName(FailureKind::InternalError),
+                 "internal-error");
+}
+
+} // namespace
+} // namespace ruby

@@ -3,16 +3,29 @@
  * Command-line front end.
  *
  *   ruby-map map <config.yaml> [overrides]   run a mapping search
+ *   ruby-map net <suite> [overrides]         search a whole network
  *   ruby-map count <dim> [options]           mapspace sizes (Table I)
  *   ruby-map suites                          list built-in workloads
  *
  * `map` overrides: --mapspace pfm|ruby|ruby-s|ruby-t,
  * --objective edp|energy|delay, --constraints <preset>, --evals N,
- * --streak N, --seed N, --threads N, --pad, --yaml (machine-readable
- * output instead of the human report).
+ * --streak N, --seed N, --threads N, --restarts N,
+ * --time-budget MS (wall-clock cap for the search), --pad,
+ * --yaml (machine-readable output instead of the human report).
+ *
+ * `net` suites: resnet50 | deepbench | alexnet on the Eyeriss-like
+ * preset arch; takes the same search overrides plus
+ * --network-budget MS (wall-clock cap for the whole sweep, split
+ * across layers). Failed layers are reported in the summary; the
+ * sweep never aborts the process.
  *
  * `count` options: --fanout N (default 9), --spad-words N (tile cap
  * for the valid-PFM column; default 512).
+ *
+ * Exit codes: 0 = success (all layers mapped), 1 = user/config error,
+ * 2 = usage, 3 = no valid mapping found, 4 = time budget expired with
+ * no mapping, 5 = partial network result (some layers failed),
+ * 6 = internal search failure (e.g. injected fault).
  */
 
 #include <cstdlib>
@@ -29,6 +42,15 @@ namespace
 
 using namespace ruby;
 
+/** Exit codes shared by the subcommands (documented above). */
+constexpr int kExitOk = 0;
+constexpr int kExitUserError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitNoMapping = 3;
+constexpr int kExitDeadline = 4;
+constexpr int kExitPartial = 5;
+constexpr int kExitInternal = 6;
+
 int
 usage()
 {
@@ -38,10 +60,16 @@ usage()
            " O]\n"
            "          [--constraints P] [--evals N] [--streak N]"
            " [--seed N]\n"
-           "          [--threads N] [--pad] [--yaml]\n"
+           "          [--threads N] [--restarts N] [--time-budget MS]\n"
+           "          [--pad] [--yaml]\n"
+           "  ruby-map net <resnet50|deepbench|alexnet> [map"
+           " overrides]\n"
+           "          [--network-budget MS]\n"
            "  ruby-map count <dim> [--fanout N] [--spad-words N]\n"
-           "  ruby-map suites\n";
-    return 2;
+           "  ruby-map suites\n"
+           "exit codes: 0 ok, 1 user error, 2 usage, 3 no mapping,\n"
+           "            4 deadline, 5 partial network, 6 internal\n";
+    return kExitUsage;
 }
 
 std::uint64_t
@@ -54,6 +82,62 @@ parseU64Arg(const std::string &flag, const std::string &value)
     return static_cast<std::uint64_t>(v);
 }
 
+/** Map a failed layer/mapper outcome to the process exit code. */
+int
+failureExitCode(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return kExitOk;
+      case FailureKind::InvalidConfig:
+        return kExitUserError;
+      case FailureKind::NoValidMapping:
+        return kExitNoMapping;
+      case FailureKind::DeadlineExceeded:
+        return kExitDeadline;
+      case FailureKind::InternalError:
+        return kExitInternal;
+    }
+    return kExitInternal;
+}
+
+/**
+ * Consume one search-override flag shared by `map` and `net`.
+ * Returns false when the flag is not a search override.
+ */
+bool
+applySearchFlag(const std::string &flag, SearchOptions &search,
+                const std::vector<std::string> &args, std::size_t &i)
+{
+    auto next = [&]() -> const std::string & {
+        RUBY_CHECK(i + 1 < args.size(), flag, " expects an argument");
+        return args[++i];
+    };
+    if (flag == "--objective")
+        search.objective = parseObjective(next(), flag);
+    else if (flag == "--evals")
+        search.maxEvaluations = parseU64Arg(flag, next());
+    else if (flag == "--streak")
+        search.terminationStreak = parseU64Arg(flag, next());
+    else if (flag == "--seed")
+        search.seed = parseU64Arg(flag, next());
+    else if (flag == "--threads")
+        search.threads =
+            static_cast<unsigned>(parseU64Arg(flag, next()));
+    else if (flag == "--restarts")
+        search.restarts =
+            static_cast<unsigned>(parseU64Arg(flag, next()));
+    else if (flag == "--time-budget")
+        search.timeBudget =
+            std::chrono::milliseconds(parseU64Arg(flag, next()));
+    else if (flag == "--network-budget")
+        search.networkTimeBudget =
+            std::chrono::milliseconds(parseU64Arg(flag, next()));
+    else
+        return false;
+    return true;
+}
+
 int
 runMap(const std::vector<std::string> &args)
 {
@@ -62,7 +146,7 @@ runMap(const std::vector<std::string> &args)
     std::ifstream in(args[0]);
     if (!in) {
         std::cerr << "cannot open " << args[0] << "\n";
-        return 1;
+        return kExitUserError;
     }
     std::ostringstream text;
     text << in.rdbuf();
@@ -76,23 +160,12 @@ runMap(const std::vector<std::string> &args)
                        " expects an argument");
             return args[++i];
         };
+        if (applySearchFlag(flag, mapper.config().search, args, i))
+            continue;
         if (flag == "--mapspace")
-            mapper.config().variant = parseVariant(next());
-        else if (flag == "--objective")
-            mapper.config().search.objective = parseObjective(next());
+            mapper.config().variant = parseVariant(next(), flag);
         else if (flag == "--constraints")
-            mapper.config().preset = parsePreset(next());
-        else if (flag == "--evals")
-            mapper.config().search.maxEvaluations =
-                parseU64Arg(flag, next());
-        else if (flag == "--streak")
-            mapper.config().search.terminationStreak =
-                parseU64Arg(flag, next());
-        else if (flag == "--seed")
-            mapper.config().search.seed = parseU64Arg(flag, next());
-        else if (flag == "--threads")
-            mapper.config().search.threads = static_cast<unsigned>(
-                parseU64Arg(flag, next()));
+            mapper.config().preset = parsePreset(next(), flag);
         else if (flag == "--pad")
             mapper.config().pad = true;
         else if (flag == "--yaml")
@@ -103,21 +176,74 @@ runMap(const std::vector<std::string> &args)
 
     const MapperResult result = mapper.run();
     if (!result.found) {
-        std::cerr << "no valid mapping found ("
-                  << result.evaluated << " evaluated)\n";
-        return 1;
+        std::cerr << "search failed ["
+                  << failureKindName(result.failure)
+                  << "]: " << result.diagnostic << "\n";
+        return failureExitCode(result.failure);
     }
     if (yaml) {
         writeResultYaml(std::cout, mapper.problem(), mapper.arch(),
                         result.eval);
     } else {
         std::cout << "evaluated " << result.evaluated
-                  << " mappings\nbest mapping:\n"
-                  << result.mappingText << "\n";
+                  << " mappings\n";
+        if (result.timedOut)
+            std::cout << "time budget expired; reporting the best "
+                         "mapping found so far\n";
+        std::cout << "best mapping:\n" << result.mappingText << "\n";
         printReport(std::cout, mapper.problem(), mapper.arch(),
                     result.eval);
     }
-    return 0;
+    return kExitOk;
+}
+
+int
+runNet(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const std::string &suite = args[0];
+    std::vector<Layer> layers;
+    if (suite == "resnet50")
+        layers = resnet50Layers();
+    else if (suite == "deepbench")
+        layers = deepbenchLayers();
+    else if (suite == "alexnet")
+        layers = alexnetLayers();
+    else
+        RUBY_FATAL("unknown suite '", suite,
+                   "' (expected resnet50 | deepbench | alexnet)");
+
+    MapspaceVariant variant = MapspaceVariant::RubyS;
+    ConstraintPreset preset = ConstraintPreset::EyerissRS;
+    bool pad = false;
+    SearchOptions search;
+    search.terminationStreak = 1200;
+    search.maxEvaluations = 40'000;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (applySearchFlag(flag, search, args, i))
+            continue;
+        if (flag == "--mapspace")
+            variant = parseVariant(next(), flag);
+        else if (flag == "--constraints")
+            preset = parsePreset(next(), flag);
+        else if (flag == "--pad")
+            pad = true;
+        else
+            RUBY_FATAL("unknown flag '", flag, "'");
+    }
+
+    const ArchSpec arch = makeEyeriss();
+    const NetworkOutcome net =
+        searchNetwork(layers, arch, preset, variant, search, pad);
+    printNetworkSummary(std::cout, net);
+    return net.allFound ? kExitOk : kExitPartial;
 }
 
 int
@@ -165,7 +291,7 @@ runCount(const std::vector<std::string> &args)
     table.addRow({"Ruby",
                   formatCompact(countChains(dim, rules(true, true)))});
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -186,7 +312,7 @@ runSuites()
                   formatCompact(static_cast<double>(
                       makeConv(alex).totalOperations()))});
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 } // namespace
@@ -202,13 +328,15 @@ main(int argc, char **argv)
     try {
         if (command == "map")
             return runMap(args);
+        if (command == "net")
+            return runNet(args);
         if (command == "count")
             return runCount(args);
         if (command == "suites")
             return runSuites();
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitUserError;
     }
     return usage();
 }
