@@ -3,9 +3,21 @@
  * google-benchmark microbenchmarks: throughput of the pieces every
  * figure bench leans on — mapping construction, evaluation, sampling
  * and mapspace counting. Useful for keeping search budgets honest.
+ *
+ * After the microbenchmarks, main() runs a search-shaped head-to-head
+ * (baseline allocating evaluate vs the staged fast path with scratch,
+ * bound pruning and the memo cache over the same mapping pool) and
+ * writes the evals/sec comparison to BENCH_eval_throughput.json in
+ * the working directory. See docs/PERFORMANCE.md.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <vector>
 
 #include "ruby/ruby.hpp"
 
@@ -67,6 +79,57 @@ BM_EvaluateMapping(benchmark::State &state)
 BENCHMARK(BM_EvaluateMapping);
 
 void
+BM_EvaluateMappingScratch(benchmark::State &state)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(resnetLayer(), eyeriss());
+    Rng rng(2);
+    const Mapping mapping = space.sample(rng);
+    EvalScratch scratch;
+    for (auto _ : state) {
+        eval.evaluate(mapping, scratch);
+        benchmark::DoNotOptimize(scratch.result.edp);
+    }
+}
+BENCHMARK(BM_EvaluateMappingScratch);
+
+void
+BM_EvaluateStagedPruned(benchmark::State &state)
+{
+    // Staged evaluation against a tiny incumbent: validity + bound
+    // only, the common case late in a search.
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(resnetLayer(), eyeriss());
+    Rng rng(2);
+    const Mapping mapping = space.sample(rng);
+    EvalScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluateStaged(
+            mapping, Objective::EDP, 1.0, true, scratch));
+}
+BENCHMARK(BM_EvaluateStagedPruned);
+
+void
+BM_MappingFingerprint(benchmark::State &state)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    Rng rng(4);
+    const Mapping mapping = space.sample(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mappingFingerprint(mapping));
+}
+BENCHMARK(BM_MappingFingerprint);
+
+void
 BM_SampleAndEvaluate(benchmark::State &state)
 {
     const MappingConstraints cons =
@@ -102,6 +165,150 @@ BM_CountRubyMapspace(benchmark::State &state)
 }
 BENCHMARK(BM_CountRubyMapspace)->Arg(100)->Arg(1000)->Arg(4096);
 
+// --- evals/sec head-to-head -------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Throughput
+{
+    double evalsPerSec = 0.0;
+    double bestObjective = kInf;
+    EvalStats stats;
+};
+
+/** Baseline: the allocating evaluate() over the whole pool. */
+Throughput
+runBaseline(const Evaluator &eval, const std::vector<Mapping> &pool)
+{
+    Throughput out;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Mapping &m : pool) {
+        const EvalResult res = eval.evaluate(m);
+        if (!res.valid) {
+            ++out.stats.invalid;
+            continue;
+        }
+        ++out.stats.modeled;
+        const double metric = res.objective(Objective::EDP);
+        if (metric < out.bestObjective)
+            out.bestObjective = metric;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.evalsPerSec =
+        static_cast<double>(pool.size()) / elapsed.count();
+    return out;
+}
+
+/** Fast path: scratch + staged pruning + memo cache, as the search
+ *  loop runs it. */
+Throughput
+runFastPath(const Evaluator &eval, const std::vector<Mapping> &pool)
+{
+    Throughput out;
+    EvalScratch scratch;
+    EvalCache cache;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Mapping &m : pool) {
+        // Same staging and ordering as the search loop: validity,
+        // lower bound, memo cache, full model.
+        if (!eval.checkValidity(m, scratch, false)) {
+            ++out.stats.invalid;
+            continue;
+        }
+        if (eval.objectiveLowerBound(m, Objective::EDP) >=
+            out.bestObjective) {
+            ++out.stats.prunedBound;
+            continue;
+        }
+        const FingerprintPair fp = mappingFingerprintPair(m);
+        CachedEval cached;
+        if (cache.lookup(fp.key, fp.verify, cached) && cached.valid &&
+            cached.objective >= out.bestObjective) {
+            ++out.stats.cacheHits;
+            continue;
+        }
+        ++out.stats.cacheMisses;
+        eval.modelValidated(m, scratch);
+        ++out.stats.modeled;
+        const double metric = scratch.result.objective(Objective::EDP);
+        cache.insert(fp.key, fp.verify, CachedEval{metric, true});
+        if (metric < out.bestObjective)
+            out.bestObjective = metric;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.evalsPerSec =
+        static_cast<double>(pool.size()) / elapsed.count();
+    out.stats.cacheEvictions = cache.stats().evictions;
+    return out;
+}
+
+void
+writeThroughputReport(const char *path, std::size_t pool_size)
+{
+    const MappingConstraints cons =
+        MappingConstraints::eyerissRowStationary(resnetLayer(),
+                                                 eyeriss());
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(resnetLayer(), eyeriss());
+
+    Rng rng(42);
+    std::vector<Mapping> pool;
+    pool.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i)
+        pool.push_back(space.sample(rng));
+
+    // One untimed warm-up pass each, then the timed passes.
+    runBaseline(eval, pool);
+    const Throughput base = runBaseline(eval, pool);
+    runFastPath(eval, pool);
+    const Throughput fast = runFastPath(eval, pool);
+
+    const double speedup = fast.evalsPerSec / base.evalsPerSec;
+    std::ofstream json(path);
+    json << "{\n"
+         << "  \"benchmark\": \"eval_throughput\",\n"
+         << "  \"preset\": \"eyeriss_rs\",\n"
+         << "  \"workload\": \"" << resnetLayer().name() << "\",\n"
+         << "  \"pool_size\": " << pool.size() << ",\n"
+         << "  \"baseline_evals_per_sec\": " << base.evalsPerSec
+         << ",\n"
+         << "  \"fastpath_evals_per_sec\": " << fast.evalsPerSec
+         << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"baseline_best_edp\": " << base.bestObjective << ",\n"
+         << "  \"fastpath_best_edp\": " << fast.bestObjective << ",\n"
+         << "  \"fastpath_stages\": {\n"
+         << "    \"invalid\": " << fast.stats.invalid << ",\n"
+         << "    \"pruned_bound\": " << fast.stats.prunedBound << ",\n"
+         << "    \"modeled\": " << fast.stats.modeled << ",\n"
+         << "    \"cache_hits\": " << fast.stats.cacheHits << ",\n"
+         << "    \"cache_evictions\": " << fast.stats.cacheEvictions
+         << "\n"
+         << "  }\n"
+         << "}\n";
+
+    std::cout << "eval throughput (pool " << pool.size()
+              << "): baseline " << base.evalsPerSec
+              << " evals/s, fast path " << fast.evalsPerSec
+              << " evals/s, speedup " << speedup << "x\n"
+              << "best EDP agrees: "
+              << (base.bestObjective == fast.bestObjective ? "yes"
+                                                           : "NO")
+              << " -> " << path << "\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeThroughputReport("BENCH_eval_throughput.json", 30'000);
+    return 0;
+}

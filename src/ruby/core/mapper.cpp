@@ -21,6 +21,7 @@ Mapper::run() const
     res.eval = outcome.result;
     res.mappingText = outcome.bestMapping;
     res.evaluated = outcome.evaluated;
+    res.stats = outcome.stats;
     res.failure = outcome.failure;
     res.diagnostic = outcome.diagnostic;
     res.timedOut = outcome.timedOut;

@@ -44,6 +44,8 @@ struct MapperResult
     EvalResult eval;           ///< best mapping's metrics
     std::string mappingText;   ///< rendered best mapping
     std::uint64_t evaluated = 0;
+    /** Fast-path stage counters (see EvalStats). */
+    EvalStats stats;
 
     /** None iff found; otherwise why the run produced no mapping. */
     FailureKind failure = FailureKind::None;

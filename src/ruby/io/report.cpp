@@ -68,8 +68,8 @@ printReport(std::ostream &os, const Problem &problem,
 void
 printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
 {
-    Table table({"layer", "group", "count", "status", "evals", "EDP",
-                 "detail"});
+    Table table({"layer", "group", "count", "status", "evals",
+                 "modeled", "EDP", "detail"});
     table.setTitle("network search summary");
     for (const LayerOutcome &layer : net.layers) {
         std::string status;
@@ -77,10 +77,15 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
             status = layer.timedOut ? "ok (budget hit)" : "ok";
         else
             status = failureKindName(layer.failure);
+        // "evals" counts mappings drawn; "modeled" counts full
+        // cost-model runs — the gap is what the fast path skipped
+        // (invalid, bound-pruned, or served from the memo cache).
         table.addRow({layer.name, layer.group,
                       std::to_string(layer.count), status,
                       formatCompact(
                           static_cast<double>(layer.evaluated)),
+                      formatCompact(
+                          static_cast<double>(layer.stats.modeled)),
                       layer.found ? formatCompact(layer.result.edp)
                                   : "-",
                       layer.diagnostic});
@@ -90,7 +95,18 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
     const std::size_t mapped =
         net.layers.size() - static_cast<std::size_t>(net.failedLayers);
     os << "mapped " << mapped << "/" << net.layers.size()
-       << " unique layers\n";
+       << " unique layers\n"
+       << "fast path      : "
+       << formatCompact(static_cast<double>(net.stats.invalid))
+       << " invalid, "
+       << formatCompact(static_cast<double>(net.stats.prunedBound))
+       << " bound-pruned, "
+       << formatCompact(static_cast<double>(net.stats.cacheHits))
+       << " cache hits ("
+       << formatCompact(static_cast<double>(net.stats.cacheEvictions))
+       << " evictions), "
+       << formatCompact(static_cast<double>(net.stats.modeled))
+       << " fully modeled\n";
     if (net.allFound) {
         os << "network energy : " << formatCompact(net.totalEnergy)
            << " pJ\nnetwork cycles : "

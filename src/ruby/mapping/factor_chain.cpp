@@ -17,6 +17,7 @@ FactorChain::FactorChain(std::uint64_t dim,
         factors_[k] = FactorPair{steady[k], tails[k]};
 
     const auto bodies = bodyCounts(steady, tails);
+    bodies_.reserve(bodies.size() + 1);
     bodies_.assign(bodies.begin(), bodies.end());
     bodies_.push_back(1);
     RUBY_ASSERT(bodies_.front() == dim,

@@ -96,12 +96,19 @@ Mapping::keeps(int level, int tensor) const
 std::vector<std::uint64_t>
 Mapping::extentsBelow(int slot) const
 {
-    std::vector<std::uint64_t> extents(
-        static_cast<std::size_t>(problem_->numDims()));
+    std::vector<std::uint64_t> extents;
+    extentsBelowInto(slot, extents);
+    return extents;
+}
+
+void
+Mapping::extentsBelowInto(int slot,
+                          std::vector<std::uint64_t> &extents) const
+{
+    extents.resize(static_cast<std::size_t>(problem_->numDims()));
     for (DimId d = 0; d < problem_->numDims(); ++d)
         extents[static_cast<std::size_t>(d)] =
             chain(d).steadyExtentBelow(slot);
-    return extents;
 }
 
 std::uint64_t

@@ -87,6 +87,14 @@ class Mapping
     std::vector<std::uint64_t> extentsBelow(int slot) const;
 
     /**
+     * extentsBelow() into a caller-owned buffer (resized to the
+     * dimension count); performs no heap allocation once the buffer
+     * has capacity for numDims() entries.
+     */
+    void extentsBelowInto(int slot,
+                          std::vector<std::uint64_t> &extents) const;
+
+    /**
      * Product over dimensions of the steady spatial bounds at level
      * l: how many child instances level l drives concurrently in
      * steady state. Must not exceed the level's fanout for the

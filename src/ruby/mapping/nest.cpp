@@ -7,8 +7,18 @@ namespace ruby
 
 Nest::Nest(const Mapping &mapping)
 {
+    rebuild(mapping);
+}
+
+void
+Nest::rebuild(const Mapping &mapping)
+{
     const Problem &prob = mapping.problem();
     const ArchSpec &arch = mapping.arch();
+
+    loops_.clear();
+    loops_.reserve(static_cast<std::size_t>(mapping.numSlots() *
+                                            prob.numDims()));
 
     auto push = [&](DimId d, int slot, bool spatial) {
         const auto &f = mapping.factor(d, slot);

@@ -44,8 +44,18 @@ struct Loop
 class Nest
 {
   public:
+    /** An empty nest to be filled by rebuild() (scratch reuse). */
+    Nest() = default;
+
     /** Flatten @p mapping. */
     explicit Nest(const Mapping &mapping);
+
+    /**
+     * Re-flatten @p mapping into this object, reusing the loop
+     * storage. After the first call on a given problem/architecture
+     * shape, subsequent rebuilds perform no heap allocation.
+     */
+    void rebuild(const Mapping &mapping);
 
     /** The loops, outermost first. */
     const std::vector<Loop> &loops() const { return loops_; }

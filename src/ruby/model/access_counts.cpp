@@ -102,12 +102,12 @@ spatialSharingBelow(const Problem &prob, const Nest &nest, int tensor,
  * telescopes to exact word totals for ragged chains (steady extents
  * would overcount the tail passes).
  */
-std::vector<double>
-averageExtents(const Mapping &mapping, int boundary)
+void
+averageExtentsInto(const Mapping &mapping, int boundary,
+                   std::vector<double> &extents)
 {
     const Problem &prob = mapping.problem();
-    std::vector<double> extents(
-        static_cast<std::size_t>(prob.numDims()));
+    extents.resize(static_cast<std::size_t>(prob.numDims()));
     for (DimId d = 0; d < prob.numDims(); ++d) {
         const auto &chain = mapping.chain(d);
         const int b = std::min(boundary, chain.numSlots());
@@ -115,7 +115,6 @@ averageExtents(const Mapping &mapping, int boundary)
             static_cast<double>(chain.bodyCount(0)) /
             static_cast<double>(chain.bodyCount(b));
     }
-    return extents;
 }
 
 } // namespace
@@ -124,6 +123,21 @@ AccessCounts
 computeAccesses(const Mapping &mapping, const Nest &nest,
                 const TileInfo &tiles, const ModelOptions &opts)
 {
+    AccessCounts counts;
+    std::vector<int> kept;
+    std::vector<double> extents;
+    computeAccessesInto(mapping, nest, tiles, opts, counts, kept,
+                        extents);
+    return counts;
+}
+
+void
+computeAccessesInto(const Mapping &mapping, const Nest &nest,
+                    const TileInfo &tiles, const ModelOptions &opts,
+                    AccessCounts &counts,
+                    std::vector<int> &kept_scratch,
+                    std::vector<double> &extents_scratch)
+{
     (void)tiles;
     const Problem &prob = mapping.problem();
     const ArchSpec &arch = mapping.arch();
@@ -131,19 +145,22 @@ computeAccesses(const Mapping &mapping, const Nest &nest,
     const int nt = prob.numTensors();
     const int out = prob.outputTensor();
 
-    AccessCounts counts;
-    counts.reads.assign(static_cast<std::size_t>(nl),
-                        std::vector<double>(
-                            static_cast<std::size_t>(nt), 0.0));
-    counts.writes.assign(static_cast<std::size_t>(nl),
-                         std::vector<double>(
-                             static_cast<std::size_t>(nt), 0.0));
+    counts.reads.resize(static_cast<std::size_t>(nl));
+    counts.writes.resize(static_cast<std::size_t>(nl));
+    for (int l = 0; l < nl; ++l) {
+        counts.reads[static_cast<std::size_t>(l)].assign(
+            static_cast<std::size_t>(nt), 0.0);
+        counts.writes[static_cast<std::size_t>(l)].assign(
+            static_cast<std::size_t>(nt), 0.0);
+    }
+    counts.networkWords = 0.0;
 
     const double ops = static_cast<double>(prob.totalOperations());
 
     for (int t = 0; t < nt; ++t) {
         // Kept levels, inner to outer; levels 0 and nl-1 always keep.
-        std::vector<int> kept;
+        std::vector<int> &kept = kept_scratch;
+        kept.clear();
         for (int l = 0; l < nl; ++l)
             if (mapping.keeps(l, t))
                 kept.push_back(l);
@@ -172,8 +189,9 @@ computeAccesses(const Mapping &mapping, const Nest &nest,
                 std::min(TileInfo::boundarySlot(c), mapping.numSlots());
             const int b_p =
                 std::min(TileInfo::boundarySlot(p), mapping.numSlots());
+            averageExtentsInto(mapping, b_c, extents_scratch);
             const double tile =
-                prob.tileVolume(t, averageExtents(mapping, b_c));
+                prob.tileVolume(t, extents_scratch);
             const RegionMults m =
                 walkRegion(prob, nest, t, b_c, b_p, opts);
 
@@ -201,7 +219,6 @@ computeAccesses(const Mapping &mapping, const Nest &nest,
             }
         }
     }
-    return counts;
 }
 
 } // namespace ruby

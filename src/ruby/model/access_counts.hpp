@@ -63,6 +63,18 @@ AccessCounts computeAccesses(const Mapping &mapping, const Nest &nest,
                              const TileInfo &tiles,
                              const ModelOptions &opts = {});
 
+/**
+ * computeAccesses() into caller-owned storage. @p kept_scratch and
+ * @p extents_scratch are work buffers (kept-level list, per-dimension
+ * average extents). Once all outputs have been sized by a first call
+ * of the same shape, no heap allocation occurs.
+ */
+void computeAccessesInto(const Mapping &mapping, const Nest &nest,
+                         const TileInfo &tiles,
+                         const ModelOptions &opts, AccessCounts &out,
+                         std::vector<int> &kept_scratch,
+                         std::vector<double> &extents_scratch);
+
 } // namespace ruby
 
 #endif // RUBY_MODEL_ACCESS_COUNTS_HPP

@@ -1,0 +1,194 @@
+#include "ruby/model/eval_cache.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+constexpr std::uint64_t kHashOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kHashPrime = 0x100000001b3ull;
+
+/** Round up to the next power of two (n >= 1). */
+std::size_t
+ceilPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Avalanche one 64-bit word (splitmix64 finalizer) so small integers
+ * — which is all a mapping contains — still flip high bits.
+ */
+std::uint64_t
+avalanche(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+/**
+ * FNV-style accumulator folding whole avalanched words.
+ * Word-at-a-time keeps the fingerprint cheap enough to sit on the
+ * search's per-candidate path.
+ */
+struct Fnv
+{
+    std::uint64_t h;
+
+    explicit Fnv(std::uint64_t seed) : h(kHashOffset)
+    {
+        // Fold the seed in through the normal mix (an initial
+        // `h ^= seed` could cancel against the first mixed value).
+        mix(seed);
+    }
+
+    void mix(std::uint64_t v) { h = (h ^ avalanche(v)) * kHashPrime; }
+};
+
+/**
+ * Two accumulators fed by one traversal: different initial states and
+ * different odd multipliers, so a false cache hit needs both 64-bit
+ * chains to collide simultaneously.
+ */
+struct FnvPair
+{
+    std::uint64_t a = kHashOffset;
+    std::uint64_t b = 0x6c62272e07bb0142ull;
+
+    void mix(std::uint64_t v)
+    {
+        const std::uint64_t x = avalanche(v);
+        a = (a ^ x) * kHashPrime;
+        b = (b ^ x) * 0x9e3779b97f4a7c15ull;
+    }
+};
+
+/** Feed every defining choice of @p mapping to @p sink.mix(). */
+template <typename Sink>
+void
+visitMapping(const Mapping &mapping, Sink &sink)
+{
+    const Problem &prob = mapping.problem();
+    const ArchSpec &arch = mapping.arch();
+
+    for (DimId d = 0; d < prob.numDims(); ++d) {
+        const FactorChain &chain = mapping.chain(d);
+        for (int k = 0; k < chain.numSlots(); ++k)
+            sink.mix(chain.at(k).steady);
+    }
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        for (DimId d : mapping.permutation(l))
+            sink.mix(static_cast<std::uint64_t>(d));
+        for (int t = 0; t < prob.numTensors(); ++t)
+            sink.mix(mapping.keeps(l, t) ? 1u : 0u);
+        for (DimId d = 0; d < prob.numDims(); ++d)
+            sink.mix(mapping.spatialAxis(l, d) == SpatialAxis::Y ? 1u
+                                                                 : 0u);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+mappingFingerprint(const Mapping &mapping, std::uint64_t seed)
+{
+    Fnv fnv(seed);
+    visitMapping(mapping, fnv);
+    return fnv.h;
+}
+
+FingerprintPair
+mappingFingerprintPair(const Mapping &mapping)
+{
+    FnvPair fnv;
+    visitMapping(mapping, fnv);
+    return FingerprintPair{fnv.a, fnv.b};
+}
+
+EvalCache::EvalCache(std::size_t capacity, std::size_t shards)
+{
+    RUBY_CHECK(capacity >= 1, "eval cache capacity must be >= 1");
+    RUBY_CHECK(shards >= 1 && (shards & (shards - 1)) == 0,
+               "eval cache shard count must be a power of two, got ",
+               shards);
+    const std::size_t per_shard =
+        ceilPow2((capacity + shards - 1) / shards);
+    shardMask_ = shards - 1;
+    slotMask_ = per_shard - 1;
+    shards_ = std::make_unique<Shard[]>(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        shards_[s].slots = std::make_unique<Slot[]>(per_shard);
+}
+
+EvalCache::Shard &
+EvalCache::shardFor(std::uint64_t key) const
+{
+    // High bits pick the shard, low bits the slot: independent enough
+    // that adjacent fingerprints spread over both dimensions.
+    return shards_[(key >> 48) & shardMask_];
+}
+
+std::size_t
+EvalCache::slotIndex(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(key) & slotMask_;
+}
+
+bool
+EvalCache::lookup(std::uint64_t key, std::uint64_t verify,
+                  CachedEval &out) const
+{
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard lock(shard.mutex);
+        const Slot &slot = shard.slots[slotIndex(key)];
+        if (slot.used && slot.key == key && slot.verify == verify) {
+            out = slot.value;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+EvalCache::insert(std::uint64_t key, std::uint64_t verify,
+                  const CachedEval &entry)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard lock(shard.mutex);
+    Slot &slot = shard.slots[slotIndex(key)];
+    if (slot.used && (slot.key != key || slot.verify != verify))
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    slot.key = key;
+    slot.verify = verify;
+    slot.value = entry;
+    slot.used = true;
+}
+
+EvalCache::Stats
+EvalCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t
+EvalCache::capacity() const
+{
+    return (shardMask_ + 1) * (slotMask_ + 1);
+}
+
+} // namespace ruby

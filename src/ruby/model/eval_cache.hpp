@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Mapping fingerprints and the sharded evaluation memo cache.
+ *
+ * Random search resamples duplicate mappings, especially in small or
+ * heavily-constrained mapspaces; each duplicate costs a full model
+ * evaluation. The memo cache deduplicates them: a 64-bit
+ * fingerprint over the mapping's defining choices (factor chains,
+ * permutations, residency, mesh axes) keys a fixed-capacity,
+ * direct-mapped, sharded table holding the compact outcome (validity
+ * + objective). A second, independently-seeded verification hash
+ * guards against fingerprint collisions: a lookup only hits when both
+ * 128 bits match, and the search layer additionally re-evaluates any
+ * hit that claims to beat the incumbent, so a (astronomically
+ * unlikely) double collision can never corrupt the best mapping.
+ *
+ * Thread safety: shards are independently mutex-protected; stats are
+ * relaxed atomics. One cache instance is shared by all worker threads
+ * of a search.
+ */
+
+#ifndef RUBY_MODEL_EVAL_CACHE_HPP
+#define RUBY_MODEL_EVAL_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "ruby/mapping/mapping.hpp"
+
+namespace ruby
+{
+
+/**
+ * 64-bit fingerprint of a mapping's defining choices. Two mappings of
+ * the same mapspace compare equal iff their chains, permutations,
+ * keep flags and spatial axes all match; everything else (tails, body
+ * counts) is derived. @p seed selects an independent hash function —
+ * the cache uses two different seeds to make false hits require a
+ * simultaneous 128-bit collision.
+ */
+std::uint64_t mappingFingerprint(const Mapping &mapping,
+                                 std::uint64_t seed = 0);
+
+/** The cache's 128-bit identity of one mapping. */
+struct FingerprintPair
+{
+    std::uint64_t key = 0;    ///< shard/slot selector
+    std::uint64_t verify = 0; ///< collision guard
+};
+
+/**
+ * Both cache fingerprints in a single traversal of the mapping —
+ * cheaper than two mappingFingerprint() calls, which matters because
+ * this sits on the search's per-candidate path.
+ */
+FingerprintPair mappingFingerprintPair(const Mapping &mapping);
+
+/** Compact memoized outcome of one mapping evaluation. */
+struct CachedEval
+{
+    double objective = 0.0; ///< metric under the search's objective
+    bool valid = false;     ///< validity-stage outcome
+};
+
+/**
+ * Sharded, fixed-capacity, direct-mapped memo cache keyed by mapping
+ * fingerprints.
+ */
+class EvalCache
+{
+  public:
+    /** Default capacity (total entries across shards). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+    /**
+     * @param capacity Total entry count; rounded up so each shard
+     *                 holds a power-of-two number of slots.
+     * @param shards   Shard count (power of two; default 16).
+     */
+    explicit EvalCache(std::size_t capacity = kDefaultCapacity,
+                       std::size_t shards = 16);
+
+    /**
+     * Look up (@p key, @p verify). On a hit copies the entry into
+     * @p out and returns true. Counts a hit or miss either way.
+     */
+    bool lookup(std::uint64_t key, std::uint64_t verify,
+                CachedEval &out) const;
+
+    /**
+     * Insert an outcome. Direct-mapped: an occupied slot holding a
+     * different fingerprint is evicted (counted).
+     */
+    void insert(std::uint64_t key, std::uint64_t verify,
+                const CachedEval &entry);
+
+    /** Aggregate counters since construction. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+    Stats stats() const;
+
+    /** Total slot count (after rounding). */
+    std::size_t capacity() const;
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+        CachedEval value;
+        bool used = false;
+    };
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unique_ptr<Slot[]> slots;
+    };
+
+    Shard &shardFor(std::uint64_t key) const;
+    std::size_t slotIndex(std::uint64_t key) const;
+
+    std::unique_ptr<Shard[]> shards_;
+    std::size_t shardMask_;
+    std::size_t slotMask_;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_EVAL_CACHE_HPP

@@ -2,8 +2,6 @@
 
 #include "ruby/arch/energy_model.hpp"
 #include "ruby/common/error.hpp"
-#include "ruby/mapping/nest.hpp"
-#include "ruby/model/tile_analysis.hpp"
 
 namespace ruby
 {
@@ -27,31 +25,139 @@ Evaluator::Evaluator(const Problem &problem, const ArchSpec &arch,
                      ModelOptions opts)
     : problem_(&problem), arch_(&arch), opts_(opts)
 {
+    // Energy floor shared by every mapping: each MAC executes once,
+    // and each tensor crosses the boundary below the backing store at
+    // least once (operands read, the output written). The per-tensor
+    // word floor treats every axis coefficient as 1 — for strided or
+    // dilated projections the model's average-tile traffic can dip
+    // below tensorSize(), but never below prod_axes(1 + sum(D - 1)),
+    // which is the minimum of (mean tile volume x tile count) over
+    // all tilings. Level energies are non-negative, so omitting every
+    // other term keeps the bound sound.
+    compulsoryEnergy_ =
+        static_cast<double>(problem.totalOperations()) *
+        arch.macEnergy();
+    if (arch.numLevels() >= 2) {
+        const auto &outer = arch.level(arch.numLevels() - 1);
+        for (int t = 0; t < problem.numTensors(); ++t) {
+            double words = 1.0;
+            for (const TensorAxis &axis : problem.tensor(t).axes) {
+                double span = 1.0;
+                for (const AxisTerm &term : axis.terms)
+                    if (term.coef > 0)
+                        span += static_cast<double>(
+                            problem.dimSize(term.dim) - 1);
+                words *= span;
+            }
+            compulsoryEnergy_ += words * (t == problem.outputTensor()
+                                              ? outer.writeEnergy
+                                              : outer.readEnergy);
+        }
+    }
 }
 
 EvalResult
 Evaluator::evaluate(const Mapping &mapping) const
 {
+    EvalScratch scratch;
+    evaluate(mapping, scratch);
+    return std::move(scratch.result);
+}
+
+void
+Evaluator::evaluate(const Mapping &mapping, EvalScratch &scratch) const
+{
+    if (checkValidity(mapping, scratch))
+        runFullModel(mapping, scratch);
+}
+
+bool
+Evaluator::checkValidity(const Mapping &mapping, EvalScratch &scratch,
+                         bool composeReason) const
+{
     RUBY_ASSERT(&mapping.problem() == problem_ &&
                     &mapping.arch() == arch_,
                 "mapping evaluated against a different problem/arch");
 
-    EvalResult res;
+    EvalResult &res = scratch.result;
+    res.valid = false;
+    res.invalidReason.clear();
     res.ops = problem_->totalOperations();
 
-    if (auto reason = checkSpatialFit(mapping); !reason.empty()) {
-        res.invalidReason = std::move(reason);
-        return res;
+    // Most search samples die here, so the reject branches must stay
+    // allocation-free: the message is composed only when the caller
+    // will surface it (reports, tests), never on the search fast path.
+    if (!spatialFitOk(mapping)) {
+        if (composeReason)
+            res.invalidReason = checkSpatialFit(mapping);
+        return false;
     }
-    const TileInfo tiles = analyzeTiles(mapping);
-    if (auto reason = checkCapacity(mapping, tiles); !reason.empty()) {
-        res.invalidReason = std::move(reason);
-        return res;
+    analyzeTilesInto(mapping, scratch.tiles, scratch.extents);
+    if (!capacityOk(mapping, scratch.tiles)) {
+        if (composeReason)
+            res.invalidReason = checkCapacity(mapping, scratch.tiles);
+        return false;
     }
+    return true;
+}
 
-    const Nest nest(mapping);
-    res.accesses = computeAccesses(mapping, nest, tiles, opts_);
-    res.latency = computeLatency(mapping, res.accesses);
+double
+Evaluator::objectiveLowerBound(const Mapping &mapping,
+                               Objective obj) const
+{
+    // Exact serial compute steps: final cycles are the max of this
+    // and the bandwidth terms, so this is a true latency floor.
+    double cycles = 1.0;
+    for (DimId d = 0; d < problem_->numDims(); ++d)
+        cycles *= static_cast<double>(serialSteps(mapping.chain(d)));
+
+    switch (obj) {
+      case Objective::EDP:
+        return compulsoryEnergy_ * cycles;
+      case Objective::Energy:
+        return compulsoryEnergy_;
+      case Objective::Delay:
+        return cycles;
+    }
+    RUBY_ASSERT(false, "unknown objective");
+    return 0.0;
+}
+
+StagedEval
+Evaluator::evaluateStaged(const Mapping &mapping, Objective obj,
+                          double bestSoFar, bool boundPruning,
+                          EvalScratch &scratch) const
+{
+    if (!checkValidity(mapping, scratch, false))
+        return StagedEval::Invalid;
+    // Prune only when the bound says the mapping cannot be *strictly*
+    // better than the incumbent: improving requires metric < best and
+    // metric >= bound, so bound >= best is conclusive.
+    if (boundPruning &&
+        objectiveLowerBound(mapping, obj) >= bestSoFar)
+        return StagedEval::PrunedBound;
+    runFullModel(mapping, scratch);
+    return StagedEval::Modeled;
+}
+
+void
+Evaluator::modelValidated(const Mapping &mapping,
+                          EvalScratch &scratch) const
+{
+    runFullModel(mapping, scratch);
+}
+
+void
+Evaluator::runFullModel(const Mapping &mapping,
+                        EvalScratch &scratch) const
+{
+    EvalResult &res = scratch.result;
+
+    scratch.nest.rebuild(mapping);
+    computeAccessesInto(mapping, scratch.nest, scratch.tiles, opts_,
+                        res.accesses, scratch.kept,
+                        scratch.avgExtents);
+    computeLatencyInto(mapping, res.accesses, res.latency);
 
     res.levelEnergy.assign(
         static_cast<std::size_t>(arch_->numLevels()), 0.0);
@@ -81,7 +187,6 @@ Evaluator::evaluate(const Mapping &mapping) const
     res.edp = res.energy * res.cycles;
     res.utilization = res.latency.utilization;
     res.valid = true;
-    return res;
 }
 
 } // namespace ruby

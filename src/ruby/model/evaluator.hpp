@@ -1,18 +1,39 @@
 /**
  * @file
  * The top of the analytic cost model: validity, energy, latency, EDP.
+ *
+ * Two entry points exist. evaluate() is the simple allocating form.
+ * The *fast path* used by the searches splits the work into three
+ * stages driven through a reusable EvalScratch:
+ *
+ *   1. checkValidity()      — spatial-fit + tile + capacity checks;
+ *                             no cost model is run.
+ *   2. objectiveLowerBound()— a cheap, provably-sound lower bound on
+ *                             the objective (ideal compute latency x
+ *                             compulsory-access energy). Mappings
+ *                             whose bound cannot beat the incumbent
+ *                             are pruned before the full model runs.
+ *   3. the full model       — evaluate(mapping, scratch), writing
+ *                             into scratch.result with zero heap
+ *                             allocations in steady state.
+ *
+ * evaluateStaged() sequences the three stages and reports which one
+ * decided the outcome, so searches can keep per-stage counters.
  */
 
 #ifndef RUBY_MODEL_EVALUATOR_HPP
 #define RUBY_MODEL_EVALUATOR_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "ruby/arch/arch_spec.hpp"
 #include "ruby/mapping/mapping.hpp"
+#include "ruby/mapping/nest.hpp"
 #include "ruby/model/access_counts.hpp"
 #include "ruby/model/latency.hpp"
+#include "ruby/model/tile_analysis.hpp"
 #include "ruby/workload/problem.hpp"
 
 namespace ruby
@@ -53,9 +74,64 @@ struct EvalResult
 };
 
 /**
+ * Per-evaluation scratch workspace: every buffer the staged fast path
+ * writes, owned by exactly one search thread (never shared — see
+ * docs/PERFORMANCE.md). After warm-up on a given (problem, arch)
+ * shape, evaluations through a scratch perform no heap allocation.
+ */
+struct EvalScratch
+{
+    /** Full-model output; valid after Modeled (or Invalid) stages. */
+    EvalResult result;
+    /** Per-level, per-tensor steady tile volumes. */
+    TileInfo tiles;
+    /** Reusable flattened loop nest. */
+    Nest nest;
+    /** Per-dimension steady extents (tile analysis). */
+    std::vector<std::uint64_t> extents;
+    /** Per-dimension average extents (access counting). */
+    std::vector<double> avgExtents;
+    /** Kept-level list (access counting). */
+    std::vector<int> kept;
+};
+
+/** Which stage decided a staged evaluation. */
+enum class StagedEval
+{
+    Invalid,     ///< failed validity; scratch.result.valid == false
+    PrunedBound, ///< valid, but provably cannot beat the incumbent
+    Modeled,     ///< full model ran; scratch.result is complete
+};
+
+/**
+ * Per-stage evaluation counters kept by the searches (surfaced in
+ * SearchResult / LayerOutcome and the network summary).
+ */
+struct EvalStats
+{
+    std::uint64_t invalid = 0;        ///< rejected by validity stage
+    std::uint64_t prunedBound = 0;    ///< skipped by the lower bound
+    std::uint64_t modeled = 0;        ///< full cost-model runs
+    std::uint64_t cacheHits = 0;      ///< memo-cache hits
+    std::uint64_t cacheMisses = 0;    ///< memo-cache misses
+    std::uint64_t cacheEvictions = 0; ///< memo-cache evictions
+
+    EvalStats &operator+=(const EvalStats &o)
+    {
+        invalid += o.invalid;
+        prunedBound += o.prunedBound;
+        modeled += o.modeled;
+        cacheHits += o.cacheHits;
+        cacheMisses += o.cacheMisses;
+        cacheEvictions += o.cacheEvictions;
+        return *this;
+    }
+};
+
+/**
  * Evaluates mappings of one (problem, architecture) pair. Stateless
  * apart from cached references; cheap to copy and thread-safe to use
- * concurrently from multiple threads.
+ * concurrently from multiple threads (each with its own EvalScratch).
  */
 class Evaluator
 {
@@ -80,10 +156,65 @@ class Evaluator
      */
     EvalResult evaluate(const Mapping &mapping) const;
 
+    /**
+     * Full evaluation through @p scratch: identical numbers to
+     * evaluate(), but all buffers are reused. The outcome (including
+     * invalidity) lands in scratch.result.
+     */
+    void evaluate(const Mapping &mapping, EvalScratch &scratch) const;
+
+    /**
+     * Stage 1: capacity/fanout validity only; no cost model. Fills
+     * scratch.tiles and, on failure, scratch.result.invalidReason.
+     * Returns true iff the mapping is valid. Pass composeReason =
+     * false to skip building the failure message — searches discard
+     * it, and composing it is the only allocation on the reject path.
+     */
+    bool checkValidity(const Mapping &mapping, EvalScratch &scratch,
+                       bool composeReason = true) const;
+
+    /**
+     * Stage 2: a sound lower bound on the mapping's objective,
+     * computable without the full model. Combines the exact serial
+     * compute-cycle count (actual cycles can only be larger) with the
+     * compulsory energy floor: datapath MACs plus one traversal of
+     * every tensor through the backing store. For every valid mapping
+     * m: objectiveLowerBound(m, obj) <= evaluate(m).objective(obj).
+     */
+    double objectiveLowerBound(const Mapping &mapping,
+                               Objective obj) const;
+
+    /**
+     * Run the staged fast path: validity, then (optionally) the
+     * lower-bound prune against @p bestSoFar, then the full model.
+     * A mapping is pruned only when its bound is >= bestSoFar, i.e.
+     * when it provably cannot *strictly* improve on the incumbent —
+     * so searches that keep the first strict improvement find exactly
+     * the same best mapping with pruning on or off.
+     */
+    StagedEval evaluateStaged(const Mapping &mapping, Objective obj,
+                              double bestSoFar, bool boundPruning,
+                              EvalScratch &scratch) const;
+
+    /**
+     * Stage 3 alone: run the full model on a mapping that already
+     * passed checkValidity() with the SAME scratch (the model reads
+     * scratch.tiles). Lets callers interleave their own work — e.g.
+     * a memo-cache lookup — between the stages.
+     */
+    void modelValidated(const Mapping &mapping,
+                        EvalScratch &scratch) const;
+
   private:
+    /** Stage 3: the full model; requires scratch.tiles to be fresh. */
+    void runFullModel(const Mapping &mapping,
+                      EvalScratch &scratch) const;
+
     const Problem *problem_;
     const ArchSpec *arch_;
     ModelOptions opts_;
+    /** Compulsory energy floor: MACs + one backing-store traversal. */
+    double compulsoryEnergy_ = 0.0;
 };
 
 } // namespace ruby

@@ -35,10 +35,18 @@ serialSteps(const FactorChain &chain)
 LatencyResult
 computeLatency(const Mapping &mapping, const AccessCounts &accesses)
 {
+    LatencyResult res;
+    computeLatencyInto(mapping, accesses, res);
+    return res;
+}
+
+void
+computeLatencyInto(const Mapping &mapping, const AccessCounts &accesses,
+                   LatencyResult &res)
+{
     const Problem &prob = mapping.problem();
     const ArchSpec &arch = mapping.arch();
 
-    LatencyResult res;
     double compute = 1.0;
     for (DimId d = 0; d < prob.numDims(); ++d)
         compute *= static_cast<double>(serialSteps(mapping.chain(d)));
@@ -63,7 +71,6 @@ computeLatency(const Mapping &mapping, const AccessCounts &accesses)
     const double macs = static_cast<double>(arch.totalMacs());
     RUBY_ASSERT(res.computeCycles > 0.0);
     res.utilization = ops / (res.computeCycles * macs);
-    return res;
 }
 
 } // namespace ruby

@@ -44,6 +44,14 @@ std::uint64_t serialSteps(const FactorChain &chain);
 LatencyResult computeLatency(const Mapping &mapping,
                              const AccessCounts &accesses);
 
+/**
+ * computeLatency() into caller-owned storage; no heap allocation once
+ * @p out's bandwidth vector has capacity for the level count.
+ */
+void computeLatencyInto(const Mapping &mapping,
+                        const AccessCounts &accesses,
+                        LatencyResult &out);
+
 } // namespace ruby
 
 #endif // RUBY_MODEL_LATENCY_HPP

@@ -10,29 +10,46 @@ namespace ruby
 TileInfo
 analyzeTiles(const Mapping &mapping)
 {
+    TileInfo info;
+    std::vector<std::uint64_t> extents;
+    analyzeTilesInto(mapping, info, extents);
+    return info;
+}
+
+void
+analyzeTilesInto(const Mapping &mapping, TileInfo &info,
+                 std::vector<std::uint64_t> &extents_scratch)
+{
     const Problem &prob = mapping.problem();
     const ArchSpec &arch = mapping.arch();
     const int nl = arch.numLevels();
     const int nt = prob.numTensors();
 
-    TileInfo info;
-    info.tileWords.assign(static_cast<std::size_t>(nl),
-                          std::vector<std::uint64_t>(
-                              static_cast<std::size_t>(nt), 0));
+    info.tileWords.resize(static_cast<std::size_t>(nl));
     for (int l = 0; l < nl; ++l) {
+        auto &row = info.tileWords[static_cast<std::size_t>(l)];
+        row.assign(static_cast<std::size_t>(nt), 0);
         const int boundary =
             std::min(TileInfo::boundarySlot(l), mapping.numSlots());
-        const auto extents = mapping.extentsBelow(boundary);
+        mapping.extentsBelowInto(boundary, extents_scratch);
         for (int t = 0; t < nt; ++t)
-            info.tileWords[static_cast<std::size_t>(l)]
-                          [static_cast<std::size_t>(t)] =
-                prob.tileVolume(t, extents);
+            row[static_cast<std::size_t>(t)] =
+                prob.tileVolume(t, extents_scratch);
     }
-    return info;
 }
 
-std::string
-checkCapacity(const Mapping &mapping, const TileInfo &tiles)
+namespace
+{
+
+/**
+ * Shared capacity walk. Returns true when every kept tile fits; on
+ * the first violation returns false and, when @p reason is non-null,
+ * composes the human-readable message (the search fast path passes
+ * null — rejects there must stay allocation-free).
+ */
+bool
+capacityCheckImpl(const Mapping &mapping, const TileInfo &tiles,
+                  std::string *reason)
 {
     const Problem &prob = mapping.problem();
     const ArchSpec &arch = mapping.arch();
@@ -60,21 +77,28 @@ checkCapacity(const Mapping &mapping, const TileInfo &tiles)
             }
             if (partition > 0) {
                 if (tile > partition) {
-                    std::ostringstream oss;
-                    oss << prob.tensor(t).name << " tile (" << tile
-                        << " words) exceeds " << lvl.name
-                        << " partition (" << partition << ")";
-                    return oss.str();
+                    if (reason != nullptr) {
+                        std::ostringstream oss;
+                        oss << prob.tensor(t).name << " tile (" << tile
+                            << " words) exceeds " << lvl.name
+                            << " partition (" << partition << ")";
+                        *reason = oss.str();
+                    }
+                    return false;
                 }
             } else {
                 shared_used += tile;
             }
         }
         if (lvl.capacityWords > 0 && shared_used > lvl.capacityWords) {
-            std::ostringstream oss;
-            oss << "shared tiles (" << shared_used << " words) exceed "
-                << lvl.name << " capacity (" << lvl.capacityWords << ")";
-            return oss.str();
+            if (reason != nullptr) {
+                std::ostringstream oss;
+                oss << "shared tiles (" << shared_used
+                    << " words) exceed " << lvl.name << " capacity ("
+                    << lvl.capacityWords << ")";
+                *reason = oss.str();
+            }
+            return false;
         }
         if (lvl.capacityWords == 0 && lvl.perTensorCapacity.empty() &&
             shared_used > 0) {
@@ -83,11 +107,12 @@ checkCapacity(const Mapping &mapping, const TileInfo &tiles)
             // tests), so no error.
         }
     }
-    return {};
+    return true;
 }
 
-std::string
-checkSpatialFit(const Mapping &mapping)
+/** Shared spatial-fit walk; same reason contract as above. */
+bool
+spatialFitImpl(const Mapping &mapping, std::string *reason)
 {
     const ArchSpec &arch = mapping.arch();
     for (int l = 0; l < arch.numLevels(); ++l) {
@@ -99,15 +124,48 @@ checkSpatialFit(const Mapping &mapping)
         const std::uint64_t y =
             mapping.spatialUsage(l, SpatialAxis::Y);
         if (x > arch.level(l).fanoutX || y > arch.level(l).fanoutY) {
-            std::ostringstream oss;
-            oss << "spatial usage " << x << "x" << y << " exceeds "
-                << arch.level(l).name << " fanout "
-                << arch.level(l).fanoutX << "x"
-                << arch.level(l).fanoutY;
-            return oss.str();
+            if (reason != nullptr) {
+                std::ostringstream oss;
+                oss << "spatial usage " << x << "x" << y << " exceeds "
+                    << arch.level(l).name << " fanout "
+                    << arch.level(l).fanoutX << "x"
+                    << arch.level(l).fanoutY;
+                *reason = oss.str();
+            }
+            return false;
         }
     }
-    return {};
+    return true;
+}
+
+} // namespace
+
+std::string
+checkCapacity(const Mapping &mapping, const TileInfo &tiles)
+{
+    std::string reason;
+    capacityCheckImpl(mapping, tiles, &reason);
+    return reason;
+}
+
+bool
+capacityOk(const Mapping &mapping, const TileInfo &tiles)
+{
+    return capacityCheckImpl(mapping, tiles, nullptr);
+}
+
+std::string
+checkSpatialFit(const Mapping &mapping)
+{
+    std::string reason;
+    spatialFitImpl(mapping, &reason);
+    return reason;
+}
+
+bool
+spatialFitOk(const Mapping &mapping)
+{
+    return spatialFitImpl(mapping, nullptr);
 }
 
 } // namespace ruby

@@ -37,6 +37,14 @@ struct TileInfo
 TileInfo analyzeTiles(const Mapping &mapping);
 
 /**
+ * analyzeTiles() into caller-owned storage. @p extents_scratch is a
+ * per-dimension work buffer. Once @p info and the scratch have been
+ * sized by a first call of the same shape, no heap allocation occurs.
+ */
+void analyzeTilesInto(const Mapping &mapping, TileInfo &info,
+                      std::vector<std::uint64_t> &extents_scratch);
+
+/**
  * Check that every kept tile fits its level (dedicated partitions
  * first, remaining tensors against the shared pool).
  *
@@ -45,11 +53,21 @@ TileInfo analyzeTiles(const Mapping &mapping);
 std::string checkCapacity(const Mapping &mapping, const TileInfo &tiles);
 
 /**
+ * checkCapacity() without composing the failure message. The search
+ * fast path rejects most samples here; skipping the string keeps the
+ * reject branch allocation-free.
+ */
+bool capacityOk(const Mapping &mapping, const TileInfo &tiles);
+
+/**
  * Check that each level's steady spatial usage fits its fanout.
  *
  * @return empty string if valid, else a human-readable reason.
  */
 std::string checkSpatialFit(const Mapping &mapping);
+
+/** checkSpatialFit() without composing the failure message. */
+bool spatialFitOk(const Mapping &mapping);
 
 } // namespace ruby
 

@@ -89,6 +89,7 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
         }
 
         outcome.evaluated = res.evaluated;
+        outcome.stats = res.stats;
         outcome.timedOut = res.deadlineExceeded;
         outcome.found = res.best.has_value();
         if (outcome.found) {
@@ -176,6 +177,7 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
             outcome.name = layer.shape.name;
         outcome.count = layer.count;
         outcome.group = layer.group;
+        net.stats += outcome.stats;
         if (outcome.found) {
             const double n = static_cast<double>(layer.count);
             net.totalEnergy += n * outcome.result.energy;

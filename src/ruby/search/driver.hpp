@@ -61,6 +61,9 @@ struct LayerOutcome
     bool found = false;
     EvalResult result; ///< best mapping's evaluation
     std::uint64_t evaluated = 0;
+    /** Fast-path stage counters: how the drawn mappings were decided
+     *  (invalid / bound-pruned / fully modeled / cache hits). */
+    EvalStats stats;
     std::string bestMapping; ///< rendered best mapping
 
     /** None iff found; otherwise why the layer has no mapping. */
@@ -86,6 +89,8 @@ struct NetworkOutcome
     bool allFound = true;
     /** Layers with found == false (unique shapes, not counts). */
     int failedLayers = 0;
+    /** Fast-path stage counters summed across layers (unweighted). */
+    EvalStats stats;
 };
 
 /**

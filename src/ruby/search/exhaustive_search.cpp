@@ -54,6 +54,7 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
     }
 
     ExhaustiveResult out;
+    EvalScratch scratch;
     double best = kInf;
 
     // Keep-all residency honouring forced bypasses.
@@ -83,16 +84,30 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
                 perm_set[perm_pick[static_cast<std::size_t>(l)]];
 
         Mapping mapping(prob, arch, steady, std::move(perms), keep);
-        const EvalResult result = evaluator.evaluate(mapping);
+        const StagedEval staged = evaluator.evaluateStaged(
+            mapping, options.objective, best, options.boundPruning,
+            scratch);
         ++out.evaluated;
-        if (result.valid) {
+        switch (staged) {
+          case StagedEval::Invalid:
+            ++out.stats.invalid;
+            break;
+          case StagedEval::PrunedBound:
+            ++out.stats.prunedBound;
             ++out.valid;
-            const double metric = result.objective(options.objective);
+            break;
+          case StagedEval::Modeled: {
+            ++out.stats.modeled;
+            ++out.valid;
+            const double metric =
+                scratch.result.objective(options.objective);
             if (metric < best) {
                 best = metric;
                 out.best = std::move(mapping);
-                out.bestResult = result;
+                out.bestResult = scratch.result;
             }
+            break;
+          }
         }
     };
 

@@ -31,6 +31,14 @@ struct ExhaustiveOptions
 
     /** Safety cap on evaluated mappings (0 = unlimited). */
     std::uint64_t maxEvaluations = 1'000'000;
+
+    /**
+     * Skip the full model for valid mappings whose objective lower
+     * bound cannot beat the incumbent (see Evaluator::evaluateStaged).
+     * Never changes the best mapping found. No memo cache here:
+     * enumeration visits each mapping exactly once.
+     */
+    bool boundPruning = true;
 };
 
 /** Exhaustive-search outcome. */
@@ -40,6 +48,8 @@ struct ExhaustiveResult
     EvalResult bestResult;
     std::uint64_t evaluated = 0;
     std::uint64_t valid = 0;
+    /** Per-stage fast-path counters (cache fields stay zero). */
+    EvalStats stats;
     /** True when the cap stopped enumeration before completion. */
     bool truncated = false;
 };

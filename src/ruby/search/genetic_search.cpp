@@ -32,17 +32,24 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
 
     SearchResult out;
     Rng rng(options.seed);
+    EvalScratch scratch;
     double global_best = kInf;
 
+    // Tournament selection needs every individual's actual fitness,
+    // so the lower-bound prune does not apply here; the scratch still
+    // makes each evaluation allocation-free.
     auto score = [&](Individual &ind) {
         const Mapping mapping =
             ind.genome.materialize(space.problem(), space.arch());
-        const EvalResult res = evaluator.evaluate(mapping);
+        evaluator.evaluate(mapping, scratch);
+        const EvalResult &res = scratch.result;
         ++out.evaluated;
         if (!res.valid) {
+            ++out.stats.invalid;
             ind.fitness = kInf;
             return;
         }
+        ++out.stats.modeled;
         ++out.valid;
         ind.fitness = res.objective(options.objective);
         if (ind.fitness < global_best) {

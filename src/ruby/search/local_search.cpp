@@ -15,17 +15,25 @@ localSearch(const Mapspace &space, const Evaluator &evaluator,
     constexpr double kInf = std::numeric_limits<double>::infinity();
     SearchResult out;
     Rng rng(options.seed);
+    EvalScratch scratch;
 
     double global_best = kInf;
 
+    // Hill climbing compares neighbours by actual metric, so the
+    // lower-bound prune does not apply; the scratch still makes each
+    // evaluation allocation-free.
     auto evaluate = [&](const MappingGenome &genome,
                         double &metric) -> bool {
         const Mapping mapping =
             genome.materialize(space.problem(), space.arch());
-        const EvalResult res = evaluator.evaluate(mapping);
+        evaluator.evaluate(mapping, scratch);
+        const EvalResult &res = scratch.result;
         ++out.evaluated;
-        if (!res.valid)
+        if (!res.valid) {
+            ++out.stats.invalid;
             return false;
+        }
+        ++out.stats.modeled;
         ++out.valid;
         metric = res.objective(options.objective);
         if (metric < global_best) {

@@ -49,7 +49,74 @@ resolveOptions(const SearchOptions &options)
     RUBY_CHECK(opts.restarts <= kMaxParallelism,
                "search options: restarts (", opts.restarts,
                ") exceeds the cap of ", kMaxParallelism);
+    RUBY_CHECK(opts.evalCacheCapacity >= 1,
+               "search options: evalCacheCapacity must be >= 1");
     return opts;
+}
+
+/** What one drawn sample turned out to be. */
+struct SampleOutcome
+{
+    bool valid = false;   ///< passed validity (possibly via the cache)
+    bool modeled = false; ///< scratch.result holds full-model output
+    double metric = kInf; ///< objective when known (modeled or cached)
+};
+
+/**
+ * The per-sample fast path, cheapest check first:
+ *
+ *   validity -> objective lower bound -> memo cache -> full model.
+ *
+ * Validity runs before any hashing because most random samples are
+ * invalid and rejecting one is cheaper than fingerprinting it; the
+ * bound runs before the cache for the same reason. Only fully modeled
+ * outcomes are cached — PrunedBound depends on the incumbent, not
+ * just the mapping, and invalidity is cheaper to recompute than to
+ * look up.
+ *
+ * A cache hit short-circuits only when it cannot change the best
+ * mapping (objective >= bestSoFar). A hit claiming an improvement is
+ * fully re-modeled, so neither a cross-restart hit nor a 128-bit
+ * fingerprint collision can ever corrupt the result.
+ */
+SampleOutcome
+evalSample(const Mapping &mapping, const Evaluator &evaluator,
+           const SearchOptions &opts, EvalCache *cache,
+           double bestSoFar, EvalScratch &scratch, EvalStats &stats)
+{
+    SampleOutcome out;
+    if (!evaluator.checkValidity(mapping, scratch, false)) {
+        ++stats.invalid;
+        return out;
+    }
+    out.valid = true;
+    // Provably non-improving: the metric stays kInf, which is fine
+    // because the caller only compares it for strict improvement.
+    if (opts.boundPruning &&
+        evaluator.objectiveLowerBound(mapping, opts.objective) >=
+            bestSoFar) {
+        ++stats.prunedBound;
+        return out;
+    }
+    FingerprintPair fp;
+    if (cache != nullptr) {
+        fp = mappingFingerprintPair(mapping);
+        CachedEval cached;
+        if (cache->lookup(fp.key, fp.verify, cached) && cached.valid &&
+            cached.objective >= bestSoFar) {
+            ++stats.cacheHits;
+            out.metric = cached.objective;
+            return out;
+        }
+        ++stats.cacheMisses;
+    }
+    evaluator.modelValidated(mapping, scratch);
+    ++stats.modeled;
+    out.modeled = true;
+    out.metric = scratch.result.objective(opts.objective);
+    if (cache != nullptr)
+        cache->insert(fp.key, fp.verify, CachedEval{out.metric, true});
+    return out;
 }
 
 /** Shared best-so-far state for the multithreaded path. */
@@ -59,6 +126,11 @@ struct SharedState
     std::optional<Mapping> best;
     EvalResult bestResult;
     double bestObjective = kInf;
+    EvalStats stats; ///< merged per-shard counters (under mutex)
+    /** Lock-free snapshot of bestObjective for the pruning stage; a
+     *  stale read is only ever too *large*, which prunes less, never
+     *  wrongly. */
+    std::atomic<double> bestSnapshot{kInf};
     std::atomic<std::uint64_t> evaluated{0};
     std::atomic<std::uint64_t> valid{0};
     std::atomic<std::uint64_t> streak{0};
@@ -68,10 +140,13 @@ struct SharedState
 
 void
 shardLoop(const Mapspace &space, const Evaluator &evaluator,
-          const SearchOptions &opts, Rng rng, SharedState &state,
-          const CancelToken &cancel, const Deadline &deadline)
+          const SearchOptions &opts, EvalCache *cache, Rng rng,
+          SharedState &state, const CancelToken &cancel,
+          const Deadline &deadline)
 {
     FaultInjector &faults = FaultInjector::global();
+    EvalScratch scratch;
+    EvalStats stats;
     std::uint64_t local = 0;
     while (!state.stop.load(std::memory_order_relaxed)) {
         if (cancel.cancelled())
@@ -90,20 +165,24 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
         const Mapping mapping = space.sample(rng);
         if (faults.enabled())
             faults.maybeThrow("random_search.evaluate");
-        const EvalResult result = evaluator.evaluate(mapping);
+        const double bestSoFar =
+            state.bestSnapshot.load(std::memory_order_relaxed);
+        const SampleOutcome sample = evalSample(
+            mapping, evaluator, opts, cache, bestSoFar, scratch, stats);
         state.evaluated.fetch_add(1, std::memory_order_relaxed);
-        if (!result.valid)
+        if (!sample.valid)
             continue;
         state.valid.fetch_add(1, std::memory_order_relaxed);
 
-        const double metric = result.objective(opts.objective);
         bool improved = false;
-        {
+        if (sample.modeled) {
             std::lock_guard lock(state.mutex);
-            if (metric < state.bestObjective) {
-                state.bestObjective = metric;
+            if (sample.metric < state.bestObjective) {
+                state.bestObjective = sample.metric;
+                state.bestSnapshot.store(sample.metric,
+                                         std::memory_order_relaxed);
                 state.best = mapping;
-                state.bestResult = result;
+                state.bestResult = scratch.result;
                 improved = true;
             }
         }
@@ -117,17 +196,21 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
                 state.stop.store(true, std::memory_order_relaxed);
         }
     }
+    std::lock_guard lock(state.mutex);
+    state.stats += stats;
 }
 
 SearchResult
 runOne(const Mapspace &space, const Evaluator &evaluator,
-       const SearchOptions &options, const Deadline &deadline)
+       const SearchOptions &options, EvalCache *cache,
+       const Deadline &deadline)
 {
     SearchResult out;
 
     if (options.recordTrajectory || options.threads <= 1) {
         FaultInjector &faults = FaultInjector::global();
         Rng rng(options.seed);
+        EvalScratch scratch;
         double best = kInf;
         std::uint64_t streak = 0;
         for (std::uint64_t i = 0;; ++i) {
@@ -141,16 +224,16 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
             const Mapping mapping = space.sample(rng);
             if (faults.enabled())
                 faults.maybeThrow("random_search.evaluate");
-            const EvalResult result = evaluator.evaluate(mapping);
+            const SampleOutcome sample = evalSample(
+                mapping, evaluator, options, cache, best, scratch,
+                out.stats);
             ++out.evaluated;
-            if (result.valid) {
+            if (sample.valid) {
                 ++out.valid;
-                const double metric =
-                    result.objective(options.objective);
-                if (metric < best) {
-                    best = metric;
+                if (sample.modeled && sample.metric < best) {
+                    best = sample.metric;
                     out.best = mapping;
-                    out.bestResult = result;
+                    out.bestResult = scratch.result;
                     streak = 0;
                 } else {
                     ++streak;
@@ -175,8 +258,8 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
     Rng seeder(options.seed);
     for (unsigned i = 0; i < options.threads; ++i)
         pool.submit([&, stream = seeder.split()]() mutable {
-            shardLoop(space, evaluator, options, stream, state, cancel,
-                      deadline);
+            shardLoop(space, evaluator, options, cache, stream, state,
+                      cancel, deadline);
         });
     pool.waitIdle();
 
@@ -184,6 +267,7 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
     out.bestResult = std::move(state.bestResult);
     out.evaluated = state.evaluated.load();
     out.valid = state.valid.load();
+    out.stats = state.stats;
     out.deadlineExceeded = state.deadlineHit.load();
     return out;
 }
@@ -199,30 +283,43 @@ randomSearch(const Mapspace &space, const Evaluator &evaluator,
     // call, not each restart individually.
     const Deadline deadline = Deadline::after(resolved.timeBudget);
 
-    if (resolved.restarts <= 1 || resolved.recordTrajectory)
-        return runOne(space, evaluator, resolved, deadline);
+    // One cache is shared by every thread of every restart: repeated
+    // samples across restarts are duplicates too.
+    std::unique_ptr<EvalCache> cache;
+    if (resolved.evalCache)
+        cache =
+            std::make_unique<EvalCache>(resolved.evalCacheCapacity);
 
     SearchResult best;
-    for (unsigned r = 0; r < resolved.restarts; ++r) {
-        SearchOptions opts = resolved;
-        opts.seed = resolved.seed + 1000003ull * r;
-        SearchResult res = runOne(space, evaluator, opts, deadline);
-        const bool better =
-            res.best &&
-            (!best.best ||
-             res.bestResult.objective(resolved.objective) <
-                 best.bestResult.objective(resolved.objective));
-        if (better) {
-            best.best = std::move(res.best);
-            best.bestResult = std::move(res.bestResult);
-        }
-        best.evaluated += res.evaluated;
-        best.valid += res.valid;
-        if (res.deadlineExceeded) {
-            best.deadlineExceeded = true;
-            break;
+    if (resolved.restarts <= 1 || resolved.recordTrajectory) {
+        best = runOne(space, evaluator, resolved, cache.get(),
+                      deadline);
+    } else {
+        for (unsigned r = 0; r < resolved.restarts; ++r) {
+            SearchOptions opts = resolved;
+            opts.seed = resolved.seed + 1000003ull * r;
+            SearchResult res =
+                runOne(space, evaluator, opts, cache.get(), deadline);
+            const bool better =
+                res.best &&
+                (!best.best ||
+                 res.bestResult.objective(resolved.objective) <
+                     best.bestResult.objective(resolved.objective));
+            if (better) {
+                best.best = std::move(res.best);
+                best.bestResult = std::move(res.bestResult);
+            }
+            best.evaluated += res.evaluated;
+            best.valid += res.valid;
+            best.stats += res.stats;
+            if (res.deadlineExceeded) {
+                best.deadlineExceeded = true;
+                break;
+            }
         }
     }
+    if (cache)
+        best.stats.cacheEvictions = cache->stats().evictions;
     return best;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ruby/mapspace/mapspace.hpp"
+#include "ruby/model/eval_cache.hpp"
 #include "ruby/model/evaluator.hpp"
 
 namespace ruby
@@ -71,6 +72,23 @@ struct SearchOptions
      * (Fig. 7 trajectories). Forces single-threaded execution.
      */
     bool recordTrajectory = false;
+
+    /**
+     * Skip the full cost model for valid mappings whose objective
+     * lower bound proves they cannot beat the incumbent. Never
+     * changes the best mapping found (see Evaluator::evaluateStaged);
+     * disable only for stage-counter experiments.
+     */
+    bool boundPruning = true;
+
+    /**
+     * Deduplicate repeated random samples through the sharded memo
+     * cache (see EvalCache). Never changes the best mapping found.
+     */
+    bool evalCache = true;
+
+    /** Memo-cache capacity in entries (rounded up per shard). */
+    std::size_t evalCacheCapacity = EvalCache::kDefaultCapacity;
 };
 
 /** Search outcome. */
@@ -83,6 +101,14 @@ struct SearchResult
 
     std::uint64_t evaluated = 0; ///< mappings drawn
     std::uint64_t valid = 0;     ///< mappings passing validity
+
+    /**
+     * Per-stage fast-path counters: how the drawn mappings were
+     * decided (invalid / bound-pruned / fully modeled) and how the
+     * memo cache behaved. invalid + prunedBound + modeled +
+     * cacheHits == evaluated.
+     */
+    EvalStats stats;
 
     /** True when the time budget expired before natural termination. */
     bool deadlineExceeded = false;

@@ -1,0 +1,145 @@
+#include "ruby/model/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/common/rng.hpp"
+#include "ruby/mapspace/mapspace.hpp"
+#include "ruby/workload/gemm.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+struct FingerprintFixture
+{
+    Problem prob = makeGemm(64, 64, 64);
+    ArchSpec arch = makeToyLinear(16);
+    MappingConstraints cons{prob, arch};
+    Mapspace space{cons, MapspaceVariant::RubyS};
+};
+
+TEST(MappingFingerprint, StableForIdenticalMapping)
+{
+    FingerprintFixture fx;
+    Rng rng(1);
+    const Mapping m = fx.space.sample(rng);
+    EXPECT_EQ(mappingFingerprint(m), mappingFingerprint(m));
+    EXPECT_EQ(mappingFingerprint(m, 99), mappingFingerprint(m, 99));
+}
+
+TEST(MappingFingerprint, SeedSelectsIndependentHash)
+{
+    FingerprintFixture fx;
+    Rng rng(2);
+    const Mapping m = fx.space.sample(rng);
+    EXPECT_NE(mappingFingerprint(m, 0), mappingFingerprint(m, 1));
+}
+
+/** Canonical rendering of exactly the choices the fingerprint hashes. */
+std::string
+structuralKey(const Mapping &m)
+{
+    const Problem &prob = m.problem();
+    const ArchSpec &arch = m.arch();
+    std::string key;
+    for (DimId d = 0; d < prob.numDims(); ++d) {
+        const FactorChain &chain = m.chain(d);
+        for (int k = 0; k < chain.numSlots(); ++k)
+            key += std::to_string(chain.at(k).steady) + ",";
+    }
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        for (DimId d : m.permutation(l))
+            key += std::to_string(d) + ".";
+        for (int t = 0; t < prob.numTensors(); ++t)
+            key += m.keeps(l, t) ? 'K' : '-';
+        for (DimId d = 0; d < prob.numDims(); ++d)
+            key += m.spatialAxis(l, d) == SpatialAxis::Y ? 'Y' : 'X';
+        key += ';';
+    }
+    return key;
+}
+
+TEST(MappingFingerprint, InjectiveOnSampledMappings)
+{
+    FingerprintFixture fx;
+    Rng rng(3);
+    std::map<std::uint64_t, std::string> seen;
+    std::set<std::string> keys;
+    for (int i = 0; i < 500; ++i) {
+        const Mapping m = fx.space.sample(rng);
+        const std::string key = structuralKey(m);
+        const std::uint64_t print = mappingFingerprint(m);
+        keys.insert(key);
+        const auto [it, fresh] = seen.emplace(print, key);
+        // Same fingerprint must mean same structural choices: a
+        // 64-bit hash colliding within a few hundred draws would make
+        // the cache unreliable in practice.
+        EXPECT_EQ(it->second, key);
+    }
+    EXPECT_EQ(seen.size(), keys.size());
+}
+
+TEST(EvalCache, HitAfterInsert)
+{
+    EvalCache cache(64, 4);
+    cache.insert(42, 7, CachedEval{3.5, true});
+    CachedEval out;
+    ASSERT_TRUE(cache.lookup(42, 7, out));
+    EXPECT_DOUBLE_EQ(out.objective, 3.5);
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(EvalCache, VerifyHashGuardsCollisions)
+{
+    // Collision by construction: same 64-bit key, different verify
+    // hash. The lookup must miss — a hit requires all 128 bits.
+    EvalCache cache(64, 4);
+    cache.insert(42, 7, CachedEval{3.5, true});
+    CachedEval out;
+    EXPECT_FALSE(cache.lookup(42, 8, out));
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(EvalCache, DirectMappedEviction)
+{
+    // One shard, one slot: every insert lands in the same place.
+    EvalCache cache(1, 1);
+    EXPECT_EQ(cache.capacity(), 1u);
+    cache.insert(1, 10, CachedEval{1.0, true});
+    cache.insert(2, 20, CachedEval{2.0, false});
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    CachedEval out;
+    EXPECT_FALSE(cache.lookup(1, 10, out)); // evicted
+    ASSERT_TRUE(cache.lookup(2, 20, out));  // survivor
+    EXPECT_FALSE(out.valid);
+    // Re-inserting the resident fingerprint is an update, not an
+    // eviction.
+    cache.insert(2, 20, CachedEval{3.0, true});
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EvalCache, CapacityRoundsUpPerShard)
+{
+    const EvalCache cache(100, 16);
+    // ceil(100 / 16) = 7 -> 8 slots per shard -> 128 total.
+    EXPECT_EQ(cache.capacity(), 128u);
+}
+
+TEST(EvalCache, RejectsBadConfiguration)
+{
+    EXPECT_THROW(EvalCache(0, 1), Error);
+    EXPECT_THROW(EvalCache(64, 3), Error);
+    EXPECT_THROW(EvalCache(64, 0), Error);
+}
+
+} // namespace
+} // namespace ruby

@@ -10,8 +10,12 @@
  * `map` overrides: --mapspace pfm|ruby|ruby-s|ruby-t,
  * --objective edp|energy|delay, --constraints <preset>, --evals N,
  * --streak N, --seed N, --threads N, --restarts N,
- * --time-budget MS (wall-clock cap for the search), --pad,
- * --yaml (machine-readable output instead of the human report).
+ * --time-budget MS (wall-clock cap for the search),
+ * --[no-]eval-cache (mapping memo cache; on by default),
+ * --cache-capacity N (memo-cache entries),
+ * --[no-]bound-pruning (objective lower-bound prune; on by default),
+ * --pad, --yaml (machine-readable output instead of the human
+ * report). See docs/PERFORMANCE.md for the fast-path knobs.
  *
  * `net` suites: resnet50 | deepbench | alexnet on the Eyeriss-like
  * preset arch; takes the same search overrides plus
@@ -61,7 +65,8 @@ usage()
            "          [--constraints P] [--evals N] [--streak N]"
            " [--seed N]\n"
            "          [--threads N] [--restarts N] [--time-budget MS]\n"
-           "          [--pad] [--yaml]\n"
+           "          [--[no-]eval-cache] [--cache-capacity N]\n"
+           "          [--[no-]bound-pruning] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
            " overrides]\n"
            "          [--network-budget MS]\n"
@@ -133,6 +138,17 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
     else if (flag == "--network-budget")
         search.networkTimeBudget =
             std::chrono::milliseconds(parseU64Arg(flag, next()));
+    else if (flag == "--eval-cache")
+        search.evalCache = true;
+    else if (flag == "--no-eval-cache")
+        search.evalCache = false;
+    else if (flag == "--cache-capacity")
+        search.evalCacheCapacity =
+            static_cast<std::size_t>(parseU64Arg(flag, next()));
+    else if (flag == "--bound-pruning")
+        search.boundPruning = true;
+    else if (flag == "--no-bound-pruning")
+        search.boundPruning = false;
     else
         return false;
     return true;
@@ -186,7 +202,11 @@ runMap(const std::vector<std::string> &args)
                         result.eval);
     } else {
         std::cout << "evaluated " << result.evaluated
-                  << " mappings\n";
+                  << " mappings (" << result.stats.modeled
+                  << " fully modeled, " << result.stats.invalid
+                  << " invalid, " << result.stats.prunedBound
+                  << " bound-pruned, " << result.stats.cacheHits
+                  << " cache hits)\n";
         if (result.timedOut)
             std::cout << "time budget expired; reporting the best "
                          "mapping found so far\n";
