@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Thread-scaling head-to-head for the parallel search stack (ISSUE 3):
+ * runs exhaustive / genetic / local search and a whole-network sweep
+ * at 1/2/4/8 threads, reports wall-clock speedup over the 1-thread
+ * run and whether the best EDP stayed bit-identical (it must — the
+ * parallel searches are deterministic at fixed topology), and records
+ * how many ResNet-50 layers the layer memo deduplicated.
+ *
+ * Writes BENCH_search_scaling.json next to the working directory.
+ * RUBY_BENCH_FULL=1 enlarges the budgets. Speedups are meaningful
+ * only on a multi-core host; on a single hardware thread expect ~1x
+ * with parity still holding.
+ */
+
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/search/exhaustive_search.hpp"
+#include "ruby/search/genetic_search.hpp"
+#include "ruby/search/local_search.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/suites/suites.hpp"
+
+#include "bench_util.hpp"
+
+namespace
+{
+
+using namespace ruby;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::array<unsigned, 4> kThreadCounts{1, 2, 4, 8};
+
+/** ResNet-50 conv4_x 3x3 layer: the paper's mid-network workhorse. */
+ConvShape
+conv4Shape()
+{
+    ConvShape sh;
+    sh.name = "conv4_3x3";
+    sh.c = 256;
+    sh.m = 256;
+    sh.p = 14;
+    sh.q = 14;
+    sh.r = 3;
+    sh.s = 3;
+    return sh;
+}
+
+struct RunPoint
+{
+    unsigned threads = 1;
+    double wallMs = 0.0;
+    double speedup = 1.0;
+    double bestEdp = 0.0;
+    bool parity = true; ///< best EDP identical to the 1-thread run
+};
+
+double
+elapsedMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+template <typename Fn>
+std::vector<RunPoint>
+sweepThreads(Fn &&run)
+{
+    std::vector<RunPoint> points;
+    for (const unsigned t : kThreadCounts) {
+        RunPoint p;
+        p.threads = t;
+        const auto start = Clock::now();
+        p.bestEdp = run(t);
+        p.wallMs = elapsedMs(start);
+        if (!points.empty()) {
+            p.speedup = points.front().wallMs / p.wallMs;
+            p.parity = p.bestEdp == points.front().bestEdp;
+        }
+        points.push_back(p);
+        std::cout << "    " << t << " thread(s): " << p.wallMs
+                  << " ms, best EDP " << p.bestEdp
+                  << (p.parity ? "" : "  [PARITY BROKEN]") << "\n";
+    }
+    return points;
+}
+
+void
+emitSeries(std::ofstream &json, const char *name,
+           const std::vector<RunPoint> &points, bool trailingComma)
+{
+    json << "  \"" << name << "\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunPoint &p = points[i];
+        json << "    {\"threads\": " << p.threads
+             << ", \"wall_ms\": " << p.wallMs
+             << ", \"speedup\": " << p.speedup
+             << ", \"best_edp\": " << p.bestEdp << ", \"parity\": "
+             << (p.parity ? "true" : "false") << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]" << (trailingComma ? "," : "") << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool full = ruby::bench::fullRun();
+    const ArchSpec arch = makeEyeriss();
+    const Problem prob = makeConv(conv4Shape());
+    const MappingConstraints cons =
+        makeConstraints(ConstraintPreset::EyerissRS, prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    std::cout << "search scaling on " << prob.name()
+              << " (Eyeriss RS, Ruby-S)\n  exhaustive:\n";
+    const std::uint64_t ex_cap = full ? 200'000 : 20'000;
+    const auto exhaustive = sweepThreads([&](unsigned t) {
+        ExhaustiveOptions opts;
+        opts.maxEvaluations = ex_cap;
+        opts.threads = t;
+        return exhaustiveSearch(space, eval, opts).bestResult.edp;
+    });
+
+    std::cout << "  genetic (8 islands):\n";
+    const auto genetic = sweepThreads([&](unsigned t) {
+        GeneticOptions opts;
+        opts.populationSize = 32;
+        opts.generations = full ? 40 : 10;
+        opts.islands = 8;
+        opts.threads = t;
+        return geneticSearch(space, eval, opts).bestResult.edp;
+    });
+
+    std::cout << "  local (8 starts):\n";
+    const auto local = sweepThreads([&](unsigned t) {
+        LocalSearchOptions opts;
+        opts.maxEvaluations = full ? 100'000 : 16'000;
+        opts.starts = 8;
+        opts.threads = t;
+        return localSearch(space, eval, opts).bestResult.edp;
+    });
+
+    std::cout << "  network (ResNet-50, layer threads = 1):\n";
+    const std::vector<Layer> resnet = resnet50Layers();
+    int memoized_layers = 0;
+    const auto network = sweepThreads([&](unsigned t) {
+        SearchOptions opts;
+        opts.maxEvaluations = full ? 20'000 : 2'000;
+        opts.terminationStreak = 0;
+        opts.threads = 1;
+        opts.networkThreads = t;
+        const NetworkOutcome net = searchNetwork(
+            resnet, arch, ConstraintPreset::EyerissRS,
+            MapspaceVariant::RubyS, opts);
+        memoized_layers = net.memoizedLayers;
+        return net.edp;
+    });
+
+    // Memo accounting: each distinct numeric shape must have been
+    // searched exactly once (memoized layers == duplicates).
+    std::set<std::array<std::uint64_t, 11>> distinct;
+    for (const Layer &layer : resnet)
+        distinct.insert({layer.shape.n, layer.shape.c, layer.shape.m,
+                         layer.shape.p, layer.shape.q, layer.shape.r,
+                         layer.shape.s, layer.shape.strideH,
+                         layer.shape.strideW, layer.shape.dilationH,
+                         layer.shape.dilationW});
+    const bool memo_exact =
+        static_cast<std::size_t>(memoized_layers) ==
+        resnet.size() - distinct.size();
+
+    const char *path = "BENCH_search_scaling.json";
+    std::ofstream json(path);
+    json << "{\n  \"benchmark\": \"search_scaling\",\n"
+         << "  \"preset\": \"eyeriss_rs\",\n"
+         << "  \"workload\": \"" << prob.name() << "\",\n"
+         << "  \"full_run\": " << (full ? "true" : "false") << ",\n";
+    emitSeries(json, "exhaustive", exhaustive, true);
+    emitSeries(json, "genetic", genetic, true);
+    emitSeries(json, "local", local, true);
+    emitSeries(json, "network", network, true);
+    json << "  \"exhaustive_speedup_4t\": " << exhaustive[2].speedup
+         << ",\n  \"exhaustive_parity_4t\": "
+         << (exhaustive[2].parity ? "true" : "false")
+         << ",\n  \"resnet_layers\": " << resnet.size()
+         << ",\n  \"resnet_distinct_shapes\": " << distinct.size()
+         << ",\n  \"resnet_memoized_layers\": " << memoized_layers
+         << ",\n  \"memo_each_shape_searched_once\": "
+         << (memo_exact ? "true" : "false") << "\n}\n";
+
+    std::cout << "exhaustive 4-thread speedup "
+              << exhaustive[2].speedup << "x (parity "
+              << (exhaustive[2].parity ? "ok" : "BROKEN") << "), memo "
+              << memoized_layers << "/" << resnet.size()
+              << " layers deduplicated -> " << path << "\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "ruby/common/budget_ledger.hpp"
+
+#include <algorithm>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+BudgetLedger::BudgetLedger(std::chrono::milliseconds total,
+                           std::size_t tasks, unsigned workers)
+    : deadline_(Deadline::after(total)), pending_(tasks),
+      workers_(workers)
+{
+    RUBY_CHECK(workers >= 1, "budget ledger needs >= 1 worker");
+}
+
+std::chrono::milliseconds
+BudgetLedger::grant()
+{
+    using std::chrono::milliseconds;
+    std::lock_guard lock(mutex_);
+    const std::size_t pending = pending_ > 0 ? pending_ : 1;
+    if (pending_ > 0)
+        --pending_;
+    if (!deadline_.armed())
+        return milliseconds::max();
+    // Fresh clock read on every grant: a task that overran its share
+    // shrinks what everyone after it gets, immediately.
+    const milliseconds left = deadline_.remaining();
+    if (left.count() <= 0)
+        return milliseconds(0);
+    const auto concurrent = static_cast<std::size_t>(
+        std::min<std::size_t>(workers_, pending));
+    const auto share = milliseconds(
+        static_cast<milliseconds::rep>(left.count()) *
+        static_cast<milliseconds::rep>(concurrent) /
+        static_cast<milliseconds::rep>(pending));
+    return std::min(std::max(share, milliseconds(1)), left);
+}
+
+std::chrono::milliseconds
+BudgetLedger::remaining() const
+{
+    std::lock_guard lock(mutex_);
+    return deadline_.remaining();
+}
+
+std::size_t
+BudgetLedger::pending() const
+{
+    std::lock_guard lock(mutex_);
+    return pending_;
+}
+
+} // namespace ruby

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A deadline-aware budget ledger for apportioning one wall-clock
+ * budget across a set of tasks (the per-layer searches of a network
+ * sweep). It replaces the old even-split, which divided a `remaining`
+ * value computed once per loop iteration: after a task overran its
+ * share the next share could be derived from a stale remainder. The
+ * ledger instead reads the monotonic clock inside every grant(), so a
+ * share always reflects the budget actually left at that moment.
+ */
+
+#ifndef RUBY_COMMON_BUDGET_LEDGER_HPP
+#define RUBY_COMMON_BUDGET_LEDGER_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+#include "ruby/common/cancel.hpp"
+
+namespace ruby
+{
+
+/**
+ * Thread-safe apportioning of a wall-clock budget over @p tasks tasks
+ * executed by up to @p workers concurrent workers.
+ *
+ * Each grant() hands the next task its share, computed from a fresh
+ * monotonic clock read:
+ *
+ *   share = remaining * min(workers, pending) / pending
+ *
+ * With one worker this is the classic even split of what is left over
+ * the tasks still to start. With W workers, tasks run W at a time, so
+ * each may take W times the serial share and the sweep still finishes
+ * inside the budget.
+ *
+ * A zero total budget means "unlimited": armed() is false and every
+ * grant returns milliseconds::max().
+ */
+class BudgetLedger
+{
+  public:
+    BudgetLedger(std::chrono::milliseconds total, std::size_t tasks,
+                 unsigned workers);
+
+    /** True when a finite budget was set. */
+    bool armed() const { return deadline_.armed(); }
+
+    /**
+     * Claim the next task's share. Returns milliseconds::max() when
+     * unarmed, 0 or less when the budget is already exhausted (the
+     * caller should skip the task), and the fair share otherwise.
+     * Decrements the pending-task count in every case.
+     */
+    std::chrono::milliseconds grant();
+
+    /** Budget left right now (max() when unarmed). */
+    std::chrono::milliseconds remaining() const;
+
+    /** Tasks that have not been granted a share yet. */
+    std::size_t pending() const;
+
+  private:
+    mutable std::mutex mutex_;
+    Deadline deadline_;
+    std::size_t pending_;
+    unsigned workers_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_BUDGET_LEDGER_HPP

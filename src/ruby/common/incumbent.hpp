@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A shared, monotonically decreasing best-objective value for
+ * multi-shard searches. Every shard prunes against the same incumbent
+ * so an improvement found by one thread immediately cuts work on all
+ * of them; a stale read is only ever too *large*, which prunes less,
+ * never wrongly.
+ */
+
+#ifndef RUBY_COMMON_INCUMBENT_HPP
+#define RUBY_COMMON_INCUMBENT_HPP
+
+#include <atomic>
+#include <limits>
+
+namespace ruby
+{
+
+/**
+ * Lock-free minimum of the objective values observed so far. Reads
+ * and updates are relaxed: the value is a pruning hint, not a
+ * synchronization point, and it only ever decreases.
+ */
+class SharedIncumbent
+{
+  public:
+    SharedIncumbent() = default;
+    SharedIncumbent(const SharedIncumbent &) = delete;
+    SharedIncumbent &operator=(const SharedIncumbent &) = delete;
+
+    /** Current best objective (infinity until the first observation). */
+    double
+    load() const noexcept
+    {
+        return best_.load(std::memory_order_relaxed);
+    }
+
+    /** Lower the incumbent to @p value if it improves on it. */
+    void
+    observeMin(double value) noexcept
+    {
+        double cur = best_.load(std::memory_order_relaxed);
+        while (value < cur &&
+               !best_.compare_exchange_weak(cur, value,
+                                            std::memory_order_relaxed))
+            ;
+    }
+
+  private:
+    std::atomic<double> best_{std::numeric_limits<double>::infinity()};
+};
+
+} // namespace ruby
+
+#endif // RUBY_COMMON_INCUMBENT_HPP

@@ -32,6 +32,8 @@ struct MapperConfig
 {
     MapspaceVariant variant = MapspaceVariant::RubyS;
     ConstraintPreset preset = ConstraintPreset::None;
+    /** Search knobs, including search.strategy — the mapper runs
+     *  whichever algorithm the options select (random by default). */
     SearchOptions search;
     /** Apply the padding baseline before searching. */
     bool pad = false;

@@ -74,7 +74,9 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
     for (const LayerOutcome &layer : net.layers) {
         std::string status;
         if (layer.found)
-            status = layer.timedOut ? "ok (budget hit)" : "ok";
+            status = layer.memoized          ? "ok (memo)"
+                     : layer.timedOut        ? "ok (budget hit)"
+                                             : "ok";
         else
             status = failureKindName(layer.failure);
         // "evals" counts mappings drawn; "modeled" counts full
@@ -107,6 +109,9 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
        << " evictions), "
        << formatCompact(static_cast<double>(net.stats.modeled))
        << " fully modeled\n";
+    if (net.memoizedLayers > 0)
+        os << "layer memo     : " << net.memoizedLayers
+           << " duplicate layer(s) replicated without searching\n";
     if (net.allFound) {
         os << "network energy : " << formatCompact(net.totalEnergy)
            << " pJ\nnetwork cycles : "

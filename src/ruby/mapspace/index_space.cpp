@@ -1,0 +1,83 @@
+#include "ruby/mapspace/index_space.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMax =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** a * b saturated at uint64 max. */
+std::uint64_t
+mulSat(std::uint64_t a, std::uint64_t b, bool &saturated)
+{
+    const __uint128_t p =
+        static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b);
+    if (p > kMax) {
+        saturated = true;
+        return kMax;
+    }
+    return static_cast<std::uint64_t>(p);
+}
+
+} // namespace
+
+ExhaustiveIndexSpace::ExhaustiveIndexSpace(
+    std::vector<std::uint64_t> chain_counts, std::uint64_t perm_count,
+    int levels)
+    : chain_counts_(std::move(chain_counts)),
+      perm_count_(perm_count), levels_(levels)
+{
+    RUBY_CHECK(perm_count_ >= 1,
+               "index space needs >= 1 permutation");
+    RUBY_CHECK(levels_ >= 0, "index space needs >= 0 levels");
+    size_ = 1;
+    for (int l = 0; l < levels_; ++l)
+        size_ = mulSat(size_, perm_count_, saturated_);
+    for (const std::uint64_t c : chain_counts_) {
+        RUBY_CHECK(c >= 1, "index space: empty chain set");
+        size_ = mulSat(size_, c, saturated_);
+    }
+}
+
+void
+ExhaustiveIndexSpace::decode(std::uint64_t index,
+                             std::vector<std::size_t> &pick,
+                             std::vector<std::size_t> &perm_pick) const
+{
+    pick.resize(chain_counts_.size());
+    perm_pick.resize(static_cast<std::size_t>(levels_));
+    // Permutation digits first (they vary fastest in the odometer),
+    // level 0 innermost; then chain digits, dimension 0 innermost.
+    for (int l = 0; l < levels_; ++l) {
+        perm_pick[static_cast<std::size_t>(l)] =
+            static_cast<std::size_t>(index % perm_count_);
+        index /= perm_count_;
+    }
+    for (std::size_t d = 0; d < chain_counts_.size(); ++d) {
+        pick[d] = static_cast<std::size_t>(index % chain_counts_[d]);
+        index /= chain_counts_[d];
+    }
+}
+
+std::uint64_t
+ExhaustiveIndexSpace::chunkSizeFor(std::uint64_t limit,
+                                   unsigned threads)
+{
+    if (threads <= 1)
+        return limit > 0 ? limit : 1;
+    // Aim for ~16 chunks per thread so pruning imbalance is smoothed
+    // by stealing, clamped to keep the atomic claim amortized.
+    const std::uint64_t target =
+        limit / (static_cast<std::uint64_t>(threads) * 16u);
+    return std::clamp<std::uint64_t>(target, 64, 16'384);
+}
+
+} // namespace ruby

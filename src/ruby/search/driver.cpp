@@ -1,13 +1,110 @@
 #include "ruby/search/driver.hpp"
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <map>
+#include <thread>
 
+#include "ruby/common/budget_ledger.hpp"
 #include "ruby/common/error.hpp"
 #include "ruby/common/fault_injector.hpp"
+#include "ruby/common/thread_pool.hpp"
 #include "ruby/mapspace/padding.hpp"
+#include "ruby/search/exhaustive_search.hpp"
+#include "ruby/search/genetic_search.hpp"
+#include "ruby/search/local_search.hpp"
 
 namespace ruby
 {
+
+namespace
+{
+
+constexpr unsigned kMaxParallelism = 4096;
+
+/** Dispatch to the strategy selected in the options. */
+SearchResult
+runStrategy(const Mapspace &space, const Evaluator &evaluator,
+            const SearchOptions &options)
+{
+    switch (options.strategy) {
+      case SearchStrategy::Random:
+        return randomSearch(space, evaluator, options);
+      case SearchStrategy::Exhaustive: {
+        ExhaustiveOptions ex;
+        ex.objective = options.objective;
+        ex.boundPruning = options.boundPruning;
+        ex.threads = options.threads;
+        if (options.maxEvaluations != 0)
+            ex.maxEvaluations = options.maxEvaluations;
+        ExhaustiveResult res =
+            exhaustiveSearch(space, evaluator, ex);
+        SearchResult out;
+        out.best = std::move(res.best);
+        out.bestResult = std::move(res.bestResult);
+        out.evaluated = res.evaluated;
+        out.valid = res.valid;
+        out.stats = res.stats;
+        return out;
+      }
+      case SearchStrategy::Genetic: {
+        GeneticOptions g;
+        g.objective = options.objective;
+        g.seed = options.seed;
+        g.islands = options.islands;
+        g.threads = options.threads;
+        return geneticSearch(space, evaluator, g);
+      }
+      case SearchStrategy::Local: {
+        LocalSearchOptions l;
+        l.objective = options.objective;
+        l.seed = options.seed;
+        if (options.maxEvaluations != 0)
+            l.maxEvaluations = options.maxEvaluations;
+        unsigned t = options.threads;
+        if (t == 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            t = hw != 0 ? hw : 1;
+        }
+        // One climbing start per worker: the natural unit of
+        // parallelism for hill climbing.
+        l.starts = t;
+        l.threads = t;
+        return localSearch(space, evaluator, l);
+      }
+    }
+    RUBY_ASSERT(false, "unknown search strategy");
+    return {};
+}
+
+/** Numeric shape fingerprint for the layer memo (never the name). */
+using ShapeKey = std::array<std::uint64_t, 11>;
+
+ShapeKey
+shapeKeyOf(const ConvShape &sh)
+{
+    return ShapeKey{sh.n,       sh.c,       sh.m,         sh.p,
+                    sh.q,       sh.r,       sh.s,         sh.strideH,
+                    sh.strideW, sh.dilationH, sh.dilationW};
+}
+
+/** The outcome recorded for a layer never searched: budget gone. */
+LayerOutcome
+makeBudgetSkipped(const Layer &layer)
+{
+    LayerOutcome skipped;
+    skipped.name = layer.shape.name;
+    skipped.group = layer.group;
+    skipped.count = layer.count;
+    skipped.failure = FailureKind::DeadlineExceeded;
+    skipped.timedOut = true;
+    skipped.diagnostic =
+        "network time budget exhausted before this layer";
+    return skipped;
+}
+
+} // namespace
 
 MappingConstraints
 makeConstraints(ConstraintPreset preset, const Problem &problem,
@@ -70,7 +167,7 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
 
         SearchResult res;
         try {
-            res = randomSearch(space, evaluator, options);
+            res = runStrategy(space, evaluator, options);
         } catch (const InjectedFault &e) {
             outcome.failure = FailureKind::InternalError;
             outcome.diagnostic = e.what();
@@ -121,47 +218,61 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
               ConstraintPreset preset, MapspaceVariant variant,
               const SearchOptions &options, bool pad)
 {
-    using std::chrono::duration_cast;
-    using std::chrono::milliseconds;
-    using std::chrono::steady_clock;
-
     NetworkOutcome net;
-    const bool budgeted = options.networkTimeBudget.count() > 0;
-    const auto start = steady_clock::now();
+    net.layers.resize(layers.size());
+    if (layers.empty())
+        return net;
 
-    for (std::size_t i = 0; i < layers.size(); ++i) {
+    unsigned net_threads = options.networkThreads;
+    if (net_threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        net_threads = hw != 0 ? hw : 1;
+    }
+    if (net_threads > kMaxParallelism)
+        net_threads = kMaxParallelism;
+
+    // Memo plan: the first layer with a given numeric shape is the
+    // primary and is searched; later identical shapes replicate its
+    // outcome. The plan is computed up front so the budget ledger
+    // apportions time over real searches only.
+    std::vector<std::ptrdiff_t> primary_of(layers.size(), -1);
+    std::vector<std::size_t> primaries;
+    if (options.layerMemo) {
+        std::map<ShapeKey, std::size_t> first_seen;
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            const auto [it, inserted] = first_seen.emplace(
+                shapeKeyOf(layers[i].shape), i);
+            if (inserted)
+                primaries.push_back(i);
+            else
+                primary_of[i] =
+                    static_cast<std::ptrdiff_t>(it->second);
+        }
+    } else {
+        for (std::size_t i = 0; i < layers.size(); ++i)
+            primaries.push_back(i);
+    }
+
+    BudgetLedger ledger(options.networkTimeBudget, primaries.size(),
+                        net_threads);
+    // Tracks which primaries actually ran a search (vs. were skipped
+    // on an exhausted budget): duplicates of a skipped primary are
+    // skipped in their own right, not "memoized" from nothing.
+    std::vector<char> searched(layers.size(), 0);
+
+    auto runLayer = [&](std::size_t i) {
         const Layer &layer = layers[i];
         SearchOptions layer_opts = options;
-
-        if (budgeted) {
-            const auto elapsed = duration_cast<milliseconds>(
-                steady_clock::now() - start);
-            const auto remaining =
-                options.networkTimeBudget - elapsed;
-            if (remaining.count() <= 0) {
-                // Budget already gone: record the layer as timed out
-                // without paying for constraint/mapspace setup.
-                LayerOutcome skipped;
-                skipped.name = layer.shape.name;
-                skipped.group = layer.group;
-                skipped.count = layer.count;
-                skipped.failure = FailureKind::DeadlineExceeded;
-                skipped.timedOut = true;
-                skipped.diagnostic =
-                    "network time budget exhausted before this layer";
-                net.allFound = false;
-                ++net.failedLayers;
-                net.layers.push_back(std::move(skipped));
-                continue;
+        const auto share = ledger.grant();
+        if (ledger.armed()) {
+            if (share.count() <= 0) {
+                net.layers[i] = makeBudgetSkipped(layer);
+                return;
             }
-            // Even split of what is left over the layers still to
-            // run; a tighter per-layer budget keeps precedence.
-            const auto share =
-                remaining / static_cast<long>(layers.size() - i);
+            // A tighter per-layer budget keeps precedence.
             if (layer_opts.timeBudget.count() == 0 ||
                 share < layer_opts.timeBudget)
-                layer_opts.timeBudget =
-                    share.count() > 0 ? share : milliseconds(1);
+                layer_opts.timeBudget = share;
         }
 
         LayerOutcome outcome;
@@ -177,16 +288,70 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
             outcome.name = layer.shape.name;
         outcome.count = layer.count;
         outcome.group = layer.group;
+        searched[i] = 1;
+        net.layers[i] = std::move(outcome);
+    };
+
+    // Each job writes only its own outcome slot; the ledger and the
+    // fault injector are the only shared mutable state, and both are
+    // internally synchronized. searchLayer converts every recoverable
+    // failure into a structured outcome, so jobs do not throw.
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(net_threads, primaries.size()));
+    if (workers <= 1) {
+        for (const std::size_t i : primaries)
+            runLayer(i);
+    } else {
+        ThreadPool pool(workers);
+        std::atomic<std::size_t> next{0};
+        const CancelToken &cancel = pool.cancelToken();
+        for (unsigned w = 0; w < workers; ++w)
+            pool.submit([&]() {
+                for (;;) {
+                    const std::size_t idx = next.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (idx >= primaries.size() ||
+                        cancel.cancelled())
+                        return;
+                    runLayer(primaries[idx]);
+                }
+            });
+        pool.waitIdle();
+    }
+
+    // Replicate primaries onto their duplicates. Counters are zeroed
+    // on the copies so summed stats count each distinct shape exactly
+    // once; count-weighted totals below still use every layer.
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (primary_of[i] < 0)
+            continue;
+        const auto p = static_cast<std::size_t>(primary_of[i]);
+        if (!searched[p]) {
+            net.layers[i] = makeBudgetSkipped(layers[i]);
+            continue;
+        }
+        LayerOutcome copy = net.layers[p];
+        copy.name = layers[i].shape.name;
+        copy.group = layers[i].group;
+        copy.count = layers[i].count;
+        copy.evaluated = 0;
+        copy.stats = EvalStats{};
+        copy.memoized = true;
+        net.layers[i] = std::move(copy);
+    }
+
+    for (const LayerOutcome &outcome : net.layers) {
         net.stats += outcome.stats;
+        if (outcome.memoized)
+            ++net.memoizedLayers;
         if (outcome.found) {
-            const double n = static_cast<double>(layer.count);
+            const double n = static_cast<double>(outcome.count);
             net.totalEnergy += n * outcome.result.energy;
             net.totalCycles += n * outcome.result.cycles;
         } else {
             net.allFound = false;
             ++net.failedLayers;
         }
-        net.layers.push_back(std::move(outcome));
     }
     net.edp = net.totalEnergy * net.totalCycles;
     return net;

@@ -76,6 +76,14 @@ struct LayerOutcome
      * still returned (and failure stays None).
      */
     bool timedOut = false;
+
+    /**
+     * True when this outcome was replicated from an earlier layer
+     * with an identical shape instead of being searched (layer memo).
+     * evaluated and stats are zeroed on such copies so aggregates
+     * count real work exactly once.
+     */
+    bool memoized = false;
 };
 
 /** Whole-network aggregate (count-weighted). */
@@ -89,15 +97,21 @@ struct NetworkOutcome
     bool allFound = true;
     /** Layers with found == false (unique shapes, not counts). */
     int failedLayers = 0;
-    /** Fast-path stage counters summed across layers (unweighted). */
+    /** Layers whose outcome was replicated by the layer memo. */
+    int memoizedLayers = 0;
+    /** Fast-path stage counters summed across layers (unweighted);
+     *  memoized copies contribute nothing (their stats are zeroed). */
     EvalStats stats;
 };
 
 /**
- * Search one problem. When @p pad is true the problem is first padded
- * for the architecture's widest fanout level (the PFM+padding
- * baseline); the searched mapspace is then @p variant on the padded
- * problem.
+ * Search one problem with the strategy selected by options.strategy
+ * (random sampling by default; exhaustive, genetic and local search
+ * all honour options.objective, seed, threads and — where meaningful —
+ * maxEvaluations and boundPruning). When @p pad is true the problem is
+ * first padded for the architecture's widest fanout level (the
+ * PFM+padding baseline); the searched mapspace is then @p variant on
+ * the padded problem.
  *
  * Never throws for recoverable conditions: bad inputs, exhausted
  * budgets and worker exceptions (including injected faults) come back
@@ -111,9 +125,21 @@ LayerOutcome searchLayer(const Problem &problem, const ArchSpec &arch,
 /**
  * Search every layer of a network and aggregate. A failing layer is
  * recorded and skipped in the totals; the sweep always continues.
- * options.networkTimeBudget bounds the whole sweep: the remaining
- * budget is split evenly across unsearched layers, and layers reached
- * after expiry are marked DeadlineExceeded without searching.
+ *
+ * options.networkThreads layer searches run concurrently; per-layer
+ * results are deterministic regardless (each layer's search options
+ * do not depend on the execution order, except for time shares under
+ * a finite budget, which are inherently wall-clock-dependent).
+ *
+ * options.networkTimeBudget bounds the whole sweep through a budget
+ * ledger: each layer's share is computed from a fresh monotonic clock
+ * read when its search starts, and layers reached after expiry are
+ * marked DeadlineExceeded without searching.
+ *
+ * options.layerMemo searches each distinct layer shape once and
+ * replicates the outcome to duplicates (memoized = true, zeroed
+ * counters); totals stay count-weighted exactly as if every layer had
+ * been searched.
  */
 NetworkOutcome searchNetwork(const std::vector<Layer> &layers,
                              const ArchSpec &arch,

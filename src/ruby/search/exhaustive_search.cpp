@@ -1,11 +1,17 @@
 #include "ruby/search/exhaustive_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
+#include <thread>
 
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
+#include "ruby/common/incumbent.hpp"
+#include "ruby/common/thread_pool.hpp"
 #include "ruby/mapspace/factor_space.hpp"
+#include "ruby/mapspace/index_space.hpp"
 
 namespace ruby
 {
@@ -14,6 +20,114 @@ namespace
 {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr unsigned kMaxParallelism = 4096;
+
+/** The fixed enumeration context shared (read-only) by all shards. */
+struct EnumContext
+{
+    const Mapspace &space;
+    const ExhaustiveOptions &opts;
+    /** Canonical chains per dimension. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> chains;
+    /** Shared permutation set (identity, or all permutations). */
+    std::vector<std::vector<DimId>> perm_set;
+    /** Keep-all residency honouring forced bypasses. */
+    std::vector<std::vector<char>> keep;
+};
+
+/**
+ * One shard's running best. Within a shard indices are claimed in
+ * increasing order, so keeping the first strict improvement keeps the
+ * lowest index attaining the shard's minimum; the cross-shard
+ * reduction then breaks metric ties by index, which reproduces the
+ * serial "first strict improvement wins" rule exactly.
+ */
+struct ShardBest
+{
+    double metric = kInf;
+    std::uint64_t index = std::numeric_limits<std::uint64_t>::max();
+    std::optional<Mapping> mapping;
+    EvalResult result;
+    EvalStats stats;
+    std::uint64_t valid = 0;
+};
+
+/**
+ * Evaluate indices claimed chunk-by-chunk from the shared counter
+ * until the range [0, limit) is exhausted. All shards prune against
+ * the same incumbent through the strict-predicate staged overload, so
+ * the set of modeled mappings may differ across thread counts but the
+ * reduced best never does.
+ */
+void
+shardLoop(const EnumContext &ctx, const Evaluator &evaluator,
+          std::atomic<std::uint64_t> &next, std::uint64_t limit,
+          std::uint64_t chunk, const ExhaustiveIndexSpace &index_space,
+          SharedIncumbent &incumbent, const CancelToken *cancel,
+          ShardBest &best)
+{
+    FaultInjector &faults = FaultInjector::global();
+    const Problem &prob = ctx.space.problem();
+    const ArchSpec &arch = ctx.space.arch();
+    const int nd = prob.numDims();
+    const int nl = arch.numLevels();
+
+    EvalScratch scratch;
+    std::vector<std::size_t> pick, perm_pick;
+    std::vector<std::vector<std::uint64_t>> steady(
+        static_cast<std::size_t>(nd));
+    std::vector<std::vector<DimId>> perms(
+        static_cast<std::size_t>(nl));
+
+    for (;;) {
+        const std::uint64_t start =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (start >= limit)
+            return;
+        const std::uint64_t end = std::min(start + chunk, limit);
+        for (std::uint64_t i = start; i < end; ++i) {
+            if (cancel != nullptr && cancel->cancelled())
+                return;
+            index_space.decode(i, pick, perm_pick);
+            for (DimId d = 0; d < nd; ++d)
+                steady[static_cast<std::size_t>(d)] =
+                    ctx.chains[static_cast<std::size_t>(d)]
+                              [pick[static_cast<std::size_t>(d)]];
+            for (int l = 0; l < nl; ++l)
+                perms[static_cast<std::size_t>(l)] =
+                    ctx.perm_set[perm_pick[static_cast<std::size_t>(
+                        l)]];
+            Mapping mapping(prob, arch, steady, perms, ctx.keep);
+            if (faults.enabled())
+                faults.maybeThrow("exhaustive_search.evaluate");
+            const StagedEval staged = evaluator.evaluateStaged(
+                mapping, ctx.opts.objective, incumbent,
+                ctx.opts.boundPruning, scratch);
+            switch (staged) {
+              case StagedEval::Invalid:
+                ++best.stats.invalid;
+                break;
+              case StagedEval::PrunedBound:
+                ++best.stats.prunedBound;
+                ++best.valid;
+                break;
+              case StagedEval::Modeled: {
+                ++best.stats.modeled;
+                ++best.valid;
+                const double metric =
+                    scratch.result.objective(ctx.opts.objective);
+                if (metric < best.metric) {
+                    best.metric = metric;
+                    best.index = i;
+                    best.mapping = std::move(mapping);
+                    best.result = scratch.result;
+                }
+                break;
+              }
+            }
+        }
+    }
+}
 
 } // namespace
 
@@ -27,117 +141,110 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
     const int nl = arch.numLevels();
     const int nt = prob.numTensors();
 
+    unsigned threads = options.threads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw != 0 ? hw : 1;
+    }
+    RUBY_CHECK(threads <= kMaxParallelism,
+               "exhaustive search: threads (", threads,
+               ") exceeds the cap of ", kMaxParallelism);
+
+    EnumContext ctx{space, options, {}, {}, {}};
+
     // Enumerate each dimension's canonical chains once.
-    std::vector<std::vector<std::vector<std::uint64_t>>> chains(
+    ctx.chains.resize(static_cast<std::size_t>(nd));
+    std::vector<std::uint64_t> chain_counts(
         static_cast<std::size_t>(nd));
     for (DimId d = 0; d < nd; ++d) {
-        chains[static_cast<std::size_t>(d)] =
+        ctx.chains[static_cast<std::size_t>(d)] =
             enumerateChains(prob.dimSize(d), chainRules(space, d));
-        RUBY_CHECK(!chains[static_cast<std::size_t>(d)].empty(),
+        RUBY_CHECK(!ctx.chains[static_cast<std::size_t>(d)].empty(),
                    "dimension ", prob.dimName(d),
                    " has no feasible chain");
+        chain_counts[static_cast<std::size_t>(d)] =
+            ctx.chains[static_cast<std::size_t>(d)].size();
     }
 
     // Permutation sets.
-    std::vector<std::vector<DimId>> perm_set;
     {
         std::vector<DimId> identity(static_cast<std::size_t>(nd));
         std::iota(identity.begin(), identity.end(), 0);
         if (options.permutations) {
             std::vector<DimId> p = identity;
             do {
-                perm_set.push_back(p);
+                ctx.perm_set.push_back(p);
             } while (std::next_permutation(p.begin(), p.end()));
         } else {
-            perm_set.push_back(identity);
+            ctx.perm_set.push_back(identity);
         }
     }
 
-    ExhaustiveResult out;
-    EvalScratch scratch;
-    double best = kInf;
-
     // Keep-all residency honouring forced bypasses.
-    std::vector<std::vector<char>> keep(
-        static_cast<std::size_t>(nl),
-        std::vector<char>(static_cast<std::size_t>(nt), 1));
+    ctx.keep.assign(static_cast<std::size_t>(nl),
+                    std::vector<char>(static_cast<std::size_t>(nt),
+                                      1));
     for (int l = 1; l < nl - 1; ++l)
         for (int t = 0; t < nt; ++t)
             if (space.constraints().bypassForced(l, t))
-                keep[static_cast<std::size_t>(l)]
-                    [static_cast<std::size_t>(t)] = 0;
+                ctx.keep[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(t)] = 0;
 
-    std::vector<std::size_t> pick(static_cast<std::size_t>(nd), 0);
-    std::vector<std::size_t> perm_pick(static_cast<std::size_t>(nl), 0);
+    const ExhaustiveIndexSpace index_space(std::move(chain_counts),
+                                           ctx.perm_set.size(), nl);
+    const std::uint64_t total = index_space.size();
+    const std::uint64_t limit =
+        options.maxEvaluations != 0
+            ? std::min(total, options.maxEvaluations)
+            : total;
 
-    auto evaluateCurrent = [&]() {
-        std::vector<std::vector<std::uint64_t>> steady(
-            static_cast<std::size_t>(nd));
-        for (DimId d = 0; d < nd; ++d)
-            steady[static_cast<std::size_t>(d)] =
-                chains[static_cast<std::size_t>(d)]
-                      [pick[static_cast<std::size_t>(d)]];
-        std::vector<std::vector<DimId>> perms(
-            static_cast<std::size_t>(nl));
-        for (int l = 0; l < nl; ++l)
-            perms[static_cast<std::size_t>(l)] =
-                perm_set[perm_pick[static_cast<std::size_t>(l)]];
+    ExhaustiveResult out;
+    out.truncated = limit < total || index_space.saturated();
+    if (limit == 0)
+        return out;
 
-        Mapping mapping(prob, arch, steady, std::move(perms), keep);
-        const StagedEval staged = evaluator.evaluateStaged(
-            mapping, options.objective, best, options.boundPruning,
-            scratch);
-        ++out.evaluated;
-        switch (staged) {
-          case StagedEval::Invalid:
-            ++out.stats.invalid;
-            break;
-          case StagedEval::PrunedBound:
-            ++out.stats.prunedBound;
-            ++out.valid;
-            break;
-          case StagedEval::Modeled: {
-            ++out.stats.modeled;
-            ++out.valid;
-            const double metric =
-                scratch.result.objective(options.objective);
-            if (metric < best) {
-                best = metric;
-                out.best = std::move(mapping);
-                out.bestResult = scratch.result;
-            }
-            break;
-          }
-        }
-    };
+    SharedIncumbent incumbent;
+    std::atomic<std::uint64_t> next{0};
+    const unsigned workers = static_cast<unsigned>(std::min<
+        std::uint64_t>(threads, limit));
+    std::vector<ShardBest> shard_bests(workers);
 
-    // Odometer over chain picks x permutation picks.
-    auto advance = [&](auto &counters, const auto &limits) -> bool {
-        for (std::size_t i = 0; i < counters.size(); ++i) {
-            if (++counters[i] < limits(i))
-                return true;
-            counters[i] = 0;
-        }
-        return false;
-    };
-
-    bool more = true;
-    while (more) {
-        bool more_perms = true;
-        while (more_perms) {
-            if (options.maxEvaluations != 0 &&
-                out.evaluated >= options.maxEvaluations) {
-                out.truncated = true;
-                return out;
-            }
-            evaluateCurrent();
-            more_perms = advance(perm_pick, [&](std::size_t) {
-                return perm_set.size();
+    if (workers <= 1) {
+        shardLoop(ctx, evaluator, next, limit, limit, index_space,
+                  incumbent, nullptr, shard_bests[0]);
+    } else {
+        const std::uint64_t chunk =
+            ExhaustiveIndexSpace::chunkSizeFor(limit, workers);
+        ThreadPool pool(workers);
+        const CancelToken &cancel = pool.cancelToken();
+        for (unsigned w = 0; w < workers; ++w)
+            pool.submit([&, w]() {
+                shardLoop(ctx, evaluator, next, limit, chunk,
+                          index_space, incumbent, &cancel,
+                          shard_bests[w]);
             });
-        }
-        more = advance(pick, [&](std::size_t i) {
-            return chains[i].size();
-        });
+        pool.waitIdle();
+    }
+
+    // Deterministic reduction: lowest metric, then lowest index —
+    // exactly the mapping the serial first-strict-improvement loop
+    // would have kept.
+    ShardBest *winner = nullptr;
+    for (ShardBest &sb : shard_bests) {
+        out.evaluated +=
+            sb.stats.invalid + sb.stats.prunedBound + sb.stats.modeled;
+        out.valid += sb.valid;
+        out.stats += sb.stats;
+        if (!sb.mapping)
+            continue;
+        if (winner == nullptr || sb.metric < winner->metric ||
+            (sb.metric == winner->metric &&
+             sb.index < winner->index))
+            winner = &sb;
+    }
+    if (winner != nullptr) {
+        out.best = std::move(winner->mapping);
+        out.bestResult = winner->result;
     }
     return out;
 }

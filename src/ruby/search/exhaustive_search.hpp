@@ -39,6 +39,17 @@ struct ExhaustiveOptions
      * enumeration visits each mapping exactly once.
      */
     bool boundPruning = true;
+
+    /**
+     * Worker threads sharding the enumeration (0 = one per hardware
+     * thread). The index range is claimed in work-stealing chunks;
+     * every shard prunes against one shared incumbent and the shard
+     * bests are reduced by (objective, index), so the best mapping,
+     * evaluated count, and truncation flag are bit-identical across
+     * thread counts. Only the prunedBound/modeled split of the stats
+     * may shift (their sum is invariant).
+     */
+    unsigned threads = 1;
 };
 
 /** Exhaustive-search outcome. */

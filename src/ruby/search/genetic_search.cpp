@@ -1,9 +1,14 @@
 #include "ruby/search/genetic_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <memory>
+#include <thread>
 
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
+#include "ruby/common/thread_pool.hpp"
 #include "ruby/search/genome.hpp"
 
 namespace ruby
@@ -13,12 +18,86 @@ namespace
 {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr unsigned kMaxParallelism = 4096;
 
 struct Individual
 {
     MappingGenome genome;
     double fitness = kInf; ///< objective value; lower is better
 };
+
+/** One sub-population with its own RNG stream. */
+struct Island
+{
+    Rng rng;
+    std::vector<Individual> population;
+};
+
+/** Per-worker evaluation counters, merged after each batch. */
+struct Tally
+{
+    EvalStats stats;
+    std::uint64_t evaluated = 0;
+    std::uint64_t valid = 0;
+
+    Tally &operator+=(const Tally &o)
+    {
+        stats += o.stats;
+        evaluated += o.evaluated;
+        valid += o.valid;
+        return *this;
+    }
+};
+
+/** A population member awaiting scoring. */
+struct ScoreJob
+{
+    unsigned island;
+    std::size_t member;
+};
+
+/**
+ * Score one individual: full model, no bound prune — tournament
+ * selection needs every member's actual fitness.
+ */
+void
+scoreOne(const Mapspace &space, const Evaluator &evaluator,
+         Objective objective, Individual &ind, EvalScratch &scratch,
+         Tally &tally)
+{
+    FaultInjector &faults = FaultInjector::global();
+    const Mapping mapping =
+        ind.genome.materialize(space.problem(), space.arch());
+    if (faults.enabled())
+        faults.maybeThrow("genetic_search.evaluate");
+    evaluator.evaluate(mapping, scratch);
+    ++tally.evaluated;
+    if (!scratch.result.valid) {
+        ++tally.stats.invalid;
+        ind.fitness = kInf;
+        return;
+    }
+    ++tally.stats.modeled;
+    ++tally.valid;
+    ind.fitness = scratch.result.objective(objective);
+}
+
+/** Population indices ordered best-first by (fitness, index). */
+std::vector<std::size_t>
+rankedIndices(const std::vector<Individual> &population)
+{
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (population[a].fitness != population[b].fitness)
+                      return population[a].fitness <
+                             population[b].fitness;
+                  return a < b;
+              });
+    return order;
+}
 
 } // namespace
 
@@ -29,48 +108,115 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
     RUBY_CHECK(options.populationSize >= 2,
                "genetic search needs a population of >= 2");
     RUBY_CHECK(options.tournament >= 1, "tournament size must be >= 1");
+    RUBY_CHECK(options.islands >= 1,
+               "genetic search needs >= 1 island");
+    RUBY_CHECK(options.islands <= kMaxParallelism,
+               "genetic search: islands (", options.islands,
+               ") exceeds the cap of ", kMaxParallelism);
+    RUBY_CHECK(options.migrants < options.populationSize,
+               "genetic search: migrants must be < populationSize");
+    RUBY_CHECK(options.migrationInterval >= 1,
+               "genetic search: migrationInterval must be >= 1");
+    unsigned threads = options.threads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw != 0 ? hw : 1;
+    }
+    RUBY_CHECK(threads <= kMaxParallelism,
+               "genetic search: threads (", threads,
+               ") exceeds the cap of ", kMaxParallelism);
 
-    SearchResult out;
-    Rng rng(options.seed);
-    EvalScratch scratch;
-    double global_best = kInf;
+    const unsigned K = options.islands;
 
-    // Tournament selection needs every individual's actual fitness,
-    // so the lower-bound prune does not apply here; the scratch still
-    // makes each evaluation allocation-free.
-    auto score = [&](Individual &ind) {
-        const Mapping mapping =
-            ind.genome.materialize(space.problem(), space.arch());
-        evaluator.evaluate(mapping, scratch);
-        const EvalResult &res = scratch.result;
-        ++out.evaluated;
-        if (!res.valid) {
-            ++out.stats.invalid;
-            ind.fitness = kInf;
-            return;
-        }
-        ++out.stats.modeled;
-        ++out.valid;
-        ind.fitness = res.objective(options.objective);
-        if (ind.fitness < global_best) {
-            global_best = ind.fitness;
-            out.best = mapping;
-            out.bestResult = res;
-        }
-    };
-
-    // Seed population from the random sampler.
-    std::vector<Individual> population(options.populationSize);
-    for (auto &ind : population) {
-        ind.genome = extractGenome(space.sample(rng));
-        score(ind);
+    // islands == 1 consumes Rng(seed) directly (the classic stream);
+    // islands > 1 derives one independent stream per island.
+    std::vector<Island> archipelago;
+    archipelago.reserve(K);
+    if (K == 1) {
+        archipelago.push_back(Island{Rng(options.seed), {}});
+    } else {
+        Rng seeder(options.seed);
+        for (unsigned k = 0; k < K; ++k)
+            archipelago.push_back(Island{seeder.split(), {}});
     }
 
-    auto selectParent = [&]() -> const Individual & {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads);
+    std::vector<EvalScratch> worker_scratch(threads);
+    Tally tally;
+
+    // Evaluate a batch of members. Each job writes only its own
+    // individual's fitness and a per-worker tally, so the claim order
+    // is free to vary across runs without affecting any result.
+    auto scoreBatch = [&](const std::vector<ScoreJob> &jobs) {
+        if (pool == nullptr || jobs.size() <= 1) {
+            for (const ScoreJob &job : jobs)
+                scoreOne(space, evaluator, options.objective,
+                         archipelago[job.island]
+                             .population[job.member],
+                         worker_scratch[0], tally);
+            return;
+        }
+        std::atomic<std::size_t> next{0};
+        const auto workers = static_cast<unsigned>(
+            std::min<std::size_t>(threads, jobs.size()));
+        std::vector<Tally> tallies(workers);
+        const CancelToken &cancel = pool->cancelToken();
+        for (unsigned w = 0; w < workers; ++w)
+            pool->submit([&, w]() {
+                for (;;) {
+                    const std::size_t idx = next.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (idx >= jobs.size() || cancel.cancelled())
+                        return;
+                    const ScoreJob &job = jobs[idx];
+                    scoreOne(space, evaluator, options.objective,
+                             archipelago[job.island]
+                                 .population[job.member],
+                             worker_scratch[w], tallies[w]);
+                }
+            });
+        pool->waitIdle();
+        for (const Tally &t : tallies)
+            tally += t;
+    };
+
+    // Global best genome, reduced deterministically: strict fitness
+    // improvement scanning islands then members in index order.
+    double best_fitness = kInf;
+    MappingGenome best_genome;
+    auto updateGlobalBest = [&]() {
+        for (const Island &island : archipelago)
+            for (const Individual &ind : island.population)
+                if (ind.fitness < best_fitness) {
+                    best_fitness = ind.fitness;
+                    best_genome = ind.genome;
+                }
+    };
+
+    // Seed every island's population from the random sampler. The
+    // draws consume each island's own stream serially; only the
+    // scoring fans out.
+    std::vector<ScoreJob> jobs;
+    for (unsigned k = 0; k < K; ++k) {
+        Island &island = archipelago[k];
+        island.population.resize(options.populationSize);
+        for (std::size_t m = 0; m < island.population.size(); ++m) {
+            island.population[m].genome =
+                extractGenome(space.sample(island.rng));
+            jobs.push_back(ScoreJob{k, m});
+        }
+    }
+    scoreBatch(jobs);
+    updateGlobalBest();
+
+    auto selectParent = [&](Island &island) -> const Individual & {
         const Individual *best = nullptr;
         for (unsigned t = 0; t < options.tournament; ++t) {
             const Individual &cand =
-                population[rng.below(population.size())];
+                island.population[island.rng.below(
+                    island.population.size())];
             if (best == nullptr || cand.fitness < best->fitness)
                 best = &cand;
         }
@@ -78,32 +224,92 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
     };
 
     for (unsigned gen = 0; gen < options.generations; ++gen) {
-        std::vector<Individual> next;
-        next.reserve(population.size());
+        // Breeding phase: serial per island, in island order, so each
+        // island's RNG stream is consumed exactly as a fully serial
+        // run would consume it.
+        std::vector<std::vector<Individual>> offspring(K);
+        for (unsigned k = 0; k < K; ++k) {
+            Island &island = archipelago[k];
+            std::vector<Individual> &next_pop = offspring[k];
+            next_pop.reserve(island.population.size());
 
-        // Elitism: carry the best genomes over unchanged.
-        std::vector<std::size_t> order(population.size());
-        for (std::size_t i = 0; i < order.size(); ++i)
-            order[i] = i;
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return population[a].fitness <
-                             population[b].fitness;
-                  });
-        for (unsigned e = 0;
-             e < options.elites && e < population.size(); ++e)
-            next.push_back(population[order[e]]);
+            // Elitism: carry the best genomes over unchanged (their
+            // fitness is already known; they are not rescored).
+            const std::vector<std::size_t> order =
+                rankedIndices(island.population);
+            for (unsigned e = 0; e < options.elites &&
+                                 e < island.population.size();
+                 ++e)
+                next_pop.push_back(island.population[order[e]]);
 
-        while (next.size() < population.size()) {
-            Individual child;
-            child.genome = crossover(selectParent().genome,
-                                     selectParent().genome, rng);
-            if (rng.uniform() < options.mutationRate)
-                mutate(child.genome, space, rng);
-            score(child);
-            next.push_back(std::move(child));
+            while (next_pop.size() < island.population.size()) {
+                Individual child;
+                // Sequence the two tournaments explicitly: as
+                // function arguments their evaluation order would be
+                // unspecified, and the RNG stream must not depend on
+                // the compiler's choice. The second parent draws
+                // first — this pins the stream the historical builds
+                // produced, keeping seeded results comparable.
+                const Individual &p2 = selectParent(island);
+                const Individual &p1 = selectParent(island);
+                child.genome =
+                    crossover(p1.genome, p2.genome, island.rng);
+                if (island.rng.uniform() < options.mutationRate)
+                    mutate(child.genome, space, island.rng);
+                next_pop.push_back(std::move(child));
+            }
         }
-        population = std::move(next);
+
+        jobs.clear();
+        for (unsigned k = 0; k < K; ++k) {
+            archipelago[k].population = std::move(offspring[k]);
+            for (std::size_t m = options.elites;
+                 m < archipelago[k].population.size(); ++m)
+                jobs.push_back(ScoreJob{k, m});
+        }
+        scoreBatch(jobs);
+        updateGlobalBest();
+
+        // Ring migration: island k's best `migrants` replace island
+        // k+1's worst. Snapshot first, then apply, so the exchange is
+        // simultaneous and independent of island order.
+        if (K > 1 && options.migrants > 0 &&
+            (gen + 1) % options.migrationInterval == 0) {
+            std::vector<std::vector<Individual>> outbound(K);
+            for (unsigned k = 0; k < K; ++k) {
+                const std::vector<std::size_t> order =
+                    rankedIndices(archipelago[k].population);
+                for (unsigned m = 0; m < options.migrants; ++m)
+                    outbound[k].push_back(
+                        archipelago[k].population[order[m]]);
+            }
+            for (unsigned k = 0; k < K; ++k) {
+                const std::vector<Individual> &incoming =
+                    outbound[(k + K - 1) % K];
+                const std::vector<std::size_t> order =
+                    rankedIndices(archipelago[k].population);
+                for (unsigned m = 0; m < options.migrants; ++m) {
+                    const std::size_t victim =
+                        order[order.size() - 1 - m];
+                    archipelago[k].population[victim] = incoming[m];
+                }
+            }
+        }
+    }
+
+    SearchResult out;
+    out.evaluated = tally.evaluated;
+    out.valid = tally.valid;
+    out.stats = tally.stats;
+    if (best_fitness < kInf) {
+        // Re-materialize the winner once (not counted in the stats):
+        // tracking genomes instead of mappings keeps the hot loop free
+        // of Mapping copies, and re-evaluation is deterministic.
+        const Mapping mapping = best_genome.materialize(
+            space.problem(), space.arch());
+        evaluator.evaluate(mapping, worker_scratch[0]);
+        out.best = mapping;
+        out.bestResult = worker_scratch[0].result;
     }
     return out;
 }

@@ -33,6 +33,32 @@ struct GeneticOptions
     unsigned elites = 2;
 
     std::uint64_t seed = 42;
+
+    /**
+     * Independent sub-populations (islands), each with its own RNG
+     * stream and population of populationSize, evolved in lockstep
+     * and coupled only by migration. islands == 1 reproduces the
+     * classic single-population GA.
+     */
+    unsigned islands = 1;
+
+    /** Generations between migrations (islands > 1 only). */
+    unsigned migrationInterval = 5;
+
+    /**
+     * Individuals copied ring-wise (island k -> k+1) per migration,
+     * replacing the destination's worst. 0 disables migration.
+     */
+    unsigned migrants = 2;
+
+    /**
+     * Worker threads for fitness evaluation (0 = one per hardware
+     * thread). Breeding consumes each island's RNG stream serially;
+     * only the evaluations fan out, and scoring never touches an RNG,
+     * so results are bit-identical across thread counts for a fixed
+     * (seed, islands) pair.
+     */
+    unsigned threads = 1;
 };
 
 /** Evolve mappings of @p space; returns the best valid one found. */

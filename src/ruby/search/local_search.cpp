@@ -1,21 +1,38 @@
 #include "ruby/search/local_search.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
+#include <thread>
 
 #include "ruby/common/error.hpp"
+#include "ruby/common/fault_injector.hpp"
+#include "ruby/common/thread_pool.hpp"
 #include "ruby/search/genome.hpp"
 
 namespace ruby
 {
 
-SearchResult
-localSearch(const Mapspace &space, const Evaluator &evaluator,
-            const LocalSearchOptions &options)
+namespace
 {
-    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr unsigned kMaxParallelism = 4096;
+
+/**
+ * One hill-climbing run (random restarts until the budget is spent)
+ * with its own RNG stream and scratch. This is the whole serial
+ * algorithm; the multi-start path runs several of these with split
+ * seeds and split budgets and reduces the results.
+ */
+SearchResult
+runClimb(const Mapspace &space, const Evaluator &evaluator,
+         const LocalSearchOptions &options, std::uint64_t budget,
+         Rng rng)
+{
     SearchResult out;
-    Rng rng(options.seed);
     EvalScratch scratch;
+    FaultInjector &faults = FaultInjector::global();
 
     double global_best = kInf;
 
@@ -26,6 +43,8 @@ localSearch(const Mapspace &space, const Evaluator &evaluator,
                         double &metric) -> bool {
         const Mapping mapping =
             genome.materialize(space.problem(), space.arch());
+        if (faults.enabled())
+            faults.maybeThrow("local_search.evaluate");
         evaluator.evaluate(mapping, scratch);
         const EvalResult &res = scratch.result;
         ++out.evaluated;
@@ -44,12 +63,12 @@ localSearch(const Mapspace &space, const Evaluator &evaluator,
         return true;
     };
 
-    while (out.evaluated < options.maxEvaluations) {
+    while (out.evaluated < budget) {
         // Random (valid) start.
         MappingGenome current;
         double current_metric = kInf;
         bool started = false;
-        while (!started && out.evaluated < options.maxEvaluations) {
+        while (!started && out.evaluated < budget) {
             current = extractGenome(space.sample(rng));
             started = evaluate(current, current_metric);
         }
@@ -58,13 +77,11 @@ localSearch(const Mapspace &space, const Evaluator &evaluator,
 
         // Climb until patience runs out.
         unsigned stale = 0;
-        while (stale < options.patience &&
-               out.evaluated < options.maxEvaluations) {
+        while (stale < options.patience && out.evaluated < budget) {
             MappingGenome best_neighbour;
             double best_metric = kInf;
             for (unsigned n = 0; n < options.neighboursPerStep &&
-                                 out.evaluated <
-                                     options.maxEvaluations;
+                                 out.evaluated < budget;
                  ++n) {
                 MappingGenome neighbour = current;
                 mutate(neighbour, space, rng);
@@ -83,6 +100,98 @@ localSearch(const Mapspace &space, const Evaluator &evaluator,
                 ++stale;
             }
         }
+    }
+    return out;
+}
+
+} // namespace
+
+SearchResult
+localSearch(const Mapspace &space, const Evaluator &evaluator,
+            const LocalSearchOptions &options)
+{
+    RUBY_CHECK(options.starts >= 1,
+               "local search needs >= 1 start");
+    RUBY_CHECK(options.starts <= kMaxParallelism,
+               "local search: starts (", options.starts,
+               ") exceeds the cap of ", kMaxParallelism);
+    unsigned threads = options.threads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw != 0 ? hw : 1;
+    }
+    RUBY_CHECK(threads <= kMaxParallelism,
+               "local search: threads (", threads,
+               ") exceeds the cap of ", kMaxParallelism);
+
+    if (options.starts == 1)
+        return runClimb(space, evaluator, options,
+                        options.maxEvaluations, Rng(options.seed));
+
+    // Multi-start: split the evaluation budget evenly (remainder to
+    // the first starts) and give every start its own derived stream.
+    // The reduction is by (objective, start index), so the outcome is
+    // a pure function of (seed, starts) — never of the thread count.
+    const unsigned S = options.starts;
+    std::vector<std::uint64_t> budgets(S,
+                                       options.maxEvaluations / S);
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(options.maxEvaluations % S); ++s)
+        ++budgets[s];
+    Rng seeder(options.seed);
+    std::vector<Rng> streams;
+    streams.reserve(S);
+    for (unsigned s = 0; s < S; ++s)
+        streams.push_back(seeder.split());
+
+    std::vector<SearchResult> results(S);
+    const auto workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads, S));
+    if (workers <= 1) {
+        for (unsigned s = 0; s < S; ++s)
+            results[s] = runClimb(space, evaluator, options,
+                                  budgets[s], streams[s]);
+    } else {
+        ThreadPool pool(workers);
+        std::atomic<unsigned> next{0};
+        const CancelToken &cancel = pool.cancelToken();
+        for (unsigned w = 0; w < workers; ++w)
+            pool.submit([&]() {
+                for (;;) {
+                    const unsigned s = next.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (s >= S || cancel.cancelled())
+                        return;
+                    results[s] = runClimb(space, evaluator, options,
+                                          budgets[s], streams[s]);
+                }
+            });
+        pool.waitIdle();
+    }
+
+    SearchResult out;
+    int winner = -1;
+    double winner_metric = kInf;
+    for (unsigned s = 0; s < S; ++s) {
+        out.evaluated += results[s].evaluated;
+        out.valid += results[s].valid;
+        out.stats += results[s].stats;
+        if (!results[s].best)
+            continue;
+        const double metric =
+            results[s].bestResult.objective(options.objective);
+        // Strict improvement: equal metrics keep the earlier start.
+        if (winner < 0 || metric < winner_metric) {
+            winner = static_cast<int>(s);
+            winner_metric = metric;
+        }
+    }
+    if (winner >= 0) {
+        out.best = std::move(results[static_cast<unsigned>(winner)]
+                                 .best);
+        out.bestResult =
+            std::move(results[static_cast<unsigned>(winner)]
+                          .bestResult);
     }
     return out;
 }

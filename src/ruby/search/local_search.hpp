@@ -28,6 +28,21 @@ struct LocalSearchOptions
     unsigned patience = 20;
 
     std::uint64_t seed = 42;
+
+    /**
+     * Independent climbing runs, each with its own derived RNG stream
+     * and an even share of maxEvaluations (remainder to the first
+     * starts). starts == 1 reproduces the classic single-stream
+     * climb. Results are reduced by (objective, start index).
+     */
+    unsigned starts = 1;
+
+    /**
+     * Worker threads executing the starts (0 = one per hardware
+     * thread). The outcome depends only on (seed, starts), never on
+     * the thread count.
+     */
+    unsigned threads = 1;
 };
 
 /**

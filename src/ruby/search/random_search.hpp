@@ -19,11 +19,27 @@
 namespace ruby
 {
 
+/**
+ * Which search algorithm the driver dispatches to (random sampling is
+ * the paper's choice; the rest are the orthogonal "better search"
+ * strategies of Sec. II).
+ */
+enum class SearchStrategy
+{
+    Random,
+    Exhaustive,
+    Genetic,
+    Local,
+};
+
 /** Search configuration. */
 struct SearchOptions
 {
     /** Metric to minimize. */
     Objective objective = Objective::EDP;
+
+    /** Algorithm used by the driver layer (searchLayer/searchNetwork). */
+    SearchStrategy strategy = SearchStrategy::Random;
 
     /**
      * Terminate after this many consecutive *valid* mappings without
@@ -89,6 +105,30 @@ struct SearchOptions
 
     /** Memo-cache capacity in entries (rounded up per shard). */
     std::size_t evalCacheCapacity = EvalCache::kDefaultCapacity;
+
+    /**
+     * Island count for the genetic strategy (ignored by the others).
+     * Each island evolves its own population on its own RNG stream;
+     * see GeneticOptions::islands.
+     */
+    unsigned islands = 1;
+
+    /**
+     * Concurrent layer searches inside searchNetwork() (0 = one per
+     * hardware thread). Composes with per-search threads: total
+     * workers is roughly networkThreads x threads, so keep one of the
+     * two at 1. Ignored by the single-layer entry points.
+     */
+    unsigned networkThreads = 1;
+
+    /**
+     * Search each distinct layer *shape* once per searchNetwork()
+     * sweep and replicate the outcome across duplicates (marked
+     * memoized, with zeroed evaluation counters so aggregate stats
+     * count real work only). Keyed on the numeric ConvShape fields,
+     * never the layer name.
+     */
+    bool layerMemo = true;
 };
 
 /** Search outcome. */

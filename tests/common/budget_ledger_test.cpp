@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Budget-ledger semantics: fair shares from fresh clock reads. The
+ * overrun test is the regression for the stale-remaining bug in the
+ * old searchNetwork even-split, which computed a layer's share from a
+ * `remaining` captured before the previous layer overran.
+ */
+
+#include "ruby/common/budget_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ruby
+{
+namespace
+{
+
+using std::chrono::milliseconds;
+
+TEST(BudgetLedger, EvenSplitWithOneWorker)
+{
+    BudgetLedger ledger(milliseconds(900), 3, 1);
+    ASSERT_TRUE(ledger.armed());
+    const milliseconds share = ledger.grant();
+    // remaining ~900 over 3 pending tasks, one at a time.
+    EXPECT_GE(share.count(), 250);
+    EXPECT_LE(share.count(), 300);
+}
+
+TEST(BudgetLedger, OverrunShrinksLaterShares)
+{
+    BudgetLedger ledger(milliseconds(300), 3, 1);
+    const milliseconds first = ledger.grant();
+    EXPECT_LE(first.count(), 100);
+    // The first task overruns its ~100 ms share badly; the next grant
+    // must be computed from the clock, not from a stale remainder.
+    std::this_thread::sleep_for(milliseconds(200));
+    const milliseconds second = ledger.grant();
+    EXPECT_LT(second.count(), first.count());
+    EXPECT_LE(second, ledger.remaining() + milliseconds(1));
+}
+
+TEST(BudgetLedger, ExhaustedBudgetGrantsZero)
+{
+    BudgetLedger ledger(milliseconds(30), 2, 1);
+    std::this_thread::sleep_for(milliseconds(60));
+    EXPECT_EQ(ledger.grant().count(), 0);
+    // The pending count still decrements so later tasks see honest
+    // accounting.
+    EXPECT_EQ(ledger.pending(), 1u);
+}
+
+TEST(BudgetLedger, UnarmedGrantsUnlimited)
+{
+    BudgetLedger ledger(milliseconds(0), 5, 2);
+    EXPECT_FALSE(ledger.armed());
+    EXPECT_EQ(ledger.grant(), milliseconds::max());
+    EXPECT_EQ(ledger.remaining(), milliseconds::max());
+}
+
+TEST(BudgetLedger, ConcurrentWorkersGetLargerShares)
+{
+    // 4 tasks, 4 workers: all run at once, so the first share may be
+    // (almost) the whole budget, not a quarter of it.
+    BudgetLedger wide(milliseconds(800), 4, 4);
+    EXPECT_GE(wide.grant().count(), 700);
+
+    // 4 tasks, 2 workers: two waves, so roughly half each.
+    BudgetLedger narrow(milliseconds(800), 4, 2);
+    const auto share = narrow.grant();
+    EXPECT_GE(share.count(), 330);
+    EXPECT_LE(share.count(), 400);
+}
+
+TEST(BudgetLedger, PendingCountsDown)
+{
+    BudgetLedger ledger(milliseconds(1000), 2, 1);
+    EXPECT_EQ(ledger.pending(), 2u);
+    (void)ledger.grant();
+    EXPECT_EQ(ledger.pending(), 1u);
+    (void)ledger.grant();
+    EXPECT_EQ(ledger.pending(), 0u);
+    // Extra grants (shouldn't happen, but must not divide by zero)
+    // treat the task as the only one left.
+    const auto extra = ledger.grant();
+    EXPECT_GE(extra.count(), 1);
+}
+
+} // namespace
+} // namespace ruby

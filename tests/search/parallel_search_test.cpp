@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Determinism and safety of the parallel search stack (ISSUE 3): the
+ * serial and multi-threaded executions of every strategy must agree
+ * bit-for-bit on the best mapping at fixed topology (islands/starts),
+ * per-shard statistics must aggregate without double counting, the
+ * network sweep must parallelize across layers without changing any
+ * outcome, and the layer memo must search each distinct shape once.
+ *
+ * The incumbent stress test at the bottom is the TSan target for the
+ * shared atomic best-objective.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/incumbent.hpp"
+#include "ruby/common/thread_pool.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/search/exhaustive_search.hpp"
+#include "ruby/search/genetic_search.hpp"
+#include "ruby/search/local_search.hpp"
+#include "ruby/workload/conv.hpp"
+#include "ruby/workload/problem.hpp"
+
+namespace ruby
+{
+namespace
+{
+
+/** A small conv layer every preset can map quickly. */
+ConvShape
+smallConv()
+{
+    ConvShape sh;
+    sh.name = "conv_small";
+    sh.c = 16;
+    sh.m = 16;
+    sh.p = 7;
+    sh.q = 7;
+    sh.r = 3;
+    sh.s = 3;
+    return sh;
+}
+
+/** invalid + pruned + hits + modeled must partition the evaluations. */
+void
+expectStatsPartition(const EvalStats &stats, std::uint64_t evaluated)
+{
+    EXPECT_EQ(stats.invalid + stats.prunedBound + stats.cacheHits +
+                  stats.modeled,
+              evaluated);
+}
+
+void
+expectExhaustiveParity(const ArchSpec &arch, ConstraintPreset preset)
+{
+    const Problem prob = makeConv(smallConv());
+    const MappingConstraints cons =
+        makeConstraints(preset, prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    ExhaustiveOptions serial;
+    serial.maxEvaluations = 4000;
+    serial.threads = 1;
+    ExhaustiveOptions parallel = serial;
+    parallel.threads = 4;
+
+    const ExhaustiveResult a = exhaustiveSearch(space, eval, serial);
+    const ExhaustiveResult b =
+        exhaustiveSearch(space, eval, parallel);
+
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.truncated, b.truncated);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) {
+        EXPECT_EQ(a.bestResult.edp, b.bestResult.edp);
+        EXPECT_EQ(a.bestResult.energy, b.bestResult.energy);
+        EXPECT_EQ(a.bestResult.cycles, b.bestResult.cycles);
+        EXPECT_EQ(a.best->toString(), b.best->toString());
+    }
+    // The prunedBound/modeled split may shift with the thread count
+    // (the shared incumbent tightens in a different order) but the
+    // partition identity must hold on both sides.
+    expectStatsPartition(a.stats, a.evaluated);
+    expectStatsPartition(b.stats, b.evaluated);
+    EXPECT_EQ(a.stats.invalid, b.stats.invalid);
+    EXPECT_EQ(a.stats.prunedBound + a.stats.modeled,
+              b.stats.prunedBound + b.stats.modeled);
+}
+
+TEST(ParallelSearch, ExhaustiveParityOnEyeriss)
+{
+    expectExhaustiveParity(makeEyeriss(),
+                           ConstraintPreset::EyerissRS);
+}
+
+TEST(ParallelSearch, ExhaustiveParityOnSimba)
+{
+    expectExhaustiveParity(makeSimba(), ConstraintPreset::Simba);
+}
+
+TEST(ParallelSearch, GeneticIslandParityAcrossThreadCounts)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    GeneticOptions serial;
+    serial.populationSize = 16;
+    serial.generations = 8;
+    serial.islands = 4;
+    serial.migrationInterval = 3;
+    serial.migrants = 2;
+    serial.threads = 1;
+    GeneticOptions parallel = serial;
+    parallel.threads = 4;
+
+    const SearchResult a = geneticSearch(space, eval, serial);
+    const SearchResult b = geneticSearch(space, eval, parallel);
+
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.stats.invalid, b.stats.invalid);
+    EXPECT_EQ(a.stats.modeled, b.stats.modeled);
+    expectStatsPartition(a.stats, a.evaluated);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) {
+        EXPECT_EQ(a.bestResult.edp, b.bestResult.edp);
+        EXPECT_EQ(a.best->toString(), b.best->toString());
+    }
+}
+
+TEST(ParallelSearch, LocalMultiStartParityAcrossThreadCounts)
+{
+    const Problem prob = makeVector1D(100);
+    const ArchSpec arch = makeToyLinear(9);
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    LocalSearchOptions serial;
+    serial.maxEvaluations = 2000;
+    serial.starts = 4;
+    serial.threads = 1;
+    LocalSearchOptions parallel = serial;
+    parallel.threads = 4;
+
+    const SearchResult a = localSearch(space, eval, serial);
+    const SearchResult b = localSearch(space, eval, parallel);
+
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.stats.invalid, b.stats.invalid);
+    EXPECT_EQ(a.stats.modeled, b.stats.modeled);
+    expectStatsPartition(a.stats, a.evaluated);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) {
+        EXPECT_EQ(a.bestResult.edp, b.bestResult.edp);
+        EXPECT_EQ(a.best->toString(), b.best->toString());
+    }
+}
+
+/** Three distinct small layers (no duplicate shapes). */
+std::vector<Layer>
+distinctNetwork()
+{
+    std::vector<Layer> layers;
+    for (std::uint64_t m : {12, 16, 24}) {
+        ConvShape sh = smallConv();
+        sh.name = "conv_m" + std::to_string(m);
+        sh.m = m;
+        Layer layer;
+        layer.shape = sh;
+        layer.group = "conv";
+        layer.count = 2;
+        layers.push_back(layer);
+    }
+    return layers;
+}
+
+TEST(ParallelSearch, NetworkParityAcrossNetworkThreadCounts)
+{
+    const ArchSpec arch = makeEyeriss();
+    SearchOptions opts;
+    opts.maxEvaluations = 1500;
+    opts.terminationStreak = 0;
+    opts.networkThreads = 1;
+
+    const NetworkOutcome a =
+        searchNetwork(distinctNetwork(), arch,
+                      ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, opts);
+    opts.networkThreads = 4;
+    const NetworkOutcome b =
+        searchNetwork(distinctNetwork(), arch,
+                      ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, opts);
+
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].found, b.layers[i].found);
+        EXPECT_EQ(a.layers[i].evaluated, b.layers[i].evaluated);
+        EXPECT_EQ(a.layers[i].result.edp, b.layers[i].result.edp);
+        EXPECT_EQ(a.layers[i].bestMapping, b.layers[i].bestMapping);
+    }
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.edp, b.edp);
+}
+
+/** Four layers where the first and third share one numeric shape. */
+std::vector<Layer>
+duplicateShapeNetwork()
+{
+    std::vector<Layer> layers = distinctNetwork();
+    ConvShape dup = layers[0].shape;
+    dup.name = "conv_dup_of_first";
+    Layer layer;
+    layer.shape = dup;
+    layer.group = "conv";
+    layer.count = 3;
+    layers.push_back(layer);
+    return layers;
+}
+
+TEST(ParallelSearch, LayerMemoReplicatesDuplicateShapes)
+{
+    const ArchSpec arch = makeEyeriss();
+    SearchOptions opts;
+    opts.maxEvaluations = 1500;
+    opts.terminationStreak = 0;
+
+    const NetworkOutcome memo =
+        searchNetwork(duplicateShapeNetwork(), arch,
+                      ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, opts);
+    ASSERT_EQ(memo.layers.size(), 4u);
+    EXPECT_EQ(memo.memoizedLayers, 1);
+
+    const LayerOutcome &primary = memo.layers[0];
+    const LayerOutcome &dup = memo.layers[3];
+    EXPECT_FALSE(primary.memoized);
+    EXPECT_TRUE(dup.memoized);
+    EXPECT_EQ(dup.name, "conv_dup_of_first");
+    EXPECT_EQ(dup.count, 3);
+    // The copy carries the mapping but none of the work counters, so
+    // aggregate statistics count each distinct shape exactly once.
+    EXPECT_EQ(dup.found, primary.found);
+    EXPECT_EQ(dup.result.edp, primary.result.edp);
+    EXPECT_EQ(dup.bestMapping, primary.bestMapping);
+    EXPECT_EQ(dup.evaluated, 0u);
+    expectStatsPartition(dup.stats, 0);
+
+    // Disabling the memo searches the duplicate for real — same
+    // outcome (same seed, same options), more recorded work.
+    SearchOptions no_memo = opts;
+    no_memo.layerMemo = false;
+    const NetworkOutcome full =
+        searchNetwork(duplicateShapeNetwork(), arch,
+                      ConstraintPreset::EyerissRS,
+                      MapspaceVariant::RubyS, no_memo);
+    EXPECT_EQ(full.memoizedLayers, 0);
+    EXPECT_FALSE(full.layers[3].memoized);
+    EXPECT_GT(full.layers[3].evaluated, 0u);
+    EXPECT_EQ(full.layers[3].result.edp, memo.layers[3].result.edp);
+    EXPECT_EQ(full.totalEnergy, memo.totalEnergy);
+    EXPECT_EQ(full.totalCycles, memo.totalCycles);
+    EXPECT_EQ(full.edp, memo.edp);
+
+    // Network-level partition identity after reduction: the summed
+    // stats must account for exactly the evaluations of the layers
+    // that were really searched.
+    std::uint64_t searched_evals = 0;
+    for (const LayerOutcome &layer : memo.layers)
+        searched_evals += layer.evaluated;
+    expectStatsPartition(memo.stats, searched_evals);
+}
+
+TEST(ParallelSearch, SharedIncumbentStressKeepsMinimum)
+{
+    // TSan target: hammer one incumbent from many threads and check
+    // the final value is the true minimum ever observed.
+    SharedIncumbent incumbent;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20'000;
+    std::atomic<std::uint64_t> lowest_seen{
+        std::numeric_limits<std::uint64_t>::max()};
+
+    ThreadPool pool(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t)
+        pool.submit([&, t]() {
+            // Deterministic pseudo-random walk, distinct per thread.
+            std::uint64_t x = 0x9e3779b97f4a7c15ull * (t + 1);
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                const std::uint64_t v = (x % 1'000'000) + 1;
+                std::uint64_t seen =
+                    lowest_seen.load(std::memory_order_relaxed);
+                while (v < seen &&
+                       !lowest_seen.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed))
+                    ;
+                incumbent.observeMin(static_cast<double>(v));
+                // Interleave reads: a racy implementation would trip
+                // TSan here, a broken CAS loop would lose the min.
+                EXPECT_GE(incumbent.load(), 1.0);
+            }
+        });
+    pool.waitIdle();
+    EXPECT_EQ(incumbent.load(),
+              static_cast<double>(lowest_seen.load()));
+}
+
+} // namespace
+} // namespace ruby

@@ -11,6 +11,8 @@
  * --objective edp|energy|delay, --constraints <preset>, --evals N,
  * --streak N, --seed N, --threads N, --restarts N,
  * --time-budget MS (wall-clock cap for the search),
+ * --strategy random|exhaustive|genetic|local (search algorithm),
+ * --islands N (genetic sub-populations),
  * --[no-]eval-cache (mapping memo cache; on by default),
  * --cache-capacity N (memo-cache entries),
  * --[no-]bound-pruning (objective lower-bound prune; on by default),
@@ -20,8 +22,10 @@
  * `net` suites: resnet50 | deepbench | alexnet on the Eyeriss-like
  * preset arch; takes the same search overrides plus
  * --network-budget MS (wall-clock cap for the whole sweep, split
- * across layers). Failed layers are reported in the summary; the
- * sweep never aborts the process.
+ * across layers), --net-threads N (concurrent layer searches) and
+ * --[no-]layer-memo (search each distinct layer shape once; on by
+ * default). Failed layers are reported in the summary; the sweep
+ * never aborts the process.
  *
  * `count` options: --fanout N (default 9), --spad-words N (tile cap
  * for the valid-PFM column; default 512).
@@ -66,10 +70,13 @@ usage()
            " [--seed N]\n"
            "          [--threads N] [--restarts N] [--time-budget MS]\n"
            "          [--[no-]eval-cache] [--cache-capacity N]\n"
-           "          [--[no-]bound-pruning] [--pad] [--yaml]\n"
+           "          [--[no-]bound-pruning]\n"
+           "          [--strategy random|exhaustive|genetic|local]\n"
+           "          [--islands N] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
            " overrides]\n"
-           "          [--network-budget MS]\n"
+           "          [--network-budget MS] [--net-threads N]\n"
+           "          [--[no-]layer-memo]\n"
            "  ruby-map count <dim> [--fanout N] [--spad-words N]\n"
            "  ruby-map suites\n"
            "exit codes: 0 ok, 1 user error, 2 usage, 3 no mapping,\n"
@@ -149,6 +156,29 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
         search.boundPruning = true;
     else if (flag == "--no-bound-pruning")
         search.boundPruning = false;
+    else if (flag == "--strategy") {
+        const std::string &name = next();
+        if (name == "random")
+            search.strategy = SearchStrategy::Random;
+        else if (name == "exhaustive")
+            search.strategy = SearchStrategy::Exhaustive;
+        else if (name == "genetic")
+            search.strategy = SearchStrategy::Genetic;
+        else if (name == "local")
+            search.strategy = SearchStrategy::Local;
+        else
+            RUBY_FATAL(flag, ": unknown strategy '", name,
+                       "' (random|exhaustive|genetic|local)");
+    } else if (flag == "--islands")
+        search.islands =
+            static_cast<unsigned>(parseU64Arg(flag, next()));
+    else if (flag == "--net-threads")
+        search.networkThreads =
+            static_cast<unsigned>(parseU64Arg(flag, next()));
+    else if (flag == "--layer-memo")
+        search.layerMemo = true;
+    else if (flag == "--no-layer-memo")
+        search.layerMemo = false;
     else
         return false;
     return true;
