@@ -25,6 +25,7 @@ Mapper::run() const
     res.failure = outcome.failure;
     res.diagnostic = outcome.diagnostic;
     res.timedOut = outcome.timedOut;
+    res.statsNote = outcome.statsNote;
     return res;
 }
 

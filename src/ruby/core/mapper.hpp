@@ -55,6 +55,9 @@ struct MapperResult
     std::string diagnostic;
     /** True when the search's time budget expired. */
     bool timedOut = false;
+    /** Non-empty when the stage counters failed their partition
+     *  identity (see LayerOutcome::statsNote). */
+    std::string statsNote;
 };
 
 /**

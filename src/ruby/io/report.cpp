@@ -109,6 +109,13 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
        << " evictions), "
        << formatCompact(static_cast<double>(net.stats.modeled))
        << " fully modeled\n";
+    // Partition-identity violations (see LayerOutcome::statsNote) are
+    // surfaced here rather than aborting: the counters are diagnostics
+    // and a broken diagnostic must not suppress the result.
+    for (const LayerOutcome &layer : net.layers)
+        if (!layer.statsNote.empty())
+            os << "stats check    : " << layer.name << ": "
+               << layer.statsNote << "\n";
     if (net.memoizedLayers > 0)
         os << "layer memo     : " << net.memoizedLayers
            << " duplicate layer(s) replicated without searching\n";

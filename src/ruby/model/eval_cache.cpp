@@ -113,6 +113,29 @@ mappingFingerprintPair(const Mapping &mapping)
     return FingerprintPair{fnv.a, fnv.b};
 }
 
+FingerprintPair
+evalContextSalt(const Problem &problem, const ArchSpec &arch,
+                int objectiveTag)
+{
+    FnvPair fnv;
+    fnv.mix(static_cast<std::uint64_t>(objectiveTag));
+    fnv.mix(static_cast<std::uint64_t>(problem.numDims()));
+    for (DimId d = 0; d < problem.numDims(); ++d)
+        fnv.mix(problem.dimSize(d));
+    fnv.mix(static_cast<std::uint64_t>(problem.numTensors()));
+    // The architecture is identified by name + level count: presets
+    // and loaded configs both carry distinct, stable names, and two
+    // same-named architectures with the same level count model
+    // identically for salting purposes (a 64-bit probabilistic
+    // discriminator, not an equality proof — the verify chain and the
+    // improving-hit re-evaluation still backstop collisions).
+    fnv.mix(static_cast<std::uint64_t>(arch.numLevels()));
+    for (const char c : arch.name())
+        fnv.mix(static_cast<std::uint64_t>(
+            static_cast<unsigned char>(c)));
+    return FingerprintPair{fnv.a, fnv.b};
+}
+
 EvalCache::EvalCache(std::size_t capacity, std::size_t shards)
 {
     RUBY_CHECK(capacity >= 1, "eval cache capacity must be >= 1");

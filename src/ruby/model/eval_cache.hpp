@@ -57,6 +57,23 @@ struct FingerprintPair
  */
 FingerprintPair mappingFingerprintPair(const Mapping &mapping);
 
+/**
+ * Salt pair identifying the evaluation context a cached outcome is
+ * only valid in: the problem's numeric shape, the architecture and
+ * the objective (@p objectiveTag is the Objective enum value; an int
+ * keeps this header independent of the evaluator). Mapping
+ * fingerprints cover only the mapping's own choices, so a cache
+ * shared across searches — e.g. the process-lifetime cache inside
+ * ruby-served — would otherwise serve layer A's objective for layer
+ * B's structurally identical mapping. Searches XOR this salt into
+ * every fingerprint before touching the cache; two problems share
+ * entries iff their shapes, architecture and objective all agree.
+ * Problem/layer *names* are deliberately excluded: duplicate shapes
+ * under different names are exactly the reuse the cache is for.
+ */
+FingerprintPair evalContextSalt(const Problem &problem,
+                                const ArchSpec &arch, int objectiveTag);
+
 /** Compact memoized outcome of one mapping evaluation. */
 struct CachedEval
 {

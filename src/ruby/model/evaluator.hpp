@@ -117,6 +117,18 @@ struct EvalStats
     std::uint64_t cacheMisses = 0;    ///< memo-cache misses
     std::uint64_t cacheEvictions = 0; ///< memo-cache evictions
 
+    /**
+     * Samples accounted for by some stage. The partition invariant
+     * decided() == evaluated must hold for every completed search;
+     * the driver checks it in all build types and surfaces a
+     * per-layer diagnostic in the report on violation (silent
+     * mis-accounting would corrupt every downstream aggregate).
+     */
+    std::uint64_t decided() const
+    {
+        return invalid + prunedBound + modeled + cacheHits;
+    }
+
     EvalStats &operator+=(const EvalStats &o)
     {
         invalid += o.invalid;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <sstream>
 #include <thread>
 
 #include "ruby/common/budget_ledger.hpp"
@@ -25,8 +26,8 @@ constexpr unsigned kMaxParallelism = 4096;
 
 /** Dispatch to the strategy selected in the options. */
 SearchResult
-runStrategy(const Mapspace &space, const Evaluator &evaluator,
-            const SearchOptions &options)
+runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
+                const SearchOptions &options)
 {
     switch (options.strategy) {
       case SearchStrategy::Random:
@@ -36,6 +37,7 @@ runStrategy(const Mapspace &space, const Evaluator &evaluator,
         ex.objective = options.objective;
         ex.boundPruning = options.boundPruning;
         ex.threads = options.threads;
+        ex.cancel = options.cancel;
         if (options.maxEvaluations != 0)
             ex.maxEvaluations = options.maxEvaluations;
         ExhaustiveResult res =
@@ -54,12 +56,14 @@ runStrategy(const Mapspace &space, const Evaluator &evaluator,
         g.seed = options.seed;
         g.islands = options.islands;
         g.threads = options.threads;
+        g.cancel = options.cancel;
         return geneticSearch(space, evaluator, g);
       }
       case SearchStrategy::Local: {
         LocalSearchOptions l;
         l.objective = options.objective;
         l.seed = options.seed;
+        l.cancel = options.cancel;
         if (options.maxEvaluations != 0)
             l.maxEvaluations = options.maxEvaluations;
         unsigned t = options.threads;
@@ -76,6 +80,23 @@ runStrategy(const Mapspace &space, const Evaluator &evaluator,
     }
     RUBY_ASSERT(false, "unknown search strategy");
     return {};
+}
+
+/**
+ * Run the configured strategy, then normalize external cancellation:
+ * every strategy winds down cooperatively when options.cancel fires,
+ * and the driver uniformly reports that as a deadline so callers (and
+ * the serving drain) see one consistent "stopped early, best-so-far
+ * returned" shape regardless of strategy.
+ */
+SearchResult
+runStrategy(const Mapspace &space, const Evaluator &evaluator,
+            const SearchOptions &options)
+{
+    SearchResult res = runStrategyImpl(space, evaluator, options);
+    if (options.cancel != nullptr && options.cancel->cancelled())
+        res.deadlineExceeded = true;
+    return res;
 }
 
 /** Numeric shape fingerprint for the layer memo (never the name). */
@@ -104,7 +125,129 @@ makeBudgetSkipped(const Layer &layer)
     return skipped;
 }
 
+/** Likewise for a layer reached after an external cancellation. */
+LayerOutcome
+makeCancelSkipped(const Layer &layer)
+{
+    LayerOutcome skipped;
+    skipped.name = layer.shape.name;
+    skipped.group = layer.group;
+    skipped.count = layer.count;
+    skipped.failure = FailureKind::DeadlineExceeded;
+    skipped.timedOut = true;
+    skipped.diagnostic = "cancelled before this layer's search";
+    return skipped;
+}
+
+/**
+ * Whether a sweep's outcomes may be served from / published into a
+ * cross-sweep LayerMemo. Only configurations that reproduce the same
+ * outcome on every run qualify: no wall-clock budgets (shares are
+ * scheduling-dependent), no fault injection, and no multi-threaded
+ * random sampling (the one strategy whose result depends on thread
+ * interleaving). Exhaustive, genetic and local searches are
+ * deterministic for any fixed option set, which the key encodes.
+ */
+bool
+layerMemoEligible(const SearchOptions &options)
+{
+    if (options.sharedLayerMemo == nullptr || !options.layerMemo)
+        return false;
+    if (options.timeBudget.count() != 0 ||
+        options.networkTimeBudget.count() != 0)
+        return false;
+    if (FaultInjector::global().enabled())
+        return false;
+    if (options.strategy == SearchStrategy::Random &&
+        options.threads != 1)
+        return false;
+    return true;
+}
+
+/**
+ * Exact-identity architecture signature for the memo key. A shared
+ * LayerMemo outlives one sweep (the ruby-served daemon feeds it
+ * requests against different architectures), so the key must cover
+ * every arch parameter the model reads; doubles are rendered in
+ * hexfloat so two archs differing below the default stream precision
+ * cannot collide.
+ */
+std::string
+archMemoSignature(const ArchSpec &arch)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << arch.name() << ';' << arch.wordBits() << ';'
+       << arch.macEnergy();
+    for (int l = 0; l < arch.numLevels(); ++l) {
+        const StorageLevelSpec &lvl = arch.level(l);
+        os << ';' << lvl.name << ',' << lvl.capacityWords << ',';
+        for (const std::uint64_t words : lvl.perTensorCapacity)
+            os << words << '+';
+        os << ',' << lvl.bandwidthWordsPerCycle << ','
+           << lvl.fanoutX << ',' << lvl.fanoutY << ','
+           << lvl.readEnergy << ',' << lvl.writeEnergy;
+    }
+    return os.str();
+}
+
+/**
+ * Exact-context memo key: the numeric shape (never the name), the
+ * architecture, the mapspace context, and every option that can
+ * change a deterministic search's outcome. Anything excluded here
+ * must be outcome-neutral by construction (e.g. sharedEvalCache:
+ * warm hits only short-circuit non-improving re-evaluations).
+ */
+std::string
+layerMemoKey(const ConvShape &sh, const ArchSpec &arch,
+             ConstraintPreset preset, MapspaceVariant variant,
+             bool pad, const SearchOptions &o)
+{
+    return detail::composeMessage(
+        archMemoSignature(arch), '|',
+        sh.n, ',', sh.c, ',', sh.m, ',', sh.p, ',', sh.q, ',', sh.r,
+        ',', sh.s, ',', sh.strideH, ',', sh.strideW, ',',
+        sh.dilationH, ',', sh.dilationW, '|',
+        static_cast<int>(preset), ',', static_cast<int>(variant), ',',
+        pad ? 1 : 0, '|', static_cast<int>(o.objective), ',',
+        static_cast<int>(o.strategy), ',', o.terminationStreak, ',',
+        o.maxEvaluations, ',', o.seed, ',', o.threads, ',',
+        o.restarts, ',', o.boundPruning ? 1 : 0, ',',
+        o.evalCache ? 1 : 0, ',', o.evalCacheCapacity, ',', o.islands,
+        ',', o.recordTrajectory ? 1 : 0);
+}
+
 } // namespace
+
+bool
+LayerMemo::lookup(const std::string &key, LayerOutcome &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    out = it->second;
+    return true;
+}
+
+void
+LayerMemo::insert(const std::string &key, const LayerOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.emplace(key, outcome).second)
+        ++inserts_;
+}
+
+LayerMemo::Stats
+LayerMemo::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Stats{hits_, misses_, inserts_,
+                 static_cast<std::uint64_t>(entries_.size())};
+}
 
 MappingConstraints
 makeConstraints(ConstraintPreset preset, const Problem &problem,
@@ -187,6 +330,15 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
 
         outcome.evaluated = res.evaluated;
         outcome.stats = res.stats;
+        // Partition identity, checked in every build: each drawn
+        // mapping is decided exactly once (invalid, bound-pruned,
+        // cache hit or fully modeled). A mismatch means a counter
+        // bug; surface it rather than silently reporting bad stats.
+        if (res.stats.decided() != res.evaluated)
+            outcome.statsNote = detail::composeMessage(
+                "eval-stats mismatch: invalid+pruned+hits+modeled = ",
+                res.stats.decided(),
+                " != evaluated = ", res.evaluated);
         outcome.timedOut = res.deadlineExceeded;
         outcome.found = res.best.has_value();
         if (outcome.found) {
@@ -260,8 +412,17 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
     // skipped in their own right, not "memoized" from nothing.
     std::vector<char> searched(layers.size(), 0);
 
+    const bool memo_eligible = layerMemoEligible(options);
+
     auto runLayer = [&](std::size_t i) {
         const Layer &layer = layers[i];
+        // A drain cancellation observed before the search starts
+        // skips the layer outright (inflight layers wind down via
+        // the strategy-level polling instead).
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+            net.layers[i] = makeCancelSkipped(layer);
+            return;
+        }
         SearchOptions layer_opts = options;
         const auto share = ledger.grant();
         if (ledger.armed()) {
@@ -273,6 +434,29 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
             if (layer_opts.timeBudget.count() == 0 ||
                 share < layer_opts.timeBudget)
                 layer_opts.timeBudget = share;
+        }
+
+        // Cross-sweep memo: an identical (shape, context, options)
+        // search finished earlier in this process — replay it as a
+        // memoized outcome, exactly like an in-sweep duplicate.
+        std::string memo_key;
+        if (memo_eligible) {
+            memo_key =
+                layerMemoKey(layer.shape, arch, preset, variant,
+                             pad, options);
+            LayerOutcome hit;
+            if (options.sharedLayerMemo->lookup(memo_key, hit)) {
+                hit.name = layer.shape.name;
+                hit.group = layer.group;
+                hit.count = layer.count;
+                hit.evaluated = 0;
+                hit.stats = EvalStats{};
+                hit.statsNote.clear();
+                hit.memoized = true;
+                net.layers[i] = std::move(hit);
+                searched[i] = 1;
+                return;
+            }
         }
 
         LayerOutcome outcome;
@@ -288,6 +472,14 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
             outcome.name = layer.shape.name;
         outcome.count = layer.count;
         outcome.group = layer.group;
+        // Publish reproducible, fully-finished outcomes only:
+        // deadline-hit or internal-error results must never be
+        // replayed as if they were the search's true answer.
+        if (memo_eligible && !outcome.timedOut &&
+            outcome.statsNote.empty() &&
+            (outcome.failure == FailureKind::None ||
+             outcome.failure == FailureKind::NoValidMapping))
+            options.sharedLayerMemo->insert(memo_key, outcome);
         searched[i] = 1;
         net.layers[i] = std::move(outcome);
     };
@@ -326,17 +518,17 @@ searchNetwork(const std::vector<Layer> &layers, const ArchSpec &arch,
         if (primary_of[i] < 0)
             continue;
         const auto p = static_cast<std::size_t>(primary_of[i]);
-        if (!searched[p]) {
-            net.layers[i] = makeBudgetSkipped(layers[i]);
-            continue;
-        }
+        // An unsearched primary (budget or cancellation skip) has a
+        // skip outcome in its slot already; duplicates share it
+        // verbatim rather than being labelled memoized.
         LayerOutcome copy = net.layers[p];
         copy.name = layers[i].shape.name;
         copy.group = layers[i].group;
         copy.count = layers[i].count;
         copy.evaluated = 0;
         copy.stats = EvalStats{};
-        copy.memoized = true;
+        copy.statsNote.clear();
+        copy.memoized = searched[p] != 0;
         net.layers[i] = std::move(copy);
     }
 

@@ -8,6 +8,9 @@
 #ifndef RUBY_SEARCH_DRIVER_HPP
 #define RUBY_SEARCH_DRIVER_HPP
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,6 +87,55 @@ struct LayerOutcome
      * count real work exactly once.
      */
     bool memoized = false;
+
+    /**
+     * Non-empty when the per-stage counters violated the partition
+     * identity invalid + prunedBound + cacheHits + modeled ==
+     * evaluated. Checked in every build (not just asserts); reports
+     * surface the note as a one-line diagnostic.
+     */
+    std::string statsNote;
+};
+
+/**
+ * Cross-sweep memo of finished layer outcomes, owned by a long-lived
+ * host (the ruby-served daemon) and handed to searchNetwork() through
+ * SearchOptions::sharedLayerMemo. Keys encode the full search context
+ * (shape, variant, preset, padding and every result-affecting option),
+ * so a hit replays exactly the outcome the same request would have
+ * recomputed; only deterministic, un-time-boxed searches are inserted.
+ * Thread safe; entries live until the memo is destroyed.
+ */
+class LayerMemo
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t entries = 0;
+    };
+
+    /**
+     * Copy the memoized outcome for @p key into @p out, returning
+     * whether it was present. The copy comes back exactly as
+     * inserted; the caller restamps name/group/count and the
+     * memoized/zeroed-counter convention.
+     */
+    bool lookup(const std::string &key, LayerOutcome &out) const;
+
+    /** Publish an outcome; the first insert for a key wins. */
+    void insert(const std::string &key, const LayerOutcome &outcome);
+
+    Stats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, LayerOutcome> entries_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t inserts_ = 0;
 };
 
 /** Whole-network aggregate (count-weighted). */

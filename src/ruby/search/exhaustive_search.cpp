@@ -86,7 +86,9 @@ shardLoop(const EnumContext &ctx, const Evaluator &evaluator,
             return;
         const std::uint64_t end = std::min(start + chunk, limit);
         for (std::uint64_t i = start; i < end; ++i) {
-            if (cancel != nullptr && cancel->cancelled())
+            if ((cancel != nullptr && cancel->cancelled()) ||
+                (ctx.opts.cancel != nullptr &&
+                 ctx.opts.cancel->cancelled()))
                 return;
             index_space.decode(i, pick, perm_pick);
             for (DimId d = 0; d < nd; ++d)

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "ruby/common/cancel.hpp"
 #include "ruby/mapspace/mapspace.hpp"
 #include "ruby/model/evaluator.hpp"
 
@@ -50,6 +51,13 @@ struct ExhaustiveOptions
      * may shift (their sum is invariant).
      */
     unsigned threads = 1;
+
+    /**
+     * External cooperative cancellation (e.g. a serving drain):
+     * polled per evaluated index; shards wind down early, so the
+     * result is then a truncated enumeration. Not owned.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Exhaustive-search outcome. */

@@ -149,13 +149,19 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
     // Evaluate a batch of members. Each job writes only its own
     // individual's fitness and a per-worker tally, so the claim order
     // is free to vary across runs without affecting any result.
+    auto externallyCancelled = [&]() {
+        return options.cancel != nullptr && options.cancel->cancelled();
+    };
     auto scoreBatch = [&](const std::vector<ScoreJob> &jobs) {
         if (pool == nullptr || jobs.size() <= 1) {
-            for (const ScoreJob &job : jobs)
+            for (const ScoreJob &job : jobs) {
+                if (externallyCancelled())
+                    return;
                 scoreOne(space, evaluator, options.objective,
                          archipelago[job.island]
                              .population[job.member],
                          worker_scratch[0], tally);
+            }
             return;
         }
         std::atomic<std::size_t> next{0};
@@ -168,7 +174,8 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
                 for (;;) {
                     const std::size_t idx = next.fetch_add(
                         1, std::memory_order_relaxed);
-                    if (idx >= jobs.size() || cancel.cancelled())
+                    if (idx >= jobs.size() || cancel.cancelled() ||
+                        externallyCancelled())
                         return;
                     const ScoreJob &job = jobs[idx];
                     scoreOne(space, evaluator, options.objective,
@@ -224,6 +231,10 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
     };
 
     for (unsigned gen = 0; gen < options.generations; ++gen) {
+        // Drain point: between generations the population is fully
+        // scored, so stopping here returns a coherent best-so-far.
+        if (externallyCancelled())
+            break;
         // Breeding phase: serial per island, in island order, so each
         // island's RNG stream is consumed exactly as a fully serial
         // run would consume it.

@@ -59,6 +59,14 @@ struct GeneticOptions
      * (seed, islands) pair.
      */
     unsigned threads = 1;
+
+    /**
+     * External cooperative cancellation (e.g. a serving drain):
+     * polled per scored individual and between generations; the
+     * best-so-far across completed scoring is still returned. Not
+     * owned.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Evolve mappings of @p space; returns the best valid one found. */

@@ -63,12 +63,16 @@ runClimb(const Mapspace &space, const Evaluator &evaluator,
         return true;
     };
 
-    while (out.evaluated < budget) {
+    auto cancelled = [&]() {
+        return options.cancel != nullptr &&
+               options.cancel->cancelled();
+    };
+    while (out.evaluated < budget && !cancelled()) {
         // Random (valid) start.
         MappingGenome current;
         double current_metric = kInf;
         bool started = false;
-        while (!started && out.evaluated < budget) {
+        while (!started && out.evaluated < budget && !cancelled()) {
             current = extractGenome(space.sample(rng));
             started = evaluate(current, current_metric);
         }

@@ -43,6 +43,13 @@ struct LocalSearchOptions
      * the thread count.
      */
     unsigned threads = 1;
+
+    /**
+     * External cooperative cancellation (e.g. a serving drain):
+     * polled per evaluation; climbs wind down and the best-so-far
+     * across completed work is returned. Not owned.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**

@@ -82,7 +82,8 @@ struct SampleOutcome
 SampleOutcome
 evalSample(const Mapping &mapping, const Evaluator &evaluator,
            const SearchOptions &opts, EvalCache *cache,
-           double bestSoFar, EvalScratch &scratch, EvalStats &stats)
+           const FingerprintPair &salt, double bestSoFar,
+           EvalScratch &scratch, EvalStats &stats)
 {
     SampleOutcome out;
     if (!evaluator.checkValidity(mapping, scratch, false)) {
@@ -101,6 +102,12 @@ evalSample(const Mapping &mapping, const Evaluator &evaluator,
     FingerprintPair fp;
     if (cache != nullptr) {
         fp = mappingFingerprintPair(mapping);
+        // The context salt scopes entries to this (problem, arch,
+        // objective): required when the cache outlives the search
+        // (ruby-served), free when it doesn't — applying it always
+        // keeps private and shared runs bit-identical.
+        fp.key ^= salt.key;
+        fp.verify ^= salt.verify;
         CachedEval cached;
         if (cache->lookup(fp.key, fp.verify, cached) && cached.valid &&
             cached.objective >= bestSoFar) {
@@ -140,9 +147,9 @@ struct SharedState
 
 void
 shardLoop(const Mapspace &space, const Evaluator &evaluator,
-          const SearchOptions &opts, EvalCache *cache, Rng rng,
-          SharedState &state, const CancelToken &cancel,
-          const Deadline &deadline)
+          const SearchOptions &opts, EvalCache *cache,
+          const FingerprintPair &salt, Rng rng, SharedState &state,
+          const CancelToken &cancel, const Deadline &deadline)
 {
     FaultInjector &faults = FaultInjector::global();
     EvalScratch scratch;
@@ -151,7 +158,9 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
     while (!state.stop.load(std::memory_order_relaxed)) {
         if (cancel.cancelled())
             break;
-        if ((local++ % kDeadlineStride) == 0 && deadline.expired()) {
+        if ((local++ % kDeadlineStride) == 0 &&
+            (deadline.expired() ||
+             (opts.cancel != nullptr && opts.cancel->cancelled()))) {
             state.deadlineHit.store(true, std::memory_order_relaxed);
             state.stop.store(true, std::memory_order_relaxed);
             break;
@@ -167,8 +176,9 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
             faults.maybeThrow("random_search.evaluate");
         const double bestSoFar =
             state.bestSnapshot.load(std::memory_order_relaxed);
-        const SampleOutcome sample = evalSample(
-            mapping, evaluator, opts, cache, bestSoFar, scratch, stats);
+        const SampleOutcome sample =
+            evalSample(mapping, evaluator, opts, cache, salt,
+                       bestSoFar, scratch, stats);
         state.evaluated.fetch_add(1, std::memory_order_relaxed);
         if (!sample.valid)
             continue;
@@ -203,7 +213,7 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
 SearchResult
 runOne(const Mapspace &space, const Evaluator &evaluator,
        const SearchOptions &options, EvalCache *cache,
-       const Deadline &deadline)
+       const FingerprintPair &salt, const Deadline &deadline)
 {
     SearchResult out;
 
@@ -217,16 +227,19 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
             if (options.maxEvaluations != 0 &&
                 i >= options.maxEvaluations)
                 break;
-            if ((i % kDeadlineStride) == 0 && deadline.expired()) {
+            if ((i % kDeadlineStride) == 0 &&
+                (deadline.expired() ||
+                 (options.cancel != nullptr &&
+                  options.cancel->cancelled()))) {
                 out.deadlineExceeded = true;
                 break;
             }
             const Mapping mapping = space.sample(rng);
             if (faults.enabled())
                 faults.maybeThrow("random_search.evaluate");
-            const SampleOutcome sample = evalSample(
-                mapping, evaluator, options, cache, best, scratch,
-                out.stats);
+            const SampleOutcome sample =
+                evalSample(mapping, evaluator, options, cache, salt,
+                           best, scratch, out.stats);
             ++out.evaluated;
             if (sample.valid) {
                 ++out.valid;
@@ -258,8 +271,8 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
     Rng seeder(options.seed);
     for (unsigned i = 0; i < options.threads; ++i)
         pool.submit([&, stream = seeder.split()]() mutable {
-            shardLoop(space, evaluator, options, cache, stream, state,
-                      cancel, deadline);
+            shardLoop(space, evaluator, options, cache, salt, stream,
+                      state, cancel, deadline);
         });
     pool.waitIdle();
 
@@ -284,22 +297,36 @@ randomSearch(const Mapspace &space, const Evaluator &evaluator,
     const Deadline deadline = Deadline::after(resolved.timeBudget);
 
     // One cache is shared by every thread of every restart: repeated
-    // samples across restarts are duplicates too.
-    std::unique_ptr<EvalCache> cache;
-    if (resolved.evalCache)
-        cache =
-            std::make_unique<EvalCache>(resolved.evalCacheCapacity);
+    // samples across restarts are duplicates too. A host-provided
+    // cache (ruby-served) extends that sharing across whole searches;
+    // the context salt below keeps its entries scoped.
+    std::unique_ptr<EvalCache> owned;
+    EvalCache *cache = nullptr;
+    if (resolved.evalCache) {
+        if (resolved.sharedEvalCache != nullptr) {
+            cache = resolved.sharedEvalCache;
+        } else {
+            owned = std::make_unique<EvalCache>(
+                resolved.evalCacheCapacity);
+            cache = owned.get();
+        }
+    }
+    const FingerprintPair salt = evalContextSalt(
+        evaluator.problem(), evaluator.arch(),
+        static_cast<int>(resolved.objective));
+    const std::uint64_t evictions_before =
+        cache != nullptr ? cache->stats().evictions : 0;
 
     SearchResult best;
     if (resolved.restarts <= 1 || resolved.recordTrajectory) {
-        best = runOne(space, evaluator, resolved, cache.get(),
+        best = runOne(space, evaluator, resolved, cache, salt,
                       deadline);
     } else {
         for (unsigned r = 0; r < resolved.restarts; ++r) {
             SearchOptions opts = resolved;
             opts.seed = resolved.seed + 1000003ull * r;
             SearchResult res =
-                runOne(space, evaluator, opts, cache.get(), deadline);
+                runOne(space, evaluator, opts, cache, salt, deadline);
             const bool better =
                 res.best &&
                 (!best.best ||
@@ -318,8 +345,13 @@ randomSearch(const Mapspace &space, const Evaluator &evaluator,
             }
         }
     }
-    if (cache)
-        best.stats.cacheEvictions = cache->stats().evictions;
+    // Evictions are attributed as a delta so a shared cache reports
+    // this search's churn, not its lifetime total. Concurrent
+    // searches on one shared cache may blur the attribution; the sum
+    // over searches stays exact.
+    if (cache != nullptr)
+        best.stats.cacheEvictions =
+            cache->stats().evictions - evictions_before;
     return best;
 }
 

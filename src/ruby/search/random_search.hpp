@@ -12,12 +12,15 @@
 #include <optional>
 #include <vector>
 
+#include "ruby/common/cancel.hpp"
 #include "ruby/mapspace/mapspace.hpp"
 #include "ruby/model/eval_cache.hpp"
 #include "ruby/model/evaluator.hpp"
 
 namespace ruby
 {
+
+class LayerMemo; // driver-layer cross-sweep outcome memo (driver.hpp)
 
 /**
  * Which search algorithm the driver dispatches to (random sampling is
@@ -129,6 +132,37 @@ struct SearchOptions
      * never the layer name.
      */
     bool layerMemo = true;
+
+    /**
+     * Externally owned memo cache shared across whole searches (the
+     * process-lifetime cache of ruby-served). When set (and evalCache
+     * is true) searches use it instead of constructing a private
+     * cache; fingerprints are salted with evalContextSalt() either
+     * way, so sharing across problems and objectives is safe and a
+     * cold shared cache reproduces a private run bit for bit.
+     * cacheEvictions then reports this search's delta, not the
+     * cache's lifetime total. Not owned; must outlive the search.
+     */
+    EvalCache *sharedEvalCache = nullptr;
+
+    /**
+     * Cross-sweep layer-outcome memo shared by a long-lived host
+     * (ruby-served): searchNetwork() consults it before searching a
+     * primary layer and publishes deterministic outcomes into it.
+     * Only exact context matches hit (shape + variant + preset +
+     * options), and only when no wall-clock budget is armed. Not
+     * owned; must outlive the search.
+     */
+    LayerMemo *sharedLayerMemo = nullptr;
+
+    /**
+     * External cooperative cancellation (e.g. a serving drain).
+     * Polled at the same stride as the wall-clock deadline by every
+     * strategy; on cancellation the search winds down and returns its
+     * best-so-far with deadlineExceeded set, exactly like a budget
+     * expiry. Not owned; must outlive the search.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Search outcome. */

@@ -1,0 +1,99 @@
+#include "ruby/serve/admission.hpp"
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+Admission::Admission(unsigned maxInflight, std::size_t queueCapacity)
+    : maxInflight_(maxInflight), queueCapacity_(queueCapacity)
+{
+    RUBY_CHECK(maxInflight >= 1,
+               "admission: maxInflight must be >= 1");
+}
+
+AdmissionTicket
+Admission::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+        ++rejectedDraining_;
+        return AdmissionTicket::Draining;
+    }
+    if (inflight_ < maxInflight_) {
+        ++inflight_;
+        ++admitted_;
+        return AdmissionTicket::Admitted;
+    }
+    if (queued_ >= queueCapacity_) {
+        ++rejectedSaturated_;
+        return AdmissionTicket::Saturated;
+    }
+    ++queued_;
+    slotFree_.wait(lock, [&]() {
+        return draining_ || inflight_ < maxInflight_;
+    });
+    --queued_;
+    if (draining_) {
+        ++rejectedDraining_;
+        return AdmissionTicket::Draining;
+    }
+    ++inflight_;
+    ++admitted_;
+    return AdmissionTicket::Admitted;
+}
+
+void
+Admission::release()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RUBY_ASSERT(inflight_ > 0, "admission: release without acquire");
+    --inflight_;
+    slotFree_.notify_one();
+    if (inflight_ == 0)
+        idle_.notify_all();
+}
+
+void
+Admission::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    slotFree_.notify_all();
+}
+
+void
+Admission::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&]() { return inflight_ == 0; });
+}
+
+bool
+Admission::waitIdleFor(std::chrono::milliseconds budget)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return idle_.wait_for(lock, budget,
+                          [&]() { return inflight_ == 0; });
+}
+
+Admission::Snapshot
+Admission::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.inflight = inflight_;
+    s.queued = queued_;
+    s.maxInflight = maxInflight_;
+    s.queueCapacity = queueCapacity_;
+    s.draining = draining_;
+    s.admitted = admitted_;
+    s.rejectedSaturated = rejectedSaturated_;
+    s.rejectedDraining = rejectedDraining_;
+    return s;
+}
+
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Admission control for ruby-served: a bounded wait queue in front of
+ * a fixed number of concurrent search slots.
+ *
+ * Model: at most maxInflight requests execute at once; up to
+ * queueCapacity more wait (blocking their session thread, which is
+ * the NDJSON backpressure — a connection cannot pipeline past a
+ * waiting request). Anything beyond that is rejected immediately with
+ * a structured "saturated" response, so a flooded daemon stays
+ * responsive instead of accumulating unbounded work. Draining flips
+ * every subsequent (and waiting) acquire to a "draining" rejection
+ * while running requests finish.
+ */
+
+#ifndef RUBY_SERVE_ADMISSION_HPP
+#define RUBY_SERVE_ADMISSION_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ruby
+{
+namespace serve
+{
+
+/** Outcome of asking for an execution slot. */
+enum class AdmissionTicket
+{
+    Admitted,  ///< a slot is held; call release() when done
+    Saturated, ///< queue full — reject with code 7 / "saturated"
+    Draining,  ///< shutting down — reject with code 7 / "draining"
+};
+
+/** Thread-safe slot gate. */
+class Admission
+{
+  public:
+    /**
+     * @param maxInflight   Concurrent execution slots (>= 1).
+     * @param queueCapacity Requests allowed to wait for a slot.
+     */
+    Admission(unsigned maxInflight, std::size_t queueCapacity);
+
+    Admission(const Admission &) = delete;
+    Admission &operator=(const Admission &) = delete;
+
+    /**
+     * Acquire an execution slot, waiting in the bounded queue if all
+     * slots are busy. Returns Admitted (slot held — release() it),
+     * or a rejection when the queue is full / the gate is draining.
+     */
+    AdmissionTicket acquire();
+
+    /** Return a slot acquired earlier. */
+    void release();
+
+    /**
+     * Begin drain: all waiting and future acquires return Draining;
+     * already-admitted requests are unaffected.
+     */
+    void beginDrain();
+
+    /** Block until every admitted request has released its slot. */
+    void waitIdle();
+
+    /**
+     * Like waitIdle() with a timeout; true when idle was reached.
+     */
+    bool waitIdleFor(std::chrono::milliseconds budget);
+
+    /** Point-in-time counters for the stats endpoint. */
+    struct Snapshot
+    {
+        unsigned inflight = 0;       ///< slots currently held
+        std::size_t queued = 0;      ///< acquires waiting for a slot
+        unsigned maxInflight = 0;
+        std::size_t queueCapacity = 0;
+        bool draining = false;
+        std::uint64_t admitted = 0;  ///< lifetime admits
+        std::uint64_t rejectedSaturated = 0;
+        std::uint64_t rejectedDraining = 0;
+    };
+    Snapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable slotFree_;
+    std::condition_variable idle_;
+    unsigned maxInflight_;
+    std::size_t queueCapacity_;
+    unsigned inflight_ = 0;
+    std::size_t queued_ = 0;
+    bool draining_ = false;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejectedSaturated_ = 0;
+    std::uint64_t rejectedDraining_ = 0;
+};
+
+/** RAII slot holder; releases on destruction when admitted. */
+class AdmissionSlot
+{
+  public:
+    explicit AdmissionSlot(Admission &gate)
+        : gate_(gate), ticket_(gate.acquire())
+    {
+    }
+
+    ~AdmissionSlot()
+    {
+        if (ticket_ == AdmissionTicket::Admitted)
+            gate_.release();
+    }
+
+    AdmissionSlot(const AdmissionSlot &) = delete;
+    AdmissionSlot &operator=(const AdmissionSlot &) = delete;
+
+    AdmissionTicket ticket() const { return ticket_; }
+    bool admitted() const
+    {
+        return ticket_ == AdmissionTicket::Admitted;
+    }
+
+  private:
+    Admission &gate_;
+    AdmissionTicket ticket_;
+};
+
+} // namespace serve
+} // namespace ruby
+
+#endif // RUBY_SERVE_ADMISSION_HPP

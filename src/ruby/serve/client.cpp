@@ -1,0 +1,136 @@
+#include "ruby/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    RUBY_CHECK(fd >= 0, "client: socket(): ", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    RUBY_CHECK(path.size() < sizeof(addr.sun_path),
+               "client: socket path too long: ", path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        RUBY_FATAL("client: cannot connect to unix:", path, ": ",
+                   std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(const std::string &host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    RUBY_CHECK(fd >= 0, "client: socket(): ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        RUBY_FATAL("client: invalid address ", host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        RUBY_FATAL("client: cannot connect to ", host, ":", port,
+                   ": ", std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(other.fd_), inbuf_(std::move(other.inbuf_))
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        inbuf_ = std::move(other.inbuf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Client::~Client() { close(); }
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+JsonValue
+Client::call(const JsonValue &request)
+{
+    return parseJson(callRaw(writeJson(request)));
+}
+
+std::string
+Client::callRaw(const std::string &line)
+{
+    RUBY_CHECK(fd_ >= 0, "client: connection is closed");
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::send(fd_, framed.data() + off, framed.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            RUBY_FATAL("client: send(): ", std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        const std::size_t nl = inbuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string reply = inbuf_.substr(0, nl);
+            inbuf_.erase(0, nl + 1);
+            if (!reply.empty() && reply.back() == '\r')
+                reply.pop_back();
+            return reply;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        RUBY_CHECK(n > 0,
+                   "client: connection closed before a response");
+        inbuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace serve
+} // namespace ruby

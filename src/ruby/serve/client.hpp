@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Line-based client for the ruby-served NDJSON protocol.
+ *
+ * One Client owns one connected socket and exchanges requests for
+ * responses synchronously — the protocol answers every request with
+ * exactly one line, in order, so a blocking call() is the whole API.
+ * Used by `ruby-map remote` and the serve tests.
+ */
+
+#ifndef RUBY_SERVE_CLIENT_HPP
+#define RUBY_SERVE_CLIENT_HPP
+
+#include <string>
+
+#include "ruby/serve/json.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+/** Synchronous NDJSON client over a Unix-domain or TCP socket. */
+class Client
+{
+  public:
+    /** Connect to a Unix-domain socket. Throws ruby::Error. */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect to host:port over TCP. Throws ruby::Error. */
+    static Client connectTcp(const std::string &host, int port);
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    ~Client();
+
+    /**
+     * Send @p request as one line and block for the one-line
+     * response. Throws ruby::Error when the connection drops or the
+     * response is not valid JSON.
+     */
+    JsonValue call(const JsonValue &request);
+
+    /** Send a raw line (no trailing newline) and read the reply line.
+     *  Exposed for protocol tests exercising malformed input. */
+    std::string callRaw(const std::string &line);
+
+    /** Close the socket early (also done by the destructor). */
+    void close();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+} // namespace serve
+} // namespace ruby
+
+#endif // RUBY_SERVE_CLIENT_HPP

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The ruby-served wire protocol (version 1).
+ *
+ * Framing: newline-delimited JSON (NDJSON) — one request object per
+ * line, one response object per line, in order, over a Unix-domain or
+ * TCP stream socket. Lines are capped (see Server) and must be valid
+ * UTF-8 JSON.
+ *
+ * Every request carries {"v":1,"type":...,"id":...}. Types:
+ *
+ *   ping      liveness probe                       -> {"type":"pong"}
+ *   map       search one layer                     -> {"type":"result"}
+ *   net       search a whole network               -> {"type":"result"}
+ *   stats     daemon counters + cache hit rates    -> {"type":"stats"}
+ *   shutdown  begin graceful drain                 -> {"type":"shutdown-ack"}
+ *
+ * map payload: {"config": "<ruby YAML text>"} for the problem and
+ * architecture, plus the explicit mapspace/search settings below (the
+ * client resolves its flags first, so the daemon never re-interprets
+ * CLI defaults). net payload: {"arch":"eyeriss"|"simba"} and either
+ * {"suite":"resnet50"|...} or {"layers":[{shape...},...]}, plus the
+ * same settings. Shared settings: {"variant","preset","pad","search"}.
+ *
+ * Every response carries {"v":1,"type":...,"id":...,"code":N} where
+ * code mirrors the ruby-map exit codes: 0 ok, 1 user error, 2 bad
+ * request, 3 no mapping, 4 deadline, 5 partial network, 6 internal,
+ * plus 7 = rejected by admission control (the "kind" field then says
+ * "saturated" or "draining"). Errors use {"type":"error","kind":...,
+ * "message":...}.
+ *
+ * Bit-identity contract: numbers are serialized exactly (integers
+ * verbatim, doubles in shortest round-trip form — see json.hpp), and
+ * result decoding restores every field the reports read. Search
+ * outcomes — best mapping, per-layer results, energy/cycles/EDP —
+ * are always bit-identical to the same offline run; the fast-path
+ * cache-occupancy counters (hits/evictions) describe the daemon's
+ * shared warm cache rather than offline's private per-search caches
+ * and may differ once the cache holds other work's entries.
+ */
+
+#ifndef RUBY_SERVE_PROTOCOL_HPP
+#define RUBY_SERVE_PROTOCOL_HPP
+
+#include <string>
+#include <vector>
+
+#include "ruby/search/driver.hpp"
+#include "ruby/serve/json.hpp"
+#include "ruby/workload/conv.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+/** Wire protocol version this build speaks. */
+constexpr int kProtocolVersion = 1;
+
+/** Response codes (mirroring the ruby-map exit codes, plus 7). */
+constexpr int kCodeOk = 0;
+constexpr int kCodeUserError = 1;
+constexpr int kCodeBadRequest = 2;
+constexpr int kCodeNoMapping = 3;
+constexpr int kCodeDeadline = 4;
+constexpr int kCodePartial = 5;
+constexpr int kCodeInternal = 6;
+constexpr int kCodeRejected = 7;
+
+/** Request kinds. */
+enum class RequestType
+{
+    Ping,
+    Map,
+    Net,
+    Stats,
+    Shutdown,
+};
+
+/** One decoded request. */
+struct Request
+{
+    RequestType type = RequestType::Ping;
+    std::string id; ///< echoed verbatim in the response
+
+    // map / net payload ------------------------------------------------
+    std::string configText; ///< map: the ruby YAML config document
+    std::string arch;       ///< net: "eyeriss" | "simba"
+    std::string suite;      ///< net: suite name (empty = inline layers)
+    std::vector<Layer> layers; ///< net: inline layers when suite == ""
+    MapspaceVariant variant = MapspaceVariant::RubyS;
+    ConstraintPreset preset = ConstraintPreset::None;
+    bool pad = false;
+    SearchOptions search;
+};
+
+/**
+ * Decode one request line. Throws ruby::Error on an unknown type, a
+ * version mismatch, or a malformed payload — the session layer turns
+ * that into a {"type":"error","code":2} response.
+ */
+Request parseRequest(const JsonValue &root);
+
+/** Encode a request (the client side of parseRequest). */
+JsonValue encodeRequest(const Request &request);
+
+// -- responses ----------------------------------------------------------
+
+/** Envelope with v/type/id/code preset; callers append payload. */
+JsonValue makeResponse(const std::string &type, const std::string &id,
+                       int code);
+
+/** {"type":"error","kind":...,"message":...} with @p code. */
+JsonValue makeErrorResponse(const std::string &id, int code,
+                            const std::string &kind,
+                            const std::string &message);
+
+// -- domain codecs (exact round trips) ----------------------------------
+
+JsonValue evalStatsToJson(const EvalStats &stats);
+EvalStats evalStatsFromJson(const JsonValue &v);
+
+JsonValue evalResultToJson(const EvalResult &result);
+EvalResult evalResultFromJson(const JsonValue &v);
+
+JsonValue layerOutcomeToJson(const LayerOutcome &outcome);
+LayerOutcome layerOutcomeFromJson(const JsonValue &v);
+
+JsonValue networkOutcomeToJson(const NetworkOutcome &net);
+NetworkOutcome networkOutcomeFromJson(const JsonValue &v);
+
+JsonValue searchOptionsToJson(const SearchOptions &options);
+/** Starts from defaults; absent keys keep their default values. */
+SearchOptions searchOptionsFromJson(const JsonValue &v);
+
+JsonValue convShapeToJson(const ConvShape &shape);
+ConvShape convShapeFromJson(const JsonValue &v);
+
+// -- enum spellings (shared with the CLI/loaders vocabulary) ------------
+
+const char *variantWireName(MapspaceVariant variant);
+const char *presetWireName(ConstraintPreset preset);
+const char *objectiveWireName(Objective objective);
+const char *strategyWireName(SearchStrategy strategy);
+SearchStrategy parseStrategy(const std::string &name);
+
+/** Exit/response code for a failed layer or mapper outcome. */
+int failureCode(FailureKind kind);
+/** Inverse of failureKindName(); throws on an unknown label. */
+FailureKind failureKindFromName(const std::string &name);
+
+/** Layers of a built-in suite; throws ruby::Error on unknown names. */
+std::vector<Layer> suiteLayers(const std::string &name);
+
+/** Preset architecture by wire name; throws on unknown names. */
+ArchSpec archByName(const std::string &name);
+
+} // namespace serve
+} // namespace ruby
+
+#endif // RUBY_SERVE_PROTOCOL_HPP

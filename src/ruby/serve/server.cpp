@@ -1,0 +1,646 @@
+#include "ruby/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <iostream>
+
+#include "ruby/common/error.hpp"
+#include "ruby/core/mapper.hpp"
+#include "ruby/io/loaders.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Write descriptor the signal handler forwards SIGTERM/SIGINT to. */
+std::atomic<int> g_signalFd{-1};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    const int fd = g_signalFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 's';
+        // The return value is deliberately ignored: there is nothing
+        // a signal handler could do about a full pipe, and one
+        // pending byte already guarantees the drain starts.
+        [[maybe_unused]] const auto rc = ::write(fd, &byte, 1);
+    }
+}
+
+/** send() the whole buffer; false on a broken connection. */
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Best-effort id extraction for error responses to malformed lines. */
+std::string
+extractId(const std::string &line)
+{
+    try {
+        const JsonValue root = parseJson(line);
+        return root.getString("id", "");
+    } catch (...) {
+        return "";
+    }
+}
+
+} // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      evalCache_(options_.evalCacheCapacity),
+      admission_(options_.maxInflight, options_.queueCapacity)
+{
+}
+
+Server::~Server()
+{
+    if (started_ && !drained_) {
+        requestShutdown();
+        waitForShutdown();
+    }
+}
+
+void
+Server::start()
+{
+    RUBY_CHECK(!started_, "serve: start() called twice");
+
+    RUBY_CHECK(::pipe(sigPipe_.data()) == 0,
+               "serve: cannot create the signal pipe: ",
+               std::strerror(errno));
+
+    if (!options_.unixPath.empty()) {
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        RUBY_CHECK(listenFd_ >= 0, "serve: socket(): ",
+                   std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        RUBY_CHECK(options_.unixPath.size() <
+                       sizeof(addr.sun_path),
+                   "serve: socket path too long: ",
+                   options_.unixPath);
+        std::strncpy(addr.sun_path, options_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        // A previous daemon's stale socket file would fail bind();
+        // removing it is the conventional unix-socket handshake.
+        ::unlink(options_.unixPath.c_str());
+        RUBY_CHECK(::bind(listenFd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0,
+                   "serve: cannot bind ", options_.unixPath, ": ",
+                   std::strerror(errno));
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        RUBY_CHECK(listenFd_ >= 0, "serve: socket(): ",
+                   std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(options_.port));
+        RUBY_CHECK(::inet_pton(AF_INET, options_.host.c_str(),
+                               &addr.sin_addr) == 1,
+                   "serve: invalid bind address ", options_.host);
+        RUBY_CHECK(::bind(listenFd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0,
+                   "serve: cannot bind ", options_.host, ":",
+                   options_.port, ": ", std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        RUBY_CHECK(::getsockname(
+                       listenFd_,
+                       reinterpret_cast<sockaddr *>(&bound),
+                       &len) == 0,
+                   "serve: getsockname(): ", std::strerror(errno));
+        boundPort_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    RUBY_CHECK(::listen(listenFd_, 64) == 0, "serve: listen(): ",
+               std::strerror(errno));
+
+    workers_ = std::make_unique<ThreadPool>(options_.maxInflight);
+    startTime_ = std::chrono::steady_clock::now();
+    started_ = true;
+
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    signalThread_ = std::thread([this]() {
+        // Forward signal-pipe bytes: 's' (from the handler) begins
+        // the drain; 'q' (from requestShutdown) retires this thread.
+        for (;;) {
+            char byte = 0;
+            const ssize_t n = ::read(sigPipe_[0], &byte, 1);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0 || byte == 'q')
+                return;
+            requestShutdown();
+        }
+    });
+
+    if (options_.logLifecycle) {
+        if (!options_.unixPath.empty())
+            logLine(detail::composeMessage(
+                "ruby-served: listening on unix:",
+                options_.unixPath));
+        else
+            logLine(detail::composeMessage(
+                "ruby-served: listening on ", options_.host, ":",
+                boundPort_));
+    }
+}
+
+void
+Server::installSignalDrain(Server &server)
+{
+    RUBY_CHECK(server.started_,
+               "serve: installSignalDrain() before start()");
+    g_signalFd.store(server.sigPipe_[1], std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = serveSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+Server::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdownRequested_)
+            return;
+        shutdownRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+    if (sigPipe_[1] >= 0) {
+        const char byte = 'q';
+        [[maybe_unused]] const auto rc =
+            ::write(sigPipe_[1], &byte, 1);
+    }
+}
+
+bool
+Server::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdownRequested_;
+}
+
+void
+Server::waitForShutdown()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutdownCv_.wait(lock, [&]() { return shutdownRequested_; });
+        if (drained_)
+            return;
+    }
+    if (options_.logLifecycle)
+        logLine("ruby-served: drain started");
+
+    // 1. Stop taking new work: the accept loop exits and every
+    //    queued or future admission returns a "draining" rejection.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        acceptStopped_ = true;
+    }
+    admission_.beginDrain();
+
+    // 2. Give inflight searches the drain budget to finish cleanly;
+    //    past it, the drain token fires and every strategy winds
+    //    down cooperatively, returning its best-so-far.
+    const bool finished = admission_.waitIdleFor(options_.drainBudget);
+    if (!finished) {
+        if (options_.logLifecycle)
+            logLine("ruby-served: drain budget expired; cancelling "
+                    "inflight work");
+        drainCancel_.requestCancel();
+        admission_.waitIdle();
+    }
+
+    // 3. Tear down the I/O threads.
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    closeAllSessions();
+    std::vector<std::thread> sessions;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions.swap(sessions_);
+    }
+    for (std::thread &session : sessions)
+        if (session.joinable())
+            session.join();
+    if (signalThread_.joinable())
+        signalThread_.join();
+    if (workers_ != nullptr) {
+        workers_->waitIdle();
+        workers_.reset();
+    }
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (!options_.unixPath.empty())
+        ::unlink(options_.unixPath.c_str());
+    for (int &fd : sigPipe_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+
+    // 4. The final stats line: one parseable record of everything
+    //    this daemon did, flushed before exit.
+    if (options_.logLifecycle)
+        logLine(detail::composeMessage("ruby-served: final stats ",
+                                       writeJson(statsJson())));
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained_ = true;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (acceptStopped_ || shutdownRequested_)
+                return;
+        }
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc <= 0)
+            continue; // timeout or EINTR: re-check the stop flag
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (acceptStopped_ || shutdownRequested_) {
+            ::close(fd);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> stats(statsMutex_);
+            ++connectionsAccepted_;
+        }
+        sessionFds_.push_back(fd);
+        sessions_.emplace_back(
+            [this, fd]() { sessionLoop(fd); });
+    }
+}
+
+void
+Server::sessionLoop(int fd)
+{
+    std::string inbuf;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        // Drain complete lines already buffered.
+        std::size_t nl;
+        while (open && (nl = inbuf.find('\n')) != std::string::npos) {
+            std::string line = inbuf.substr(0, nl);
+            inbuf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            bool shutdownAfterSend = false;
+            const std::string response =
+                handleLine(line, shutdownAfterSend);
+            if (!sendAll(fd, response + "\n"))
+                open = false;
+            if (shutdownAfterSend)
+                requestShutdown();
+        }
+        if (!open)
+            break;
+        if (inbuf.size() > options_.maxLineBytes) {
+            sendAll(fd,
+                    writeJson(makeErrorResponse(
+                        "", kCodeBadRequest, "bad-request",
+                        "request line exceeds the size limit")) +
+                        "\n");
+            break;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // peer closed (or the drain shut the socket down)
+        inbuf.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < sessionFds_.size(); ++i)
+        if (sessionFds_[i] == fd) {
+            sessionFds_.erase(sessionFds_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+}
+
+void
+Server::closeAllSessions()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // SHUT_RD pops every session out of its blocking recv() while
+    // leaving the write side open: a session can be a beat behind
+    // the admission gate (slot already released, response not yet
+    // sent), and that response must still reach the client. The
+    // session loop closes the descriptor itself once it drains.
+    for (const int fd : sessionFds_)
+        ::shutdown(fd, SHUT_RD);
+}
+
+std::string
+Server::handleLine(const std::string &line, bool &shutdownAfterSend)
+{
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        ++received_;
+    }
+    JsonValue response;
+    try {
+        const JsonValue root = parseJson(line);
+        const Request request = parseRequest(root);
+        if (request.type == RequestType::Shutdown)
+            shutdownAfterSend = true;
+        response = handleRequest(request);
+    } catch (const Error &e) {
+        response = makeErrorResponse(extractId(line),
+                                     kCodeBadRequest, "bad-request",
+                                     e.what());
+    } catch (const std::exception &e) {
+        response = makeErrorResponse(extractId(line), kCodeInternal,
+                                     "internal", e.what());
+    }
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        const JsonValue *type = response.find("type");
+        if (type != nullptr && type->string == "error")
+            ++errors_;
+        else
+            ++completed_;
+    }
+    return writeJson(response);
+}
+
+JsonValue
+Server::handleRequest(const Request &request)
+{
+    switch (request.type) {
+      case RequestType::Ping:
+        return makeResponse("pong", request.id, kCodeOk);
+      case RequestType::Stats: {
+        JsonValue out = makeResponse("stats", request.id, kCodeOk);
+        out.set("stats", statsJson());
+        return out;
+      }
+      case RequestType::Shutdown:
+        // The session sends this ack, then triggers the drain (see
+        // handleLine), so the requester always hears back first.
+        return makeResponse("shutdown-ack", request.id, kCodeOk);
+      case RequestType::Map:
+      case RequestType::Net:
+        break;
+    }
+
+    AdmissionSlot slot(admission_);
+    if (slot.ticket() == AdmissionTicket::Saturated)
+        return makeErrorResponse(
+            request.id, kCodeRejected, "saturated",
+            "admission queue full; retry later");
+    if (slot.ticket() == AdmissionTicket::Draining)
+        return makeErrorResponse(request.id, kCodeRejected,
+                                 "draining",
+                                 "daemon is shutting down");
+
+    // Execute on the worker pool; the session thread blocks here,
+    // which is exactly the per-connection backpressure the NDJSON
+    // framing promises (no pipelining past an inflight search).
+    std::promise<JsonValue> done;
+    std::future<JsonValue> future = done.get_future();
+    workers_->submit([this, &request, &done]() {
+        JsonValue out;
+        try {
+            out = request.type == RequestType::Map ? runMap(request)
+                                                   : runNet(request);
+        } catch (const Error &e) {
+            out = makeErrorResponse(request.id, kCodeUserError,
+                                    "user-error", e.what());
+        } catch (const std::exception &e) {
+            out = makeErrorResponse(request.id, kCodeInternal,
+                                    "internal", e.what());
+        } catch (...) {
+            out = makeErrorResponse(request.id, kCodeInternal,
+                                    "internal", "unknown error");
+        }
+        done.set_value(std::move(out));
+    });
+    return future.get();
+}
+
+void
+Server::prepareSearchOptions(SearchOptions &search)
+{
+    search.cancel = &drainCancel_;
+    if (search.evalCache)
+        search.sharedEvalCache = &evalCache_;
+    search.sharedLayerMemo = &layerMemo_;
+}
+
+JsonValue
+Server::runMap(const Request &request)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    Mapper mapper = loadMapper(request.configText);
+    SearchOptions search = request.search;
+    prepareSearchOptions(search);
+    const LayerOutcome outcome =
+        searchLayer(mapper.problem(), mapper.arch(), request.preset,
+                    request.variant, search, request.pad);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - begin);
+    recordStrategy(search.strategy, outcome.evaluated, elapsed);
+
+    const int code = outcome.found ? kCodeOk
+                                   : failureCode(outcome.failure);
+    JsonValue out = makeResponse("result", request.id, code);
+    out.set("outcome", layerOutcomeToJson(outcome));
+    return out;
+}
+
+JsonValue
+Server::runNet(const Request &request)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    const std::vector<Layer> layers =
+        request.suite.empty() ? request.layers
+                              : suiteLayers(request.suite);
+    const ArchSpec arch = archByName(request.arch);
+    SearchOptions search = request.search;
+    prepareSearchOptions(search);
+    const NetworkOutcome net =
+        searchNetwork(layers, arch, request.preset, request.variant,
+                      search, request.pad);
+    std::uint64_t evaluations = 0;
+    for (const LayerOutcome &layer : net.layers)
+        evaluations += layer.evaluated;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - begin);
+    recordStrategy(search.strategy, evaluations, elapsed);
+
+    const int code = net.allFound ? kCodeOk : kCodePartial;
+    JsonValue out = makeResponse("result", request.id, code);
+    out.set("net", networkOutcomeToJson(net));
+    return out;
+}
+
+void
+Server::recordStrategy(SearchStrategy strategy,
+                       std::uint64_t evaluations,
+                       std::chrono::milliseconds elapsed)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    StrategyStats &s =
+        strategyStats_[static_cast<std::size_t>(strategy)];
+    ++s.requests;
+    s.evaluations += evaluations;
+    s.millis += static_cast<std::uint64_t>(elapsed.count());
+}
+
+JsonValue
+Server::statsJson() const
+{
+    JsonValue out = JsonValue::makeObject();
+    const auto uptime =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - startTime_);
+    out.set("uptimeMs", JsonValue::makeU64(static_cast<std::uint64_t>(
+                            uptime.count())));
+
+    const Admission::Snapshot gate = admission_.snapshot();
+    JsonValue requests = JsonValue::makeObject();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        requests.set("received", JsonValue::makeU64(received_));
+        requests.set("completed", JsonValue::makeU64(completed_));
+        requests.set("errors", JsonValue::makeU64(errors_));
+        requests.set("connectionsAccepted",
+                     JsonValue::makeU64(connectionsAccepted_));
+    }
+    requests.set("inflight", JsonValue::makeU64(gate.inflight));
+    requests.set("queued", JsonValue::makeU64(gate.queued));
+    requests.set("maxInflight",
+                 JsonValue::makeU64(gate.maxInflight));
+    requests.set("queueCapacity",
+                 JsonValue::makeU64(gate.queueCapacity));
+    requests.set("draining", JsonValue::makeBool(gate.draining));
+    requests.set("admitted", JsonValue::makeU64(gate.admitted));
+    requests.set("rejectedSaturated",
+                 JsonValue::makeU64(gate.rejectedSaturated));
+    requests.set("rejectedDraining",
+                 JsonValue::makeU64(gate.rejectedDraining));
+    out.set("requests", std::move(requests));
+
+    const EvalCache::Stats cache = evalCache_.stats();
+    JsonValue jcache = JsonValue::makeObject();
+    jcache.set("hits", JsonValue::makeU64(cache.hits));
+    jcache.set("misses", JsonValue::makeU64(cache.misses));
+    jcache.set("evictions", JsonValue::makeU64(cache.evictions));
+    jcache.set("capacity",
+               JsonValue::makeU64(evalCache_.capacity()));
+    const std::uint64_t probes = cache.hits + cache.misses;
+    jcache.set("hitRate",
+               JsonValue::makeDouble(
+                   probes != 0 ? static_cast<double>(cache.hits) /
+                                     static_cast<double>(probes)
+                               : 0.0));
+    out.set("evalCache", std::move(jcache));
+
+    const LayerMemo::Stats memo = layerMemo_.stats();
+    JsonValue jmemo = JsonValue::makeObject();
+    jmemo.set("hits", JsonValue::makeU64(memo.hits));
+    jmemo.set("misses", JsonValue::makeU64(memo.misses));
+    jmemo.set("inserts", JsonValue::makeU64(memo.inserts));
+    jmemo.set("entries", JsonValue::makeU64(memo.entries));
+    out.set("layerMemo", std::move(jmemo));
+
+    JsonValue strategies = JsonValue::makeObject();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        static constexpr SearchStrategy kAll[] = {
+            SearchStrategy::Random, SearchStrategy::Exhaustive,
+            SearchStrategy::Genetic, SearchStrategy::Local};
+        for (const SearchStrategy strategy : kAll) {
+            const StrategyStats &s =
+                strategyStats_[static_cast<std::size_t>(strategy)];
+            if (s.requests == 0)
+                continue;
+            JsonValue js = JsonValue::makeObject();
+            js.set("requests", JsonValue::makeU64(s.requests));
+            js.set("evaluations",
+                   JsonValue::makeU64(s.evaluations));
+            js.set("millis", JsonValue::makeU64(s.millis));
+            js.set("evalsPerSec",
+                   JsonValue::makeDouble(
+                       s.millis != 0
+                           ? static_cast<double>(s.evaluations) *
+                                 1000.0 /
+                                 static_cast<double>(s.millis)
+                           : static_cast<double>(s.evaluations) *
+                                 1000.0));
+            strategies.set(strategyWireName(strategy),
+                           std::move(js));
+        }
+    }
+    out.set("strategies", std::move(strategies));
+    return out;
+}
+
+void
+Server::logLine(const std::string &line) const
+{
+    std::cerr << line << std::endl;
+}
+
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * ruby-served: a persistent mapping-as-a-service daemon.
+ *
+ * One process owns the expensive warm state — a shared EvalCache and
+ * a cross-request LayerMemo — and serves mapping searches over a
+ * Unix-domain or TCP socket speaking the NDJSON protocol of
+ * protocol.hpp. Per-request SearchOptions arrive on the wire and are
+ * enforced with the library's existing deadline/cancellation
+ * machinery; admission control (admission.hpp) bounds concurrency and
+ * queueing; SIGTERM or a "shutdown" request begins a graceful drain
+ * (stop accepting, finish or cancel inflight work under a drain
+ * budget, flush a final stats line).
+ *
+ * Determinism contract: a request against a cold daemon produces
+ * results bit-identical to the same offline run — shared-cache
+ * fingerprints are salted per evaluation context, warm cache hits
+ * only ever short-circuit non-improving re-evaluations, and the
+ * cross-request memo replays only deterministic configurations (see
+ * SearchOptions::sharedEvalCache / sharedLayerMemo and
+ * docs/SERVING.md).
+ */
+
+#ifndef RUBY_SERVE_SERVER_HPP
+#define RUBY_SERVE_SERVER_HPP
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ruby/common/cancel.hpp"
+#include "ruby/common/thread_pool.hpp"
+#include "ruby/model/eval_cache.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/serve/admission.hpp"
+#include "ruby/serve/json.hpp"
+#include "ruby/serve/protocol.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Unix-domain socket path; preferred when non-empty. */
+    std::string unixPath;
+
+    /** TCP bind address (used when unixPath is empty). */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (see Server::port()). */
+    int port = 0;
+
+    /** Concurrent search slots. */
+    unsigned maxInflight = 2;
+    /** Requests allowed to wait for a slot before rejection. */
+    std::size_t queueCapacity = 8;
+
+    /** Shared eval-cache capacity (entries). For bit-identical stats
+     *  against offline runs this must equal the offline capacity. */
+    std::size_t evalCacheCapacity = EvalCache::kDefaultCapacity;
+
+    /** Grace period for inflight work on drain; after it expires the
+     *  drain CancelToken fires and searches return best-so-far. */
+    std::chrono::milliseconds drainBudget{10'000};
+
+    /** Maximum accepted request-line length in bytes. */
+    std::size_t maxLineBytes = 4u << 20;
+
+    /** Lifecycle log lines on stderr (listening/drain/final stats). */
+    bool logLifecycle = true;
+};
+
+/**
+ * The daemon. Lifecycle: construct -> start() -> (requests served on
+ * internal threads) -> requestShutdown() from any thread or signal
+ * via installSignalDrain() -> waitForShutdown() performs the drain
+ * and joins every thread. The destructor drains if the caller did
+ * not.
+ */
+class Server
+{
+  public:
+    explicit Server(ServeOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen and start accepting. Throws ruby::Error when the
+     *  socket cannot be set up. */
+    void start();
+
+    /** Bound TCP port (after start(); 0 for Unix-domain sockets). */
+    int port() const { return boundPort_; }
+
+    /** Begin graceful drain from any thread (idempotent). */
+    void requestShutdown();
+
+    /** True once requestShutdown() has been called. */
+    bool shutdownRequested() const;
+
+    /**
+     * Block until shutdown is requested, then drain: stop accepting,
+     * reject queued work, give inflight requests drainBudget to
+     * finish, cancel whatever remains, close sessions, join all
+     * threads and emit the final stats line.
+     */
+    void waitForShutdown();
+
+    /**
+     * Route SIGTERM/SIGINT to @p server's requestShutdown() via a
+     * self-pipe (async-signal-safe). One server per process; call
+     * after start().
+     */
+    static void installSignalDrain(Server &server);
+
+    /** The stats payload served to "stats" requests (thread-safe). */
+    JsonValue statsJson() const;
+
+  private:
+    struct StrategyStats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t evaluations = 0;
+        std::uint64_t millis = 0;
+    };
+
+    void acceptLoop();
+    void sessionLoop(int fd);
+    /** Handle one request line; returns the response line (no \n).
+     *  Sets @p shutdownAfterSend for "shutdown" requests so the
+     *  session acks before the drain begins. */
+    std::string handleLine(const std::string &line,
+                           bool &shutdownAfterSend);
+    JsonValue handleRequest(const Request &request);
+    JsonValue runMap(const Request &request);
+    JsonValue runNet(const Request &request);
+    /** Stamp shared state + drain cancel into request options. */
+    void prepareSearchOptions(SearchOptions &search);
+    void recordStrategy(SearchStrategy strategy,
+                        std::uint64_t evaluations,
+                        std::chrono::milliseconds elapsed);
+    void logLine(const std::string &line) const;
+    void closeAllSessions();
+
+    ServeOptions options_;
+
+    // Process-lifetime warm state shared by every request.
+    EvalCache evalCache_;
+    LayerMemo layerMemo_;
+
+    Admission admission_;
+    std::unique_ptr<ThreadPool> workers_;
+    CancelToken drainCancel_;
+
+    int listenFd_ = -1;
+    int boundPort_ = 0;
+    std::array<int, 2> sigPipe_{-1, -1};
+
+    std::thread acceptThread_;
+    std::thread signalThread_;
+    mutable std::mutex mutex_;
+    std::condition_variable shutdownCv_;
+    std::vector<std::thread> sessions_;
+    std::vector<int> sessionFds_;
+    bool started_ = false;
+    bool shutdownRequested_ = false;
+    bool drained_ = false;
+    bool acceptStopped_ = false;
+
+    std::chrono::steady_clock::time_point startTime_;
+
+    // Request counters (guarded by statsMutex_).
+    mutable std::mutex statsMutex_;
+    std::uint64_t received_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t connectionsAccepted_ = 0;
+    std::array<StrategyStats, 4> strategyStats_{};
+};
+
+} // namespace serve
+} // namespace ruby
+
+#endif // RUBY_SERVE_SERVER_HPP

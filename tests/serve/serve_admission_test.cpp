@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Admission-control tests: slot limits, bounded queueing with
+ * saturation rejects, and drain semantics. Exercised with real
+ * threads — this gate is what keeps a flooded daemon responsive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "ruby/serve/admission.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+using std::chrono::milliseconds;
+
+TEST(ServeAdmission, AdmitsUpToMaxInflight)
+{
+    Admission gate(2, 4);
+    EXPECT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+    EXPECT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+    const Admission::Snapshot s = gate.snapshot();
+    EXPECT_EQ(s.inflight, 2u);
+    EXPECT_EQ(s.admitted, 2u);
+    gate.release();
+    gate.release();
+    EXPECT_EQ(gate.snapshot().inflight, 0u);
+}
+
+TEST(ServeAdmission, RejectsWhenQueueIsFull)
+{
+    // One slot, zero queue: the second concurrent acquire must be
+    // rejected immediately, not blocked.
+    Admission gate(1, 0);
+    ASSERT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+    EXPECT_EQ(gate.acquire(), AdmissionTicket::Saturated);
+    EXPECT_EQ(gate.snapshot().rejectedSaturated, 1u);
+    gate.release();
+    // With the slot free again, admission resumes.
+    EXPECT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+    gate.release();
+}
+
+TEST(ServeAdmission, QueuedAcquireRunsWhenSlotFrees)
+{
+    Admission gate(1, 2);
+    ASSERT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+
+    std::atomic<int> admitted{0};
+    std::thread waiter([&]() {
+        if (gate.acquire() == AdmissionTicket::Admitted) {
+            ++admitted;
+            gate.release();
+        }
+    });
+    // Give the waiter time to park in the queue.
+    while (gate.snapshot().queued == 0)
+        std::this_thread::sleep_for(milliseconds(1));
+    EXPECT_EQ(admitted.load(), 0);
+
+    gate.release();
+    waiter.join();
+    EXPECT_EQ(admitted.load(), 1);
+    EXPECT_EQ(gate.snapshot().admitted, 2u);
+}
+
+TEST(ServeAdmission, DrainRejectsWaitersAndNewArrivals)
+{
+    Admission gate(1, 4);
+    ASSERT_EQ(gate.acquire(), AdmissionTicket::Admitted);
+
+    std::atomic<int> drainingSeen{0};
+    std::thread waiter([&]() {
+        if (gate.acquire() == AdmissionTicket::Draining)
+            ++drainingSeen;
+    });
+    while (gate.snapshot().queued == 0)
+        std::this_thread::sleep_for(milliseconds(1));
+
+    gate.beginDrain();
+    waiter.join();
+    EXPECT_EQ(drainingSeen.load(), 1);
+    // New arrivals are rejected up front.
+    EXPECT_EQ(gate.acquire(), AdmissionTicket::Draining);
+    EXPECT_EQ(gate.snapshot().rejectedDraining, 2u);
+
+    // The admitted request is unaffected and can still finish.
+    EXPECT_FALSE(gate.waitIdleFor(milliseconds(10)));
+    gate.release();
+    gate.waitIdle();
+    EXPECT_EQ(gate.snapshot().inflight, 0u);
+}
+
+TEST(ServeAdmission, StressCountsStayConsistent)
+{
+    Admission gate(3, 2);
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&]() {
+            for (int i = 0; i < 200; ++i) {
+                switch (gate.acquire()) {
+                  case AdmissionTicket::Admitted:
+                    ++admitted;
+                    std::this_thread::yield();
+                    gate.release();
+                    break;
+                  case AdmissionTicket::Saturated:
+                    ++rejected;
+                    break;
+                  case AdmissionTicket::Draining:
+                    ADD_FAILURE() << "unexpected drain";
+                    break;
+                }
+            }
+        });
+    for (std::thread &th : threads)
+        th.join();
+
+    const Admission::Snapshot s = gate.snapshot();
+    EXPECT_EQ(s.inflight, 0u);
+    EXPECT_EQ(s.queued, 0u);
+    EXPECT_EQ(s.admitted, admitted.load());
+    EXPECT_EQ(s.rejectedSaturated, rejected.load());
+    EXPECT_EQ(admitted.load() + rejected.load(), 1600u);
+    gate.waitIdle(); // must not hang when already idle
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the serve-layer JSON codec: exact number round trips (the
+ * foundation of the remote-equals-offline bit-identity contract),
+ * escaping, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ruby/common/error.hpp"
+#include "ruby/serve/json.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+TEST(ServeJson, ParsesScalarsAndContainers)
+{
+    const JsonValue v = parseJson(
+        R"({"a":1,"b":-2.5,"c":"x","d":true,"e":null,"f":[1,2,3]})");
+    EXPECT_EQ(v.at("a").asU64(), 1u);
+    EXPECT_DOUBLE_EQ(v.at("b").asDouble(), -2.5);
+    EXPECT_EQ(v.at("c").asString(), "x");
+    EXPECT_TRUE(v.at("d").asBool());
+    EXPECT_EQ(v.at("e").type, JsonType::Null);
+    EXPECT_EQ(v.at("f").array.size(), 3u);
+}
+
+TEST(ServeJson, IntegersRoundTripVerbatim)
+{
+    // Raw number tokens survive parse -> write unchanged, including
+    // values above 2^53 that would be mangled through a double.
+    const std::string line =
+        R"({"big":18446744073709551615,"neg":-9223372036854775808})";
+    EXPECT_EQ(writeJson(parseJson(line)), line);
+    EXPECT_EQ(parseJson(line).at("big").asU64(),
+              18446744073709551615ull);
+}
+
+TEST(ServeJson, DoublesRoundTripBitExactly)
+{
+    const double values[] = {0.1,
+                             1.0 / 3.0,
+                             6.02214076e23,
+                             -1.7976931348623157e308,
+                             5e-324,
+                             0.0};
+    for (const double x : values) {
+        JsonValue v = JsonValue::makeObject();
+        v.set("x", JsonValue::makeDouble(x));
+        const double back =
+            parseJson(writeJson(v)).at("x").asDouble();
+        EXPECT_EQ(back, x) << "value " << x;
+    }
+}
+
+TEST(ServeJson, InfinityAndNanConventions)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("inf",
+          JsonValue::makeDouble(
+              std::numeric_limits<double>::infinity()));
+    v.set("ninf",
+          JsonValue::makeDouble(
+              -std::numeric_limits<double>::infinity()));
+    v.set("nan", JsonValue::makeDouble(std::nan("")));
+    const JsonValue back = parseJson(writeJson(v));
+    EXPECT_TRUE(std::isinf(back.at("inf").asDouble()));
+    EXPECT_GT(back.at("inf").asDouble(), 0.0);
+    EXPECT_TRUE(std::isinf(back.at("ninf").asDouble()));
+    EXPECT_LT(back.at("ninf").asDouble(), 0.0);
+    EXPECT_EQ(back.at("nan").type, JsonType::Null);
+    EXPECT_TRUE(std::isnan(back.at("nan").asDouble()));
+}
+
+TEST(ServeJson, StringEscapesRoundTrip)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("s", JsonValue::makeString("a\"b\\c\n\t\x01 end"));
+    const JsonValue back = parseJson(writeJson(v));
+    EXPECT_EQ(back.at("s").asString(), "a\"b\\c\n\t\x01 end");
+}
+
+TEST(ServeJson, UnicodeEscapesDecode)
+{
+    const JsonValue v =
+        parseJson(R"({"s":"é€😀"})");
+    EXPECT_EQ(v.at("s").asString(),
+              "\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, ObjectKeysKeepInsertionOrder)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("z", JsonValue::makeU64(1));
+    v.set("a", JsonValue::makeU64(2));
+    v.set("m", JsonValue::makeU64(3));
+    EXPECT_EQ(writeJson(v), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(ServeJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), Error);
+    EXPECT_THROW(parseJson("{"), Error);
+    EXPECT_THROW(parseJson("{\"a\":}"), Error);
+    EXPECT_THROW(parseJson("[1,]"), Error);
+    EXPECT_THROW(parseJson("{\"a\":1}x"), Error);
+    EXPECT_THROW(parseJson("\"unterminated"), Error);
+    EXPECT_THROW(parseJson("nul"), Error);
+    // Raw control characters must be escaped.
+    EXPECT_THROW(parseJson("\"a\nb\""), Error);
+}
+
+TEST(ServeJson, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(parseJson(R"({"a":1,"a":2})"), Error);
+}
+
+TEST(ServeJson, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_THROW(parseJson(deep), Error);
+}
+
+TEST(ServeJson, TypeMismatchesThrow)
+{
+    const JsonValue v = parseJson(R"({"a":"text","b":1.5})");
+    EXPECT_THROW(v.at("a").asU64(), Error);
+    EXPECT_THROW(v.at("b").asU64(), Error);
+    EXPECT_THROW(v.at("missing"), Error);
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * End-to-end daemon tests over real sockets: remote-equals-offline
+ * bit-identity for every strategy on the Eyeriss and Simba presets,
+ * concurrent requests sharing the warm eval cache, admission rejects,
+ * per-request deadlines, and the SIGTERM drain. All tests run the
+ * server in-process so they also execute under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ruby/common/error.hpp"
+#include "ruby/io/report.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/serve/client.hpp"
+#include "ruby/serve/protocol.hpp"
+#include "ruby/serve/server.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+using std::chrono::milliseconds;
+
+/** Two small distinct conv layers every strategy maps quickly. */
+std::vector<Layer>
+tinyLayers()
+{
+    std::vector<Layer> layers;
+    for (const std::uint64_t m : {8, 12}) {
+        ConvShape sh;
+        sh.name = "tiny_m" + std::to_string(m);
+        sh.c = 8;
+        sh.m = m;
+        sh.p = 5;
+        sh.q = 5;
+        sh.r = 3;
+        sh.s = 3;
+        Layer layer;
+        layer.shape = sh;
+        layer.group = "conv";
+        layers.push_back(layer);
+    }
+    return layers;
+}
+
+SearchOptions
+quickOptions(SearchStrategy strategy)
+{
+    SearchOptions o;
+    o.strategy = strategy;
+    o.maxEvaluations = 800;
+    o.terminationStreak = 0;
+    o.seed = 5;
+    o.threads = 1;
+    return o;
+}
+
+ServeOptions
+tcpOptions()
+{
+    ServeOptions o;
+    o.port = 0; // ephemeral
+    o.logLifecycle = false;
+    return o;
+}
+
+std::string
+summaryText(const NetworkOutcome &net)
+{
+    std::ostringstream os;
+    printNetworkSummary(os, net);
+    return os.str();
+}
+
+/** A config whose innermost level (1 word) admits no valid mapping:
+ *  with an unbounded search, only the time budget can end it. */
+const char *kImpossibleConfig =
+    "architecture:\n"
+    "  name: impossible\n"
+    "  levels:\n"
+    "    - name: tiny\n"
+    "      capacity_words: 1\n"
+    "    - name: DRAM\n"
+    "      backing_store: true\n"
+    "workload:\n"
+    "  type: gemm\n"
+    "  name: g16\n"
+    "  m: 16\n"
+    "  n: 16\n"
+    "  k: 16\n"
+    "mapper:\n"
+    "  mapspace: pfm\n";
+
+/** A small mappable config for quick successful map requests. */
+const char *kQuickConfig =
+    "architecture:\n"
+    "  name: quick\n"
+    "  levels:\n"
+    "    - name: spad\n"
+    "      capacity_words: 4096\n"
+    "      fanout_x: 4\n"
+    "    - name: DRAM\n"
+    "      backing_store: true\n"
+    "workload:\n"
+    "  type: conv\n"
+    "  name: small\n"
+    "  c: 8\n"
+    "  m: 8\n"
+    "  p: 5\n"
+    "  q: 5\n"
+    "mapper:\n"
+    "  mapspace: ruby-s\n";
+
+Request
+mapRequest(const std::string &id, const char *config,
+           const SearchOptions &search)
+{
+    Request req;
+    req.type = RequestType::Map;
+    req.id = id;
+    req.configText = config;
+    req.variant = MapspaceVariant::RubyS;
+    req.preset = ConstraintPreset::None;
+    req.search = search;
+    return req;
+}
+
+/**
+ * The headline contract: a net request against a cold daemon renders
+ * byte-for-byte what the same offline sweep prints, for every
+ * strategy on both preset architectures.
+ */
+TEST(ServeServer, RemoteNetMatchesOfflineBitForBit)
+{
+    const std::vector<Layer> layers = tinyLayers();
+    static constexpr SearchStrategy kStrategies[] = {
+        SearchStrategy::Random, SearchStrategy::Exhaustive,
+        SearchStrategy::Genetic, SearchStrategy::Local};
+    static constexpr const char *kArchNames[] = {"eyeriss", "simba"};
+
+    for (const char *archName : kArchNames) {
+        const ArchSpec arch = archByName(archName);
+        const ConstraintPreset preset =
+            std::string(archName) == "simba"
+                ? ConstraintPreset::Simba
+                : ConstraintPreset::EyerissRS;
+        for (const SearchStrategy strategy : kStrategies) {
+            const SearchOptions search = quickOptions(strategy);
+
+            // Offline reference, fresh state.
+            const NetworkOutcome offline = searchNetwork(
+                layers, arch, preset, MapspaceVariant::RubyS,
+                search);
+
+            // Cold daemon (fresh per combo so its shared caches
+            // start exactly like the offline run's private ones).
+            Server server(tcpOptions());
+            server.start();
+            Client client =
+                Client::connectTcp("127.0.0.1", server.port());
+            Request req;
+            req.type = RequestType::Net;
+            req.id = std::string(archName) + "-" +
+                     strategyWireName(strategy);
+            req.arch = archName;
+            req.layers = layers;
+            req.variant = MapspaceVariant::RubyS;
+            req.preset = preset;
+            req.search = search;
+
+            const JsonValue response =
+                client.call(encodeRequest(req));
+            ASSERT_EQ(response.at("type").asString(), "result")
+                << writeJson(response);
+            const NetworkOutcome remote =
+                networkOutcomeFromJson(response.at("net"));
+
+            EXPECT_EQ(summaryText(remote), summaryText(offline))
+                << "strategy " << strategyWireName(strategy)
+                << " on " << archName;
+            EXPECT_EQ(remote.totalEnergy, offline.totalEnergy);
+            EXPECT_EQ(remote.totalCycles, offline.totalCycles);
+            EXPECT_EQ(remote.edp, offline.edp);
+            EXPECT_EQ(response.at("code").asU64(),
+                      offline.allFound
+                          ? 0u
+                          : static_cast<std::uint64_t>(kCodePartial));
+
+            server.requestShutdown();
+            server.waitForShutdown();
+        }
+    }
+}
+
+TEST(ServeServer, ConcurrentRequestsShareTheWarmCache)
+{
+    ServeOptions options = tcpOptions();
+    options.maxInflight = 4;
+    options.queueCapacity = 16;
+    Server server(options);
+    server.start();
+
+    // Prime the cache so the concurrent wave can hit warm entries.
+    {
+        Client primer =
+            Client::connectTcp("127.0.0.1", server.port());
+        const JsonValue response = primer.call(encodeRequest(
+            mapRequest("prime", kQuickConfig,
+                       quickOptions(SearchStrategy::Random))));
+        ASSERT_EQ(response.at("code").asU64(), 0u)
+            << writeJson(response);
+    }
+
+    // >= 8 concurrent identical requests, each on its own
+    // connection. Warm cache hits must not change any result.
+    constexpr int kClients = 8;
+    std::vector<std::string> bestMappings(kClients);
+    std::vector<double> edps(kClients, -1.0);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t)
+        threads.emplace_back([&, t]() {
+            try {
+                Client client =
+                    Client::connectTcp("127.0.0.1", server.port());
+                const JsonValue response =
+                    client.call(encodeRequest(mapRequest(
+                        "c" + std::to_string(t), kQuickConfig,
+                        quickOptions(SearchStrategy::Random))));
+                if (response.at("code").asU64() != 0) {
+                    ++failures;
+                    return;
+                }
+                const LayerOutcome outcome =
+                    layerOutcomeFromJson(response.at("outcome"));
+                bestMappings[static_cast<std::size_t>(t)] =
+                    outcome.bestMapping;
+                edps[static_cast<std::size_t>(t)] =
+                    outcome.result.edp;
+            } catch (...) {
+                ++failures;
+            }
+        });
+    for (std::thread &th : threads)
+        th.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Identical requests, identical results — regardless of cache
+    // warmth and scheduling.
+    for (int t = 1; t < kClients; ++t) {
+        EXPECT_EQ(bestMappings[static_cast<std::size_t>(t)],
+                  bestMappings[0]);
+        EXPECT_EQ(edps[static_cast<std::size_t>(t)], edps[0]);
+    }
+
+    // The shared cache observed real cross-request reuse.
+    const JsonValue stats = server.statsJson();
+    EXPECT_GT(stats.at("evalCache").at("hits").asU64(), 0u);
+    const double hitRate =
+        stats.at("evalCache").at("hitRate").asDouble();
+    EXPECT_GT(hitRate, 0.0);
+    EXPECT_EQ(stats.at("requests").at("completed").asU64(), 9u);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+TEST(ServeServer, SaturatedQueueRejectsWithCode7)
+{
+    ServeOptions options = tcpOptions();
+    options.maxInflight = 1;
+    options.queueCapacity = 0;
+    Server server(options);
+    server.start();
+
+    // Occupy the only slot with a search that runs ~2s (impossible
+    // arch + unbounded search: only the budget ends it).
+    SearchOptions slow = quickOptions(SearchStrategy::Random);
+    slow.maxEvaluations = 0;
+    slow.timeBudget = milliseconds(2000);
+    std::thread slowCall([&]() {
+        Client client =
+            Client::connectTcp("127.0.0.1", server.port());
+        const JsonValue response = client.call(encodeRequest(
+            mapRequest("slow", kImpossibleConfig, slow)));
+        EXPECT_EQ(response.at("code").asU64(),
+                  static_cast<std::uint64_t>(kCodeDeadline))
+            << writeJson(response);
+    });
+
+    // Wait until the slow request holds the slot.
+    while (server.statsJson()
+               .at("requests")
+               .at("inflight")
+               .asU64() == 0)
+        std::this_thread::sleep_for(milliseconds(5));
+
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+    const JsonValue rejected = client.call(encodeRequest(
+        mapRequest("over", kQuickConfig,
+                   quickOptions(SearchStrategy::Random))));
+    EXPECT_EQ(rejected.at("type").asString(), "error");
+    EXPECT_EQ(rejected.at("code").asU64(),
+              static_cast<std::uint64_t>(kCodeRejected));
+    EXPECT_EQ(rejected.at("kind").asString(), "saturated");
+
+    slowCall.join();
+
+    // Rejections do not poison the daemon: the next request runs.
+    const JsonValue ok = client.call(encodeRequest(
+        mapRequest("after", kQuickConfig,
+                   quickOptions(SearchStrategy::Random))));
+    EXPECT_EQ(ok.at("code").asU64(), 0u) << writeJson(ok);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+TEST(ServeServer, DeadlineExpiryIsPerRequest)
+{
+    ServeOptions options = tcpOptions();
+    options.maxInflight = 2;
+    Server server(options);
+    server.start();
+
+    // Request A: guaranteed deadline failure (code 4).
+    SearchOptions doomed = quickOptions(SearchStrategy::Random);
+    doomed.maxEvaluations = 0;
+    doomed.timeBudget = milliseconds(300);
+    std::atomic<std::uint64_t> doomedCode{999};
+    std::thread doomedCall([&]() {
+        Client client =
+            Client::connectTcp("127.0.0.1", server.port());
+        const JsonValue response = client.call(encodeRequest(
+            mapRequest("doomed", kImpossibleConfig, doomed)));
+        doomedCode = response.at("code").asU64();
+    });
+
+    // Request B, concurrently inflight, must be untouched by A's
+    // expiry.
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+    const JsonValue good = client.call(encodeRequest(
+        mapRequest("good", kQuickConfig,
+                   quickOptions(SearchStrategy::Random))));
+    EXPECT_EQ(good.at("code").asU64(), 0u) << writeJson(good);
+    const LayerOutcome outcome =
+        layerOutcomeFromJson(good.at("outcome"));
+    EXPECT_TRUE(outcome.found);
+    EXPECT_FALSE(outcome.timedOut);
+
+    doomedCall.join();
+    EXPECT_EQ(doomedCode.load(),
+              static_cast<std::uint64_t>(kCodeDeadline));
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+TEST(ServeServer, SigtermDrainCompletesInflightWork)
+{
+    ServeOptions options = tcpOptions();
+    options.maxInflight = 1;
+    options.drainBudget = milliseconds(30'000);
+    Server server(options);
+    server.start();
+    Server::installSignalDrain(server);
+
+    // An inflight request that takes a while (time-boxed search).
+    SearchOptions slow = quickOptions(SearchStrategy::Random);
+    slow.maxEvaluations = 0;
+    slow.timeBudget = milliseconds(1000);
+    std::atomic<std::uint64_t> code{999};
+    std::thread inflight([&]() {
+        try {
+            Client client =
+                Client::connectTcp("127.0.0.1", server.port());
+            const JsonValue response = client.call(encodeRequest(
+                mapRequest("inflight", kImpossibleConfig, slow)));
+            code = response.at("code").asU64();
+        } catch (const std::exception &e) {
+            ADD_FAILURE()
+                << "inflight request lost during drain: " << e.what();
+        }
+    });
+    while (server.statsJson()
+               .at("requests")
+               .at("inflight")
+               .asU64() == 0)
+        std::this_thread::sleep_for(milliseconds(5));
+
+    // SIGTERM: the self-pipe handler must begin the drain, and the
+    // inflight request must still complete and be answered.
+    ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+    server.waitForShutdown();
+    inflight.join();
+    EXPECT_EQ(code.load(),
+              static_cast<std::uint64_t>(kCodeDeadline));
+    EXPECT_TRUE(server.shutdownRequested());
+
+    // The daemon is really gone: new connections are refused.
+    EXPECT_THROW(Client::connectTcp("127.0.0.1", server.port()),
+                 Error);
+}
+
+TEST(ServeServer, ShutdownRequestAcksThenDrains)
+{
+    Server server(tcpOptions());
+    server.start();
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+
+    Request req;
+    req.type = RequestType::Shutdown;
+    req.id = "bye";
+    const JsonValue ack = client.call(encodeRequest(req));
+    EXPECT_EQ(ack.at("type").asString(), "shutdown-ack");
+    EXPECT_EQ(ack.at("code").asU64(), 0u);
+
+    server.waitForShutdown();
+    EXPECT_THROW(Client::connectTcp("127.0.0.1", server.port()),
+                 Error);
+}
+
+TEST(ServeServer, MalformedLinesGetStructuredErrors)
+{
+    Server server(tcpOptions());
+    server.start();
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+
+    // Not JSON at all.
+    JsonValue response = parseJson(client.callRaw("not json"));
+    EXPECT_EQ(response.at("type").asString(), "error");
+    EXPECT_EQ(response.at("code").asU64(),
+              static_cast<std::uint64_t>(kCodeBadRequest));
+
+    // Valid JSON, bad request shape — id still echoed back.
+    response = parseJson(
+        client.callRaw(R"({"v":1,"type":"map","id":"x9"})"));
+    EXPECT_EQ(response.at("type").asString(), "error");
+    EXPECT_EQ(response.at("id").asString(), "x9");
+
+    // The session survives malformed lines.
+    Request ping;
+    ping.type = RequestType::Ping;
+    ping.id = "still-alive";
+    const JsonValue pong = client.call(encodeRequest(ping));
+    EXPECT_EQ(pong.at("type").asString(), "pong");
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+TEST(ServeServer, StatsReportStrategyThroughputAndMemo)
+{
+    Server server(tcpOptions());
+    server.start();
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+
+    // A net request with a duplicated shape exercises the in-sweep
+    // memo; a repeat of the same request hits the cross-request
+    // layer memo.
+    Request req;
+    req.type = RequestType::Net;
+    req.id = "n";
+    req.arch = "eyeriss";
+    req.layers = tinyLayers();
+    req.layers.push_back(req.layers[0]);
+    req.layers.back().shape.name = "tiny_dup";
+    req.preset = ConstraintPreset::EyerissRS;
+    req.variant = MapspaceVariant::RubyS;
+    req.search = quickOptions(SearchStrategy::Random);
+
+    const JsonValue first = client.call(encodeRequest(req));
+    ASSERT_EQ(first.at("type").asString(), "result")
+        << writeJson(first);
+    const NetworkOutcome firstNet =
+        networkOutcomeFromJson(first.at("net"));
+    EXPECT_EQ(firstNet.memoizedLayers, 1); // in-sweep duplicate
+
+    const JsonValue second = client.call(encodeRequest(req));
+    const NetworkOutcome secondNet =
+        networkOutcomeFromJson(second.at("net"));
+    // Every unique shape replays from the cross-request memo.
+    EXPECT_EQ(secondNet.memoizedLayers,
+              static_cast<int>(secondNet.layers.size()));
+    EXPECT_EQ(secondNet.totalEnergy, firstNet.totalEnergy);
+    EXPECT_EQ(secondNet.edp, firstNet.edp);
+
+    Request statsReq;
+    statsReq.type = RequestType::Stats;
+    statsReq.id = "s";
+    const JsonValue stats =
+        client.call(encodeRequest(statsReq)).at("stats");
+    EXPECT_GT(stats.at("layerMemo").at("hits").asU64(), 0u);
+    EXPECT_GT(stats.at("layerMemo").at("inserts").asU64(), 0u);
+    const JsonValue &random =
+        stats.at("strategies").at("random");
+    EXPECT_EQ(random.at("requests").asU64(), 2u);
+    EXPECT_GT(random.at("evaluations").asU64(), 0u);
+    EXPECT_GE(stats.at("uptimeMs").asU64(), 0u);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

@@ -6,6 +6,9 @@
  *   ruby-map net <suite> [overrides]         search a whole network
  *   ruby-map count <dim> [options]           mapspace sizes (Table I)
  *   ruby-map suites                          list built-in workloads
+ *   ruby-map serve [options]                 run the mapping daemon
+ *   ruby-map remote <conn> <action>          talk to a running daemon
+ *   ruby-map --version                       build version and commit
  *
  * `map` overrides: --mapspace pfm|ruby|ruby-s|ruby-t,
  * --objective edp|energy|delay, --constraints <preset>, --evals N,
@@ -19,31 +22,56 @@
  * --pad, --yaml (machine-readable output instead of the human
  * report). See docs/PERFORMANCE.md for the fast-path knobs.
  *
- * `net` suites: resnet50 | deepbench | alexnet on the Eyeriss-like
- * preset arch; takes the same search overrides plus
- * --network-budget MS (wall-clock cap for the whole sweep, split
- * across layers), --net-threads N (concurrent layer searches) and
- * --[no-]layer-memo (search each distinct layer shape once; on by
- * default). Failed layers are reported in the summary; the sweep
- * never aborts the process.
+ * `net` suites: resnet50 | deepbench | alexnet; --arch eyeriss|simba
+ * picks the preset architecture (Eyeriss-like by default); takes the
+ * same search overrides plus --network-budget MS (wall-clock cap for
+ * the whole sweep, split across layers), --net-threads N (concurrent
+ * layer searches) and --[no-]layer-memo (search each distinct layer
+ * shape once; on by default). Failed layers are reported in the
+ * summary; the sweep never aborts the process.
  *
  * `count` options: --fanout N (default 9), --spad-words N (tile cap
  * for the valid-PFM column; default 512).
  *
+ * `serve` runs ruby-served, the persistent mapping daemon (warm
+ * shared caches, admission control, graceful drain on SIGTERM — see
+ * docs/SERVING.md): --unix PATH or --host H --port N (port 0 binds an
+ * ephemeral port and logs it), --max-inflight N, --queue-capacity N,
+ * --drain-budget MS, --cache-capacity N, --quiet.
+ *
+ * `remote` sends one request to a running daemon over --unix PATH or
+ * --host H --port N, then renders the result exactly as the offline
+ * subcommand would: remote map/net take the same overrides as their
+ * offline twins; remote stats prints the daemon's counters as JSON;
+ * remote ping and remote shutdown probe and drain the daemon.
+ *
  * Exit codes: 0 = success (all layers mapped), 1 = user/config error,
  * 2 = usage, 3 = no valid mapping found, 4 = time budget expired with
  * no mapping, 5 = partial network result (some layers failed),
- * 6 = internal search failure (e.g. injected fault).
+ * 6 = internal search failure (e.g. injected fault), 7 = rejected by
+ * a saturated or draining daemon (`remote` only). Unknown flags on
+ * any subcommand exit 2 with the usage text.
  */
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ruby/ruby.hpp"
+#include "ruby/serve/client.hpp"
+#include "ruby/serve/protocol.hpp"
+#include "ruby/serve/server.hpp"
+
+#ifndef RUBY_VERSION_STRING
+#define RUBY_VERSION_STRING "0.0.0"
+#endif
+#ifndef RUBY_GIT_COMMIT
+#define RUBY_GIT_COMMIT "unknown"
+#endif
 
 namespace
 {
@@ -58,6 +86,21 @@ constexpr int kExitNoMapping = 3;
 constexpr int kExitDeadline = 4;
 constexpr int kExitPartial = 5;
 constexpr int kExitInternal = 6;
+constexpr int kExitRejected = 7;
+
+/** Thrown for malformed invocations (unknown flags, bad argument
+ *  shapes); main() prints the message plus the usage text and exits
+ *  2, distinguishing caller mistakes from config/search errors. */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void
+unknownFlag(const std::string &flag)
+{
+    throw UsageError("unknown flag '" + flag + "'");
+}
 
 int
 usage()
@@ -75,12 +118,22 @@ usage()
            "          [--islands N] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
            " overrides]\n"
-           "          [--network-budget MS] [--net-threads N]\n"
-           "          [--[no-]layer-memo]\n"
+           "          [--arch eyeriss|simba] [--network-budget MS]\n"
+           "          [--net-threads N] [--[no-]layer-memo]\n"
            "  ruby-map count <dim> [--fanout N] [--spad-words N]\n"
            "  ruby-map suites\n"
+           "  ruby-map serve [--unix PATH | --host H --port N]\n"
+           "          [--max-inflight N] [--queue-capacity N]\n"
+           "          [--drain-budget MS] [--cache-capacity N]"
+           " [--quiet]\n"
+           "  ruby-map remote (--unix PATH | --host H --port N)\n"
+           "          ( map <config.yaml> [map overrides]\n"
+           "          | net <suite> [net overrides]\n"
+           "          | stats | ping | shutdown )\n"
+           "  ruby-map --version\n"
            "exit codes: 0 ok, 1 user error, 2 usage, 3 no mapping,\n"
-           "            4 deadline, 5 partial network, 6 internal\n";
+           "            4 deadline, 5 partial network, 6 internal,\n"
+           "            7 rejected by a saturated/draining daemon\n";
     return kExitUsage;
 }
 
@@ -156,20 +209,9 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
         search.boundPruning = true;
     else if (flag == "--no-bound-pruning")
         search.boundPruning = false;
-    else if (flag == "--strategy") {
-        const std::string &name = next();
-        if (name == "random")
-            search.strategy = SearchStrategy::Random;
-        else if (name == "exhaustive")
-            search.strategy = SearchStrategy::Exhaustive;
-        else if (name == "genetic")
-            search.strategy = SearchStrategy::Genetic;
-        else if (name == "local")
-            search.strategy = SearchStrategy::Local;
-        else
-            RUBY_FATAL(flag, ": unknown strategy '", name,
-                       "' (random|exhaustive|genetic|local)");
-    } else if (flag == "--islands")
+    else if (flag == "--strategy")
+        search.strategy = serve::parseStrategy(next());
+    else if (flag == "--islands")
         search.islands =
             static_cast<unsigned>(parseU64Arg(flag, next()));
     else if (flag == "--net-threads")
@@ -184,21 +226,84 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
     return true;
 }
 
+/**
+ * Render one mapping-search result exactly as `map` always has; the
+ * remote path feeds a wire-decoded outcome through the same function,
+ * which is what makes remote output byte-identical to offline output.
+ */
 int
-runMap(const std::vector<std::string> &args)
+reportMapResult(const Problem &problem, const ArchSpec &arch,
+                const MapperResult &result, bool yaml)
 {
-    if (args.empty())
-        return usage();
-    std::ifstream in(args[0]);
-    if (!in) {
-        std::cerr << "cannot open " << args[0] << "\n";
-        return kExitUserError;
+    if (!result.found) {
+        if (!result.statsNote.empty())
+            std::cerr << "warning: " << result.statsNote << "\n";
+        std::cerr << "search failed ["
+                  << failureKindName(result.failure)
+                  << "]: " << result.diagnostic << "\n";
+        return failureExitCode(result.failure);
     }
+    if (yaml) {
+        writeResultYaml(std::cout, problem, arch, result.eval);
+        return kExitOk;
+    }
+    std::cout << "evaluated " << result.evaluated << " mappings ("
+              << result.stats.modeled << " fully modeled, "
+              << result.stats.invalid << " invalid, "
+              << result.stats.prunedBound << " bound-pruned, "
+              << result.stats.cacheHits << " cache hits)\n";
+    if (!result.statsNote.empty())
+        std::cout << "warning: " << result.statsNote << "\n";
+    if (result.timedOut)
+        std::cout << "time budget expired; reporting the best "
+                     "mapping found so far\n";
+    std::cout << "best mapping:\n" << result.mappingText << "\n";
+    printReport(std::cout, problem, arch, result.eval);
+    return kExitOk;
+}
+
+/** Wire-decoded layer outcome in MapperResult form (same copy the
+ *  Mapper facade performs), so remote and offline share one
+ *  rendering path. */
+MapperResult
+toMapperResult(const LayerOutcome &outcome)
+{
+    MapperResult res;
+    res.found = outcome.found;
+    res.eval = outcome.result;
+    res.mappingText = outcome.bestMapping;
+    res.evaluated = outcome.evaluated;
+    res.stats = outcome.stats;
+    res.failure = outcome.failure;
+    res.diagnostic = outcome.diagnostic;
+    res.timedOut = outcome.timedOut;
+    res.statsNote = outcome.statsNote;
+    return res;
+}
+
+/** Read a whole file or fail with a user error. */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    RUBY_CHECK(in, "cannot open ", path);
     std::ostringstream text;
     text << in.rdbuf();
+    return text.str();
+}
 
-    Mapper mapper = loadMapper(text.str());
-    bool yaml = false;
+/**
+ * Parse the `map` argument list shared by the offline and remote
+ * paths: loads the config, applies overrides onto the mapper config
+ * and reports whether --yaml was requested.
+ */
+Mapper
+parseMapArgs(const std::vector<std::string> &args, bool &yaml,
+             std::string &configText)
+{
+    configText = readFile(args[0]);
+    Mapper mapper = loadMapper(configText);
+    yaml = false;
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &flag = args[i];
         auto next = [&]() -> const std::string & {
@@ -217,59 +322,42 @@ runMap(const std::vector<std::string> &args)
         else if (flag == "--yaml")
             yaml = true;
         else
-            RUBY_FATAL("unknown flag '", flag, "'");
+            unknownFlag(flag);
     }
-
-    const MapperResult result = mapper.run();
-    if (!result.found) {
-        std::cerr << "search failed ["
-                  << failureKindName(result.failure)
-                  << "]: " << result.diagnostic << "\n";
-        return failureExitCode(result.failure);
-    }
-    if (yaml) {
-        writeResultYaml(std::cout, mapper.problem(), mapper.arch(),
-                        result.eval);
-    } else {
-        std::cout << "evaluated " << result.evaluated
-                  << " mappings (" << result.stats.modeled
-                  << " fully modeled, " << result.stats.invalid
-                  << " invalid, " << result.stats.prunedBound
-                  << " bound-pruned, " << result.stats.cacheHits
-                  << " cache hits)\n";
-        if (result.timedOut)
-            std::cout << "time budget expired; reporting the best "
-                         "mapping found so far\n";
-        std::cout << "best mapping:\n" << result.mappingText << "\n";
-        printReport(std::cout, mapper.problem(), mapper.arch(),
-                    result.eval);
-    }
-    return kExitOk;
+    return mapper;
 }
 
 int
-runNet(const std::vector<std::string> &args)
+runMap(const std::vector<std::string> &args)
 {
     if (args.empty())
         return usage();
-    const std::string &suite = args[0];
-    std::vector<Layer> layers;
-    if (suite == "resnet50")
-        layers = resnet50Layers();
-    else if (suite == "deepbench")
-        layers = deepbenchLayers();
-    else if (suite == "alexnet")
-        layers = alexnetLayers();
-    else
-        RUBY_FATAL("unknown suite '", suite,
-                   "' (expected resnet50 | deepbench | alexnet)");
+    bool yaml = false;
+    std::string configText;
+    Mapper mapper = parseMapArgs(args, yaml, configText);
+    const MapperResult result = mapper.run();
+    return reportMapResult(mapper.problem(), mapper.arch(), result,
+                           yaml);
+}
 
+/** The `net` argument list decoded once for offline and remote. */
+struct NetArgs
+{
+    std::string suite;
+    std::string arch = "eyeriss";
     MapspaceVariant variant = MapspaceVariant::RubyS;
     ConstraintPreset preset = ConstraintPreset::EyerissRS;
     bool pad = false;
     SearchOptions search;
-    search.terminationStreak = 1200;
-    search.maxEvaluations = 40'000;
+};
+
+NetArgs
+parseNetArgs(const std::vector<std::string> &args)
+{
+    NetArgs net;
+    net.suite = args[0];
+    net.search.terminationStreak = 1200;
+    net.search.maxEvaluations = 40'000;
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &flag = args[i];
         auto next = [&]() -> const std::string & {
@@ -277,21 +365,33 @@ runNet(const std::vector<std::string> &args)
                        " expects an argument");
             return args[++i];
         };
-        if (applySearchFlag(flag, search, args, i))
+        if (applySearchFlag(flag, net.search, args, i))
             continue;
         if (flag == "--mapspace")
-            variant = parseVariant(next(), flag);
+            net.variant = parseVariant(next(), flag);
         else if (flag == "--constraints")
-            preset = parsePreset(next(), flag);
+            net.preset = parsePreset(next(), flag);
+        else if (flag == "--arch")
+            net.arch = next();
         else if (flag == "--pad")
-            pad = true;
+            net.pad = true;
         else
-            RUBY_FATAL("unknown flag '", flag, "'");
+            unknownFlag(flag);
     }
+    return net;
+}
 
-    const ArchSpec arch = makeEyeriss();
+int
+runNet(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const NetArgs parsed = parseNetArgs(args);
+    const std::vector<Layer> layers = serve::suiteLayers(parsed.suite);
+    const ArchSpec arch = serve::archByName(parsed.arch);
     const NetworkOutcome net =
-        searchNetwork(layers, arch, preset, variant, search, pad);
+        searchNetwork(layers, arch, parsed.preset, parsed.variant,
+                      parsed.search, parsed.pad);
     printNetworkSummary(std::cout, net);
     return net.allFound ? kExitOk : kExitPartial;
 }
@@ -316,7 +416,7 @@ runCount(const std::vector<std::string> &args)
         else if (flag == "--spad-words")
             spad_words = parseU64Arg(flag, next());
         else
-            RUBY_FATAL("unknown flag '", flag, "'");
+            unknownFlag(flag);
     }
 
     auto rules = [&](bool sp, bool tp) {
@@ -345,8 +445,10 @@ runCount(const std::vector<std::string> &args)
 }
 
 int
-runSuites()
+runSuites(const std::vector<std::string> &args)
 {
+    if (!args.empty())
+        unknownFlag(args[0]);
     Table table({"suite", "layer", "group", "MACs"});
     table.setTitle("built-in workload suites");
     for (const Layer &layer : resnet50Layers())
@@ -365,6 +467,182 @@ runSuites()
     return kExitOk;
 }
 
+int
+runServe(const std::vector<std::string> &args)
+{
+    serve::ServeOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (flag == "--unix")
+            options.unixPath = next();
+        else if (flag == "--host")
+            options.host = next();
+        else if (flag == "--port")
+            options.port =
+                static_cast<int>(parseU64Arg(flag, next()));
+        else if (flag == "--max-inflight")
+            options.maxInflight =
+                static_cast<unsigned>(parseU64Arg(flag, next()));
+        else if (flag == "--queue-capacity")
+            options.queueCapacity =
+                static_cast<std::size_t>(parseU64Arg(flag, next()));
+        else if (flag == "--drain-budget")
+            options.drainBudget =
+                std::chrono::milliseconds(parseU64Arg(flag, next()));
+        else if (flag == "--cache-capacity")
+            options.evalCacheCapacity =
+                static_cast<std::size_t>(parseU64Arg(flag, next()));
+        else if (flag == "--quiet")
+            options.logLifecycle = false;
+        else
+            unknownFlag(flag);
+    }
+
+    serve::Server server(options);
+    server.start();
+    serve::Server::installSignalDrain(server);
+    server.waitForShutdown();
+    return kExitOk;
+}
+
+/** Connect per the --unix/--host/--port flags consumed from the front
+ *  of @p args; @p i is left at the first unconsumed token. */
+serve::Client
+connectRemote(const std::vector<std::string> &args, std::size_t &i)
+{
+    std::string unixPath;
+    std::string host = "127.0.0.1";
+    int port = -1;
+    while (i < args.size() && args[i].rfind("--", 0) == 0) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (flag == "--unix")
+            unixPath = next();
+        else if (flag == "--host")
+            host = next();
+        else if (flag == "--port")
+            port = static_cast<int>(parseU64Arg(flag, next()));
+        else
+            unknownFlag(flag);
+        ++i;
+    }
+    if (!unixPath.empty())
+        return serve::Client::connectUnix(unixPath);
+    if (port >= 0)
+        return serve::Client::connectTcp(host, port);
+    throw UsageError("remote needs --unix PATH or --port N");
+}
+
+/** Exit code for a {"type":"error"} response after printing it. */
+int
+reportRemoteError(const serve::JsonValue &response)
+{
+    std::cerr << "error ["
+              << response.getString("kind", "unknown") << "]: "
+              << response.getString("message", "") << "\n";
+    const std::uint64_t code = response.getU64("code", kExitInternal);
+    return static_cast<int>(code);
+}
+
+bool
+isErrorResponse(const serve::JsonValue &response)
+{
+    const serve::JsonValue *type = response.find("type");
+    return type == nullptr || type->string == "error";
+}
+
+int
+runRemote(const std::vector<std::string> &args)
+{
+    std::size_t i = 0;
+    serve::Client client = connectRemote(args, i);
+    if (i >= args.size())
+        throw UsageError(
+            "remote needs an action: map|net|stats|ping|shutdown");
+    const std::string action = args[i++];
+    std::vector<std::string> rest(args.begin() +
+                                      static_cast<std::ptrdiff_t>(i),
+                                  args.end());
+
+    serve::Request request;
+    request.id = "cli";
+    bool yaml = false;
+    // Local mapper mirror for rendering remote `map` results (the
+    // report needs the problem and architecture, which never cross
+    // the wire).
+    std::unique_ptr<Mapper> mapper;
+
+    if (action == "ping")
+        request.type = serve::RequestType::Ping;
+    else if (action == "stats")
+        request.type = serve::RequestType::Stats;
+    else if (action == "shutdown")
+        request.type = serve::RequestType::Shutdown;
+    else if (action == "map") {
+        if (rest.empty())
+            return usage();
+        request.type = serve::RequestType::Map;
+        mapper = std::make_unique<Mapper>(
+            parseMapArgs(rest, yaml, request.configText));
+        request.variant = mapper->config().variant;
+        request.preset = mapper->config().preset;
+        request.pad = mapper->config().pad;
+        request.search = mapper->config().search;
+    } else if (action == "net") {
+        if (rest.empty())
+            return usage();
+        request.type = serve::RequestType::Net;
+        const NetArgs parsed = parseNetArgs(rest);
+        request.suite = parsed.suite;
+        request.arch = parsed.arch;
+        request.variant = parsed.variant;
+        request.preset = parsed.preset;
+        request.pad = parsed.pad;
+        request.search = parsed.search;
+    } else {
+        throw UsageError("unknown remote action '" + action + "'");
+    }
+
+    const serve::JsonValue response =
+        client.call(serve::encodeRequest(request));
+    if (isErrorResponse(response))
+        return reportRemoteError(response);
+
+    switch (request.type) {
+      case serve::RequestType::Ping:
+        std::cout << "pong\n";
+        return kExitOk;
+      case serve::RequestType::Stats:
+        std::cout << serve::writeJson(response.at("stats")) << "\n";
+        return kExitOk;
+      case serve::RequestType::Shutdown:
+        std::cout << "shutdown requested; daemon is draining\n";
+        return kExitOk;
+      case serve::RequestType::Map: {
+        const LayerOutcome outcome =
+            serve::layerOutcomeFromJson(response.at("outcome"));
+        return reportMapResult(mapper->problem(), mapper->arch(),
+                               toMapperResult(outcome), yaml);
+      }
+      case serve::RequestType::Net: {
+        const NetworkOutcome net =
+            serve::networkOutcomeFromJson(response.at("net"));
+        printNetworkSummary(std::cout, net);
+        return net.allFound ? kExitOk : kExitPartial;
+      }
+    }
+    return kExitInternal;
+}
+
 } // namespace
 
 int
@@ -375,6 +653,11 @@ main(int argc, char **argv)
         return usage();
     const std::string command = args.front();
     args.erase(args.begin());
+    if (command == "--version" || command == "version") {
+        std::cout << "ruby-map " << RUBY_VERSION_STRING << " ("
+                  << RUBY_GIT_COMMIT << ")\n";
+        return kExitOk;
+    }
     try {
         if (command == "map")
             return runMap(args);
@@ -383,7 +666,14 @@ main(int argc, char **argv)
         if (command == "count")
             return runCount(args);
         if (command == "suites")
-            return runSuites();
+            return runSuites(args);
+        if (command == "serve")
+            return runServe(args);
+        if (command == "remote")
+            return runRemote(args);
+    } catch (const UsageError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitUserError;
