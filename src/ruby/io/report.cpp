@@ -109,6 +109,21 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
        << " evictions), "
        << formatCompact(static_cast<double>(net.stats.modeled))
        << " fully modeled\n";
+    // Only printed when an incremental engine actually served
+    // candidates: the counters are deterministic per (seed, threads),
+    // and searches that never attempt a delta keep the report
+    // byte-identical to pre-engine builds.
+    if (net.stats.deltaAttempts > 0)
+        os << "delta eval     : "
+           << formatCompact(
+                  static_cast<double>(net.stats.deltaHits))
+           << " incremental, "
+           << formatCompact(
+                  static_cast<double>(net.stats.deltaFallbacks))
+           << " fallbacks ("
+           << formatCompact(
+                  static_cast<double>(net.stats.deltaRebases))
+           << " rebases)\n";
     // Partition-identity violations (see LayerOutcome::statsNote) are
     // surfaced here rather than aborting: the counters are diagnostics
     // and a broken diagnostic must not suppress the result.

@@ -29,6 +29,38 @@ FactorChain::FactorChain(std::uint64_t dim,
         extents_[k + 1] = extents_[k] * steady[k];
 }
 
+void
+FactorChain::assign(const std::vector<std::uint64_t> &steady)
+{
+    RUBY_ASSERT(steady.size() == factors_.size(),
+                "assign must preserve the slot count");
+    // Forward pass: tails are the mixed-radix digits of dim-1 in the
+    // new radices (deriveTails inlined so no scratch vector is
+    // needed); extents are running steady products.
+    std::uint64_t q = dim_ - 1;
+    std::uint64_t extent = 1;
+    for (std::size_t k = 0; k < steady.size(); ++k) {
+        RUBY_ASSERT(steady[k] >= 1, "steady bound must be positive");
+        factors_[k] = FactorPair{steady[k], q % steady[k] + 1};
+        q /= steady[k];
+        extents_[k] = extent;
+        extent *= steady[k];
+    }
+    extents_[steady.size()] = extent;
+    RUBY_ASSERT(q == 0, "product of steady bounds below dim=", dim_,
+                " -- caller must guarantee prod(P) >= D");
+    // Backward pass: exact ragged body counts (bodyCounts inlined).
+    bodies_[steady.size()] = 1;
+    std::uint64_t above = 1;
+    for (std::size_t k = steady.size(); k-- > 0;) {
+        bodies_[k] =
+            (above - 1) * factors_[k].steady + factors_[k].tail;
+        above = bodies_[k];
+    }
+    RUBY_ASSERT(bodies_.front() == dim_,
+                "ragged body count must equal the dimension");
+}
+
 const FactorPair &
 FactorChain::at(int slot) const
 {

@@ -78,6 +78,15 @@ class FactorChain
      */
     FactorChain(std::uint64_t dim, std::vector<std::uint64_t> steady);
 
+    /**
+     * Replace the steady bounds in place (same dimension, same slot
+     * count) and rederive tails, body counts and extents. Produces a
+     * chain identical to FactorChain(dim(), steady) without touching
+     * the heap — the incremental evaluator re-tiles candidate
+     * mappings through this on its hot path.
+     */
+    void assign(const std::vector<std::uint64_t> &steady);
+
     /** Dimension size covered by the chain. */
     std::uint64_t dim() const { return dim_; }
 

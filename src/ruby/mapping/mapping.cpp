@@ -141,6 +141,51 @@ Mapping::spatialAxis(int level, DimId d) const
                 [static_cast<std::size_t>(d)];
 }
 
+void
+Mapping::setChain(DimId d, const std::vector<std::uint64_t> &steady)
+{
+    RUBY_ASSERT(d >= 0 && d < problem_->numDims());
+    chains_[static_cast<std::size_t>(d)].assign(steady);
+}
+
+void
+Mapping::setPermutation(int level, const std::vector<DimId> &perm)
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    RUBY_ASSERT(static_cast<int>(perm.size()) == problem_->numDims(),
+                "permutation must cover every dimension once");
+    perms_[static_cast<std::size_t>(level)] = perm;
+}
+
+void
+Mapping::setKeepRow(int level, const std::vector<char> &keep)
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    RUBY_ASSERT(static_cast<int>(keep.size()) ==
+                    problem_->numTensors(),
+                "keep flags must cover every tensor");
+#ifndef NDEBUG
+    if (level == 0 || level == arch_->numLevels() - 1)
+        for (char k : keep)
+            RUBY_ASSERT(k, "boundary levels must keep every tensor");
+#endif
+    keep_[static_cast<std::size_t>(level)] = keep;
+}
+
+void
+Mapping::setAxisRow(int level, const std::vector<SpatialAxis> &axes)
+{
+    RUBY_ASSERT(level >= 0 && level < arch_->numLevels());
+    RUBY_ASSERT(static_cast<int>(axes.size()) == problem_->numDims(),
+                "spatial axes must cover every dimension");
+    if (axes_.empty())
+        axes_.assign(static_cast<std::size_t>(arch_->numLevels()),
+                     std::vector<SpatialAxis>(
+                         static_cast<std::size_t>(problem_->numDims()),
+                         SpatialAxis::X));
+    axes_[static_cast<std::size_t>(level)] = axes;
+}
+
 bool
 Mapping::fullyPerfect() const
 {

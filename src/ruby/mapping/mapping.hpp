@@ -28,7 +28,13 @@ enum class SpatialAxis : char
 };
 
 /**
- * An immutable mapping of @c Problem onto @c ArchSpec.
+ * A complete mapping of @c Problem onto @c ArchSpec.
+ *
+ * Mappings are immutable to every consumer except the incremental
+ * evaluator, which edits whole components in place through the
+ * set*() mutators below — each preserves every construction
+ * invariant and performs no heap allocation, so a search can morph
+ * one mapping through thousands of candidates without rebuilding it.
  *
  * The referenced problem and architecture must outlive the mapping.
  */
@@ -107,6 +113,28 @@ class Mapping
 
     /** Mesh axis dimension d's spatial factor occupies at level l. */
     SpatialAxis spatialAxis(int level, DimId d) const;
+
+    /**
+     * Replace dimension @p d's steady bounds in place (same slot
+     * count; prod must cover the dimension). Allocation-free.
+     */
+    void setChain(DimId d, const std::vector<std::uint64_t> &steady);
+
+    /** Replace level @p level's temporal loop order in place. */
+    void setPermutation(int level, const std::vector<DimId> &perm);
+
+    /**
+     * Replace level @p level's keep flags in place. The innermost and
+     * outermost levels must still keep every tensor.
+     */
+    void setKeepRow(int level, const std::vector<char> &keep);
+
+    /**
+     * Replace level @p level's spatial-axis row in place. If the
+     * mapping was built with empty axes (all X), the full axis table
+     * is materialized first (one-time allocation).
+     */
+    void setAxisRow(int level, const std::vector<SpatialAxis> &axes);
 
     /** True iff every chain is perfect (a PFM mapping). */
     bool fullyPerfect() const;

@@ -74,10 +74,18 @@ ExhaustiveIndexSpace::chunkSizeFor(std::uint64_t limit,
     if (threads <= 1)
         return limit > 0 ? limit : 1;
     // Aim for ~16 chunks per thread so pruning imbalance is smoothed
-    // by stealing, clamped to keep the atomic claim amortized.
+    // by stealing. The floor is adaptive too: a fixed 64 would hand
+    // each worker of a small space one oversized chunk (at 2 threads
+    // a few-hundred-mapping space degenerated to one chunk per
+    // worker, erasing the parallel gain). The ceiling keeps the
+    // atomic claim amortized on huge spaces.
+    const std::uint64_t per_thread =
+        std::max<std::uint64_t>(limit / threads, 1);
+    const std::uint64_t floor_chunk =
+        std::clamp<std::uint64_t>(per_thread / 4, 1, 64);
     const std::uint64_t target =
         limit / (static_cast<std::uint64_t>(threads) * 16u);
-    return std::clamp<std::uint64_t>(target, 64, 16'384);
+    return std::clamp<std::uint64_t>(target, floor_chunk, 16'384);
 }
 
 } // namespace ruby

@@ -19,6 +19,24 @@ AccessCounts::totalAt(int level) const
     return total;
 }
 
+void
+AccessTermCache::reset(int nl, int nt)
+{
+    const auto n = static_cast<std::size_t>(nt);
+    const auto pairs = static_cast<std::size_t>(nl) * n;
+    sharingValid.assign(n, 0);
+    sharing.assign(n, 0.0);
+    pairValid.assign(pairs, 0);
+    pair.assign(pairs, PairTerms{});
+}
+
+void
+AccessTermCache::invalidateAll()
+{
+    std::fill(sharingValid.begin(), sharingValid.end(), char{0});
+    std::fill(pairValid.begin(), pairValid.end(), char{0});
+}
+
 namespace
 {
 
@@ -136,7 +154,8 @@ computeAccessesInto(const Mapping &mapping, const Nest &nest,
                     const TileInfo &tiles, const ModelOptions &opts,
                     AccessCounts &counts,
                     std::vector<int> &kept_scratch,
-                    std::vector<double> &extents_scratch)
+                    std::vector<double> &extents_scratch,
+                    AccessTermCache *cache)
 {
     (void)tiles;
     const Problem &prob = mapping.problem();
@@ -171,8 +190,18 @@ computeAccessesInto(const Mapping &mapping, const Nest &nest,
         // read (or one psum read-modify-write) per MAC, shared across
         // the spatial loops below the boundary that don't index t
         // (operand broadcast / partial-sum spatial reduction).
-        const double sharing =
-            spatialSharingBelow(prob, nest, t, temporalSlot(0));
+        const auto tc0 = static_cast<std::size_t>(t);
+        double sharing;
+        if (cache && cache->sharingValid[tc0]) {
+            sharing = cache->sharing[tc0];
+        } else {
+            sharing =
+                spatialSharingBelow(prob, nest, t, temporalSlot(0));
+            if (cache) {
+                cache->sharing[tc0] = sharing;
+                cache->sharingValid[tc0] = 1;
+            }
+        }
         const double datapath = ops / sharing;
         if (t == out) {
             counts.reads[0][static_cast<std::size_t>(t)] += datapath;
@@ -189,11 +218,28 @@ computeAccessesInto(const Mapping &mapping, const Nest &nest,
                 std::min(TileInfo::boundarySlot(c), mapping.numSlots());
             const int b_p =
                 std::min(TileInfo::boundarySlot(p), mapping.numSlots());
-            averageExtentsInto(mapping, b_c, extents_scratch);
-            const double tile =
-                prob.tileVolume(t, extents_scratch);
-            const RegionMults m =
-                walkRegion(prob, nest, t, b_c, b_p, opts);
+            const std::size_t slot =
+                static_cast<std::size_t>(t) *
+                    static_cast<std::size_t>(nl) +
+                static_cast<std::size_t>(c);
+            double tile;
+            RegionMults m;
+            if (cache && cache->pairValid[slot]) {
+                const auto &e = cache->pair[slot];
+                tile = e.tile;
+                m.deliveries = e.deliveries;
+                m.parentReads = e.parentReads;
+                m.distinct = e.distinct;
+            } else {
+                averageExtentsInto(mapping, b_c, extents_scratch);
+                tile = prob.tileVolume(t, extents_scratch);
+                m = walkRegion(prob, nest, t, b_c, b_p, opts);
+                if (cache) {
+                    cache->pair[slot] = AccessTermCache::PairTerms{
+                        tile, m.deliveries, m.parentReads, m.distinct};
+                    cache->pairValid[slot] = 1;
+                }
+            }
 
             const auto tc = static_cast<std::size_t>(t);
             if (t == out) {

@@ -58,6 +58,41 @@ struct AccessCounts
     double totalAt(int level) const;
 };
 
+/**
+ * Memo of the per-tensor terms computeAccessesInto() derives before
+ * accumulating level traffic. Entries marked valid are trusted
+ * verbatim; entries marked invalid are recomputed and stored back.
+ * The *accumulation* arithmetic is shared either way, which is what
+ * makes cached and uncached runs bit-identical — the incremental
+ * evaluator owns the validity flags and clears exactly the entries a
+ * mapping delta dirties.
+ */
+struct AccessTermCache
+{
+    /** Terms of one (tensor, kept child level) boundary traversal. */
+    struct PairTerms
+    {
+        double tile = 0.0;        ///< mean tile volume at b_c
+        double deliveries = 1.0;  ///< RegionMults::deliveries
+        double parentReads = 1.0; ///< RegionMults::parentReads
+        double distinct = 1.0;    ///< RegionMults::distinct
+    };
+
+    /** sharing[t] = datapath spatial sharing factor of tensor t. */
+    std::vector<char> sharingValid;
+    std::vector<double> sharing;
+
+    /** pair[t * numLevels + c]; valid only while t is kept at c. */
+    std::vector<char> pairValid;
+    std::vector<PairTerms> pair;
+
+    /** Size for @p nl levels x @p nt tensors, all entries invalid. */
+    void reset(int nl, int nt);
+
+    /** Mark every entry invalid (sizes preserved). */
+    void invalidateAll();
+};
+
 /** Count accesses for @p mapping. */
 AccessCounts computeAccesses(const Mapping &mapping, const Nest &nest,
                              const TileInfo &tiles,
@@ -67,13 +102,16 @@ AccessCounts computeAccesses(const Mapping &mapping, const Nest &nest,
  * computeAccesses() into caller-owned storage. @p kept_scratch and
  * @p extents_scratch are work buffers (kept-level list, per-dimension
  * average extents). Once all outputs have been sized by a first call
- * of the same shape, no heap allocation occurs.
+ * of the same shape, no heap allocation occurs. When @p cache is
+ * non-null, valid entries are reused and recomputed ones stored back
+ * (see AccessTermCache).
  */
 void computeAccessesInto(const Mapping &mapping, const Nest &nest,
                          const TileInfo &tiles,
                          const ModelOptions &opts, AccessCounts &out,
                          std::vector<int> &kept_scratch,
-                         std::vector<double> &extents_scratch);
+                         std::vector<double> &extents_scratch,
+                         AccessTermCache *cache = nullptr);
 
 } // namespace ruby
 

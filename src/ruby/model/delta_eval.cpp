@@ -1,0 +1,459 @@
+#include "ruby/model/delta_eval.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ruby/common/error.hpp"
+#include "ruby/model/tile_analysis.hpp"
+
+namespace ruby
+{
+
+namespace
+{
+
+/**
+ * Diffs touching more rows than this fall back to a full in-place
+ * recomputation: the dirtiness rules stay exact at any size, but a
+ * wide diff (e.g. a crossover child drawing half its rows from the
+ * other parent) invalidates most terms anyway, so the bookkeeping
+ * would only add overhead.
+ */
+constexpr std::size_t kMaxDeltaRows = 4;
+
+} // namespace
+
+DeltaEvaluator::DeltaEvaluator(const Evaluator &eval) : eval_(&eval)
+{
+    const int nl = eval.arch().numLevels();
+    const int nt = eval.problem().numTensors();
+    baseCache_.reset(nl, nt);
+    candCache_.reset(nl, nt);
+}
+
+const EvalResult &
+DeltaEvaluator::rebase(const Mapping &mapping, EvalStats &stats)
+{
+    ++stats.deltaRebases;
+    if (base_) {
+        *base_ = mapping;
+        *cand_ = mapping;
+    } else {
+        base_.emplace(mapping);
+        cand_.emplace(mapping);
+    }
+    pending_.clear();
+    baseCache_.invalidateAll();
+    hasValidBase_ = false;
+    lastWasValidCandidate_ = false;
+    if (eval_->checkValidity(*base_, baseScratch_)) {
+        baseScratch_.nest.rebuild(*base_);
+        computeAccessesInto(*base_, baseScratch_.nest,
+                            baseScratch_.tiles, eval_->modelOptions(),
+                            baseScratch_.result.accesses,
+                            baseScratch_.kept, baseScratch_.avgExtents,
+                            &baseCache_);
+        eval_->finalizeModel(*base_, baseScratch_);
+        hasValidBase_ = true;
+    }
+    return baseScratch_.result;
+}
+
+const EvalResult &
+DeltaEvaluator::evaluateCandidate(const MappingComponents &comp,
+                                  EvalStats &stats)
+{
+    RUBY_ASSERT(base_, "rebase() before evaluating candidates");
+    ++stats.deltaAttempts;
+
+    computeDiff(comp, diffScratch_);
+    if (diffScratch_.rows() == 0 && hasValidBase_) {
+        // Exact duplicate of the base: zero model work.
+        ++stats.deltaHits;
+        lastWasValidCandidate_ = false;
+        return baseScratch_.result;
+    }
+
+    syncCandidateToBase();
+    applyDiff(comp, diffScratch_);
+
+    const bool incremental =
+        hasValidBase_ && diffScratch_.rows() <= kMaxDeltaRows;
+    if (incremental) {
+        invalidateDirtyTerms(diffScratch_);
+        ++stats.deltaHits;
+        if (checkValidityIncremental(diffScratch_))
+            runModelOnCandidate();
+    } else {
+        candCache_.invalidateAll();
+        ++stats.deltaFallbacks;
+        // A fallback redoes every access term, but the validity rules
+        // hold at any diff width — a valid base still lets clean
+        // levels and tile rows be reused.
+        const bool valid =
+            hasValidBase_ ? checkValidityIncremental(diffScratch_)
+                          : eval_->checkValidity(*cand_, candScratch_);
+        if (valid)
+            runModelOnCandidate();
+    }
+#ifndef NDEBUG
+    crossCheckCandidate();
+#endif
+    lastWasValidCandidate_ = candScratch_.result.valid;
+    return candScratch_.result;
+}
+
+void
+DeltaEvaluator::promoteLast()
+{
+    if (!lastWasValidCandidate_)
+        return;
+    std::swap(base_, cand_);
+    std::swap(baseScratch_, candScratch_);
+    std::swap(baseCache_, candCache_);
+    // pending_ still names exactly the rows where the two mappings
+    // differ — the relation is symmetric — so the next sync restores
+    // the (new) candidate buffer from the (new) base correctly.
+    hasValidBase_ = true;
+    lastWasValidCandidate_ = false;
+}
+
+void
+DeltaEvaluator::computeDiff(const MappingComponents &comp,
+                            Diff &out) const
+{
+    out.clear();
+    const Problem &prob = eval_->problem();
+    const ArchSpec &arch = eval_->arch();
+    const int nd = prob.numDims();
+    const int nl = arch.numLevels();
+    const int nt = prob.numTensors();
+    const int slots = base_->numSlots();
+
+    RUBY_ASSERT(comp.steady && comp.perms && comp.keep,
+                "candidate components must supply steady/perms/keep");
+    RUBY_ASSERT(static_cast<int>(comp.steady->size()) == nd &&
+                    static_cast<int>(comp.perms->size()) == nl &&
+                    static_cast<int>(comp.keep->size()) == nl,
+                "candidate component shape mismatch");
+
+    for (DimId d = 0; d < nd; ++d) {
+        const auto &row = (*comp.steady)[static_cast<std::size_t>(d)];
+        RUBY_ASSERT(static_cast<int>(row.size()) == slots,
+                    "candidate chain row has wrong slot count");
+        for (int k = 0; k < slots; ++k) {
+            if (row[static_cast<std::size_t>(k)] !=
+                base_->factor(d, k).steady) {
+                out.chains.push_back(d);
+                break;
+            }
+        }
+    }
+    for (int l = 0; l < nl; ++l) {
+        if ((*comp.perms)[static_cast<std::size_t>(l)] !=
+            base_->permutation(l))
+            out.perms.push_back(l);
+    }
+    for (int l = 0; l < nl; ++l) {
+        const auto &row = (*comp.keep)[static_cast<std::size_t>(l)];
+        RUBY_ASSERT(static_cast<int>(row.size()) == nt,
+                    "candidate keep row has wrong tensor count");
+        for (int t = 0; t < nt; ++t) {
+            if ((row[static_cast<std::size_t>(t)] != 0) !=
+                base_->keeps(l, t)) {
+                out.keeps.push_back(l);
+                break;
+            }
+        }
+    }
+    const bool have_axes = comp.axes != nullptr && !comp.axes->empty();
+    for (int l = 0; l < nl; ++l) {
+        for (DimId d = 0; d < nd; ++d) {
+            const SpatialAxis a =
+                have_axes ? (*comp.axes)[static_cast<std::size_t>(l)]
+                                        [static_cast<std::size_t>(d)]
+                          : SpatialAxis::X;
+            if (a != base_->spatialAxis(l, d)) {
+                out.axes.push_back(l);
+                break;
+            }
+        }
+    }
+}
+
+void
+DeltaEvaluator::syncCandidateToBase()
+{
+    const Problem &prob = eval_->problem();
+    const int nd = prob.numDims();
+    const int nt = prob.numTensors();
+    const int slots = base_->numSlots();
+
+    for (DimId d : pending_.chains) {
+        steadyScratch_.resize(static_cast<std::size_t>(slots));
+        for (int k = 0; k < slots; ++k)
+            steadyScratch_[static_cast<std::size_t>(k)] =
+                base_->factor(d, k).steady;
+        cand_->setChain(d, steadyScratch_);
+    }
+    for (int l : pending_.perms)
+        cand_->setPermutation(l, base_->permutation(l));
+    for (int l : pending_.keeps) {
+        keepScratch_.resize(static_cast<std::size_t>(nt));
+        for (int t = 0; t < nt; ++t)
+            keepScratch_[static_cast<std::size_t>(t)] =
+                base_->keeps(l, t) ? 1 : 0;
+        cand_->setKeepRow(l, keepScratch_);
+    }
+    for (int l : pending_.axes) {
+        axisScratch_.resize(static_cast<std::size_t>(nd));
+        for (DimId d = 0; d < nd; ++d)
+            axisScratch_[static_cast<std::size_t>(d)] =
+                base_->spatialAxis(l, d);
+        cand_->setAxisRow(l, axisScratch_);
+    }
+    pending_.clear();
+}
+
+void
+DeltaEvaluator::applyDiff(const MappingComponents &comp,
+                          const Diff &diff)
+{
+    for (DimId d : diff.chains)
+        cand_->setChain(d,
+                        (*comp.steady)[static_cast<std::size_t>(d)]);
+    for (int l : diff.perms)
+        cand_->setPermutation(
+            l, (*comp.perms)[static_cast<std::size_t>(l)]);
+    for (int l : diff.keeps)
+        cand_->setKeepRow(l,
+                          (*comp.keep)[static_cast<std::size_t>(l)]);
+    const bool have_axes = comp.axes != nullptr && !comp.axes->empty();
+    for (int l : diff.axes) {
+        if (have_axes) {
+            cand_->setAxisRow(
+                l, (*comp.axes)[static_cast<std::size_t>(l)]);
+        } else {
+            axisScratch_.assign(
+                static_cast<std::size_t>(eval_->problem().numDims()),
+                SpatialAxis::X);
+            cand_->setAxisRow(l, axisScratch_);
+        }
+    }
+    pending_ = diff;
+}
+
+void
+DeltaEvaluator::invalidateDirtyTerms(const Diff &diff)
+{
+    candCache_ = baseCache_;
+
+    const Problem &prob = eval_->problem();
+    const int nl = eval_->arch().numLevels();
+    const int nt = prob.numTensors();
+    const int slots = base_->numSlots();
+
+    // Invalidate every boundary pair whose child boundary b_c =
+    // 2(c+1) lies at or below the outermost changed slot: the walk
+    // over the region [b_c, ...) reads some changed loop.
+    auto dirtyPairsUpTo = [&](int max_changed_slot) {
+        for (int c = 0; c < nl; ++c) {
+            if (2 * (c + 1) > max_changed_slot)
+                break;
+            for (int t = 0; t < nt; ++t)
+                candCache_.pairValid[static_cast<std::size_t>(
+                    t * nl + c)] = 0;
+        }
+    };
+
+    for (DimId d : diff.chains) {
+        const FactorChain &oc = base_->chain(d);
+        const FactorChain &nc = cand_->chain(d);
+        int max_changed = -1;
+        bool slot0_changed = false;
+        for (int j = 0; j < slots; ++j) {
+            // Exact old-vs-new comparison: a steady edit at one slot
+            // can shift tails and ragged body counts (mixed-radix
+            // digits) at slots far above it, so the derived arrays —
+            // not the edited row — define dirtiness.
+            const bool changed =
+                oc.at(j).steady != nc.at(j).steady ||
+                oc.at(j).tail != nc.at(j).tail ||
+                oc.bodyCount(j) != nc.bodyCount(j) ||
+                oc.bodyCount(j + 1) != nc.bodyCount(j + 1);
+            if (changed) {
+                max_changed = j;
+                if (j == 0)
+                    slot0_changed = true;
+            }
+        }
+        if (max_changed < 0)
+            continue;
+        dirtyPairsUpTo(max_changed);
+        // The datapath sharing factor reads only slot-0 spatial loops
+        // of dimensions irrelevant to the tensor.
+        if (slot0_changed)
+            for (int t = 0; t < nt; ++t)
+                if (!prob.relevant(t, d))
+                    candCache_.sharingValid[static_cast<std::size_t>(
+                        t)] = 0;
+    }
+
+    for (int l : diff.perms) {
+        // Level l's temporal slot 2l+1 reordered: regions with
+        // b_c = 2(c+1) <= 2l+1, i.e. c < l, walk those loops.
+        for (int c = 0; c < l; ++c)
+            for (int t = 0; t < nt; ++t)
+                candCache_.pairValid[static_cast<std::size_t>(
+                    t * nl + c)] = 0;
+    }
+
+    for (int l : diff.keeps) {
+        // A re-homed tensor's whole kept-ancestor chain moves, so
+        // every one of its boundary pairs is dirty (the pair memo is
+        // keyed by child level only, but the parent is implied by the
+        // keep rows). Other tensors' terms never read t's keeps.
+        for (int t = 0; t < nt; ++t) {
+            if (cand_->keeps(l, t) == base_->keeps(l, t))
+                continue;
+            for (int c = 0; c < nl; ++c)
+                candCache_.pairValid[static_cast<std::size_t>(
+                    t * nl + c)] = 0;
+        }
+    }
+
+    // Axis rows: nothing in the cost model reads mesh axes (only the
+    // spatial-fit validity check, rechecked at the touched levels).
+}
+
+bool
+DeltaEvaluator::checkValidityIncremental(const Diff &diff)
+{
+    // Exactly Evaluator::checkValidity(), but against a *valid* base:
+    // every base level fits the mesh and baseScratch_ holds its tile
+    // table, so only levels the diff can reach are rechecked and only
+    // their tile rows recomputed. Failure messages are composed by the
+    // same full walks the evaluator uses — clean levels cannot fail,
+    // so the first failing level (and thus the message) is identical.
+    EvalResult &res = candScratch_.result;
+    res.valid = false;
+    res.invalidReason.clear();
+    res.ops = eval_->problem().totalOperations();
+
+    const Problem &prob = eval_->problem();
+    const int nl = eval_->arch().numLevels();
+    const int nt = prob.numTensors();
+    const int slots = base_->numSlots();
+
+    // Spatial fit at level l reads slot 2l of every chain plus axis
+    // row l; anything else leaves the base's (passing) usage intact.
+    for (int l = 0; l < nl; ++l) {
+        bool dirty = false;
+        for (const int a : diff.axes) {
+            if (a == l) {
+                dirty = true;
+                break;
+            }
+        }
+        if (!dirty) {
+            const int s = spatialSlot(l);
+            for (const DimId d : diff.chains) {
+                if (base_->factor(d, s).steady !=
+                    cand_->factor(d, s).steady) {
+                    dirty = true;
+                    break;
+                }
+            }
+        }
+        if (dirty && !spatialFitOkAt(*cand_, l)) {
+            res.invalidReason = checkSpatialFit(*cand_);
+            return false;
+        }
+    }
+
+    // Tile row l projects the steady extents of slots
+    // [0, boundarySlot(l)): it moves iff some chain's steady factor
+    // changed strictly below that boundary. Clean rows are copied from
+    // the base so the table is complete (a promoted candidate becomes
+    // the next base).
+    int min_changed = slots;
+    for (const DimId d : diff.chains) {
+        for (int k = 0; k < min_changed; ++k) {
+            if (base_->factor(d, k).steady !=
+                cand_->factor(d, k).steady) {
+                min_changed = k;
+                break;
+            }
+        }
+    }
+    TileInfo &tiles = candScratch_.tiles;
+    tiles.tileWords.resize(static_cast<std::size_t>(nl));
+    for (int l = 0; l < nl; ++l) {
+        auto &row = tiles.tileWords[static_cast<std::size_t>(l)];
+        const int boundary =
+            std::min(TileInfo::boundarySlot(l), slots);
+        if (boundary <= min_changed) {
+            row = baseScratch_.tiles
+                      .tileWords[static_cast<std::size_t>(l)];
+            continue;
+        }
+        row.assign(static_cast<std::size_t>(nt), 0);
+        cand_->extentsBelowInto(boundary, candScratch_.extents);
+        for (int t = 0; t < nt; ++t)
+            row[static_cast<std::size_t>(t)] =
+                prob.tileVolume(t, candScratch_.extents);
+    }
+    if (!capacityOk(*cand_, tiles)) {
+        res.invalidReason = checkCapacity(*cand_, tiles);
+        return false;
+    }
+    return true;
+}
+
+void
+DeltaEvaluator::runModelOnCandidate()
+{
+    candScratch_.nest.rebuild(*cand_);
+    computeAccessesInto(*cand_, candScratch_.nest, candScratch_.tiles,
+                        eval_->modelOptions(),
+                        candScratch_.result.accesses,
+                        candScratch_.kept, candScratch_.avgExtents,
+                        &candCache_);
+    eval_->finalizeModel(*cand_, candScratch_);
+}
+
+#ifndef NDEBUG
+void
+DeltaEvaluator::crossCheckCandidate()
+{
+    eval_->evaluate(*cand_, checkScratch_);
+    const EvalResult &a = candScratch_.result;
+    const EvalResult &b = checkScratch_.result;
+    RUBY_ASSERT(a.valid == b.valid,
+                "delta eval: validity diverged from the full model");
+    RUBY_ASSERT(a.invalidReason == b.invalidReason,
+                "delta eval: invalidity reason diverged");
+    if (!a.valid)
+        return;
+    RUBY_ASSERT(a.ops == b.ops && a.energy == b.energy &&
+                    a.cycles == b.cycles && a.edp == b.edp &&
+                    a.utilization == b.utilization &&
+                    a.macEnergy == b.macEnergy &&
+                    a.networkEnergy == b.networkEnergy,
+                "delta eval: headline metrics diverged");
+    RUBY_ASSERT(a.levelEnergy == b.levelEnergy,
+                "delta eval: level energies diverged");
+    RUBY_ASSERT(a.accesses.reads == b.accesses.reads &&
+                    a.accesses.writes == b.accesses.writes &&
+                    a.accesses.networkWords == b.accesses.networkWords,
+                "delta eval: access counts diverged");
+    RUBY_ASSERT(a.latency.computeCycles == b.latency.computeCycles &&
+                    a.latency.bandwidthCycles ==
+                        b.latency.bandwidthCycles &&
+                    a.latency.cycles == b.latency.cycles &&
+                    a.latency.utilization == b.latency.utilization,
+                "delta eval: latency diverged");
+}
+#endif
+
+} // namespace ruby

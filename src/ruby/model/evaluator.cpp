@@ -171,12 +171,19 @@ void
 Evaluator::runFullModel(const Mapping &mapping,
                         EvalScratch &scratch) const
 {
-    EvalResult &res = scratch.result;
-
     scratch.nest.rebuild(mapping);
     computeAccessesInto(mapping, scratch.nest, scratch.tiles, opts_,
-                        res.accesses, scratch.kept,
+                        scratch.result.accesses, scratch.kept,
                         scratch.avgExtents);
+    finalizeModel(mapping, scratch);
+}
+
+void
+Evaluator::finalizeModel(const Mapping &mapping,
+                         EvalScratch &scratch) const
+{
+    EvalResult &res = scratch.result;
+
     computeLatencyInto(mapping, res.accesses, res.latency);
 
     res.levelEnergy.assign(

@@ -117,6 +117,18 @@ struct EvalStats
     std::uint64_t cacheMisses = 0;    ///< memo-cache misses
     std::uint64_t cacheEvictions = 0; ///< memo-cache evictions
 
+    /*
+     * Incremental-evaluation counters (orthogonal to the decided()
+     * partition: a delta-served candidate still counts under one of
+     * the stage buckets above, exactly as if evaluated fully).
+     * Their own partition identity deltaHits + deltaFallbacks ==
+     * deltaAttempts is checked by the driver's stats diagnostic.
+     */
+    std::uint64_t deltaAttempts = 0;  ///< candidates offered as deltas
+    std::uint64_t deltaHits = 0;      ///< served incrementally
+    std::uint64_t deltaFallbacks = 0; ///< fell back to full recompute
+    std::uint64_t deltaRebases = 0;   ///< full evals to set a base
+
     /**
      * Samples accounted for by some stage. The partition invariant
      * decided() == evaluated must hold for every completed search;
@@ -137,6 +149,10 @@ struct EvalStats
         cacheHits += o.cacheHits;
         cacheMisses += o.cacheMisses;
         cacheEvictions += o.cacheEvictions;
+        deltaAttempts += o.deltaAttempts;
+        deltaHits += o.deltaHits;
+        deltaFallbacks += o.deltaFallbacks;
+        deltaRebases += o.deltaRebases;
         return *this;
     }
 };
@@ -235,6 +251,20 @@ class Evaluator
      */
     void modelValidated(const Mapping &mapping,
                         EvalScratch &scratch) const;
+
+    /**
+     * The tail of the full model: latency, per-level energy, EDP and
+     * the final result fields, computed from scratch.result.accesses
+     * (which the caller must already have filled). The incremental
+     * evaluator reruns exactly this assembly after patching only the
+     * dirty access terms; runFullModel() is nest rebuild + access
+     * counting + finalizeModel().
+     */
+    void finalizeModel(const Mapping &mapping,
+                       EvalScratch &scratch) const;
+
+    /** The model feature toggles this evaluator was built with. */
+    const ModelOptions &modelOptions() const { return opts_; }
 
   private:
     /** Stage 3: the full model; requires scratch.tiles to be fresh. */

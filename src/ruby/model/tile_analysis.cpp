@@ -168,4 +168,14 @@ spatialFitOk(const Mapping &mapping)
     return spatialFitImpl(mapping, nullptr);
 }
 
+bool
+spatialFitOkAt(const Mapping &mapping, int level)
+{
+    const ArchSpec &arch = mapping.arch();
+    return mapping.spatialUsage(level, SpatialAxis::X) <=
+               arch.level(level).fanoutX &&
+           mapping.spatialUsage(level, SpatialAxis::Y) <=
+               arch.level(level).fanoutY;
+}
+
 } // namespace ruby

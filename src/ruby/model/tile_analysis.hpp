@@ -69,6 +69,13 @@ std::string checkSpatialFit(const Mapping &mapping);
 /** checkSpatialFit() without composing the failure message. */
 bool spatialFitOk(const Mapping &mapping);
 
+/**
+ * Spatial fit of a single level. The full check is the conjunction of
+ * this over all levels; the delta evaluator uses it to recheck only
+ * levels whose spatial-slot factors or axis rows actually moved.
+ */
+bool spatialFitOkAt(const Mapping &mapping, int level);
+
 } // namespace ruby
 
 #endif // RUBY_MODEL_TILE_ANALYSIS_HPP

@@ -48,6 +48,7 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         out.evaluated = res.evaluated;
         out.valid = res.valid;
         out.stats = res.stats;
+        out.timers = res.timers;
         return out;
       }
       case SearchStrategy::Genetic: {
@@ -56,6 +57,7 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         g.seed = options.seed;
         g.islands = options.islands;
         g.threads = options.threads;
+        g.incremental = options.incremental;
         g.cancel = options.cancel;
         return geneticSearch(space, evaluator, g);
       }
@@ -63,6 +65,7 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         LocalSearchOptions l;
         l.objective = options.objective;
         l.seed = options.seed;
+        l.incremental = options.incremental;
         l.cancel = options.cancel;
         if (options.maxEvaluations != 0)
             l.maxEvaluations = options.maxEvaluations;
@@ -214,7 +217,8 @@ layerMemoKey(const ConvShape &sh, const ArchSpec &arch,
         o.maxEvaluations, ',', o.seed, ',', o.threads, ',',
         o.restarts, ',', o.boundPruning ? 1 : 0, ',',
         o.evalCache ? 1 : 0, ',', o.evalCacheCapacity, ',', o.islands,
-        ',', o.recordTrajectory ? 1 : 0);
+        ',', o.recordTrajectory ? 1 : 0, ',', o.incremental ? 1 : 0,
+        ',', o.refineSteps);
 }
 
 } // namespace
@@ -339,6 +343,16 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
                 "eval-stats mismatch: invalid+pruned+hits+modeled = ",
                 res.stats.decided(),
                 " != evaluated = ", res.evaluated);
+        // Same idea for the incremental engine's own partition: every
+        // delta attempt is served either incrementally or by the
+        // in-engine fallback (rebases are deliberately outside — they
+        // repeat already-counted evaluations).
+        else if (res.stats.deltaHits + res.stats.deltaFallbacks !=
+                 res.stats.deltaAttempts)
+            outcome.statsNote = detail::composeMessage(
+                "delta-stats mismatch: hits + fallbacks = ",
+                res.stats.deltaHits + res.stats.deltaFallbacks,
+                " != attempts = ", res.stats.deltaAttempts);
         outcome.timedOut = res.deadlineExceeded;
         outcome.found = res.best.has_value();
         if (outcome.found) {

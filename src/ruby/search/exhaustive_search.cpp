@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <numeric>
 #include <thread>
@@ -137,6 +138,7 @@ ExhaustiveResult
 exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
                  const ExhaustiveOptions &options)
 {
+    const auto total0 = std::chrono::steady_clock::now();
     const Problem &prob = space.problem();
     const ArchSpec &arch = space.arch();
     const int nd = prob.numDims();
@@ -248,6 +250,10 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
         out.best = std::move(winner->mapping);
         out.bestResult = winner->result;
     }
+    out.timers.totalNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - total0)
+            .count());
     return out;
 }
 

@@ -15,6 +15,7 @@
 #include "ruby/common/cancel.hpp"
 #include "ruby/mapspace/mapspace.hpp"
 #include "ruby/model/evaluator.hpp"
+#include "ruby/search/random_search.hpp"
 
 namespace ruby
 {
@@ -71,6 +72,8 @@ struct ExhaustiveResult
     EvalStats stats;
     /** True when the cap stopped enumeration before completion. */
     bool truncated = false;
+    /** Coarse wall-clock breakdown (see SearchTimers). */
+    SearchTimers timers;
 };
 
 /**

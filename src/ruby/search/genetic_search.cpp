@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "ruby/common/error.hpp"
 #include "ruby/common/fault_injector.hpp"
 #include "ruby/common/thread_pool.hpp"
+#include "ruby/model/delta_eval.hpp"
 #include "ruby/search/genome.hpp"
 
 namespace ruby
@@ -19,6 +21,17 @@ namespace
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr unsigned kMaxParallelism = 4096;
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsSince(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count());
+}
 
 struct Individual
 {
@@ -39,12 +52,14 @@ struct Tally
     EvalStats stats;
     std::uint64_t evaluated = 0;
     std::uint64_t valid = 0;
+    SearchTimers timers;
 
     Tally &operator+=(const Tally &o)
     {
         stats += o.stats;
         evaluated += o.evaluated;
         valid += o.valid;
+        timers += o.timers;
         return *this;
     }
 };
@@ -70,7 +85,9 @@ scoreOne(const Mapspace &space, const Evaluator &evaluator,
         ind.genome.materialize(space.problem(), space.arch());
     if (faults.enabled())
         faults.maybeThrow("genetic_search.evaluate");
+    const auto t0 = Clock::now();
     evaluator.evaluate(mapping, scratch);
+    tally.timers.evalNs += nsSince(t0);
     ++tally.evaluated;
     if (!scratch.result.valid) {
         ++tally.stats.invalid;
@@ -80,6 +97,53 @@ scoreOne(const Mapspace &space, const Evaluator &evaluator,
     ++tally.stats.modeled;
     ++tally.valid;
     ind.fitness = scratch.result.objective(objective);
+}
+
+/**
+ * Score every non-elite member of one island through its incremental
+ * engine. The engine is rebased on the island's lead member each
+ * generation — a deterministic repeat of an already-known evaluation,
+ * so it is counted only as a deltaRebase — which makes mutation-only
+ * children of that member single-row deltas; everything else falls
+ * back to a full in-place recomputation inside the engine. Fitness
+ * values are bit-identical to scoreOne() either way.
+ */
+void
+scoreIsland(const Mapspace &space, Objective objective, unsigned elites,
+            Island &island, DeltaEvaluator &engine, Tally &tally,
+            const CancelToken *external, const CancelToken *poolCancel)
+{
+    if (elites >= island.population.size())
+        return;
+    FaultInjector &faults = FaultInjector::global();
+    const auto t0 = Clock::now();
+    const Mapping base = island.population[0].genome.materialize(
+        space.problem(), space.arch());
+    engine.rebase(base, tally.stats);
+    for (std::size_t m = elites; m < island.population.size(); ++m) {
+        if ((external != nullptr && external->cancelled()) ||
+            (poolCancel != nullptr && poolCancel->cancelled()))
+            break;
+        Individual &ind = island.population[m];
+        if (faults.enabled())
+            faults.maybeThrow("genetic_search.evaluate");
+        const MappingComponents comp{&ind.genome.steady,
+                                     &ind.genome.perms,
+                                     &ind.genome.keep,
+                                     &ind.genome.axes};
+        const EvalResult &res =
+            engine.evaluateCandidate(comp, tally.stats);
+        ++tally.evaluated;
+        if (!res.valid) {
+            ++tally.stats.invalid;
+            ind.fitness = kInf;
+            continue;
+        }
+        ++tally.stats.modeled;
+        ++tally.valid;
+        ind.fitness = res.objective(objective);
+    }
+    tally.timers.evalNs += nsSince(t0);
 }
 
 /** Population indices ordered best-first by (fitness, index). */
@@ -105,6 +169,7 @@ SearchResult
 geneticSearch(const Mapspace &space, const Evaluator &evaluator,
               const GeneticOptions &options)
 {
+    const auto total0 = Clock::now();
     RUBY_CHECK(options.populationSize >= 2,
                "genetic search needs a population of >= 2");
     RUBY_CHECK(options.tournament >= 1, "tournament size must be >= 1");
@@ -145,6 +210,20 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
         pool = std::make_unique<ThreadPool>(threads);
     std::vector<EvalScratch> worker_scratch(threads);
     Tally tally;
+    SearchTimers timers;
+
+    // One persistent incremental engine and tally per island. The
+    // tallies are merged in island index order after each generation,
+    // so the counters are a pure function of (seed, islands) — never
+    // of which worker scored which island.
+    std::vector<DeltaEvaluator> engines;
+    std::vector<Tally> island_tallies;
+    if (options.incremental) {
+        engines.reserve(K);
+        for (unsigned k = 0; k < K; ++k)
+            engines.emplace_back(evaluator);
+        island_tallies.resize(K);
+    }
 
     // Evaluate a batch of members. Each job writes only its own
     // individual's fitness and a per-worker tally, so the claim order
@@ -189,6 +268,58 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
             tally += t;
     };
 
+    std::vector<ScoreJob> jobs;
+
+    // Score one bred generation. Incremental mode hands each island
+    // to exactly one worker as a contiguous chunk (the engine's base
+    // reuse lives across a whole island's children); the classic mode
+    // keeps the per-individual job batch.
+    auto scoreGeneration = [&]() {
+        if (!options.incremental) {
+            jobs.clear();
+            for (unsigned k = 0; k < K; ++k)
+                for (std::size_t m = options.elites;
+                     m < archipelago[k].population.size(); ++m)
+                    jobs.push_back(ScoreJob{k, m});
+            scoreBatch(jobs);
+            return;
+        }
+        if (pool == nullptr || K == 1) {
+            for (unsigned k = 0; k < K; ++k) {
+                if (externallyCancelled())
+                    break;
+                scoreIsland(space, options.objective, options.elites,
+                            archipelago[k], engines[k],
+                            island_tallies[k], options.cancel,
+                            nullptr);
+            }
+        } else {
+            std::atomic<unsigned> next{0};
+            const auto workers = static_cast<unsigned>(
+                std::min<std::size_t>(threads, K));
+            const CancelToken &cancel = pool->cancelToken();
+            for (unsigned w = 0; w < workers; ++w)
+                pool->submit([&]() {
+                    for (;;) {
+                        const unsigned k = next.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (k >= K || cancel.cancelled() ||
+                            externallyCancelled())
+                            return;
+                        scoreIsland(space, options.objective,
+                                    options.elites, archipelago[k],
+                                    engines[k], island_tallies[k],
+                                    options.cancel, &cancel);
+                    }
+                });
+            pool->waitIdle();
+        }
+        for (unsigned k = 0; k < K; ++k) {
+            tally += island_tallies[k];
+            island_tallies[k] = Tally{};
+        }
+    };
+
     // Global best genome, reduced deterministically: strict fitness
     // improvement scanning islands then members in index order.
     double best_fitness = kInf;
@@ -204,8 +335,9 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
 
     // Seed every island's population from the random sampler. The
     // draws consume each island's own stream serially; only the
-    // scoring fans out.
-    std::vector<ScoreJob> jobs;
+    // scoring fans out (per individual: there is no base to share
+    // yet, so the incremental engine starts at the first bred
+    // generation).
     for (unsigned k = 0; k < K; ++k) {
         Island &island = archipelago[k];
         island.population.resize(options.populationSize);
@@ -238,6 +370,7 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
         // Breeding phase: serial per island, in island order, so each
         // island's RNG stream is consumed exactly as a fully serial
         // run would consume it.
+        const auto breed0 = Clock::now();
         std::vector<std::vector<Individual>> offspring(K);
         for (unsigned k = 0; k < K; ++k) {
             Island &island = archipelago[k];
@@ -263,22 +396,28 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
                 // produced, keeping seeded results comparable.
                 const Individual &p2 = selectParent(island);
                 const Individual &p1 = selectParent(island);
-                child.genome =
-                    crossover(p1.genome, p2.genome, island.rng);
+                // At crossoverRate >= 1.0 the decision draw is
+                // skipped outright, not merely always-true, so the
+                // stream matches builds that predate the knob.
+                const bool do_cross =
+                    options.crossoverRate >= 1.0 ||
+                    island.rng.uniform() < options.crossoverRate;
+                if (do_cross)
+                    child.genome =
+                        crossover(p1.genome, p2.genome, island.rng);
+                else
+                    child.genome = p1.genome;
                 if (island.rng.uniform() < options.mutationRate)
                     mutate(child.genome, space, island.rng);
                 next_pop.push_back(std::move(child));
             }
         }
 
-        jobs.clear();
-        for (unsigned k = 0; k < K; ++k) {
+        for (unsigned k = 0; k < K; ++k)
             archipelago[k].population = std::move(offspring[k]);
-            for (std::size_t m = options.elites;
-                 m < archipelago[k].population.size(); ++m)
-                jobs.push_back(ScoreJob{k, m});
-        }
-        scoreBatch(jobs);
+        timers.breedNs += nsSince(breed0);
+        scoreGeneration();
+        const auto reduce0 = Clock::now();
         updateGlobalBest();
 
         // Ring migration: island k's best `migrants` replace island
@@ -306,12 +445,17 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
                 }
             }
         }
+        timers.reduceNs += nsSince(reduce0);
     }
 
     SearchResult out;
     out.evaluated = tally.evaluated;
     out.valid = tally.valid;
     out.stats = tally.stats;
+    out.timers = tally.timers;
+    out.timers.breedNs += timers.breedNs;
+    out.timers.reduceNs += timers.reduceNs;
+    out.timers.totalNs = nsSince(total0);
     if (best_fitness < kInf) {
         // Re-materialize the winner once (not counted in the stats):
         // tracking genomes instead of mappings keeps the hot loop free

@@ -26,6 +26,17 @@ struct GeneticOptions
     /** Probability a child is mutated after crossover. */
     double mutationRate = 0.4;
 
+    /**
+     * Probability a child is bred by uniform crossover of its two
+     * tournament parents; otherwise the child is a clone of its first
+     * parent (mutation still applies at mutationRate). Values >= 1.0
+     * skip the decision draw entirely, reproducing the historical
+     * every-child-crossover RNG stream bit for bit. Mutation-only
+     * children are single-row deltas that the incremental engine can
+     * score without a full model run.
+     */
+    double crossoverRate = 0.8;
+
     /** Tournament size for parent selection. */
     unsigned tournament = 3;
 
@@ -56,9 +67,21 @@ struct GeneticOptions
      * thread). Breeding consumes each island's RNG stream serially;
      * only the evaluations fan out, and scoring never touches an RNG,
      * so results are bit-identical across thread counts for a fixed
-     * (seed, islands) pair.
+     * (seed, islands) pair. With the incremental engine the fan-out
+     * is one contiguous task per island (finer per-individual tasks
+     * would defeat the engine's base reuse).
      */
     unsigned threads = 1;
+
+    /**
+     * Score each generation through a per-island incremental (delta)
+     * evaluation engine rebased on the island's lead member:
+     * mutation-only children of that member are served as single-row
+     * deltas, everything else by a full in-place recomputation inside
+     * the engine. Fitness values are bit-identical with the flag on
+     * or off; disable only to measure the engine's effect.
+     */
+    bool incremental = true;
 
     /**
      * External cooperative cancellation (e.g. a serving drain):

@@ -89,7 +89,8 @@ mutateChain(MappingGenome &genome, const Mapspace &space, DimId d,
 }
 
 void
-mutate(MappingGenome &genome, const Mapspace &space, Rng &rng)
+mutate(MappingGenome &genome, const Mapspace &space, Rng &rng,
+       MutationUndo *undo)
 {
     const Problem &prob = space.problem();
     const ArchSpec &arch = space.arch();
@@ -97,21 +98,36 @@ mutate(MappingGenome &genome, const Mapspace &space, Rng &rng)
     const int nl = arch.numLevels();
     const int nt = prob.numTensors();
 
+    // A draw that ends up changing nothing (rejected flip, too-short
+    // permutation) records Kind::None so undoMutation() is a no-op.
+    if (undo != nullptr)
+        undo->kind = MutationUndo::Kind::None;
+
     switch (rng.below(4)) {
       case 0: { // resample one dimension's chain
-        mutateChain(genome, space,
-                    static_cast<DimId>(
-                        rng.below(static_cast<std::uint64_t>(nd))),
-                    rng);
+        const DimId d = static_cast<DimId>(
+            rng.below(static_cast<std::uint64_t>(nd)));
+        if (undo != nullptr) {
+            undo->kind = MutationUndo::Kind::Chain;
+            undo->row = static_cast<std::size_t>(d);
+            undo->chain = genome.steady[static_cast<std::size_t>(d)];
+        }
+        mutateChain(genome, space, d, rng);
         break;
       }
       case 1: { // swap two loops in one level's permutation
-        auto &perm = genome.perms[rng.below(
-            static_cast<std::uint64_t>(nl))];
+        const auto l = rng.below(static_cast<std::uint64_t>(nl));
+        auto &perm = genome.perms[l];
         if (perm.size() >= 2) {
             const auto i = rng.below(perm.size());
             const auto j = rng.below(perm.size());
             std::swap(perm[i], perm[j]);
+            if (undo != nullptr) {
+                undo->kind = MutationUndo::Kind::PermSwap;
+                undo->row = static_cast<std::size_t>(l);
+                undo->i = i;
+                undo->j = j;
+            }
         }
         break;
       }
@@ -127,6 +143,11 @@ mutate(MappingGenome &genome, const Mapspace &space, Rng &rng)
         auto &flag = genome.keep[static_cast<std::size_t>(l)]
                                 [static_cast<std::size_t>(t)];
         flag = flag ? 0 : 1;
+        if (undo != nullptr) {
+            undo->kind = MutationUndo::Kind::Keep;
+            undo->row = static_cast<std::size_t>(l);
+            undo->i = static_cast<std::size_t>(t);
+        }
         break;
       }
       default: { // flip a spatial mesh-axis assignment
@@ -139,8 +160,43 @@ mutate(MappingGenome &genome, const Mapspace &space, Rng &rng)
         const SpatialAxis flipped = axis == SpatialAxis::X
                                         ? SpatialAxis::Y
                                         : SpatialAxis::X;
-        if (space.constraints().spatialAllowed(l, d, flipped))
+        if (space.constraints().spatialAllowed(l, d, flipped)) {
             axis = flipped;
+            if (undo != nullptr) {
+                undo->kind = MutationUndo::Kind::Axis;
+                undo->row = static_cast<std::size_t>(l);
+                undo->i = static_cast<std::size_t>(d);
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+undoMutation(MappingGenome &genome, MutationUndo &undo)
+{
+    switch (undo.kind) {
+      case MutationUndo::Kind::None:
+        break;
+      case MutationUndo::Kind::Chain:
+        // Swap, not copy: the displaced (mutated) row is dead and the
+        // undo buffer keeps its capacity for the next record.
+        genome.steady[undo.row].swap(undo.chain);
+        break;
+      case MutationUndo::Kind::PermSwap:
+        std::swap(genome.perms[undo.row][undo.i],
+                  genome.perms[undo.row][undo.j]);
+        break;
+      case MutationUndo::Kind::Keep: {
+        auto &flag = genome.keep[undo.row][undo.i];
+        flag = flag ? 0 : 1;
+        break;
+      }
+      case MutationUndo::Kind::Axis: {
+        auto &axis = genome.axes[undo.row][undo.i];
+        axis = axis == SpatialAxis::X ? SpatialAxis::Y
+                                      : SpatialAxis::X;
         break;
       }
     }

@@ -52,11 +52,37 @@ void mutateChain(MappingGenome &genome, const Mapspace &space,
                  DimId d, Rng &rng);
 
 /**
+ * Inverse record of one mutate() application: which row moved and
+ * what it held before. Reusing one instance across calls keeps the
+ * hot loop allocation-free (the chain buffer retains its capacity).
+ */
+struct MutationUndo
+{
+    enum class Kind { None, Chain, PermSwap, Keep, Axis };
+    Kind kind = Kind::None;
+    std::size_t row = 0; ///< dimension (Chain) or level (others)
+    std::size_t i = 0;   ///< swapped position / flipped column
+    std::size_t j = 0;   ///< second swapped position (PermSwap)
+    std::vector<std::uint64_t> chain; ///< previous chain row (Chain)
+};
+
+/**
  * Apply one random mutation: resample a chain, swap two loops in a
  * permutation, flip a residency bit, or flip a mesh axis. Honours
- * forced bypasses and spatial-dim constraints.
+ * forced bypasses and spatial-dim constraints. When @p undo is
+ * non-null it records how to revert the mutation, letting
+ * neighbourhood search mutate one genome in place instead of copying
+ * it per candidate.
  */
-void mutate(MappingGenome &genome, const Mapspace &space, Rng &rng);
+void mutate(MappingGenome &genome, const Mapspace &space, Rng &rng,
+            MutationUndo *undo = nullptr);
+
+/**
+ * Revert the mutation @p undo describes (exact inverse). Consumes the
+ * record: the chain buffer is swapped back rather than copied, so the
+ * same MutationUndo can be reused for the next mutate() call.
+ */
+void undoMutation(MappingGenome &genome, MutationUndo &undo);
 
 /**
  * Uniform crossover: child takes each dimension's chain, each level's

@@ -1,6 +1,7 @@
 #include "ruby/search/random_search.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -9,6 +10,8 @@
 #include "ruby/common/error.hpp"
 #include "ruby/common/fault_injector.hpp"
 #include "ruby/common/thread_pool.hpp"
+#include "ruby/model/delta_eval.hpp"
+#include "ruby/search/genome.hpp"
 
 namespace ruby
 {
@@ -17,6 +20,17 @@ namespace
 {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsSince(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count());
+}
 
 /** Upper bound keeping thread/restart typos from exhausting the OS. */
 constexpr unsigned kMaxParallelism = 4096;
@@ -285,12 +299,100 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
     return out;
 }
 
+/**
+ * Greedy post-sampling refinement (SearchOptions::refineSteps): walk
+ * mutated neighbours of the best sampled mapping, keeping each strict
+ * improvement. The stream is derived from the resolved seed — never
+ * the sampler's — so enabling refinement leaves the sampling prefix
+ * untouched. Each step is one evaluation counted in the normal stats
+ * (full model: the neighbour's actual metric is the acceptance test,
+ * so neither the bound prune nor the memo cache applies); the
+ * termination streak does not — refineSteps is its own budget.
+ */
+void
+refineBest(const Mapspace &space, const Evaluator &evaluator,
+           const SearchOptions &opts, const Deadline &deadline,
+           SearchResult &best)
+{
+    if (opts.refineSteps == 0 || !best.best)
+        return;
+    FaultInjector &faults = FaultInjector::global();
+    const auto t0 = Clock::now();
+    Rng rng(opts.seed ^ 0x9e3779b97f4a7c15ull);
+    MappingGenome genome = extractGenome(*best.best);
+    double best_metric = best.bestResult.objective(opts.objective);
+    EvalScratch scratch;
+    std::optional<DeltaEvaluator> engine;
+    if (opts.incremental) {
+        engine.emplace(evaluator);
+        engine->rebase(*best.best, best.stats);
+    }
+    for (unsigned s = 0; s < opts.refineSteps; ++s) {
+        if ((s % kDeadlineStride) == 0 &&
+            (deadline.expired() ||
+             (opts.cancel != nullptr && opts.cancel->cancelled()))) {
+            best.deadlineExceeded = true;
+            break;
+        }
+        MappingGenome neighbour = genome;
+        mutate(neighbour, space, rng);
+        if (faults.enabled())
+            faults.maybeThrow("random_search.evaluate");
+        ++best.evaluated;
+        if (engine) {
+            const MappingComponents comp{&neighbour.steady,
+                                         &neighbour.perms,
+                                         &neighbour.keep,
+                                         &neighbour.axes};
+            const EvalResult &res =
+                engine->evaluateCandidate(comp, best.stats);
+            if (!res.valid) {
+                ++best.stats.invalid;
+                continue;
+            }
+            ++best.stats.modeled;
+            ++best.valid;
+            const double metric = res.objective(opts.objective);
+            if (metric < best_metric) {
+                best_metric = metric;
+                best.best = neighbour.materialize(space.problem(),
+                                                  space.arch());
+                // Copy before the promote: the reference points into
+                // the engine's candidate buffer, which promoteLast()
+                // swaps away.
+                best.bestResult = res;
+                engine->promoteLast();
+                genome = std::move(neighbour);
+            }
+            continue;
+        }
+        const Mapping mapping =
+            neighbour.materialize(space.problem(), space.arch());
+        evaluator.evaluate(mapping, scratch);
+        if (!scratch.result.valid) {
+            ++best.stats.invalid;
+            continue;
+        }
+        ++best.stats.modeled;
+        ++best.valid;
+        const double metric = scratch.result.objective(opts.objective);
+        if (metric < best_metric) {
+            best_metric = metric;
+            best.best = mapping;
+            best.bestResult = scratch.result;
+            genome = std::move(neighbour);
+        }
+    }
+    best.timers.evalNs += nsSince(t0);
+}
+
 } // namespace
 
 SearchResult
 randomSearch(const Mapspace &space, const Evaluator &evaluator,
              const SearchOptions &options)
 {
+    const auto total0 = Clock::now();
     const SearchOptions resolved = resolveOptions(options);
     // One deadline covers every restart: timeBudget bounds the whole
     // call, not each restart individually.
@@ -345,6 +447,7 @@ randomSearch(const Mapspace &space, const Evaluator &evaluator,
             }
         }
     }
+    refineBest(space, evaluator, resolved, deadline, best);
     // Evictions are attributed as a delta so a shared cache reports
     // this search's churn, not its lifetime total. Concurrent
     // searches on one shared cache may blur the attribution; the sum
@@ -352,6 +455,7 @@ randomSearch(const Mapspace &space, const Evaluator &evaluator,
     if (cache != nullptr)
         best.stats.cacheEvictions =
             cache->stats().evictions - evictions_before;
+    best.timers.totalNs = nsSince(total0);
     return best;
 }
 

@@ -101,6 +101,25 @@ struct SearchOptions
     bool boundPruning = true;
 
     /**
+     * Serve neighbour/child candidates through the incremental
+     * (delta) evaluation engine where a strategy supports it (local
+     * and genetic search, and random search's restart refinement).
+     * The engine recomputes exactly — results are bit-identical with
+     * the flag on or off — so disable only to measure its effect.
+     * EvalStats.deltaHits / deltaFallbacks report the split.
+     */
+    bool incremental = true;
+
+    /**
+     * Hill-climbing steps applied to the best mapping after random
+     * sampling finishes (0 = off, the classic sampler). Each step
+     * evaluates one mutated neighbour — counted in the usual
+     * evaluation stats — and keeps it on strict improvement.
+     * Deterministic per seed; ignored by the other strategies.
+     */
+    unsigned refineSteps = 0;
+
+    /**
      * Deduplicate repeated random samples through the sharded memo
      * cache (see EvalCache). Never changes the best mapping found.
      */
@@ -165,6 +184,30 @@ struct SearchOptions
     const CancelToken *cancel = nullptr;
 };
 
+/**
+ * Coarse per-stage wall-clock buckets of one search, in nanoseconds.
+ * Buckets from parallel sections accumulate per-worker time, so their
+ * sum can exceed totalNs; the buckets are for *relative* attribution
+ * (where did the time go), not wall-clock accounting. Never printed
+ * by the deterministic report — the scaling bench records them.
+ */
+struct SearchTimers
+{
+    std::uint64_t totalNs = 0;  ///< whole search call
+    std::uint64_t evalNs = 0;   ///< candidate evaluation
+    std::uint64_t breedNs = 0;  ///< neighbour/offspring generation
+    std::uint64_t reduceNs = 0; ///< reductions, migration, bookkeeping
+
+    SearchTimers &operator+=(const SearchTimers &o)
+    {
+        totalNs += o.totalNs;
+        evalNs += o.evalNs;
+        breedNs += o.breedNs;
+        reduceNs += o.reduceNs;
+        return *this;
+    }
+};
+
 /** Search outcome. */
 struct SearchResult
 {
@@ -186,6 +229,9 @@ struct SearchResult
 
     /** True when the time budget expired before natural termination. */
     bool deadlineExceeded = false;
+
+    /** Coarse wall-clock breakdown (see SearchTimers). */
+    SearchTimers timers;
 
     /**
      * bestObjective[i] = best metric seen after i+1 evaluations

@@ -282,6 +282,8 @@ searchOptionsToJson(const SearchOptions &options)
     out.set("recordTrajectory",
             JsonValue::makeBool(options.recordTrajectory));
     out.set("boundPruning", JsonValue::makeBool(options.boundPruning));
+    out.set("incremental", JsonValue::makeBool(options.incremental));
+    out.set("refineSteps", JsonValue::makeU64(options.refineSteps));
     out.set("evalCache", JsonValue::makeBool(options.evalCache));
     out.set("evalCacheCapacity",
             JsonValue::makeU64(options.evalCacheCapacity));
@@ -319,6 +321,9 @@ searchOptionsFromJson(const JsonValue &v)
     o.recordTrajectory =
         v.getBool("recordTrajectory", o.recordTrajectory);
     o.boundPruning = v.getBool("boundPruning", o.boundPruning);
+    o.incremental = v.getBool("incremental", o.incremental);
+    o.refineSteps = static_cast<unsigned>(
+        v.getU64("refineSteps", o.refineSteps));
     o.evalCache = v.getBool("evalCache", o.evalCache);
     o.evalCacheCapacity = static_cast<std::size_t>(
         v.getU64("evalCacheCapacity", o.evalCacheCapacity));
@@ -341,6 +346,11 @@ evalStatsToJson(const EvalStats &stats)
     out.set("cacheMisses", JsonValue::makeU64(stats.cacheMisses));
     out.set("cacheEvictions",
             JsonValue::makeU64(stats.cacheEvictions));
+    out.set("deltaAttempts", JsonValue::makeU64(stats.deltaAttempts));
+    out.set("deltaHits", JsonValue::makeU64(stats.deltaHits));
+    out.set("deltaFallbacks",
+            JsonValue::makeU64(stats.deltaFallbacks));
+    out.set("deltaRebases", JsonValue::makeU64(stats.deltaRebases));
     return out;
 }
 
@@ -356,6 +366,12 @@ evalStatsFromJson(const JsonValue &v)
     stats.cacheHits = v.getU64("cacheHits", 0);
     stats.cacheMisses = v.getU64("cacheMisses", 0);
     stats.cacheEvictions = v.getU64("cacheEvictions", 0);
+    // Absent on the wire from pre-engine peers: default to zero, the
+    // "no incremental engine ran" reading.
+    stats.deltaAttempts = v.getU64("deltaAttempts", 0);
+    stats.deltaHits = v.getU64("deltaHits", 0);
+    stats.deltaFallbacks = v.getU64("deltaFallbacks", 0);
+    stats.deltaRebases = v.getU64("deltaRebases", 0);
     return stats;
 }
 

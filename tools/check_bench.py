@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""CI gate over the benchmark JSON artefacts.
+
+Parses BENCH_eval_throughput.json (micro_model_perf) and
+BENCH_search_scaling.json (search_scaling) and fails the job when a
+perf or correctness floor is broken. Stdlib only.
+
+The correctness gates are unconditional: the incremental (delta)
+engine is an exact recomputation, so every best-EDP parity flag must
+be true and the ResNet memo accounting must balance, on any host.
+
+The perf gates are core-count aware. search_scaling records the
+host's hardware_concurrency; thread speedups above 1x are physically
+unattainable on a single hardware thread, so on such hosts the gate
+falls back to engine-only floors (the incremental engine's gain shows
+at one thread too). On multi-core hosts the full thread-scaling
+floors apply. This keeps the gate honest instead of either skipping
+it or institutionalising a number the hardware cannot produce.
+"""
+
+import argparse
+import json
+import sys
+
+# Engine-only floors (valid on any host: measured at 1 thread against
+# the incremental-off baseline).
+EVAL_FASTPATH_MIN = 1.5  # bound-prune + memo fast path, eval_throughput
+LOCAL_ENGINE_MIN = 1.3   # local search, delta-hit rate ~1.0
+GENETIC_ENGINE_MIN = 1.05  # genetic: eval is ~40% of wall, hits ~36%
+
+# Thread-scaling floors (only on hosts with >= 2 hardware threads).
+LOCAL_8T_MIN = 1.5
+GENETIC_8T_MIN = 1.5
+EXHAUSTIVE_2T_MIN = 1.0  # must at least not regress vs 1 thread
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.checks = 0
+
+    def check(self, ok, message):
+        self.checks += 1
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {message}")
+        if not ok:
+            self.failures.append(message)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_eval_throughput(gate, data):
+    print("BENCH_eval_throughput.json:")
+    speedup = data["speedup"]
+    gate.check(
+        speedup >= EVAL_FASTPATH_MIN,
+        f"fast-path speedup {speedup:.2f}x >= {EVAL_FASTPATH_MIN}x",
+    )
+    gate.check(
+        data["baseline_best_edp"] == data["fastpath_best_edp"],
+        "fast-path best EDP identical to baseline",
+    )
+
+
+def point(series, threads, incremental=True):
+    """The measured point at a thread count (not the baseline)."""
+    for p in series:
+        if p["threads"] == threads and p["incremental"] == incremental:
+            return p
+    return None
+
+
+def check_search_scaling(gate, data):
+    print("BENCH_search_scaling.json:")
+    cores = data["hardware_concurrency"]
+    multicore = cores >= 2
+
+    # Correctness gates — unconditional.
+    gate.check(data["delta_parity"], "delta parity on every series")
+    gate.check(
+        data["memo_each_shape_searched_once"],
+        "ResNet memo: each distinct shape searched exactly once",
+    )
+    for name in ("genetic", "local", "network"):
+        pt = point(data[name], 1)
+        gate.check(
+            pt is not None
+            and pt["delta_hits"] + pt["delta_fallbacks"] > 0,
+            f"{name}: incremental engine exercised (delta attempts > 0)",
+        )
+
+    # Perf gates — scaled to what the host can express.
+    if multicore:
+        print(f"  ({cores} hardware threads: thread-scaling floors)")
+        gate.check(
+            data["local_speedup_8t"] >= LOCAL_8T_MIN,
+            f"local 8-thread speedup {data['local_speedup_8t']:.2f}x"
+            f" >= {LOCAL_8T_MIN}x",
+        )
+        gate.check(
+            data["genetic_speedup_8t"] >= GENETIC_8T_MIN,
+            f"genetic 8-thread speedup"
+            f" {data['genetic_speedup_8t']:.2f}x >= {GENETIC_8T_MIN}x",
+        )
+        gate.check(
+            data["exhaustive_speedup_2t"] >= EXHAUSTIVE_2T_MIN,
+            f"exhaustive 2-thread speedup"
+            f" {data['exhaustive_speedup_2t']:.2f}x"
+            f" >= {EXHAUSTIVE_2T_MIN}x",
+        )
+    else:
+        print(f"  ({cores} hardware thread: engine-only floors)")
+        local1 = point(data["local"], 1)
+        genetic1 = point(data["genetic"], 1)
+        gate.check(
+            local1 is not None
+            and local1["speedup"] >= LOCAL_ENGINE_MIN,
+            f"local incremental speedup {local1['speedup']:.2f}x"
+            f" >= {LOCAL_ENGINE_MIN}x at 1 thread",
+        )
+        gate.check(
+            genetic1 is not None
+            and genetic1["speedup"] >= GENETIC_ENGINE_MIN,
+            f"genetic incremental speedup {genetic1['speedup']:.2f}x"
+            f" >= {GENETIC_ENGINE_MIN}x at 1 thread",
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--eval-throughput",
+        default="BENCH_eval_throughput.json",
+        help="path to the micro_model_perf report",
+    )
+    ap.add_argument(
+        "--search-scaling",
+        default="BENCH_search_scaling.json",
+        help="path to the search_scaling report",
+    )
+    args = ap.parse_args()
+
+    gate = Gate()
+    check_eval_throughput(gate, load(args.eval_throughput))
+    check_search_scaling(gate, load(args.search_scaling))
+
+    if gate.failures:
+        print(
+            f"\n{len(gate.failures)} of {gate.checks} gates FAILED:",
+            file=sys.stderr,
+        )
+        for msg in gate.failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"\nall {gate.checks} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@
  * --[no-]eval-cache (mapping memo cache; on by default),
  * --cache-capacity N (memo-cache entries),
  * --[no-]bound-pruning (objective lower-bound prune; on by default),
+ * --[no-]incremental (delta evaluation engine; on by default),
  * --pad, --yaml (machine-readable output instead of the human
  * report). See docs/PERFORMANCE.md for the fast-path knobs.
  *
@@ -113,7 +114,7 @@ usage()
            " [--seed N]\n"
            "          [--threads N] [--restarts N] [--time-budget MS]\n"
            "          [--[no-]eval-cache] [--cache-capacity N]\n"
-           "          [--[no-]bound-pruning]\n"
+           "          [--[no-]bound-pruning] [--[no-]incremental]\n"
            "          [--strategy random|exhaustive|genetic|local]\n"
            "          [--islands N] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
@@ -209,6 +210,10 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
         search.boundPruning = true;
     else if (flag == "--no-bound-pruning")
         search.boundPruning = false;
+    else if (flag == "--incremental")
+        search.incremental = true;
+    else if (flag == "--no-incremental")
+        search.incremental = false;
     else if (flag == "--strategy")
         search.strategy = serve::parseStrategy(next());
     else if (flag == "--islands")
@@ -252,6 +257,14 @@ reportMapResult(const Problem &problem, const ArchSpec &arch,
               << result.stats.invalid << " invalid, "
               << result.stats.prunedBound << " bound-pruned, "
               << result.stats.cacheHits << " cache hits)\n";
+    // Mirrors the network report: printed only when the incremental
+    // engine actually served candidates, so engine-free runs stay
+    // byte-identical to pre-engine output.
+    if (result.stats.deltaAttempts > 0)
+        std::cout << "delta eval: " << result.stats.deltaHits
+                  << " incremental, " << result.stats.deltaFallbacks
+                  << " fallbacks (" << result.stats.deltaRebases
+                  << " rebases)\n";
     if (!result.statsNote.empty())
         std::cout << "warning: " << result.statsNote << "\n";
     if (result.timedOut)
