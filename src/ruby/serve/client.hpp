@@ -6,28 +6,106 @@
  * responses synchronously — the protocol answers every request with
  * exactly one line, in order, so a blocking call() is the whole API.
  * Used by `ruby-map remote` and the serve tests.
+ *
+ * The client is self-healing on demand: connectWithRetry() and
+ * callWithRetry() retry connection failures and code-7 "saturated"
+ * rejections with capped exponential backoff plus deterministic
+ * jitter under an attempt count and wall-clock deadline, while
+ * "draining" rejections fail fast (a draining daemon will not come
+ * back for this request). The default RetryPolicy is a single
+ * attempt, so retry-unaware callers behave exactly as before.
  */
 
 #ifndef RUBY_SERVE_CLIENT_HPP
 #define RUBY_SERVE_CLIENT_HPP
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 
+#include "ruby/common/error.hpp"
 #include "ruby/serve/json.hpp"
+#include "ruby/serve/protocol.hpp"
 
 namespace ruby
 {
 namespace serve
 {
 
+/**
+ * A connection-level failure (ECONNREFUSED, ENOENT, unreachable
+ * host...). Distinct from ruby::Error so front ends can map "the
+ * daemon is not there" to a dedicated exit code and an actionable
+ * hint, while protocol and search errors keep their meanings.
+ */
+class ConnectError : public Error
+{
+  public:
+    ConnectError(std::string address, const std::string &message)
+        : Error(message), address_(std::move(address))
+    {
+    }
+
+    /** The address that refused us, e.g. "unix:/run/ruby.sock" or
+     *  "127.0.0.1:7111" — for "is the daemon running at X?" hints. */
+    const std::string &address() const { return address_; }
+
+  private:
+    std::string address_;
+};
+
+/** Where the daemon lives; Unix-domain preferred when set. */
+struct Endpoint
+{
+    std::string unixPath;
+    std::string host = "127.0.0.1";
+    int port = 0;
+
+    /** Human-readable address for errors and hints. */
+    std::string describe() const
+    {
+        if (!unixPath.empty())
+            return "unix:" + unixPath;
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/**
+ * Backoff schedule for connect and saturation retries. Attempt k
+ * (0-based) sleeps min(maxDelay, baseDelay * 2^k) scaled by a
+ * deterministic jitter factor in [0.5, 1.0) drawn from jitterSeed —
+ * deterministic so tests and replayed runs back off identically.
+ */
+struct RetryPolicy
+{
+    /** Total attempts (>= 1). 1 = no retry, the historical behavior. */
+    int attempts = 1;
+    /** Wall-clock deadline across all attempts; 0 = none. A retry
+     *  never starts after the deadline (inflight work may finish). */
+    std::chrono::milliseconds budget{0};
+    std::chrono::milliseconds baseDelay{50};
+    std::chrono::milliseconds maxDelay{2'000};
+    std::uint64_t jitterSeed = 1;
+};
+
 /** Synchronous NDJSON client over a Unix-domain or TCP socket. */
 class Client
 {
   public:
-    /** Connect to a Unix-domain socket. Throws ruby::Error. */
+    /** Connect to @p endpoint once. Throws ConnectError. */
+    static Client connect(const Endpoint &endpoint);
+
+    /**
+     * Connect under @p policy: retry ConnectError with backoff until
+     * the attempts or the budget run out, then rethrow the last one.
+     */
+    static Client connectWithRetry(const Endpoint &endpoint,
+                                   const RetryPolicy &policy);
+
+    /** Connect to a Unix-domain socket. Throws ConnectError. */
     static Client connectUnix(const std::string &path);
 
-    /** Connect to host:port over TCP. Throws ruby::Error. */
+    /** Connect to host:port over TCP. Throws ConnectError. */
     static Client connectTcp(const std::string &host, int port);
 
     Client(Client &&other) noexcept;
@@ -43,6 +121,24 @@ class Client
      */
     JsonValue call(const JsonValue &request);
 
+    /**
+     * call() with self-healing: a dropped connection is re-dialed
+     * (the request is re-sent — callers own idempotency) and a
+     * code-7 "saturated" rejection is retried with backoff; a code-7
+     * "draining" rejection is returned immediately. On exhaustion
+     * the last rejection is returned (or the last connection error
+     * rethrown), so callers always see the true final outcome.
+     */
+    JsonValue callWithRetry(const JsonValue &request,
+                            const RetryPolicy &policy);
+
+    /**
+     * Deep liveness probe: sends a ping and decodes the health
+     * payload of the pong (admission pressure, drain state, warm
+     * caches). A pre-health daemon yields ok=true with zeroed gauges.
+     */
+    Health ping();
+
     /** Send a raw line (no trailing newline) and read the reply line.
      *  Exposed for protocol tests exercising malformed input. */
     std::string callRaw(const std::string &line);
@@ -50,11 +146,15 @@ class Client
     /** Close the socket early (also done by the destructor). */
     void close();
 
+    /** The endpoint this client dials (empty for fd-only tests). */
+    const Endpoint &endpoint() const { return endpoint_; }
+
   private:
     explicit Client(int fd) : fd_(fd) {}
 
     int fd_ = -1;
     std::string inbuf_;
+    Endpoint endpoint_;
 };
 
 } // namespace serve

@@ -336,6 +336,43 @@ searchOptionsFromJson(const JsonValue &v)
 }
 
 JsonValue
+healthToJson(const Health &health)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("ok", JsonValue::makeBool(health.ok));
+    out.set("draining", JsonValue::makeBool(health.draining));
+    out.set("inflight", JsonValue::makeU64(health.inflight));
+    out.set("queued", JsonValue::makeU64(health.queued));
+    out.set("maxInflight", JsonValue::makeU64(health.maxInflight));
+    out.set("queueCapacity",
+            JsonValue::makeU64(health.queueCapacity));
+    out.set("uptimeMs", JsonValue::makeU64(health.uptimeMs));
+    out.set("evalCacheCapacity",
+            JsonValue::makeU64(health.evalCacheCapacity));
+    out.set("layerMemoEntries",
+            JsonValue::makeU64(health.layerMemoEntries));
+    return out;
+}
+
+Health
+healthFromJson(const JsonValue &v)
+{
+    RUBY_CHECK(v.type == JsonType::Object,
+               "protocol: health must be an object");
+    Health health;
+    health.ok = v.getBool("ok", false);
+    health.draining = v.getBool("draining", false);
+    health.inflight = v.getU64("inflight", 0);
+    health.queued = v.getU64("queued", 0);
+    health.maxInflight = v.getU64("maxInflight", 0);
+    health.queueCapacity = v.getU64("queueCapacity", 0);
+    health.uptimeMs = v.getU64("uptimeMs", 0);
+    health.evalCacheCapacity = v.getU64("evalCacheCapacity", 0);
+    health.layerMemoEntries = v.getU64("layerMemoEntries", 0);
+    return health;
+}
+
+JsonValue
 evalStatsToJson(const EvalStats &stats)
 {
     JsonValue out = JsonValue::makeObject();

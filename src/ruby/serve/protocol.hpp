@@ -115,6 +115,37 @@ JsonValue makeErrorResponse(const std::string &id, int code,
                             const std::string &kind,
                             const std::string &message);
 
+// -- health reports ------------------------------------------------------
+
+/**
+ * Deep liveness report carried by every pong: enough for a client's
+ * retry logic (back off while saturated, fail fast while draining)
+ * and for a router's health checks (spare capacity, warm-state
+ * footprint) without a separate stats round trip.
+ */
+struct Health
+{
+    bool ok = false;       ///< pong arrived with code 0
+    bool draining = false; ///< shutdown drain has begun
+    std::uint64_t inflight = 0;      ///< searches running now
+    std::uint64_t queued = 0;        ///< requests waiting for a slot
+    std::uint64_t maxInflight = 0;   ///< concurrent search slots
+    std::uint64_t queueCapacity = 0; ///< admission queue bound
+    std::uint64_t uptimeMs = 0;      ///< daemon uptime
+    std::uint64_t evalCacheCapacity = 0; ///< warm eval-cache entries
+    std::uint64_t layerMemoEntries = 0;  ///< memoized layer results
+
+    /** Spare capacity heuristic for routers: can this daemon accept
+     *  a request right now without queueing? */
+    bool hasFreeSlot() const
+    {
+        return ok && !draining && inflight < maxInflight;
+    }
+};
+
+JsonValue healthToJson(const Health &health);
+Health healthFromJson(const JsonValue &v);
+
 // -- domain codecs (exact round trips) ----------------------------------
 
 JsonValue evalStatsToJson(const EvalStats &stats);

@@ -425,8 +425,28 @@ JsonValue
 Server::handleRequest(const Request &request)
 {
     switch (request.type) {
-      case RequestType::Ping:
-        return makeResponse("pong", request.id, kCodeOk);
+      case RequestType::Ping: {
+        // A pong is a deep health report: admission pressure, drain
+        // state and warm-state footprint, so client retry logic and
+        // router health checks need no second round trip.
+        JsonValue out = makeResponse("pong", request.id, kCodeOk);
+        Health health;
+        health.ok = true;
+        const Admission::Snapshot gate = admission_.snapshot();
+        health.draining = gate.draining;
+        health.inflight = gate.inflight;
+        health.queued = gate.queued;
+        health.maxInflight = gate.maxInflight;
+        health.queueCapacity = gate.queueCapacity;
+        health.uptimeMs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startTime_)
+                .count());
+        health.evalCacheCapacity = evalCache_.capacity();
+        health.layerMemoEntries = layerMemo_.stats().entries;
+        out.set("health", healthToJson(health));
+        return out;
+      }
       case RequestType::Stats: {
         JsonValue out = makeResponse("stats", request.id, kCodeOk);
         out.set("stats", statsJson());

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Wire-frame generation and mutation for the protocol fuzzers.
+ *
+ * Seeds are valid protocol frames (cheap ones: pings, stats, tiny
+ * map requests — never shutdown, never an expensive net sweep, so a
+ * mutation that happens to stay valid costs microseconds, not
+ * minutes). Mutators produce the malformed space the session layer
+ * must survive: truncation, splicing, random byte damage including
+ * invalid UTF-8, duplicate keys, nesting bombs, overlong lines and
+ * schema-shaped-but-wrong documents. Mutated frames never contain a
+ * raw newline — framing is line-based and each frame is exactly one
+ * line; the callers append the terminator.
+ */
+
+#ifndef RUBY_TESTS_PBT_FUZZ_FRAMES_HPP
+#define RUBY_TESTS_PBT_FUZZ_FRAMES_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "generators.hpp"
+#include "ruby/common/rng.hpp"
+#include "ruby/serve/json.hpp"
+#include "ruby/serve/protocol.hpp"
+
+namespace ruby
+{
+namespace pbt
+{
+
+/**
+ * A valid, *cheap* request frame to seed mutations from. Excludes
+ * shutdown (a surviving mutation would drain the server under test)
+ * and net sweeps (a surviving mutation would run a full suite).
+ */
+inline std::string
+genFuzzSeedFrame(Rng &rng)
+{
+    serve::Request req;
+    switch (rng.below(3)) {
+      case 0:
+        req.type = serve::RequestType::Ping;
+        break;
+      case 1:
+        req.type = serve::RequestType::Stats;
+        break;
+      default:
+        req.type = serve::RequestType::Map;
+        req.configText =
+            "workload:\n  d: " + std::to_string(rng.between(1, 32));
+        break;
+    }
+    req.id = "fz-" + std::to_string(rng.below(1'000'000));
+    req.variant = genVariant(rng);
+    req.search = genSearchOptions(rng);
+    // Keep any accidentally-still-valid mutation cheap.
+    req.search.strategy = SearchStrategy::Random;
+    req.search.maxEvaluations = rng.between(1, 200);
+    req.search.terminationStreak = 0;
+    req.search.threads = 1;
+    req.search.timeBudget = std::chrono::milliseconds(200);
+    req.search.recordTrajectory = false;
+    return serve::writeJson(serve::encodeRequest(req));
+}
+
+namespace detail
+{
+
+/** Replace raw newlines so a mutation stays a single wire frame. */
+inline void
+stripNewlines(std::string &frame)
+{
+    std::replace(frame.begin(), frame.end(), '\n', ' ');
+    std::replace(frame.begin(), frame.end(), '\r', ' ');
+}
+
+} // namespace detail
+
+/**
+ * Mutate @p frame into a (usually) malformed single-line frame.
+ * @p other is a second valid frame used by the splicing mutators.
+ * @p maxLineBytes sizes the overlong-line mutator just past the
+ * server's limit.
+ */
+inline std::string
+mutateFrame(Rng &rng, const std::string &frame,
+            const std::string &other, std::size_t maxLineBytes)
+{
+    std::string out = frame;
+    switch (rng.below(12)) {
+      case 0: { // truncate
+        if (!out.empty())
+            out.resize(rng.below(out.size()));
+        break;
+      }
+      case 1: { // splice: head of one frame, tail of another
+        const std::size_t cutA = out.empty() ? 0 : rng.below(out.size());
+        const std::size_t cutB =
+            other.empty() ? 0 : rng.below(other.size());
+        out = out.substr(0, cutA) + other.substr(cutB);
+        break;
+      }
+      case 2: { // damage random bytes (incl. invalid UTF-8)
+        const std::uint64_t hits = rng.between(1, 8);
+        for (std::uint64_t i = 0; i < hits && !out.empty(); ++i)
+            out[rng.below(out.size())] =
+                static_cast<char>(rng.below(256));
+        break;
+      }
+      case 3: { // insert random bytes
+        const std::uint64_t count = rng.between(1, 16);
+        std::string junk;
+        for (std::uint64_t i = 0; i < count; ++i)
+            junk += static_cast<char>(rng.below(256));
+        const std::size_t at =
+            out.empty() ? 0 : rng.below(out.size() + 1);
+        out.insert(at, junk);
+        break;
+      }
+      case 4: { // duplicate the first key of the envelope
+        const std::size_t brace = out.find('{');
+        if (brace != std::string::npos)
+            out.insert(brace + 1, "\"v\":1,\"v\":2,");
+        break;
+      }
+      case 5: { // nesting bomb past the parser's depth limit
+        std::string bomb = "{\"k\":";
+        for (int i = 0; i < 100; ++i)
+            bomb += "[";
+        bomb += "1";
+        for (int i = 0; i < 100; ++i)
+            bomb += "]";
+        bomb += "}";
+        out = bomb;
+        break;
+      }
+      case 6: { // overlong line, just past the server's cap
+        out.assign(maxLineBytes + 64, 'a');
+        break;
+      }
+      case 7: { // wrong-schema but valid JSON
+        static const char *kShapes[] = {
+            "[1,2,3]",
+            "\"just a string\"",
+            "42",
+            "null",
+            "{}",
+            "{\"v\":99,\"type\":\"map\"}",
+            "{\"v\":1,\"type\":\"no-such-type\",\"id\":\"x\"}",
+            "{\"v\":1,\"type\":\"map\"}",
+            "{\"v\":1,\"type\":\"net\",\"suite\":\"nope\"}",
+            "{\"v\":1,\"type\":\"net\",\"layers\":[]}",
+        };
+        out = kShapes[rng.below(sizeof(kShapes) / sizeof(kShapes[0]))];
+        break;
+      }
+      case 8: { // pathological number tokens
+        static const char *kNumbers[] = {
+            "{\"v\":1e999999999,\"type\":\"ping\"}",
+            "{\"v\":--1,\"type\":\"ping\"}",
+            "{\"v\":0x10,\"type\":\"ping\"}",
+            "{\"v\":1.,\"type\":\"ping\"}",
+            "{\"v\":+1,\"type\":\"ping\"}",
+            "{\"v\":18446744073709551617,\"type\":\"ping\"}",
+        };
+        out = kNumbers[rng.below(sizeof(kNumbers) /
+                                 sizeof(kNumbers[0]))];
+        break;
+      }
+      case 9: { // empty / whitespace-only frames
+        out = rng.below(2) == 0 ? "" : "   \t  ";
+        break;
+      }
+      case 10: { // unterminated string / trailing garbage
+        if (rng.below(2) == 0) {
+            const std::size_t quote = out.find('"');
+            if (quote != std::string::npos)
+                out.resize(quote + 1);
+        } else {
+            out += "}}}]]\"";
+        }
+        break;
+      }
+      default: { // stacked mutations
+        out = mutateFrame(rng, out, other, maxLineBytes);
+        out = mutateFrame(rng, out, other, maxLineBytes);
+        break;
+      }
+    }
+    detail::stripNewlines(out);
+    return out;
+}
+
+} // namespace pbt
+} // namespace ruby
+
+#endif // RUBY_TESTS_PBT_FUZZ_FRAMES_HPP

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * A small property-based testing framework (the tentpole of ISSUE 6).
+ *
+ * Design follows the Core-PBT blueprint: a *property* is a predicate
+ * over generated cases, the generators keep their schema small (few
+ * dimensions, few levels) so interactions surface within tens of
+ * cases, and every failure is replayable from a single case seed.
+ *
+ * Usage:
+ *
+ *   ruby::pbt::check("deltaMatchesFull", 0xD31Au,
+ *       [](Rng &rng) { return genWorkload(rng); },          // generate
+ *       [](const WorkloadCase &c) { return checkCase(c); }, // property
+ *       &shrinkWorkload,                                    // optional
+ *       &describeWorkload);                                 // optional
+ *
+ * The property returns std::nullopt on success or a failure message.
+ * On falsification the runner greedily shrinks through the candidate
+ * lists the shrinker proposes, then emits a GTest failure whose first
+ * line is a copy-pasteable replay command:
+ *
+ *   RUBY_PBT_SEED=1234567 ctest -R <test> --output-on-failure
+ *
+ * Environment knobs (read by check()):
+ *   RUBY_PBT_SEED   replay exactly one case from this seed
+ *   RUBY_PBT_ITERS  override the iteration count of every property
+ */
+
+#ifndef RUBY_TESTS_PBT_PBT_HPP
+#define RUBY_TESTS_PBT_PBT_HPP
+
+#include <gtest/gtest.h>
+
+#include <cerrno> // program_invocation_short_name (glibc)
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ruby/common/rng.hpp"
+
+namespace ruby
+{
+namespace pbt
+{
+
+/** splitmix64: decorrelates consecutive case indices into seeds. */
+inline std::uint64_t
+scramble(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Per-property runner configuration. */
+struct Options
+{
+    /** Base seed; case i replays from scramble(seed + i). */
+    std::uint64_t seed = 1;
+    /** Cases generated per property (RUBY_PBT_ITERS overrides). */
+    int iterations = 50;
+    /** Cap on shrink acceptance steps (each step re-runs the
+     *  property over the shrinker's candidate list). */
+    int maxShrinkSteps = 200;
+};
+
+/** Result of running one property (plain data, so the framework
+ *  itself is testable without intercepting GTest failures). */
+struct Outcome
+{
+    bool failed = false;
+    /** Case seed that falsified the property (replay handle). */
+    std::uint64_t failingSeed = 0;
+    int iterationsRun = 0;
+    /** The property's failure message for the original case. */
+    std::string message;
+    /** Failure message for the shrunken case (== message when the
+     *  shrinker made no progress). */
+    std::string shrunkMessage;
+    /** describe() of the shrunken case, when a describer exists. */
+    std::string shrunkCase;
+    int shrinkSteps = 0;
+};
+
+namespace detail
+{
+
+/** RUBY_PBT_ITERS override, or @p fallback when unset/invalid. */
+inline int
+iterationsFromEnv(int fallback)
+{
+    const char *text = std::getenv("RUBY_PBT_ITERS");
+    if (text == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1)
+        return fallback;
+    return static_cast<int>(v);
+}
+
+/** RUBY_PBT_SEED replay request, if any. */
+inline std::optional<std::uint64_t>
+replaySeedFromEnv()
+{
+    const char *text = std::getenv("RUBY_PBT_SEED");
+    if (text == nullptr)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace detail
+
+/**
+ * Run @p prop over cases drawn by @p gen. @p shrink maps a failing
+ * case to a list of strictly-simpler candidates (may be null); @p
+ * describe renders a case for the failure report (may be null).
+ *
+ * Each case gets its own Rng seeded from a scrambled per-case seed,
+ * so any failing case is reproducible from that one number no matter
+ * how many cases ran before it.
+ */
+template <typename Case, typename Gen, typename Prop, typename Shrink,
+          typename Describe>
+Outcome
+run(const Options &options, Gen &&gen, Prop &&prop, Shrink &&shrink,
+    Describe &&describe)
+{
+    Outcome out;
+    const std::optional<std::uint64_t> replay =
+        detail::replaySeedFromEnv();
+    const int iterations =
+        replay ? 1 : detail::iterationsFromEnv(options.iterations);
+
+    for (int i = 0; i < iterations; ++i) {
+        const std::uint64_t caseSeed =
+            replay ? *replay : scramble(options.seed +
+                                        static_cast<std::uint64_t>(i));
+        Rng rng(caseSeed);
+        Case current = gen(rng);
+        ++out.iterationsRun;
+        std::optional<std::string> failure = prop(current);
+        if (!failure)
+            continue;
+
+        out.failed = true;
+        out.failingSeed = caseSeed;
+        out.message = *failure;
+        out.shrunkMessage = *failure;
+
+        // Greedy shrink: adopt the first still-failing candidate and
+        // restart from it until no candidate fails (local minimum).
+        if constexpr (!std::is_same_v<std::decay_t<Shrink>,
+                                      std::nullptr_t>) {
+            for (int step = 0; step < options.maxShrinkSteps;
+                 ++step) {
+                bool advanced = false;
+                for (Case &candidate : shrink(current)) {
+                    std::optional<std::string> shrunkFailure =
+                        prop(candidate);
+                    if (shrunkFailure) {
+                        current = std::move(candidate);
+                        out.shrunkMessage =
+                            std::move(*shrunkFailure);
+                        ++out.shrinkSteps;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if (!advanced)
+                    break;
+            }
+        }
+        if constexpr (!std::is_same_v<std::decay_t<Describe>,
+                                      std::nullptr_t>) {
+            out.shrunkCase = describe(current);
+        }
+        return out;
+    }
+    return out;
+}
+
+/**
+ * The one-line replay command printed on every falsification: the
+ * whole repro is one environment variable plus the usual ctest
+ * invocation.
+ */
+inline std::string
+replayCommand(std::uint64_t caseSeed)
+{
+    std::ostringstream os;
+    os << "RUBY_PBT_SEED=" << caseSeed << " ctest -R ";
+#ifdef __GLIBC__
+    // The binary name is the ctest test name (tests/CMakeLists.txt
+    // registers them 1:1), so the printed command replays directly.
+    os << program_invocation_short_name;
+#else
+    os << ::testing::UnitTest::GetInstance()
+              ->current_test_info()
+              ->test_suite_name();
+#endif
+    os << " --output-on-failure";
+    return os.str();
+}
+
+/**
+ * GTest entry point: run the property and report a falsification as
+ * a test failure led by the replay command.
+ */
+template <typename Gen, typename Prop, typename Shrink = std::nullptr_t,
+          typename Describe = std::nullptr_t>
+void
+check(const char *name, std::uint64_t seed, Gen &&gen, Prop &&prop,
+      Shrink &&shrink = nullptr, Describe &&describe = nullptr,
+      int iterations = Options{}.iterations)
+{
+    Options options;
+    options.seed = seed;
+    options.iterations = iterations;
+    using Case = std::decay_t<decltype(gen(std::declval<Rng &>()))>;
+    const Outcome out = run<Case>(options, std::forward<Gen>(gen),
+                                  std::forward<Prop>(prop),
+                                  std::forward<Shrink>(shrink),
+                                  std::forward<Describe>(describe));
+    if (!out.failed)
+        return;
+    std::ostringstream os;
+    os << "property '" << name << "' falsified; replay: "
+       << replayCommand(out.failingSeed) << "\n  case seed: "
+       << out.failingSeed << "\n  failure: " << out.message;
+    if (out.shrinkSteps > 0)
+        os << "\n  shrunk (" << out.shrinkSteps
+           << " steps): " << out.shrunkMessage;
+    if (!out.shrunkCase.empty())
+        os << "\n  minimal case: " << out.shrunkCase;
+    ADD_FAILURE() << os.str();
+}
+
+} // namespace pbt
+} // namespace ruby
+
+#endif // RUBY_TESTS_PBT_PBT_HPP

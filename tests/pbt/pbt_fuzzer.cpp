@@ -1,0 +1,240 @@
+/**
+ * @file
+ * ruby-pbt-fuzz: the standalone fuzz driver for the CI fuzz job.
+ *
+ * Modes:
+ *   codec    — NDJSON parser/writer: mutated byte strings must either
+ *              parse or throw ruby::Error; parsed documents must
+ *              reach a write/parse fixpoint. Nothing else may escape.
+ *   protocol — mutated wire frames through parseJson + parseRequest:
+ *              same contract (ruby::Error or success, never a crash).
+ *   wire     — the in-process server storm of wire_fuzz.hpp under a
+ *              wall-clock budget, including the admission-slot leak
+ *              check.
+ *
+ * Usage: ruby-pbt-fuzz --mode codec|protocol|wire
+ *                      [--budget-ms N] [--seed S] [--replay FILE]
+ *
+ * Every failure prints the case seed; rerunning with --seed <that
+ * seed> --budget-ms 0 replays exactly one case. --replay feeds one
+ * corpus file (raw frame bytes, newline-stripped) through the codec
+ * and protocol stacks instead of generating cases.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fuzz_frames.hpp"
+#include "pbt.hpp"
+#include "ruby/common/error.hpp"
+#include "ruby/serve/json.hpp"
+#include "ruby/serve/protocol.hpp"
+#include "wire_fuzz.hpp"
+
+namespace
+{
+
+using namespace ruby;
+
+struct FuzzArgs
+{
+    std::string mode;
+    int budgetMs = 20'000;
+    std::uint64_t seed = 1;
+    bool seedPinned = false; ///< --seed given: replay one case
+    std::string replayFile;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: ruby-pbt-fuzz --mode codec|protocol|wire "
+                 "[--budget-ms N] [--seed S] [--replay FILE]\n";
+    return 2;
+}
+
+/**
+ * One codec case: a valid frame, mutated, thrown at the parser. Only
+ * ruby::Error may escape; a successful parse must be a fixpoint
+ * under write/parse/write.
+ */
+std::optional<std::string>
+codecCase(std::uint64_t caseSeed)
+{
+    Rng rng(caseSeed);
+    const std::string seedFrame = pbt::genFuzzSeedFrame(rng);
+    const std::string other = pbt::genFuzzSeedFrame(rng);
+    const std::string mutated =
+        pbt::mutateFrame(rng, seedFrame, other, 4096);
+    try {
+        const serve::JsonValue parsed = serve::parseJson(mutated);
+        const std::string once = serve::writeJson(parsed);
+        const std::string twice =
+            serve::writeJson(serve::parseJson(once));
+        if (twice != once)
+            return "write/parse fixpoint broken:\n  once:  " + once +
+                   "\n  twice: " + twice;
+    } catch (const Error &) {
+        // Structured rejection is the expected path.
+    }
+    return std::nullopt;
+}
+
+/** One protocol case: mutated frame through parseJson+parseRequest. */
+std::optional<std::string>
+protocolCase(std::uint64_t caseSeed)
+{
+    Rng rng(caseSeed);
+    const std::string seedFrame = pbt::genFuzzSeedFrame(rng);
+    const std::string other = pbt::genFuzzSeedFrame(rng);
+    const std::string mutated =
+        pbt::mutateFrame(rng, seedFrame, other, 4096);
+    try {
+        const serve::JsonValue parsed = serve::parseJson(mutated);
+        (void)serve::parseRequest(parsed);
+    } catch (const Error &) {
+        // Structured rejection is the expected path.
+    }
+    return std::nullopt;
+}
+
+int
+runGenerated(const FuzzArgs &args)
+{
+    auto runCase = args.mode == "codec" ? codecCase : protocolCase;
+    const auto startedAt = std::chrono::steady_clock::now();
+    std::uint64_t cases = 0;
+    for (std::uint64_t i = 0;; ++i) {
+        const std::uint64_t caseSeed =
+            args.seedPinned && args.budgetMs == 0
+                ? args.seed
+                : pbt::scramble(args.seed + i);
+        std::optional<std::string> failure;
+        try {
+            failure = runCase(caseSeed);
+        } catch (const std::exception &e) {
+            failure = std::string("unexpected exception escaped: ") +
+                      e.what();
+        }
+        ++cases;
+        if (failure) {
+            std::cerr << args.mode << " fuzzer failed at case seed "
+                      << caseSeed << ":\n  " << *failure
+                      << "\n  replay: ruby-pbt-fuzz --mode "
+                      << args.mode << " --seed " << caseSeed
+                      << " --budget-ms 0\n";
+            return 1;
+        }
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startedAt)
+                .count();
+        if (args.budgetMs == 0 || elapsed >= args.budgetMs)
+            break;
+    }
+    std::cout << args.mode << " fuzzer: " << cases
+              << " cases, no failures (base seed " << args.seed
+              << ")\n";
+    return 0;
+}
+
+int
+runWire(const FuzzArgs &args)
+{
+    pbt::WireFuzzConfig config;
+    config.seed = args.seed;
+    config.connections = args.budgetMs == 0 ? 1 : 0;
+    config.budgetMs = args.budgetMs;
+    const std::optional<std::string> failure =
+        pbt::runWireFuzz(config);
+    if (failure) {
+        std::cerr << "wire fuzzer failed:\n  " << *failure << "\n";
+        return 1;
+    }
+    std::cout << "wire fuzzer: survived "
+              << (args.budgetMs == 0
+                      ? std::string("1 connection")
+                      : std::to_string(args.budgetMs) + " ms")
+              << " (base seed " << args.seed << ")\n";
+    return 0;
+}
+
+/** Replay one corpus file through the codec + protocol stacks. */
+int
+runReplay(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "cannot read corpus file: " << path << "\n";
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string frame = buffer.str();
+    while (!frame.empty() &&
+           (frame.back() == '\n' || frame.back() == '\r'))
+        frame.pop_back();
+    try {
+        const serve::JsonValue parsed = serve::parseJson(frame);
+        (void)serve::parseRequest(parsed);
+    } catch (const Error &) {
+        // Structured rejection is a pass.
+    } catch (const std::exception &e) {
+        std::cerr << "corpus case " << path
+                  << " escaped the error contract: " << e.what()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "corpus case " << path << " ok\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--mode") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage();
+            args.mode = v;
+        } else if (arg == "--budget-ms") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage();
+            args.budgetMs = std::atoi(v);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage();
+            args.seed = std::strtoull(v, nullptr, 10);
+            args.seedPinned = true;
+        } else if (arg == "--replay") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage();
+            args.replayFile = v;
+        } else {
+            return usage();
+        }
+    }
+    if (!args.replayFile.empty())
+        return runReplay(args.replayFile);
+    if (args.mode == "codec" || args.mode == "protocol")
+        return runGenerated(args);
+    if (args.mode == "wire")
+        return runWire(args);
+    return usage();
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The framework must be trustworthy before any property is: these
+ * tests pin down determinism, replay, shrinking and the env knobs of
+ * the runner itself, using synthetic integer "cases" so failures here
+ * can only mean framework bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbt.hpp"
+
+namespace
+{
+
+using ruby::Rng;
+using ruby::pbt::Options;
+using ruby::pbt::Outcome;
+using ruby::pbt::scramble;
+
+/** Scoped setenv/unsetenv so env-knob tests cannot leak state.
+ *  A null value unsets the variable for the scope — used to shield
+ *  the framework tests from ambient RUBY_PBT_* overrides (running
+ *  the selftest under RUBY_PBT_ITERS must not break it). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr)
+            saved_ = old;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (saved_)
+            ::setenv(name_, saved_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::optional<std::string> saved_;
+};
+
+std::uint64_t
+genInt(Rng &rng)
+{
+    return rng.below(10'000);
+}
+
+TEST(PbtSelfTest, ScrambleIsDeterministicAndDecorrelated)
+{
+    EXPECT_EQ(scramble(1), scramble(1));
+    EXPECT_NE(scramble(1), scramble(2));
+    // Consecutive inputs must not produce consecutive outputs.
+    EXPECT_NE(scramble(2) - scramble(1), scramble(3) - scramble(2));
+}
+
+TEST(PbtSelfTest, PassingPropertyRunsAllIterations)
+{
+    ScopedEnv noIters("RUBY_PBT_ITERS", nullptr);
+    ScopedEnv noSeed("RUBY_PBT_SEED", nullptr);
+    Options options;
+    options.iterations = 37;
+    const Outcome out = ruby::pbt::run<std::uint64_t>(
+        options, genInt,
+        [](std::uint64_t) -> std::optional<std::string> {
+            return std::nullopt;
+        },
+        nullptr, nullptr);
+    EXPECT_FALSE(out.failed);
+    EXPECT_EQ(out.iterationsRun, 37);
+}
+
+TEST(PbtSelfTest, FailureIsDeterministicAcrossRuns)
+{
+    ScopedEnv noIters("RUBY_PBT_ITERS", nullptr);
+    ScopedEnv noSeed("RUBY_PBT_SEED", nullptr);
+    auto prop = [](std::uint64_t v) -> std::optional<std::string> {
+        if (v >= 5'000)
+            return "v=" + std::to_string(v);
+        return std::nullopt;
+    };
+    Options options;
+    options.seed = 7;
+    options.iterations = 100;
+    const Outcome a =
+        ruby::pbt::run<std::uint64_t>(options, genInt, prop, nullptr,
+                                      nullptr);
+    const Outcome b =
+        ruby::pbt::run<std::uint64_t>(options, genInt, prop, nullptr,
+                                      nullptr);
+    ASSERT_TRUE(a.failed);
+    EXPECT_EQ(a.failingSeed, b.failingSeed);
+    EXPECT_EQ(a.message, b.message);
+    EXPECT_EQ(a.iterationsRun, b.iterationsRun);
+}
+
+TEST(PbtSelfTest, ReplaySeedReproducesTheExactCase)
+{
+    ScopedEnv noIters("RUBY_PBT_ITERS", nullptr);
+    ScopedEnv noSeed("RUBY_PBT_SEED", nullptr);
+    auto prop = [](std::uint64_t v) -> std::optional<std::string> {
+        if (v >= 5'000)
+            return "v=" + std::to_string(v);
+        return std::nullopt;
+    };
+    Options options;
+    options.seed = 7;
+    options.iterations = 100;
+    const Outcome first = ruby::pbt::run<std::uint64_t>(
+        options, genInt, prop, nullptr, nullptr);
+    ASSERT_TRUE(first.failed);
+
+    const std::string seedText = std::to_string(first.failingSeed);
+    ScopedEnv env("RUBY_PBT_SEED", seedText.c_str());
+    const Outcome replayed = ruby::pbt::run<std::uint64_t>(
+        options, genInt, prop, nullptr, nullptr);
+    ASSERT_TRUE(replayed.failed);
+    // Replay runs exactly one case and hits the same failure.
+    EXPECT_EQ(replayed.iterationsRun, 1);
+    EXPECT_EQ(replayed.failingSeed, first.failingSeed);
+    EXPECT_EQ(replayed.message, first.message);
+}
+
+TEST(PbtSelfTest, ShrinkerReachesTheLocalMinimum)
+{
+    ScopedEnv noIters("RUBY_PBT_ITERS", nullptr);
+    ScopedEnv noSeed("RUBY_PBT_SEED", nullptr);
+    // Property: v < 1000. Halving shrinker must land exactly on the
+    // boundary value 1000 (halving below it passes again).
+    auto prop = [](std::uint64_t v) -> std::optional<std::string> {
+        if (v >= 1'000)
+            return std::to_string(v);
+        return std::nullopt;
+    };
+    auto shrink = [](std::uint64_t v) {
+        std::vector<std::uint64_t> out;
+        if (v > 0)
+            out.push_back(v / 2);
+        if (v > 0)
+            out.push_back(v - 1);
+        return out;
+    };
+    auto describe = [](std::uint64_t v) { return std::to_string(v); };
+    Options options;
+    options.iterations = 50;
+    const Outcome out = ruby::pbt::run<std::uint64_t>(
+        options, genInt, prop, shrink, describe);
+    ASSERT_TRUE(out.failed);
+    EXPECT_GT(out.shrinkSteps, 0);
+    EXPECT_EQ(out.shrunkCase, "1000");
+    EXPECT_EQ(out.shrunkMessage, "1000");
+}
+
+TEST(PbtSelfTest, ItersEnvOverridesIterationCount)
+{
+    ScopedEnv env("RUBY_PBT_ITERS", "3");
+    ScopedEnv noSeed("RUBY_PBT_SEED", nullptr);
+    Options options;
+    options.iterations = 500;
+    const Outcome out = ruby::pbt::run<std::uint64_t>(
+        options, genInt,
+        [](std::uint64_t) -> std::optional<std::string> {
+            return std::nullopt;
+        },
+        nullptr, nullptr);
+    EXPECT_EQ(out.iterationsRun, 3);
+}
+
+TEST(PbtSelfTest, BadEnvValuesFallBackSafely)
+{
+    ScopedEnv iters("RUBY_PBT_ITERS", "not-a-number");
+    EXPECT_EQ(ruby::pbt::detail::iterationsFromEnv(12), 12);
+    ScopedEnv seed("RUBY_PBT_SEED", "12junk");
+    EXPECT_FALSE(ruby::pbt::detail::replaySeedFromEnv().has_value());
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The wire fuzzer as a normal ctest target: a fixed-seed,
+ * fixed-count storm on every build, so protocol regressions surface
+ * in plain `ctest` without waiting for the CI fuzz job.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wire_fuzz.hpp"
+
+namespace
+{
+
+TEST(WireFuzz, ServerSurvivesMalformedFrameStorm)
+{
+    ruby::pbt::WireFuzzConfig config;
+    config.seed = 0xF022u;
+    config.connections = 60;
+    const std::optional<std::string> failure =
+        ruby::pbt::runWireFuzz(config);
+    if (failure) {
+        FAIL() << *failure
+               << "\n  replay: rerun this test (fixed seed) or "
+                  "./ruby-pbt-fuzz --mode wire --seed "
+               << config.seed;
+    }
+}
+
+// A second storm from a different region of the seed space; cheap
+// insurance against the first seed's mutations clustering.
+TEST(WireFuzz, ServerSurvivesSecondStorm)
+{
+    ruby::pbt::WireFuzzConfig config;
+    config.seed = 0xBEE5u;
+    config.connections = 40;
+    const std::optional<std::string> failure =
+        ruby::pbt::runWireFuzz(config);
+    if (failure) {
+        FAIL() << *failure
+               << "\n  replay: rerun this test (fixed seed) or "
+                  "./ruby-pbt-fuzz --mode wire --seed "
+               << config.seed;
+    }
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Server edge-timing tests (ISSUE 6 satellite): the drain and
+ * session machinery under awkward interleavings — SIGTERM arriving
+ * mid-handshake while a client holds a half-written line, a partial
+ * line at EOF, and a client that disconnects while its request is
+ * still queued behind a saturated admission gate. The invariant
+ * under all of them: every admission slot returns to the gate
+ * (inflight == 0, queued == 0) and the server stays (or winds down)
+ * healthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "ruby/common/error.hpp"
+#include "ruby/serve/client.hpp"
+#include "ruby/serve/protocol.hpp"
+#include "ruby/serve/server.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+using std::chrono::milliseconds;
+
+ServeOptions
+tcpOptions()
+{
+    ServeOptions o;
+    o.port = 0; // ephemeral
+    o.logLifecycle = false;
+    return o;
+}
+
+/** A config with no valid mapping; with --evals 0 and a time budget
+ *  it occupies a slot for exactly the budget. */
+const char *kSlowConfig =
+    "architecture:\n"
+    "  name: impossible\n"
+    "  levels:\n"
+    "    - name: tiny\n"
+    "      capacity_words: 1\n"
+    "    - name: DRAM\n"
+    "      backing_store: true\n"
+    "workload:\n"
+    "  type: gemm\n"
+    "  name: g16\n"
+    "  m: 16\n"
+    "  n: 16\n"
+    "  k: 16\n"
+    "mapper:\n"
+    "  mapspace: pfm\n";
+
+std::string
+slowMapLine(const std::string &id, int budgetMs)
+{
+    Request req;
+    req.type = RequestType::Map;
+    req.id = id;
+    req.configText = kSlowConfig;
+    req.variant = MapspaceVariant::PFM;
+    req.search.maxEvaluations = 0;
+    req.search.terminationStreak = 0;
+    req.search.timeBudget = milliseconds(budgetMs);
+    req.search.threads = 1;
+    return writeJson(encodeRequest(req));
+}
+
+/** Raw fd connected to the server (bypasses Client so tests can send
+ *  partial lines and slam the socket shut). */
+int
+rawConnect(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+rawSend(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::uint64_t
+gauge(const Server &server, const char *name)
+{
+    return server.statsJson().at("requests").at(name).asU64();
+}
+
+/** Wait until inflight and queued both read zero (leak detector). */
+void
+expectSlotsReleased(const Server &server, const char *context)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+        const std::uint64_t inflight = gauge(server, "inflight");
+        const std::uint64_t queued = gauge(server, "queued");
+        if (inflight == 0 && queued == 0)
+            return;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            FAIL() << context << ": admission slots leaked: inflight="
+                   << inflight << " queued=" << queued;
+            return;
+        }
+        std::this_thread::sleep_for(milliseconds(10));
+    }
+}
+
+/**
+ * SIGTERM mid-handshake: a client connects and writes half a request
+ * line, then the drain begins. The daemon must complete the drain
+ * promptly (the half-open session cannot hold it hostage) with no
+ * slot left behind.
+ */
+TEST(ServeEdge, SigtermMidHandshakeDrainsCleanly)
+{
+    ServeOptions opts = tcpOptions();
+    opts.drainBudget = milliseconds(2'000);
+    Server server(opts);
+    server.start();
+    Server::installSignalDrain(server);
+
+    const int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    // Half a request: no newline, the session is mid-read.
+    rawSend(fd, "{\"v\":1,\"type\":\"pi");
+
+    ::kill(::getpid(), SIGTERM);
+
+    const auto startedAt = std::chrono::steady_clock::now();
+    server.waitForShutdown();
+    const auto elapsed =
+        std::chrono::duration_cast<milliseconds>(
+            std::chrono::steady_clock::now() - startedAt);
+    // Nothing was inflight: the drain must not burn the whole budget
+    // waiting on the half-written line.
+    EXPECT_LT(elapsed.count(), 10'000);
+    expectSlotsReleased(server, "sigterm mid-handshake");
+    ::close(fd);
+}
+
+/**
+ * Partial line at EOF: a client sends bytes with no terminator and
+ * hangs up. The session must discard the fragment and exit without
+ * touching the admission gate, and the server must keep serving
+ * others.
+ */
+TEST(ServeEdge, PartialLineAtEofIsDiscarded)
+{
+    Server server(tcpOptions());
+    server.start();
+
+    const int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    rawSend(fd, "{\"v\":1,\"type\":\"ping\",\"id\":\"lost");
+    ::close(fd); // EOF with the line unterminated
+
+    // The server is still healthy for the next client.
+    Client probe =
+        Client::connectTcp("127.0.0.1", server.port());
+    JsonValue ping = JsonValue::makeObject();
+    ping.set("v", JsonValue::makeI64(kProtocolVersion));
+    ping.set("type", JsonValue::makeString("ping"));
+    ping.set("id", JsonValue::makeString("after-eof"));
+    const JsonValue response = probe.call(ping);
+    EXPECT_EQ(response.at("type").asString(), "pong");
+    expectSlotsReleased(server, "partial line at EOF");
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+/**
+ * Disconnect while queued: with one slot and a deep queue, a second
+ * client's request waits behind a slow search; the second client
+ * hangs up while still queued. Its session thread is stuck in the
+ * admission gate until a slot frees — when it finally runs, the
+ * response write fails, and the slot must still return to the gate.
+ */
+TEST(ServeEdge, DisconnectWhileQueuedReleasesSlots)
+{
+    ServeOptions opts = tcpOptions();
+    opts.maxInflight = 1;
+    opts.queueCapacity = 4;
+    Server server(opts);
+    server.start();
+
+    // Occupy the only slot for ~1.5 s.
+    const int slow = rawConnect(server.port());
+    ASSERT_GE(slow, 0);
+    rawSend(slow, slowMapLine("slow", 1'500) + "\n");
+
+    // Wait until the slow request holds the slot.
+    const auto holdDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (gauge(server, "inflight") == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), holdDeadline)
+            << "slow request never took the slot";
+        std::this_thread::sleep_for(milliseconds(10));
+    }
+
+    // Queue a second request, then slam the connection shut while it
+    // is still waiting for the slot.
+    const int impatient = rawConnect(server.port());
+    ASSERT_GE(impatient, 0);
+    rawSend(impatient, slowMapLine("impatient", 100) + "\n");
+    const auto queueDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (gauge(server, "queued") == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), queueDeadline)
+            << "second request never queued";
+        std::this_thread::sleep_for(milliseconds(10));
+    }
+    ::close(impatient);
+
+    // Both requests eventually resolve; no slot may leak.
+    expectSlotsReleased(server, "disconnect while queued");
+
+    // And the gate still serves: a fresh ping works.
+    Client probe =
+        Client::connectTcp("127.0.0.1", server.port());
+    JsonValue ping = JsonValue::makeObject();
+    ping.set("v", JsonValue::makeI64(kProtocolVersion));
+    ping.set("type", JsonValue::makeString("ping"));
+    ping.set("id", JsonValue::makeString("after-queue"));
+    EXPECT_EQ(probe.call(ping).at("type").asString(), "pong");
+
+    const int drained = ::close(slow);
+    (void)drained;
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

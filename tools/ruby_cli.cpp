@@ -44,14 +44,20 @@
  * --host H --port N, then renders the result exactly as the offline
  * subcommand would: remote map/net take the same overrides as their
  * offline twins; remote stats prints the daemon's counters as JSON;
- * remote ping and remote shutdown probe and drain the daemon.
+ * remote ping probes the daemon and prints its health gauges
+ * (admission pressure, drain state, warm caches); remote shutdown
+ * drains it. --retry N / --retry-budget MS enable client-side
+ * retries of connection failures and saturation (code 7) rejections
+ * with exponential backoff + jitter; the default is a single attempt,
+ * so retry-free output is byte-identical to earlier releases.
  *
  * Exit codes: 0 = success (all layers mapped), 1 = user/config error,
  * 2 = usage, 3 = no valid mapping found, 4 = time budget expired with
  * no mapping, 5 = partial network result (some layers failed),
- * 6 = internal search failure (e.g. injected fault), 7 = rejected by
- * a saturated or draining daemon (`remote` only). Unknown flags on
- * any subcommand exit 2 with the usage text.
+ * 6 = internal search failure (e.g. injected fault) or an
+ * unreachable daemon (`remote` prints an actionable hint), 7 =
+ * rejected by a saturated or draining daemon (`remote` only).
+ * Unknown flags on any subcommand exit 2 with the usage text.
  */
 
 #include <cstdlib>
@@ -128,12 +134,14 @@ usage()
            "          [--drain-budget MS] [--cache-capacity N]"
            " [--quiet]\n"
            "  ruby-map remote (--unix PATH | --host H --port N)\n"
+           "          [--retry N] [--retry-budget MS]\n"
            "          ( map <config.yaml> [map overrides]\n"
            "          | net <suite> [net overrides]\n"
            "          | stats | ping | shutdown )\n"
            "  ruby-map --version\n"
            "exit codes: 0 ok, 1 user error, 2 usage, 3 no mapping,\n"
-           "            4 deadline, 5 partial network, 6 internal,\n"
+           "            4 deadline, 5 partial network, 6 internal\n"
+           "            (incl. cannot reach the daemon),\n"
            "            7 rejected by a saturated/draining daemon\n";
     return kExitUsage;
 }
@@ -523,14 +531,24 @@ runServe(const std::vector<std::string> &args)
     return kExitOk;
 }
 
-/** Connect per the --unix/--host/--port flags consumed from the front
- *  of @p args; @p i is left at the first unconsumed token. */
-serve::Client
-connectRemote(const std::vector<std::string> &args, std::size_t &i)
+/** The `remote` connection settings: where the daemon lives and how
+ *  hard to try reaching it. */
+struct RemoteConn
 {
-    std::string unixPath;
-    std::string host = "127.0.0.1";
-    int port = -1;
+    serve::Endpoint endpoint;
+    serve::RetryPolicy retry; ///< defaults to a single attempt
+};
+
+/** Parse the --unix/--host/--port/--retry/--retry-budget flags from
+ *  the front of @p args; @p i is left at the first unconsumed token.
+ *  The retry policy defaults to one attempt, so plain invocations
+ *  keep their historical single-shot behavior (and byte-identical
+ *  output). */
+RemoteConn
+parseRemoteConn(const std::vector<std::string> &args, std::size_t &i)
+{
+    RemoteConn conn;
+    bool endpointGiven = false;
     while (i < args.size() && args[i].rfind("--", 0) == 0) {
         const std::string &flag = args[i];
         auto next = [&]() -> const std::string & {
@@ -538,21 +556,51 @@ connectRemote(const std::vector<std::string> &args, std::size_t &i)
                        " expects an argument");
             return args[++i];
         };
-        if (flag == "--unix")
-            unixPath = next();
-        else if (flag == "--host")
-            host = next();
-        else if (flag == "--port")
-            port = static_cast<int>(parseU64Arg(flag, next()));
-        else
+        if (flag == "--unix") {
+            conn.endpoint.unixPath = next();
+            endpointGiven = true;
+        } else if (flag == "--host") {
+            conn.endpoint.host = next();
+        } else if (flag == "--port") {
+            conn.endpoint.port =
+                static_cast<int>(parseU64Arg(flag, next()));
+            endpointGiven = true;
+        } else if (flag == "--retry") {
+            conn.retry.attempts = static_cast<int>(
+                parseU64Arg(flag, next()));
+            RUBY_CHECK(conn.retry.attempts >= 1,
+                       "--retry: need at least one attempt");
+        } else if (flag == "--retry-budget") {
+            conn.retry.budget = std::chrono::milliseconds(
+                parseU64Arg(flag, next()));
+        } else {
             unknownFlag(flag);
+        }
         ++i;
     }
-    if (!unixPath.empty())
-        return serve::Client::connectUnix(unixPath);
-    if (port >= 0)
-        return serve::Client::connectTcp(host, port);
-    throw UsageError("remote needs --unix PATH or --port N");
+    if (!endpointGiven)
+        throw UsageError("remote needs --unix PATH or --port N");
+    return conn;
+}
+
+/** Render the health payload of a pong, one gauge line under the
+ *  classic "pong" (absent on pre-health daemons). */
+void
+printPingHealth(const serve::JsonValue &response)
+{
+    const serve::JsonValue *payload = response.find("health");
+    if (payload == nullptr)
+        return;
+    const serve::Health health = serve::healthFromJson(*payload);
+    std::cout << "health: "
+              << (health.draining ? "draining" : "accepting")
+              << " inflight=" << health.inflight << "/"
+              << health.maxInflight << " queued=" << health.queued
+              << "/" << health.queueCapacity
+              << " uptime-ms=" << health.uptimeMs
+              << " eval-cache-capacity=" << health.evalCacheCapacity
+              << " layer-memo-entries=" << health.layerMemoEntries
+              << "\n";
 }
 
 /** Exit code for a {"type":"error"} response after printing it. */
@@ -577,7 +625,7 @@ int
 runRemote(const std::vector<std::string> &args)
 {
     std::size_t i = 0;
-    serve::Client client = connectRemote(args, i);
+    const RemoteConn conn = parseRemoteConn(args, i);
     if (i >= args.size())
         throw UsageError(
             "remote needs an action: map|net|stats|ping|shutdown");
@@ -625,14 +673,17 @@ runRemote(const std::vector<std::string> &args)
         throw UsageError("unknown remote action '" + action + "'");
     }
 
-    const serve::JsonValue response =
-        client.call(serve::encodeRequest(request));
+    serve::Client client =
+        serve::Client::connectWithRetry(conn.endpoint, conn.retry);
+    const serve::JsonValue response = client.callWithRetry(
+        serve::encodeRequest(request), conn.retry);
     if (isErrorResponse(response))
         return reportRemoteError(response);
 
     switch (request.type) {
       case serve::RequestType::Ping:
         std::cout << "pong\n";
+        printPingHealth(response);
         return kExitOk;
       case serve::RequestType::Stats:
         std::cout << serve::writeJson(response.at("stats")) << "\n";
@@ -687,6 +738,12 @@ main(int argc, char **argv)
     } catch (const UsageError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return usage();
+    } catch (const serve::ConnectError &e) {
+        std::cerr << "error: " << e.what() << "\n"
+                  << "hint: is the daemon running at " << e.address()
+                  << "? start one with `ruby-map serve`, or check "
+                     "the --unix/--host/--port flags\n";
+        return kExitInternal;
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitUserError;
