@@ -5,14 +5,20 @@
  * and mapspace counting. Useful for keeping search budgets honest.
  *
  * After the microbenchmarks, main() runs a search-shaped head-to-head
- * (baseline allocating evaluate vs the staged fast path with scratch,
- * bound pruning and the memo cache over the same mapping pool) and
- * writes the evals/sec comparison to BENCH_eval_throughput.json in
- * the working directory. See docs/PERFORMANCE.md.
+ * (baseline allocating evaluate vs the staged fast path vs the batched
+ * SoA engine) and writes the evals/sec comparison to
+ * BENCH_eval_throughput.json in the working directory. Every runner
+ * draws the same candidate stream (same seed, same sampler) in small
+ * chunks and times only the decision stages, exactly the shape of the
+ * search hot loop: the just-sampled candidates are cache-hot and the
+ * identical sampling cost stays outside the timed region, so the
+ * numbers compare the evaluation engines, not the RNG. See
+ * docs/PERFORMANCE.md.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -169,6 +175,9 @@ BENCHMARK(BM_CountRubyMapspace)->Arg(100)->Arg(1000)->Arg(4096);
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/** Candidate seed shared by every runner: identical streams. */
+constexpr std::uint64_t kCandidateSeed = 42;
+
 struct Throughput
 {
     double evalsPerSec = 0.0;
@@ -176,76 +185,170 @@ struct Throughput
     EvalStats stats;
 };
 
-/** Baseline: the allocating evaluate() over the whole pool. */
+/**
+ * Draw the next chunk of candidates, untimed. Every runner samples
+ * the identical stream, so the decisions — and the sampling cost the
+ * timers exclude — match across engines.
+ */
+std::size_t
+drawChunk(const Mapspace &space, Rng &rng, std::size_t want,
+          std::vector<Mapping> &chunk)
+{
+    chunk.clear();
+    for (std::size_t j = 0; j < want; ++j)
+        chunk.push_back(space.sample(rng));
+    return chunk.size();
+}
+
+/** Baseline: the allocating evaluate() per candidate. */
 Throughput
-runBaseline(const Evaluator &eval, const std::vector<Mapping> &pool)
+runBaseline(const Evaluator &eval, const Mapspace &space,
+            std::size_t n, std::size_t chunkSize)
 {
     Throughput out;
-    const auto start = std::chrono::steady_clock::now();
-    for (const Mapping &m : pool) {
-        const EvalResult res = eval.evaluate(m);
-        if (!res.valid) {
-            ++out.stats.invalid;
-            continue;
+    Rng rng(kCandidateSeed);
+    std::vector<Mapping> chunk;
+    chunk.reserve(chunkSize);
+    double elapsed = 0.0;
+    for (std::size_t s = 0; s < n; s += chunkSize) {
+        drawChunk(space, rng, std::min(chunkSize, n - s), chunk);
+        const auto start = std::chrono::steady_clock::now();
+        for (const Mapping &m : chunk) {
+            const EvalResult res = eval.evaluate(m);
+            if (!res.valid) {
+                ++out.stats.invalid;
+                continue;
+            }
+            ++out.stats.modeled;
+            const double metric = res.objective(Objective::EDP);
+            if (metric < out.bestObjective)
+                out.bestObjective = metric;
         }
-        ++out.stats.modeled;
-        const double metric = res.objective(Objective::EDP);
-        if (metric < out.bestObjective)
-            out.bestObjective = metric;
+        elapsed += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
     }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    out.evalsPerSec =
-        static_cast<double>(pool.size()) / elapsed.count();
+    out.evalsPerSec = static_cast<double>(n) / elapsed;
     return out;
 }
 
 /** Fast path: scratch + staged pruning + memo cache, as the search
  *  loop runs it. */
 Throughput
-runFastPath(const Evaluator &eval, const std::vector<Mapping> &pool)
+runFastPath(const Evaluator &eval, const Mapspace &space,
+            std::size_t n, std::size_t chunkSize)
 {
     Throughput out;
     EvalScratch scratch;
     EvalCache cache;
-    const auto start = std::chrono::steady_clock::now();
-    for (const Mapping &m : pool) {
-        // Same staging and ordering as the search loop: validity,
-        // lower bound, memo cache, full model.
-        if (!eval.checkValidity(m, scratch, false)) {
-            ++out.stats.invalid;
-            continue;
+    Rng rng(kCandidateSeed);
+    std::vector<Mapping> chunk;
+    chunk.reserve(chunkSize);
+    double elapsed = 0.0;
+    for (std::size_t s = 0; s < n; s += chunkSize) {
+        drawChunk(space, rng, std::min(chunkSize, n - s), chunk);
+        const auto start = std::chrono::steady_clock::now();
+        for (const Mapping &m : chunk) {
+            // Same staging and ordering as the search loop: validity,
+            // lower bound, memo cache, full model.
+            if (!eval.checkValidity(m, scratch, false)) {
+                ++out.stats.invalid;
+                continue;
+            }
+            if (eval.objectiveLowerBound(m, Objective::EDP) >=
+                out.bestObjective) {
+                ++out.stats.prunedBound;
+                continue;
+            }
+            const FingerprintPair fp = mappingFingerprintPair(m);
+            CachedEval cached;
+            if (cache.lookup(fp.key, fp.verify, cached) &&
+                cached.valid &&
+                cached.objective >= out.bestObjective) {
+                ++out.stats.cacheHits;
+                continue;
+            }
+            ++out.stats.cacheMisses;
+            eval.modelValidated(m, scratch);
+            ++out.stats.modeled;
+            const double metric =
+                scratch.result.objective(Objective::EDP);
+            cache.insert(fp.key, fp.verify, CachedEval{metric, true});
+            if (metric < out.bestObjective)
+                out.bestObjective = metric;
         }
-        if (eval.objectiveLowerBound(m, Objective::EDP) >=
-            out.bestObjective) {
-            ++out.stats.prunedBound;
-            continue;
-        }
-        const FingerprintPair fp = mappingFingerprintPair(m);
-        CachedEval cached;
-        if (cache.lookup(fp.key, fp.verify, cached) && cached.valid &&
-            cached.objective >= out.bestObjective) {
-            ++out.stats.cacheHits;
-            continue;
-        }
-        ++out.stats.cacheMisses;
-        eval.modelValidated(m, scratch);
-        ++out.stats.modeled;
-        const double metric = scratch.result.objective(Objective::EDP);
-        cache.insert(fp.key, fp.verify, CachedEval{metric, true});
-        if (metric < out.bestObjective)
-            out.bestObjective = metric;
+        elapsed += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
     }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    out.evalsPerSec =
-        static_cast<double>(pool.size()) / elapsed.count();
+    out.evalsPerSec = static_cast<double>(n) / elapsed;
+    out.stats.cacheEvictions = cache.stats().evictions;
+    return out;
+}
+
+/** Batched SoA stages + the same cache/model consume order as the
+ *  fast path; decisions (and therefore the best) are identical. */
+Throughput
+runBatched(const Evaluator &eval, const Mapspace &space,
+           std::size_t n, std::size_t k)
+{
+    Throughput out;
+    EvalScratch scratch;
+    EvalCache cache;
+    BatchEvaluator batch(eval);
+    Rng rng(kCandidateSeed);
+    std::vector<Mapping> chunk;
+    chunk.reserve(k);
+    double elapsed = 0.0;
+    for (std::size_t s = 0; s < n; s += k) {
+        const std::size_t want =
+            drawChunk(space, rng, std::min(k, n - s), chunk);
+        const auto start = std::chrono::steady_clock::now();
+        batch.begin(want);
+        for (std::size_t j = 0; j < want; ++j)
+            batch.add(chunk[j]);
+        batch.run(Objective::EDP, out.stats);
+        for (std::size_t j = 0; j < want; ++j) {
+            const Mapping &m = chunk[j];
+            ++out.stats.batchedEvals;
+            if (!batch.valid(j)) {
+                ++out.stats.invalid;
+                ++out.stats.batchRejects;
+                continue;
+            }
+            if (batch.bound(j) >= out.bestObjective) {
+                ++out.stats.prunedBound;
+                continue;
+            }
+            const FingerprintPair fp = mappingFingerprintPair(m);
+            CachedEval cached;
+            if (cache.lookup(fp.key, fp.verify, cached) &&
+                cached.valid &&
+                cached.objective >= out.bestObjective) {
+                ++out.stats.cacheHits;
+                continue;
+            }
+            ++out.stats.cacheMisses;
+            batch.prepareScratch(j, scratch);
+            eval.modelValidated(m, scratch);
+            ++out.stats.modeled;
+            const double metric =
+                scratch.result.objective(Objective::EDP);
+            cache.insert(fp.key, fp.verify, CachedEval{metric, true});
+            if (metric < out.bestObjective)
+                out.bestObjective = metric;
+        }
+        elapsed += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    }
+    out.evalsPerSec = static_cast<double>(n) / elapsed;
     out.stats.cacheEvictions = cache.stats().evictions;
     return out;
 }
 
 void
-writeThroughputReport(const char *path, std::size_t pool_size)
+writeThroughputReport(const char *path, std::size_t n)
 {
     const MappingConstraints cons =
         MappingConstraints::eyerissRowStationary(resnetLayer(),
@@ -253,25 +356,75 @@ writeThroughputReport(const char *path, std::size_t pool_size)
     const Mapspace space(cons, MapspaceVariant::RubyS);
     const Evaluator eval(resnetLayer(), eyeriss());
 
-    Rng rng(42);
-    std::vector<Mapping> pool;
-    pool.reserve(pool_size);
-    for (std::size_t i = 0; i < pool_size; ++i)
-        pool.push_back(space.sample(rng));
+    // The scalar engines consume one candidate at a time; the chunk
+    // size only shapes the untimed sampling, so give them the same
+    // chunking the default batch width gets.
+    const std::size_t scalarChunk = kDefaultEvalBatch;
 
-    // One untimed warm-up pass each, then the timed passes.
-    runBaseline(eval, pool);
-    const Throughput base = runBaseline(eval, pool);
-    runFastPath(eval, pool);
-    const Throughput fast = runFastPath(eval, pool);
+    // One untimed warm-up pass, then best-of-R timed passes: the
+    // candidate stream is deterministic, so every repetition makes
+    // the same decisions and only timing noise differs — keeping the
+    // fastest pass rejects background-load interference instead of
+    // averaging it into the ratio.
+    constexpr int kReps = 3;
+    const auto bestOf = [](auto &&runner) {
+        runner(); // warm-up (untimed in spirit: result discarded)
+        Throughput best = runner();
+        for (int r = 1; r < kReps; ++r) {
+            const Throughput t = runner();
+            if (t.evalsPerSec > best.evalsPerSec)
+                best = t;
+        }
+        return best;
+    };
+    const Throughput base = bestOf(
+        [&] { return runBaseline(eval, space, n, scalarChunk); });
+    const Throughput fast = bestOf(
+        [&] { return runFastPath(eval, space, n, scalarChunk); });
 
     const double speedup = fast.evalsPerSec / base.evalsPerSec;
+
+    // Batched (SoA) sweep over the identical candidate stream: one
+    // width per run so the lane stride matches the batch, as the
+    // search loop sizes it.
+    const std::size_t widths[] = {1, 8, 32, 64, 128};
+    struct BatchPoint
+    {
+        std::size_t k = 0;
+        double evalsPerSec = 0.0;
+        double speedupVsFast = 0.0;
+        double bestObjective = kInf;
+        bool parity = false;
+    };
+    std::vector<BatchPoint> sweep;
+    const BatchPoint *bestPoint = nullptr;
+    for (const std::size_t k : widths) {
+        const Throughput t =
+            bestOf([&] { return runBatched(eval, space, n, k); });
+        BatchPoint p;
+        p.k = k;
+        p.evalsPerSec = t.evalsPerSec;
+        p.speedupVsFast = t.evalsPerSec / fast.evalsPerSec;
+        p.bestObjective = t.bestObjective;
+        p.parity = t.bestObjective == fast.bestObjective;
+        sweep.push_back(p);
+    }
+    bool batchParity = true;
+    for (const BatchPoint &p : sweep) {
+        batchParity = batchParity && p.parity;
+        if (bestPoint == nullptr ||
+            p.evalsPerSec > bestPoint->evalsPerSec)
+            bestPoint = &p;
+    }
+
     std::ofstream json(path);
     json << "{\n"
          << "  \"benchmark\": \"eval_throughput\",\n"
          << "  \"preset\": \"eyeriss_rs\",\n"
          << "  \"workload\": \"" << resnetLayer().name() << "\",\n"
-         << "  \"pool_size\": " << pool.size() << ",\n"
+         << "  \"timed_region\": \"decision stages; identical "
+            "candidate sampling untimed\",\n"
+         << "  \"pool_size\": " << n << ",\n"
          << "  \"baseline_evals_per_sec\": " << base.evalsPerSec
          << ",\n"
          << "  \"fastpath_evals_per_sec\": " << fast.evalsPerSec
@@ -286,17 +439,40 @@ writeThroughputReport(const char *path, std::size_t pool_size)
          << "    \"cache_hits\": " << fast.stats.cacheHits << ",\n"
          << "    \"cache_evictions\": " << fast.stats.cacheEvictions
          << "\n"
-         << "  }\n"
+         << "  },\n"
+         << "  \"batch_sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const BatchPoint &p = sweep[i];
+        json << "    {\"k\": " << p.k << ", \"evals_per_sec\": "
+             << p.evalsPerSec << ", \"speedup_vs_fastpath\": "
+             << p.speedupVsFast << ", \"best_edp\": "
+             << p.bestObjective << ", \"parity\": "
+             << (p.parity ? "true" : "false") << "}"
+             << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"batch_best_k\": " << bestPoint->k << ",\n"
+         << "  \"batch_best_speedup\": " << bestPoint->speedupVsFast
+         << ",\n"
+         << "  \"batch_parity\": " << (batchParity ? "true" : "false")
+         << "\n"
          << "}\n";
 
-    std::cout << "eval throughput (pool " << pool.size()
-              << "): baseline " << base.evalsPerSec
+    std::cout << "eval throughput (" << n
+              << " candidates): baseline " << base.evalsPerSec
               << " evals/s, fast path " << fast.evalsPerSec
               << " evals/s, speedup " << speedup << "x\n"
               << "best EDP agrees: "
               << (base.bestObjective == fast.bestObjective ? "yes"
                                                            : "NO")
               << " -> " << path << "\n";
+    for (const BatchPoint &p : sweep)
+        std::cout << "batched K=" << p.k << ": " << p.evalsPerSec
+                  << " evals/s (" << p.speedupVsFast
+                  << "x fast path, parity "
+                  << (p.parity ? "yes" : "NO") << ")\n";
+    std::cout << "batch best: K=" << bestPoint->k << " at "
+              << bestPoint->speedupVsFast << "x fast path\n";
 }
 
 } // namespace

@@ -124,6 +124,19 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
            << formatCompact(
                   static_cast<double>(net.stats.deltaRebases))
            << " rebases)\n";
+    // Same discipline for the batch engine: batch-free runs stay
+    // byte-identical to pre-engine builds.
+    if (net.stats.batchCalls > 0)
+        os << "batch eval     : "
+           << formatCompact(
+                  static_cast<double>(net.stats.batchedEvals))
+           << " batched over "
+           << formatCompact(
+                  static_cast<double>(net.stats.batchCalls))
+           << " batches ("
+           << formatCompact(
+                  static_cast<double>(net.stats.batchRejects))
+           << " rejects)\n";
     // Partition-identity violations (see LayerOutcome::statsNote) are
     // surfaced here rather than aborting: the counters are diagnostics
     // and a broken diagnostic must not suppress the result.

@@ -97,6 +97,13 @@ class FactorChain
     const FactorPair &at(int slot) const;
 
     /**
+     * All (P, R) pairs, inner to outer. The bulk form of at() for
+     * ingestion loops (batched evaluation) that would otherwise pay a
+     * call per slot.
+     */
+    const std::vector<FactorPair> &factors() const { return factors_; }
+
+    /**
      * Exact total number of body executions of the slot-k loop, i.e.
      * the product of the iterations of all loops at slots >= k along
      * this dimension (paper eq. (5) rebased to counts). bodyCount(0)

@@ -68,6 +68,37 @@ Mapping::Mapping(const Problem &problem, const ArchSpec &arch,
                            nd,
                        "spatial axes must cover every dimension");
     }
+
+    packMasks();
+}
+
+void
+Mapping::packMasks()
+{
+    const int nd = problem_->numDims();
+    const int nl = arch_->numLevels();
+    const int nt = problem_->numTensors();
+    keepMask_ = 0;
+    axisYMask_ = 0;
+    if (nl * nt <= 64)
+        for (int l = 0; l < nl; ++l) {
+            const auto &krow = keep_[static_cast<std::size_t>(l)];
+            for (int t = 0; t < nt; ++t)
+                keepMask_ |=
+                    static_cast<std::uint64_t>(
+                        krow[static_cast<std::size_t>(t)] != 0)
+                    << (l * nt + t);
+        }
+    if (!axes_.empty() && nl * nd <= 64)
+        for (int l = 0; l < nl; ++l) {
+            const auto &arow = axes_[static_cast<std::size_t>(l)];
+            for (DimId d = 0; d < nd; ++d)
+                axisYMask_ |=
+                    static_cast<std::uint64_t>(
+                        arow[static_cast<std::size_t>(d)] ==
+                        SpatialAxis::Y)
+                    << (l * nd + d);
+        }
 }
 
 const FactorChain &
@@ -170,6 +201,18 @@ Mapping::setKeepRow(int level, const std::vector<char> &keep)
             RUBY_ASSERT(k, "boundary levels must keep every tensor");
 #endif
     keep_[static_cast<std::size_t>(level)] = keep;
+    const int nt = problem_->numTensors();
+    if (arch_->numLevels() * nt <= 64) {
+        const int base = level * nt;
+        const std::uint64_t ones =
+            nt >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nt) - 1;
+        std::uint64_t bits = 0;
+        for (int t = 0; t < nt; ++t)
+            bits |= static_cast<std::uint64_t>(
+                        keep[static_cast<std::size_t>(t)] != 0)
+                    << t;
+        keepMask_ = (keepMask_ & ~(ones << base)) | (bits << base);
+    }
 }
 
 void
@@ -184,6 +227,19 @@ Mapping::setAxisRow(int level, const std::vector<SpatialAxis> &axes)
                          static_cast<std::size_t>(problem_->numDims()),
                          SpatialAxis::X));
     axes_[static_cast<std::size_t>(level)] = axes;
+    const int nd = problem_->numDims();
+    if (arch_->numLevels() * nd <= 64) {
+        const int base = level * nd;
+        const std::uint64_t ones =
+            nd >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nd) - 1;
+        std::uint64_t bits = 0;
+        for (DimId d = 0; d < nd; ++d)
+            bits |= static_cast<std::uint64_t>(
+                        axes[static_cast<std::size_t>(d)] ==
+                        SpatialAxis::Y)
+                    << d;
+        axisYMask_ = (axisYMask_ & ~(ones << base)) | (bits << base);
+    }
 }
 
 bool

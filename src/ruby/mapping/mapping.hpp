@@ -74,6 +74,9 @@ class Mapping
     /** Factor chain of dimension d. */
     const FactorChain &chain(DimId d) const;
 
+    /** All chains, indexed by dimension — bulk form of chain(). */
+    const std::vector<FactorChain> &chains() const { return chains_; }
+
     /** The (steady, tail) pair of dimension d at slot k. */
     const FactorPair &factor(DimId d, int slot) const
     {
@@ -85,6 +88,22 @@ class Mapping
 
     /** True iff tensor t is kept (not bypassed) at level l. */
     bool keeps(int level, int tensor) const;
+
+    /** The whole keep table [level][tensor] — bulk form of keeps(). */
+    const std::vector<std::vector<char>> &keepTable() const
+    {
+        return keep_;
+    }
+
+    /**
+     * The keep table packed into one word: bit l * numTensors + t is
+     * keeps(l, t). Computed at construction and kept current by the
+     * row mutators, so batch ingestion copies one word instead of
+     * re-walking the nested table. Zero (and meaningless) when the
+     * table exceeds 64 bits; the batch engine's supports() gates on
+     * exactly that.
+     */
+    std::uint64_t keepMask() const { return keepMask_; }
 
     /**
      * Per-dimension steady tile extents at slot boundary @p slot:
@@ -113,6 +132,23 @@ class Mapping
 
     /** Mesh axis dimension d's spatial factor occupies at level l. */
     SpatialAxis spatialAxis(int level, DimId d) const;
+
+    /**
+     * The whole axis table [level][dim] — bulk form of spatialAxis().
+     * Empty means every dimension maps to the X axis.
+     */
+    const std::vector<std::vector<SpatialAxis>> &axisTable() const
+    {
+        return axes_;
+    }
+
+    /**
+     * The axis table packed into one word: bit l * numDims + d is set
+     * iff spatialAxis(l, d) == SpatialAxis::Y. Same contract as
+     * keepMask(): construction-time, mutator-maintained, zero when
+     * the table exceeds 64 bits (or when every axis is X).
+     */
+    std::uint64_t axisYMask() const { return axisYMask_; }
 
     /**
      * Replace dimension @p d's steady bounds in place (same slot
@@ -149,6 +185,9 @@ class Mapping
     std::string toString() const;
 
   private:
+    /** Recompute keepMask_ / axisYMask_ from the nested tables. */
+    void packMasks();
+
     const Problem *problem_;
     const ArchSpec *arch_;
     std::vector<FactorChain> chains_;
@@ -156,6 +195,8 @@ class Mapping
     std::vector<std::vector<char>> keep_;
     /** axes_[l][d]; empty means all X. */
     std::vector<std::vector<SpatialAxis>> axes_;
+    std::uint64_t keepMask_ = 0;
+    std::uint64_t axisYMask_ = 0;
 };
 
 } // namespace ruby

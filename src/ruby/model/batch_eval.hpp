@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Batched, data-oriented evaluation of K candidate mappings per call.
+ *
+ * The scalar fast path (evaluator.hpp) walks one pointer-rich Mapping
+ * at a time: every validity check chases FactorChain vectors level by
+ * level, and most random samples die in those first stages. The batch
+ * evaluator restructures exactly those stages into structure-of-arrays
+ * form: candidates are ingested as contiguous per-(row) lanes — steady
+ * bounds, boundary extents, tile footprints, spatial usage — laid out
+ * so the validity stages' inner loops always run over the batch
+ * dimension. The stage loops are branch-light (selects, no early
+ * exits) and cache-dense, which lets the compiler vectorize them; the
+ * staged reject (spatial fit -> tiles/capacity -> objective bound)
+ * runs batch-wide so rejected candidates never reach the expensive
+ * per-candidate access-count model, and the bound stage (mixed-radix
+ * tail derivation included) runs only over the survivors.
+ *
+ * The engine is an *exact* reformulation, not an approximation: every
+ * per-lane recurrence is the same integer/double arithmetic, in the
+ * same order, as the scalar walk it replaces, so valid(), bound() and
+ * the tile table handed to Evaluator::modelValidated() are
+ * bit-identical to checkValidity() / objectiveLowerBound() /
+ * analyzeTilesInto(). Debug builds cross-check every lane against the
+ * scalar path (same discipline as DeltaEvaluator). Searches consume
+ * the batch results strictly in candidate order against their live
+ * incumbent, which keeps best mappings, trajectories and stage
+ * counters identical with batching on or off at any batch size.
+ *
+ * Ownership mirrors EvalScratch: one BatchEvaluator per search thread,
+ * never shared. The underlying Evaluator stays immutable and shared.
+ */
+
+#ifndef RUBY_MODEL_BATCH_EVAL_HPP
+#define RUBY_MODEL_BATCH_EVAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ruby/model/evaluator.hpp"
+
+namespace ruby
+{
+
+/** Preferred batch width for the search loops: big enough that the
+ *  lane loops amortize their setup and vectorize, small enough that a
+ *  whole batch's lanes stay cache-resident. */
+constexpr std::size_t kDefaultEvalBatch = 32;
+
+class BatchEvaluator
+{
+  public:
+    /** Bind to the scalar evaluator whose results must be matched.
+     *  Requires supports(problem, arch). */
+    explicit BatchEvaluator(const Evaluator &evaluator);
+
+    /**
+     * Whether the batch engine can lay this configuration out in
+     * lanes: the boolean keep/axis tables ride in one 64-bit mask
+     * lane per candidate, so levels x tensors and levels x dims must
+     * each fit in 64 bits. Every practical accelerator does; searches
+     * fall back to the scalar path when this says no.
+     */
+    static bool supports(const Problem &prob, const ArchSpec &arch)
+    {
+        return arch.numLevels() * prob.numDims() <= 64 &&
+               arch.numLevels() * prob.numTensors() <= 64;
+    }
+
+    /** Start a new batch; @p expected reserves lanes (grow-only). */
+    void begin(std::size_t expected = kDefaultEvalBatch);
+
+    /**
+     * Ingest one candidate from a constructed Mapping. Only the
+     * validity inputs (steady bounds, keep flags, spatial axes) are
+     * copied into lanes; the bound stage reads the tail digits back
+     * from @p mapping — and only for the few candidates that survive
+     * validity — so the mapping must outlive the following run(), as
+     * every search loop's chunk naturally does.
+     */
+    void add(const Mapping &mapping);
+
+    /**
+     * Ingest one candidate from raw decision tables (the exhaustive
+     * enumerator's decoded chains, a genome's rows) without building a
+     * Mapping. @p axes may be empty (all X, like Mapping). The caller
+     * materializes a Mapping only for candidates that survive the
+     * batch stages; with no mapping to read tails from, the bound
+     * stage derives them from the steady bounds (mixed-radix digits
+     * of the dimension size, FactorChain::assign's forward pass).
+     */
+    void add(const std::vector<std::vector<std::uint64_t>> &steady,
+             const std::vector<std::vector<char>> &keep,
+             const std::vector<std::vector<SpatialAxis>> &axes);
+
+    /** Candidates ingested since begin(). */
+    std::size_t size() const { return k_; }
+
+    /**
+     * Run the batch-wide staged reject over every ingested candidate:
+     * boundary extents, spatial fit, tile footprints and capacity run
+     * full-width over the lanes; when @p withBound is set, the exact
+     * objective lower bound (tail derivation included) then runs only
+     * over the candidates that survived validity. Results are pure
+     * per-candidate facts; counters for the stage buckets are bumped
+     * by the consumer, in candidate order, so partially consumed
+     * batches (deadline, streak) stay exact. Increments
+     * stats.batchCalls only.
+     */
+    void run(Objective obj, EvalStats &stats, bool withBound = true);
+
+    /** Validity of candidate i (== Evaluator::checkValidity). */
+    bool valid(std::size_t i) const
+    {
+        return valid_[i] != 0;
+    }
+
+    /**
+     * Objective lower bound of candidate i, bit-identical to
+     * Evaluator::objectiveLowerBound(). Only meaningful after a run()
+     * with withBound = true, and only for candidates with valid(i) —
+     * exactly the lanes the scalar fast path would have bounded.
+     */
+    double bound(std::size_t i) const
+    {
+        return bound_[i];
+    }
+
+    /**
+     * Prepare @p scratch for Evaluator::modelValidated() on candidate
+     * i exactly as checkValidity() would have: the tile table is
+     * copied out of the batch lanes and the result header reset. Only
+     * call for candidates with valid(i).
+     */
+    void prepareScratch(std::size_t i, EvalScratch &scratch) const;
+
+  private:
+    /** Grow every lane array to at least @p cap lanes. */
+    void reserveLanes(std::size_t cap);
+
+    /** Row base offset into a lane array. */
+    std::size_t row(std::size_t r) const { return r * cap_; }
+
+#ifndef NDEBUG
+    /** Re-run the scalar path on every lane and compare. */
+    void crossCheck(Objective obj, bool withBound) const;
+#endif
+
+    const Evaluator *eval_;
+    const Problem *prob_;
+    const ArchSpec *arch_;
+    int nd_ = 0; ///< problem dimensions
+    int nl_ = 0; ///< storage levels
+    int nt_ = 0; ///< tensors
+    int ns_ = 0; ///< tiling slots (2 * nl_)
+
+    std::size_t k_ = 0;   ///< candidates in the current batch
+    std::size_t cap_ = 0; ///< lane capacity (grow-only)
+
+    // SoA lane arrays, all indexed [row * cap_ + lane]. Kept lean on
+    // purpose: ingestion's per-candidate scatter touches one cache
+    // line per row, so every row avoided is an L1 line the stage
+    // loops keep. The boolean tables (keep, spatial axis) ride in a
+    // single bitmask lane each — bit l*nt+t / l*nd+d — and the
+    // kernel unpacks them with a constant shift-and-mask, which costs
+    // two vector ops against the ~40 scattered stores full-width
+    // rows would.
+    std::vector<std::uint64_t> steady_;   ///< row d * ns_ + slot
+    std::vector<std::uint64_t> ext_;      ///< row l * nd_ + d: extent
+                                          ///< below boundarySlot(l)
+    std::vector<std::uint64_t> tile_;     ///< row l * nt_ + t
+    std::vector<std::uint64_t> keepMask_; ///< one row: bit l*nt_+t
+    std::vector<std::uint64_t> axisYMask_; ///< one row: bit l*nd_+d
+    std::vector<std::uint64_t> acc_;    ///< one row: lane accumulator
+    std::vector<std::uint64_t> acc2_;   ///< one row: lane accumulator
+    std::vector<std::uint64_t> valid_;  ///< one row (0/1)
+    std::vector<double> bound_;         ///< one row
+    /** Per-lane source mapping (null for raw ingestion): lets the
+     *  bound stage read precomputed tails instead of re-deriving
+     *  them by division. Borrowed until the next run() finishes. */
+    std::vector<const Mapping *> src_;
+};
+
+} // namespace ruby
+
+#endif // RUBY_MODEL_BATCH_EVAL_HPP

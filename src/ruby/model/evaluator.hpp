@@ -129,6 +129,19 @@ struct EvalStats
     std::uint64_t deltaFallbacks = 0; ///< fell back to full recompute
     std::uint64_t deltaRebases = 0;   ///< full evals to set a base
 
+    /*
+     * Batched (SoA) evaluation counters — same companion-ledger
+     * discipline as the delta counters: a batch-served candidate still
+     * lands in exactly one decided() bucket above (batchRejects is the
+     * batch-served share of `invalid`), so the partition identity is
+     * untouched. batchCalls is bumped once per BatchEvaluator::run();
+     * the consumer bumps batchedEvals/batchRejects per candidate it
+     * actually consumes, so abandoned batch tails never count.
+     */
+    std::uint64_t batchCalls = 0;   ///< BatchEvaluator::run() calls
+    std::uint64_t batchedEvals = 0; ///< candidates served from a batch
+    std::uint64_t batchRejects = 0; ///< batch-served validity rejects
+
     /**
      * Samples accounted for by some stage. The partition invariant
      * decided() == evaluated must hold for every completed search;
@@ -153,6 +166,9 @@ struct EvalStats
         deltaHits += o.deltaHits;
         deltaFallbacks += o.deltaFallbacks;
         deltaRebases += o.deltaRebases;
+        batchCalls += o.batchCalls;
+        batchedEvals += o.batchedEvals;
+        batchRejects += o.batchRejects;
         return *this;
     }
 };
@@ -212,6 +228,14 @@ class Evaluator
      */
     double objectiveLowerBound(const Mapping &mapping,
                                Objective obj) const;
+
+    /**
+     * The mapping-independent compulsory energy floor used by
+     * objectiveLowerBound(): datapath MACs plus one traversal of every
+     * tensor through the backing store. Exposed so batched evaluation
+     * can reproduce the bound arithmetic bit-exactly.
+     */
+    double compulsoryEnergyFloor() const { return compulsoryEnergy_; }
 
     /**
      * Run the staged fast path: validity, then (optionally) the

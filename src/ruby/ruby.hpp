@@ -32,6 +32,7 @@
 #include "ruby/mapspace/mapspace.hpp"
 #include "ruby/mapspace/padding.hpp"
 #include "ruby/mapspace/stats.hpp"
+#include "ruby/model/batch_eval.hpp"
 #include "ruby/model/eval_cache.hpp"
 #include "ruby/model/evaluator.hpp"
 #include "ruby/model/latency.hpp"

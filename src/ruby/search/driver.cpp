@@ -36,6 +36,7 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         ExhaustiveOptions ex;
         ex.objective = options.objective;
         ex.boundPruning = options.boundPruning;
+        ex.batchEval = options.batchEval;
         ex.threads = options.threads;
         ex.cancel = options.cancel;
         if (options.maxEvaluations != 0)
@@ -58,6 +59,7 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         g.islands = options.islands;
         g.threads = options.threads;
         g.incremental = options.incremental;
+        g.batchEval = options.batchEval;
         g.cancel = options.cancel;
         return geneticSearch(space, evaluator, g);
       }
@@ -218,7 +220,7 @@ layerMemoKey(const ConvShape &sh, const ArchSpec &arch,
         o.restarts, ',', o.boundPruning ? 1 : 0, ',',
         o.evalCache ? 1 : 0, ',', o.evalCacheCapacity, ',', o.islands,
         ',', o.recordTrajectory ? 1 : 0, ',', o.incremental ? 1 : 0,
-        ',', o.refineSteps);
+        ',', o.batchEval ? 1 : 0, ',', o.refineSteps);
 }
 
 } // namespace

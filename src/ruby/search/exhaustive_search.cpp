@@ -13,6 +13,7 @@
 #include "ruby/common/thread_pool.hpp"
 #include "ruby/mapspace/factor_space.hpp"
 #include "ruby/mapspace/index_space.hpp"
+#include "ruby/model/batch_eval.hpp"
 
 namespace ruby
 {
@@ -132,6 +133,119 @@ shardLoop(const EnumContext &ctx, const Evaluator &evaluator,
     }
 }
 
+/**
+ * shardLoop() with the K-wide batch front end. Decoded decision rows
+ * are ingested straight into the batch engine — no Mapping, no
+ * FactorChain division — and a Mapping is materialized only for
+ * candidates that survive both the batch validity stages and the
+ * incumbent prune. Candidates are consumed in index order with the
+ * scalar loop's per-index cancellation and fault points, the same
+ * strict incumbent predicate, and first-strict-improvement selection,
+ * so the reduced best is bit-identical to the scalar shard.
+ */
+void
+shardLoopBatched(const EnumContext &ctx, const Evaluator &evaluator,
+                 std::atomic<std::uint64_t> &next, std::uint64_t limit,
+                 std::uint64_t chunk,
+                 const ExhaustiveIndexSpace &index_space,
+                 SharedIncumbent &incumbent, const CancelToken *cancel,
+                 ShardBest &best)
+{
+    FaultInjector &faults = FaultInjector::global();
+    const Problem &prob = ctx.space.problem();
+    const ArchSpec &arch = ctx.space.arch();
+    const int nd = prob.numDims();
+    const int nl = arch.numLevels();
+
+    EvalScratch scratch;
+    BatchEvaluator batch(evaluator);
+    std::vector<std::size_t> pick, perm_pick;
+    /** Per-candidate permutation picks, flat [j * nl + l]. */
+    std::vector<std::size_t> perm_picks;
+    std::vector<std::vector<std::uint64_t>> steady(
+        static_cast<std::size_t>(nd));
+    std::vector<std::vector<DimId>> perms(
+        static_cast<std::size_t>(nl));
+    const std::vector<std::vector<SpatialAxis>> no_axes;
+
+    for (;;) {
+        const std::uint64_t start =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (start >= limit)
+            return;
+        const std::uint64_t end = std::min(start + chunk, limit);
+        for (std::uint64_t s = start; s < end;) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kDefaultEvalBatch, end - s));
+            batch.begin(want);
+            perm_picks.assign(want * static_cast<std::size_t>(nl), 0);
+            for (std::size_t j = 0; j < want; ++j) {
+                index_space.decode(s + j, pick, perm_pick);
+                for (DimId d = 0; d < nd; ++d)
+                    steady[static_cast<std::size_t>(d)] =
+                        ctx.chains[static_cast<std::size_t>(d)][pick[
+                            static_cast<std::size_t>(d)]];
+                for (int l = 0; l < nl; ++l)
+                    perm_picks[j * static_cast<std::size_t>(nl) +
+                               static_cast<std::size_t>(l)] =
+                        perm_pick[static_cast<std::size_t>(l)];
+                batch.add(steady, ctx.keep, no_axes);
+            }
+            batch.run(ctx.opts.objective, best.stats,
+                      ctx.opts.boundPruning);
+            for (std::size_t j = 0; j < want; ++j) {
+                if ((cancel != nullptr && cancel->cancelled()) ||
+                    (ctx.opts.cancel != nullptr &&
+                     ctx.opts.cancel->cancelled()))
+                    return;
+                if (faults.enabled())
+                    faults.maybeThrow("exhaustive_search.evaluate");
+                ++best.stats.batchedEvals;
+                if (!batch.valid(j)) {
+                    ++best.stats.invalid;
+                    ++best.stats.batchRejects;
+                    continue;
+                }
+                // Same strict predicate as the staged incumbent
+                // overload: bound == incumbent is NOT pruned.
+                if (ctx.opts.boundPruning &&
+                    batch.bound(j) > incumbent.load()) {
+                    ++best.stats.prunedBound;
+                    ++best.valid;
+                    continue;
+                }
+                const std::uint64_t i = s + j;
+                index_space.decode(i, pick, perm_pick);
+                for (DimId d = 0; d < nd; ++d)
+                    steady[static_cast<std::size_t>(d)] =
+                        ctx.chains[static_cast<std::size_t>(d)][pick[
+                            static_cast<std::size_t>(d)]];
+                for (int l = 0; l < nl; ++l)
+                    perms[static_cast<std::size_t>(l)] =
+                        ctx.perm_set[perm_picks[
+                            j * static_cast<std::size_t>(nl) +
+                            static_cast<std::size_t>(l)]];
+                Mapping mapping(prob, arch, steady, perms, ctx.keep);
+                batch.prepareScratch(j, scratch);
+                evaluator.modelValidated(mapping, scratch);
+                incumbent.observeMin(
+                    scratch.result.objective(ctx.opts.objective));
+                ++best.stats.modeled;
+                ++best.valid;
+                const double metric =
+                    scratch.result.objective(ctx.opts.objective);
+                if (metric < best.metric) {
+                    best.metric = metric;
+                    best.index = i;
+                    best.mapping = std::move(mapping);
+                    best.result = scratch.result;
+                }
+            }
+            s += want;
+        }
+    }
+}
+
 } // namespace
 
 ExhaustiveResult
@@ -213,9 +327,21 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
         std::uint64_t>(threads, limit));
     std::vector<ShardBest> shard_bests(workers);
 
+    // Configurations whose keep/axis tables overflow the batch
+    // engine's mask lanes enumerate on the scalar path.
+    const bool batched =
+        options.batchEval &&
+        BatchEvaluator::supports(evaluator.problem(),
+                                 evaluator.arch());
+
     if (workers <= 1) {
-        shardLoop(ctx, evaluator, next, limit, limit, index_space,
-                  incumbent, nullptr, shard_bests[0]);
+        if (batched)
+            shardLoopBatched(ctx, evaluator, next, limit, limit,
+                             index_space, incumbent, nullptr,
+                             shard_bests[0]);
+        else
+            shardLoop(ctx, evaluator, next, limit, limit, index_space,
+                      incumbent, nullptr, shard_bests[0]);
     } else {
         const std::uint64_t chunk =
             ExhaustiveIndexSpace::chunkSizeFor(limit, workers);
@@ -223,9 +349,14 @@ exhaustiveSearch(const Mapspace &space, const Evaluator &evaluator,
         const CancelToken &cancel = pool.cancelToken();
         for (unsigned w = 0; w < workers; ++w)
             pool.submit([&, w]() {
-                shardLoop(ctx, evaluator, next, limit, chunk,
-                          index_space, incumbent, &cancel,
-                          shard_bests[w]);
+                if (batched)
+                    shardLoopBatched(ctx, evaluator, next, limit,
+                                     chunk, index_space, incumbent,
+                                     &cancel, shard_bests[w]);
+                else
+                    shardLoop(ctx, evaluator, next, limit, chunk,
+                              index_space, incumbent, &cancel,
+                              shard_bests[w]);
             });
         pool.waitIdle();
     }

@@ -10,6 +10,7 @@
 #include "ruby/common/error.hpp"
 #include "ruby/common/fault_injector.hpp"
 #include "ruby/common/thread_pool.hpp"
+#include "ruby/model/batch_eval.hpp"
 #include "ruby/model/delta_eval.hpp"
 #include "ruby/search/genome.hpp"
 
@@ -146,6 +147,70 @@ scoreIsland(const Mapspace &space, Objective objective, unsigned elites,
     tally.timers.evalNs += nsSince(t0);
 }
 
+/**
+ * Score jobs [lo, hi) through the batch engine, K members at a time.
+ * Genome decision tables are ingested directly — no Mapping is built
+ * for members the batch validity stages reject — and fitness needs
+ * every surviving member's actual value, so the bound stages are
+ * skipped outright (withBound = false). Each job writes only its own
+ * individual's fitness plus @p tally, so chunked claiming stays free
+ * to vary across runs. Fitness values are bit-identical to scoreOne().
+ */
+void
+scoreJobsBatched(const Mapspace &space, const Evaluator &evaluator,
+                 Objective objective,
+                 std::vector<Island> &archipelago,
+                 const std::vector<ScoreJob> &jobs, std::size_t lo,
+                 std::size_t hi, BatchEvaluator &batch,
+                 EvalScratch &scratch, Tally &tally,
+                 const CancelToken *external,
+                 const CancelToken *poolCancel)
+{
+    FaultInjector &faults = FaultInjector::global();
+    const auto t0 = Clock::now();
+    for (std::size_t s = lo; s < hi;) {
+        const std::size_t want =
+            std::min<std::size_t>(kDefaultEvalBatch, hi - s);
+        batch.begin(want);
+        for (std::size_t j = 0; j < want; ++j) {
+            const MappingGenome &g =
+                archipelago[jobs[s + j].island]
+                    .population[jobs[s + j].member]
+                    .genome;
+            batch.add(g.steady, g.keep, g.axes);
+        }
+        batch.run(objective, tally.stats, /*withBound=*/false);
+        for (std::size_t j = 0; j < want; ++j) {
+            if ((external != nullptr && external->cancelled()) ||
+                (poolCancel != nullptr && poolCancel->cancelled())) {
+                tally.timers.evalNs += nsSince(t0);
+                return;
+            }
+            Individual &ind = archipelago[jobs[s + j].island]
+                                  .population[jobs[s + j].member];
+            if (faults.enabled())
+                faults.maybeThrow("genetic_search.evaluate");
+            ++tally.evaluated;
+            ++tally.stats.batchedEvals;
+            if (!batch.valid(j)) {
+                ++tally.stats.invalid;
+                ++tally.stats.batchRejects;
+                ind.fitness = kInf;
+                continue;
+            }
+            const Mapping mapping = ind.genome.materialize(
+                space.problem(), space.arch());
+            batch.prepareScratch(j, scratch);
+            evaluator.modelValidated(mapping, scratch);
+            ++tally.stats.modeled;
+            ++tally.valid;
+            ind.fitness = scratch.result.objective(objective);
+        }
+        s += want;
+    }
+    tally.timers.evalNs += nsSince(t0);
+}
+
 /** Population indices ordered best-first by (fitness, index). */
 std::vector<std::size_t>
 rankedIndices(const std::vector<Individual> &population)
@@ -231,8 +296,29 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
     auto externallyCancelled = [&]() {
         return options.cancel != nullptr && options.cancel->cancelled();
     };
+    // One persistent batch engine per worker (lane arrays are reused
+    // across generations). Configurations whose keep/axis tables
+    // overflow the engine's mask lanes score on the scalar path.
+    const bool batched =
+        options.batchEval &&
+        BatchEvaluator::supports(evaluator.problem(),
+                                 evaluator.arch());
+    std::vector<BatchEvaluator> batch_engines;
+    if (batched) {
+        batch_engines.reserve(threads);
+        for (unsigned w = 0; w < threads; ++w)
+            batch_engines.emplace_back(evaluator);
+    }
+
     auto scoreBatch = [&](const std::vector<ScoreJob> &jobs) {
         if (pool == nullptr || jobs.size() <= 1) {
+            if (batched && jobs.size() > 1) {
+                scoreJobsBatched(space, evaluator, options.objective,
+                                 archipelago, jobs, 0, jobs.size(),
+                                 batch_engines[0], worker_scratch[0],
+                                 tally, options.cancel, nullptr);
+                return;
+            }
             for (const ScoreJob &job : jobs) {
                 if (externallyCancelled())
                     return;
@@ -248,6 +334,35 @@ geneticSearch(const Mapspace &space, const Evaluator &evaluator,
             std::min<std::size_t>(threads, jobs.size()));
         std::vector<Tally> tallies(workers);
         const CancelToken &cancel = pool->cancelToken();
+        if (batched) {
+            // Workers claim whole K-wide chunks so each batch stays
+            // contiguous; the merge below is commutative, so the
+            // claim order cannot affect any result.
+            for (unsigned w = 0; w < workers; ++w)
+                pool->submit([&, w]() {
+                    for (;;) {
+                        const std::size_t lo = next.fetch_add(
+                            kDefaultEvalBatch,
+                            std::memory_order_relaxed);
+                        if (lo >= jobs.size() ||
+                            cancel.cancelled() ||
+                            externallyCancelled())
+                            return;
+                        const std::size_t hi =
+                            std::min(jobs.size(),
+                                     lo + kDefaultEvalBatch);
+                        scoreJobsBatched(
+                            space, evaluator, options.objective,
+                            archipelago, jobs, lo, hi,
+                            batch_engines[w], worker_scratch[w],
+                            tallies[w], options.cancel, &cancel);
+                    }
+                });
+            pool->waitIdle();
+            for (const Tally &t : tallies)
+                tally += t;
+            return;
+        }
         for (unsigned w = 0; w < workers; ++w)
             pool->submit([&, w]() {
                 for (;;) {

@@ -84,6 +84,16 @@ struct GeneticOptions
     bool incremental = true;
 
     /**
+     * Serve bulk scoring (the initial population always; generations
+     * whenever the incremental engine is off) through the batched SoA
+     * engine: genome rows are ingested directly and a Mapping is
+     * materialized only for members that survive the batch validity
+     * stages. Fitness values are bit-identical with the flag on or
+     * off; disable only to measure the engine's effect.
+     */
+    bool batchEval = true;
+
+    /**
      * External cooperative cancellation (e.g. a serving drain):
      * polled per scored individual and between generations; the
      * best-so-far across completed scoring is still returned. Not

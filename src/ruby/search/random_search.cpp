@@ -1,15 +1,18 @@
 #include "ruby/search/random_search.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "ruby/common/cancel.hpp"
 #include "ruby/common/error.hpp"
 #include "ruby/common/fault_injector.hpp"
 #include "ruby/common/thread_pool.hpp"
+#include "ruby/model/batch_eval.hpp"
 #include "ruby/model/delta_eval.hpp"
 #include "ruby/search/genome.hpp"
 
@@ -140,6 +143,56 @@ evalSample(const Mapping &mapping, const Evaluator &evaluator,
     return out;
 }
 
+/**
+ * The batched twin of evalSample(): validity and bound were computed
+ * batch-wide by BatchEvaluator::run(); everything from the prune on —
+ * the cache protocol, the full model, the counter bumps — replays the
+ * scalar sequence exactly, against the same live @p bestSoFar, so the
+ * two paths are bit-identical per candidate.
+ */
+SampleOutcome
+consumeBatched(const BatchEvaluator &batch, std::size_t j,
+               const Mapping &mapping, const Evaluator &evaluator,
+               const SearchOptions &opts, EvalCache *cache,
+               const FingerprintPair &salt, double bestSoFar,
+               EvalScratch &scratch, EvalStats &stats)
+{
+    SampleOutcome out;
+    ++stats.batchedEvals;
+    if (!batch.valid(j)) {
+        ++stats.invalid;
+        ++stats.batchRejects;
+        return out;
+    }
+    out.valid = true;
+    if (opts.boundPruning && batch.bound(j) >= bestSoFar) {
+        ++stats.prunedBound;
+        return out;
+    }
+    FingerprintPair fp;
+    if (cache != nullptr) {
+        fp = mappingFingerprintPair(mapping);
+        fp.key ^= salt.key;
+        fp.verify ^= salt.verify;
+        CachedEval cached;
+        if (cache->lookup(fp.key, fp.verify, cached) && cached.valid &&
+            cached.objective >= bestSoFar) {
+            ++stats.cacheHits;
+            out.metric = cached.objective;
+            return out;
+        }
+        ++stats.cacheMisses;
+    }
+    batch.prepareScratch(j, scratch);
+    evaluator.modelValidated(mapping, scratch);
+    ++stats.modeled;
+    out.modeled = true;
+    out.metric = scratch.result.objective(opts.objective);
+    if (cache != nullptr)
+        cache->insert(fp.key, fp.verify, CachedEval{out.metric, true});
+    return out;
+}
+
 /** Shared best-so-far state for the multithreaded path. */
 struct SharedState
 {
@@ -224,12 +277,195 @@ shardLoop(const Mapspace &space, const Evaluator &evaluator,
     state.stats += stats;
 }
 
+/**
+ * shardLoop() with the K-wide batch front end. Samples are pre-drawn
+ * (evaluation never touches the RNG, so the stream is unchanged; draws
+ * abandoned at a stop point are simply discarded) and every per-
+ * candidate check — stop flag, cancellation, deadline stride, the
+ * maxEvaluations bound — runs at consumption, in the scalar order, so
+ * the stop points and counter totals match the scalar shard exactly.
+ */
+void
+shardLoopBatched(const Mapspace &space, const Evaluator &evaluator,
+                 const SearchOptions &opts, EvalCache *cache,
+                 const FingerprintPair &salt, Rng rng,
+                 SharedState &state, const CancelToken &cancel,
+                 const Deadline &deadline)
+{
+    FaultInjector &faults = FaultInjector::global();
+    EvalScratch scratch;
+    EvalStats stats;
+    BatchEvaluator batch(evaluator);
+    std::vector<Mapping> drawn;
+    drawn.reserve(kDefaultEvalBatch);
+    std::uint64_t local = 0;
+    bool done = false;
+    while (!done) {
+        std::size_t want = kDefaultEvalBatch;
+        if (opts.maxEvaluations != 0) {
+            const std::uint64_t seen =
+                state.evaluated.load(std::memory_order_relaxed);
+            if (seen >= opts.maxEvaluations)
+                break;
+            want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(want,
+                                        opts.maxEvaluations - seen));
+        }
+        drawn.clear();
+        batch.begin(want);
+        for (std::size_t j = 0; j < want; ++j) {
+            drawn.push_back(space.sample(rng));
+            batch.add(drawn.back());
+        }
+        batch.run(opts.objective, stats, opts.boundPruning);
+        for (std::size_t j = 0; j < want; ++j) {
+            if (state.stop.load(std::memory_order_relaxed) ||
+                cancel.cancelled()) {
+                done = true;
+                break;
+            }
+            if ((local++ % kDeadlineStride) == 0 &&
+                (deadline.expired() ||
+                 (opts.cancel != nullptr &&
+                  opts.cancel->cancelled()))) {
+                state.deadlineHit.store(true,
+                                        std::memory_order_relaxed);
+                state.stop.store(true, std::memory_order_relaxed);
+                done = true;
+                break;
+            }
+            if (opts.maxEvaluations != 0 &&
+                state.evaluated.load(std::memory_order_relaxed) >=
+                    opts.maxEvaluations) {
+                state.stop.store(true, std::memory_order_relaxed);
+                done = true;
+                break;
+            }
+            if (faults.enabled())
+                faults.maybeThrow("random_search.evaluate");
+            const double bestSoFar =
+                state.bestSnapshot.load(std::memory_order_relaxed);
+            const SampleOutcome sample =
+                consumeBatched(batch, j, drawn[j], evaluator, opts,
+                               cache, salt, bestSoFar, scratch, stats);
+            state.evaluated.fetch_add(1, std::memory_order_relaxed);
+            if (!sample.valid)
+                continue;
+            state.valid.fetch_add(1, std::memory_order_relaxed);
+
+            bool improved = false;
+            if (sample.modeled) {
+                std::lock_guard lock(state.mutex);
+                if (sample.metric < state.bestObjective) {
+                    state.bestObjective = sample.metric;
+                    state.bestSnapshot.store(
+                        sample.metric, std::memory_order_relaxed);
+                    state.best = drawn[j];
+                    state.bestResult = scratch.result;
+                    improved = true;
+                }
+            }
+            if (improved) {
+                state.streak.store(0, std::memory_order_relaxed);
+            } else if (opts.terminationStreak != 0) {
+                const auto streak =
+                    state.streak.fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1;
+                if (streak >= opts.terminationStreak)
+                    state.stop.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+    std::lock_guard lock(state.mutex);
+    state.stats += stats;
+}
+
 SearchResult
 runOne(const Mapspace &space, const Evaluator &evaluator,
        const SearchOptions &options, EvalCache *cache,
        const FingerprintPair &salt, const Deadline &deadline)
 {
     SearchResult out;
+
+    // Rare configurations whose keep/axis tables overflow the batch
+    // engine's mask lanes simply take the scalar path.
+    const bool batched =
+        options.batchEval &&
+        BatchEvaluator::supports(evaluator.problem(),
+                                 evaluator.arch());
+
+    if ((options.recordTrajectory || options.threads <= 1) &&
+        batched) {
+        // The K-wide serial loop. Checks run per consumed candidate at
+        // the same global index i as the scalar loop below, the
+        // incumbent is live across the batch, and abandoned draws are
+        // discarded uncounted — so best mapping, trajectory, and every
+        // counter are bit-identical to the scalar path at any K.
+        FaultInjector &faults = FaultInjector::global();
+        Rng rng(options.seed);
+        EvalScratch scratch;
+        BatchEvaluator batch(evaluator);
+        std::vector<Mapping> drawn;
+        drawn.reserve(kDefaultEvalBatch);
+        double best = kInf;
+        std::uint64_t streak = 0;
+        std::uint64_t i = 0;
+        bool done = false;
+        while (!done) {
+            std::size_t want = kDefaultEvalBatch;
+            if (options.maxEvaluations != 0) {
+                if (i >= options.maxEvaluations)
+                    break;
+                want = static_cast<std::size_t>(std::min<std::uint64_t>(
+                    want, options.maxEvaluations - i));
+            }
+            drawn.clear();
+            batch.begin(want);
+            for (std::size_t j = 0; j < want; ++j) {
+                drawn.push_back(space.sample(rng));
+                batch.add(drawn.back());
+            }
+            batch.run(options.objective, out.stats,
+                      options.boundPruning);
+            for (std::size_t j = 0; j < want; ++j, ++i) {
+                if ((i % kDeadlineStride) == 0 &&
+                    (deadline.expired() ||
+                     (options.cancel != nullptr &&
+                      options.cancel->cancelled()))) {
+                    out.deadlineExceeded = true;
+                    done = true;
+                    break;
+                }
+                if (faults.enabled())
+                    faults.maybeThrow("random_search.evaluate");
+                const SampleOutcome sample =
+                    consumeBatched(batch, j, drawn[j], evaluator,
+                                   options, cache, salt, best, scratch,
+                                   out.stats);
+                ++out.evaluated;
+                if (sample.valid) {
+                    ++out.valid;
+                    if (sample.modeled && sample.metric < best) {
+                        best = sample.metric;
+                        out.best = drawn[j];
+                        out.bestResult = scratch.result;
+                        streak = 0;
+                    } else {
+                        ++streak;
+                    }
+                }
+                if (options.recordTrajectory)
+                    out.trajectory.push_back(best);
+                if (options.terminationStreak != 0 &&
+                    streak >= options.terminationStreak) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        return out;
+    }
 
     if (options.recordTrajectory || options.threads <= 1) {
         FaultInjector &faults = FaultInjector::global();
@@ -285,8 +521,13 @@ runOne(const Mapspace &space, const Evaluator &evaluator,
     Rng seeder(options.seed);
     for (unsigned i = 0; i < options.threads; ++i)
         pool.submit([&, stream = seeder.split()]() mutable {
-            shardLoop(space, evaluator, options, cache, salt, stream,
-                      state, cancel, deadline);
+            if (batched)
+                shardLoopBatched(space, evaluator, options, cache,
+                                 salt, stream, state, cancel,
+                                 deadline);
+            else
+                shardLoop(space, evaluator, options, cache, salt,
+                          stream, state, cancel, deadline);
         });
     pool.waitIdle();
 

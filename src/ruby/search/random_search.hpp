@@ -111,6 +111,18 @@ struct SearchOptions
     bool incremental = true;
 
     /**
+     * Evaluate candidates K at a time through the batched SoA engine
+     * (BatchEvaluator) where a strategy produces natural batches:
+     * random sampling, exhaustive work-stealing chunks, and genetic
+     * bulk scoring. The batch stages recompute exactly — best
+     * mappings, trajectories and stage counters are bit-identical
+     * with the flag on or off at any batch size — so disable only to
+     * measure the engine's effect. EvalStats.batchCalls /
+     * batchedEvals / batchRejects report the coverage.
+     */
+    bool batchEval = true;
+
+    /**
      * Hill-climbing steps applied to the best mapping after random
      * sampling finishes (0 = off, the classic sampler). Each step
      * evaluates one mutated neighbour — counted in the usual

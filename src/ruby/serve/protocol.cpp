@@ -283,6 +283,7 @@ searchOptionsToJson(const SearchOptions &options)
             JsonValue::makeBool(options.recordTrajectory));
     out.set("boundPruning", JsonValue::makeBool(options.boundPruning));
     out.set("incremental", JsonValue::makeBool(options.incremental));
+    out.set("batchEval", JsonValue::makeBool(options.batchEval));
     out.set("refineSteps", JsonValue::makeU64(options.refineSteps));
     out.set("evalCache", JsonValue::makeBool(options.evalCache));
     out.set("evalCacheCapacity",
@@ -322,6 +323,7 @@ searchOptionsFromJson(const JsonValue &v)
         v.getBool("recordTrajectory", o.recordTrajectory);
     o.boundPruning = v.getBool("boundPruning", o.boundPruning);
     o.incremental = v.getBool("incremental", o.incremental);
+    o.batchEval = v.getBool("batchEval", o.batchEval);
     o.refineSteps = static_cast<unsigned>(
         v.getU64("refineSteps", o.refineSteps));
     o.evalCache = v.getBool("evalCache", o.evalCache);
@@ -388,6 +390,9 @@ evalStatsToJson(const EvalStats &stats)
     out.set("deltaFallbacks",
             JsonValue::makeU64(stats.deltaFallbacks));
     out.set("deltaRebases", JsonValue::makeU64(stats.deltaRebases));
+    out.set("batchCalls", JsonValue::makeU64(stats.batchCalls));
+    out.set("batchedEvals", JsonValue::makeU64(stats.batchedEvals));
+    out.set("batchRejects", JsonValue::makeU64(stats.batchRejects));
     return out;
 }
 
@@ -409,6 +414,11 @@ evalStatsFromJson(const JsonValue &v)
     stats.deltaHits = v.getU64("deltaHits", 0);
     stats.deltaFallbacks = v.getU64("deltaFallbacks", 0);
     stats.deltaRebases = v.getU64("deltaRebases", 0);
+    // Likewise absent from pre-batch-engine peers: zero means "no
+    // batched evaluation ran".
+    stats.batchCalls = v.getU64("batchCalls", 0);
+    stats.batchedEvals = v.getU64("batchedEvals", 0);
+    stats.batchRejects = v.getU64("batchRejects", 0);
     return stats;
 }
 

@@ -144,6 +144,34 @@ TEST(ReportGolden, MemoizedLayersGetMemoStatusAndStatsLine)
     EXPECT_EQ(tailAfterTable(text), golden);
 }
 
+TEST(ReportGolden, BatchEvalLinePrintedOnlyWhenBatchesRan)
+{
+    // Batch-free summaries are pinned byte-identical by the goldens
+    // above (batchCalls == 0 prints nothing); a run that batched gets
+    // exactly one extra line after the fast-path stats.
+    NetworkOutcome net;
+    net.layers = {okLayer("conv_a", 50.0)};
+    net.allFound = true;
+    net.totalEnergy = 1e9;
+    net.totalCycles = 100.0;
+    net.edp = 1e11;
+    net.stats.invalid = 10;
+    net.stats.modeled = 40;
+    net.stats.batchCalls = 3;
+    net.stats.batchedEvals = 96;
+    net.stats.batchRejects = 10;
+
+    const std::string golden =
+        "mapped 1/1 unique layers\n"
+        "fast path      : 10 invalid, 0 bound-pruned, "
+        "0 cache hits (0 evictions), 40 fully modeled\n"
+        "batch eval     : 96 batched over 3 batches (10 rejects)\n"
+        "network energy : 1.000e+09 pJ\n"
+        "network cycles : 100.0\n"
+        "network EDP    : 1.000e+11\n";
+    EXPECT_EQ(tailAfterTable(render(net)), golden);
+}
+
 TEST(ReportGolden, StatsCheckViolationSurfacesOneLinePerLayer)
 {
     NetworkOutcome net;

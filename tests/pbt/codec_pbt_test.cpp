@@ -154,6 +154,8 @@ requestRoundTrips(const serve::Request &req)
             return fail("search.boundPruning");
         if (a.incremental != b.incremental)
             return fail("search.incremental");
+        if (a.batchEval != b.batchEval)
+            return fail("search.batchEval");
         if (a.refineSteps != b.refineSteps)
             return fail("search.refineSteps");
         if (a.evalCache != b.evalCache)
@@ -192,7 +194,10 @@ evalStatsRoundTrips(const EvalStats &stats)
         back.deltaAttempts != stats.deltaAttempts ||
         back.deltaHits != stats.deltaHits ||
         back.deltaFallbacks != stats.deltaFallbacks ||
-        back.deltaRebases != stats.deltaRebases) {
+        back.deltaRebases != stats.deltaRebases ||
+        back.batchCalls != stats.batchCalls ||
+        back.batchedEvals != stats.batchedEvals ||
+        back.batchRejects != stats.batchRejects) {
         std::ostringstream os;
         os << "EvalStats did not round-trip: "
            << serve::writeJson(serve::evalStatsToJson(stats));
@@ -215,6 +220,9 @@ TEST(CodecPbt, EvalStatsCodecRoundTrips)
         s.deltaHits = rng.next() >> rng.below(64);
         s.deltaFallbacks = rng.next() >> rng.below(64);
         s.deltaRebases = rng.next() >> rng.below(64);
+        s.batchCalls = rng.next() >> rng.below(64);
+        s.batchedEvals = rng.next() >> rng.below(64);
+        s.batchRejects = rng.next() >> rng.below(64);
         return s;
     };
     ruby::pbt::check("evalStatsRoundTrip", 0x57A7u, gen,

@@ -497,6 +497,7 @@ genSearchOptions(Rng &rng)
     o.recordTrajectory = rng.below(2) == 1;
     o.boundPruning = rng.below(2) == 1;
     o.incremental = rng.below(2) == 1;
+    o.batchEval = rng.below(2) == 1;
     o.refineSteps = static_cast<unsigned>(rng.below(64));
     o.evalCache = rng.below(2) == 1;
     o.evalCacheCapacity = 1ull << rng.between(4, 20);

@@ -25,6 +25,9 @@ import sys
 # Engine-only floors (valid on any host: measured at 1 thread against
 # the incremental-off baseline).
 EVAL_FASTPATH_MIN = 1.5  # bound-prune + memo fast path, eval_throughput
+EVAL_BATCH_MIN = 2.0  # batched SoA stages vs the scalar fast path,
+                      # at the best batch width; single-thread, so it
+                      # holds on any host
 LOCAL_ENGINE_MIN = 1.3   # local search, delta-hit rate ~1.0
 GENETIC_ENGINE_MIN = 1.05  # genetic: eval is ~40% of wall, hits ~36%
 
@@ -67,6 +70,23 @@ def check_eval_throughput(gate, data):
         data["baseline_best_edp"] == data["fastpath_best_edp"],
         "fast-path best EDP identical to baseline",
     )
+    # The floor must be met at a production-relevant width (K >= 32,
+    # the search loops' default and up), not by a narrow fluke.
+    wide = [p for p in data["batch_sweep"] if p["k"] >= 32]
+    best_wide = max(wide, key=lambda p: p["speedup_vs_fastpath"])
+    gate.check(
+        best_wide["speedup_vs_fastpath"] >= EVAL_BATCH_MIN,
+        f"batched speedup {best_wide['speedup_vs_fastpath']:.2f}x"
+        f" >= {EVAL_BATCH_MIN}x (K={best_wide['k']})",
+    )
+    # Correctness gate — unconditional: every batch width must land on
+    # the fast path's best EDP bit for bit.
+    gate.check(data["batch_parity"], "batch parity at every width")
+    for p in data["batch_sweep"]:
+        gate.check(
+            p["parity"] and p["best_edp"] == data["fastpath_best_edp"],
+            f"batch K={p['k']} best EDP identical to fast path",
+        )
 
 
 def point(series, threads, incremental=True):

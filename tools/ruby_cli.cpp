@@ -20,6 +20,7 @@
  * --cache-capacity N (memo-cache entries),
  * --[no-]bound-pruning (objective lower-bound prune; on by default),
  * --[no-]incremental (delta evaluation engine; on by default),
+ * --[no-]batch-eval (batched SoA evaluation; on by default),
  * --pad, --yaml (machine-readable output instead of the human
  * report). See docs/PERFORMANCE.md for the fast-path knobs.
  *
@@ -121,6 +122,7 @@ usage()
            "          [--threads N] [--restarts N] [--time-budget MS]\n"
            "          [--[no-]eval-cache] [--cache-capacity N]\n"
            "          [--[no-]bound-pruning] [--[no-]incremental]\n"
+           "          [--[no-]batch-eval]\n"
            "          [--strategy random|exhaustive|genetic|local]\n"
            "          [--islands N] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
@@ -222,6 +224,10 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
         search.incremental = true;
     else if (flag == "--no-incremental")
         search.incremental = false;
+    else if (flag == "--batch-eval")
+        search.batchEval = true;
+    else if (flag == "--no-batch-eval")
+        search.batchEval = false;
     else if (flag == "--strategy")
         search.strategy = serve::parseStrategy(next());
     else if (flag == "--islands")
@@ -273,6 +279,13 @@ reportMapResult(const Problem &problem, const ArchSpec &arch,
                   << " incremental, " << result.stats.deltaFallbacks
                   << " fallbacks (" << result.stats.deltaRebases
                   << " rebases)\n";
+    // Likewise for the batch engine: batch-free runs keep their
+    // historical output byte-identical.
+    if (result.stats.batchCalls > 0)
+        std::cout << "batch eval: " << result.stats.batchedEvals
+                  << " batched over " << result.stats.batchCalls
+                  << " batches (" << result.stats.batchRejects
+                  << " rejects)\n";
     if (!result.statsNote.empty())
         std::cout << "warning: " << result.statsNote << "\n";
     if (result.timedOut)
