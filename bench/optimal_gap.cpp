@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Certified-optimal search head-to-head (ISSUE 8): on the Eyeriss and
+ * Simba presets, runs the branch-and-bound `optimal` strategy across
+ * a ladder of evaluation budgets and records the proved optimality
+ * gap and wall time at each rung — the gap must shrink monotonically
+ * and hit 0 % (a certificate) at the top rung — then replays random
+ * sampling on the same space and measures how long it takes to merely
+ * *reach* the EDP that optimal had already proved near-optimal.
+ *
+ * The random baseline draws uniform chain picks from the *same
+ * enumerated chain space* the branch-and-bound certifies over
+ * (product randomSearch samples the continuous imperfect-
+ * factorization population, a different space, so matching the
+ * certificate's EDP there would compare two different optima).
+ *
+ * Writes BENCH_optimal_gap.json next to the working directory.
+ * `--full` (or RUBY_BENCH_FULL=1) enlarges the budgets and sets the
+ * JSON's full_run flag.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ruby/arch/presets.hpp"
+#include "ruby/common/rng.hpp"
+#include "ruby/mapspace/factor_space.hpp"
+#include "ruby/search/driver.hpp"
+#include "ruby/search/optimal_search.hpp"
+#include "ruby/workload/conv.hpp"
+
+#include "bench_util.hpp"
+
+namespace
+{
+
+using namespace ruby;
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+struct GapPoint
+{
+    std::uint64_t cap = 0; ///< eval budget (0 = run to certificate)
+    double wallMs = 0.0;
+    double gapPercent = 100.0;
+    double bestEdp = 0.0;
+    bool certified = false;
+    bool found = false;
+};
+
+struct PresetReport
+{
+    std::string preset;
+    std::string workload;
+    std::vector<GapPoint> curve;
+    bool gapMonotone = true;
+    bool certifiedAtTop = false;
+    double certifiedEdp = 0.0;
+    /** Wall time of the first rung whose proved gap is <= 5 %. */
+    double optimalTimeToGap5Ms = -1.0;
+    double gap5Edp = 0.0;
+
+    std::uint64_t randomEvals = 0;
+    double randomWallMs = 0.0;
+    bool randomReached = false;
+    /** Interpolated wall time for random to reach gap5Edp. */
+    double randomTimeToMatchMs = -1.0;
+    bool optimalBeatsRandom = false;
+};
+
+PresetReport
+runPreset(const char *presetName, ConstraintPreset preset,
+          const ArchSpec &arch, const ConvShape &shape, bool full)
+{
+    PresetReport rep;
+    rep.preset = presetName;
+    const Problem prob = makeConv(shape);
+    rep.workload = prob.name();
+    const MappingConstraints cons =
+        makeConstraints(preset, prob, arch);
+    const Mapspace space(cons, MapspaceVariant::RubyS);
+    const Evaluator eval(prob, arch);
+
+    std::vector<std::uint64_t> caps =
+        full ? std::vector<std::uint64_t>{2'000, 10'000, 50'000,
+                                          200'000, 0}
+             : std::vector<std::uint64_t>{1'000, 5'000, 20'000, 0};
+    const std::uint64_t certCap = full ? 20'000'000 : 5'000'000;
+
+    std::cout << "  " << presetName << " / " << rep.workload << "\n";
+    double lastGap = 101.0;
+    for (const std::uint64_t cap : caps) {
+        OptimalOptions opts;
+        opts.maxEvaluations = cap == 0 ? certCap : cap;
+        const auto start = Clock::now();
+        const OptimalResult res = optimalSearch(space, eval, opts);
+        GapPoint p;
+        p.cap = cap;
+        p.wallMs = elapsedMs(start);
+        p.found = res.best.has_value();
+        p.certified = res.certified;
+        p.gapPercent = res.gapPercent;
+        p.bestEdp = p.found ? res.bestResult.edp : 0.0;
+        rep.curve.push_back(p);
+        std::cout << "    optimal cap "
+                  << (cap == 0 ? std::string("cert") :
+                                 std::to_string(cap))
+                  << ": gap " << p.gapPercent << " %, "
+                  << p.wallMs << " ms"
+                  << (p.certified ? " [certified]" : "") << "\n";
+        if (p.gapPercent > lastGap)
+            rep.gapMonotone = false;
+        lastGap = p.gapPercent;
+        if (rep.optimalTimeToGap5Ms < 0.0 && p.found &&
+            p.gapPercent <= 5.0) {
+            rep.optimalTimeToGap5Ms = p.wallMs;
+            rep.gap5Edp = p.bestEdp;
+        }
+    }
+    const GapPoint &top = rep.curve.back();
+    rep.certifiedAtTop = top.certified && top.found;
+    rep.certifiedEdp = top.bestEdp;
+
+    // Uniform random over the same enumerated chain space: how long
+    // until blind sampling merely reaches the EDP optimal had proved
+    // within 5 %? Identity loop order and keep-all residency match
+    // the enumeration, so both searches draw from one population.
+    const int nd = prob.numDims();
+    const int nl = arch.numLevels();
+    const int nt = prob.numTensors();
+    std::vector<std::vector<std::vector<std::uint64_t>>> chains(
+        static_cast<std::size_t>(nd));
+    for (DimId d = 0; d < nd; ++d)
+        chains[static_cast<std::size_t>(d)] =
+            enumerateChains(prob.dimSize(d), chainRules(space, d));
+    std::vector<std::vector<DimId>> perms(
+        static_cast<std::size_t>(nl));
+    {
+        std::vector<DimId> identity(static_cast<std::size_t>(nd));
+        std::iota(identity.begin(), identity.end(), 0);
+        for (int l = 0; l < nl; ++l)
+            perms[static_cast<std::size_t>(l)] = identity;
+    }
+    std::vector<std::vector<char>> keep(
+        static_cast<std::size_t>(nl),
+        std::vector<char>(static_cast<std::size_t>(nt), 1));
+    for (int l = 1; l < nl - 1; ++l)
+        for (int t = 0; t < nt; ++t)
+            if (space.constraints().bypassForced(l, t))
+                keep[static_cast<std::size_t>(l)]
+                    [static_cast<std::size_t>(t)] = 0;
+
+    Rng rng(7);
+    std::vector<std::vector<std::uint64_t>> steady(
+        static_cast<std::size_t>(nd));
+    const std::uint64_t budget = full ? 2'000'000 : 500'000;
+    const double wallCapMs = full ? 60'000.0 : 10'000.0;
+    const auto rstart = Clock::now();
+    for (std::uint64_t i = 0; i < budget; ++i) {
+        if ((i & 0x3ff) == 0 && elapsedMs(rstart) > wallCapMs)
+            break;
+        for (DimId d = 0; d < nd; ++d) {
+            const auto &cs = chains[static_cast<std::size_t>(d)];
+            steady[static_cast<std::size_t>(d)] =
+                cs[rng.below(cs.size())];
+        }
+        const Mapping mapping(prob, arch, steady, perms, keep);
+        const EvalResult res = eval.evaluate(mapping);
+        ++rep.randomEvals;
+        if (!res.valid)
+            continue;
+        if (rep.gap5Edp > 0.0 &&
+            res.edp <= rep.gap5Edp * (1 + 1e-12)) {
+            rep.randomReached = true;
+            rep.randomTimeToMatchMs = elapsedMs(rstart);
+            break;
+        }
+    }
+    rep.randomWallMs = elapsedMs(rstart);
+    rep.optimalBeatsRandom =
+        rep.optimalTimeToGap5Ms >= 0.0 &&
+        (!rep.randomReached ||
+         rep.optimalTimeToGap5Ms < rep.randomTimeToMatchMs);
+    std::cout << "    random: " << rep.randomEvals << " evals, "
+              << rep.randomWallMs << " ms, "
+              << (rep.randomReached
+                      ? "matched optimal's 5 %-gap EDP at ~" +
+                            std::to_string(rep.randomTimeToMatchMs) +
+                            " ms"
+                      : "never matched optimal's 5 %-gap EDP")
+              << "\n";
+    return rep;
+}
+
+void
+emitPreset(std::ofstream &json, const PresetReport &rep,
+           bool trailingComma)
+{
+    json << "    {\"preset\": \"" << rep.preset << "\",\n"
+         << "     \"workload\": \"" << rep.workload << "\",\n"
+         << "     \"curve\": [\n";
+    for (std::size_t i = 0; i < rep.curve.size(); ++i) {
+        const GapPoint &p = rep.curve[i];
+        json << "       {\"cap\": " << p.cap
+             << ", \"wall_ms\": " << p.wallMs
+             << ", \"gap_percent\": " << p.gapPercent
+             << ", \"best_edp\": " << p.bestEdp
+             << ", \"certified\": " << (p.certified ? "true" : "false")
+             << ", \"found\": " << (p.found ? "true" : "false") << "}"
+             << (i + 1 < rep.curve.size() ? "," : "") << "\n";
+    }
+    json << "     ],\n"
+         << "     \"gap_monotone\": "
+         << (rep.gapMonotone ? "true" : "false") << ",\n"
+         << "     \"certified_at_top\": "
+         << (rep.certifiedAtTop ? "true" : "false") << ",\n"
+         << "     \"certified_edp\": " << rep.certifiedEdp << ",\n"
+         << "     \"optimal_time_to_gap5_ms\": "
+         << rep.optimalTimeToGap5Ms << ",\n"
+         << "     \"gap5_edp\": " << rep.gap5Edp << ",\n"
+         << "     \"random_evals\": " << rep.randomEvals << ",\n"
+         << "     \"random_wall_ms\": " << rep.randomWallMs << ",\n"
+         << "     \"random_reached\": "
+         << (rep.randomReached ? "true" : "false") << ",\n"
+         << "     \"random_time_to_match_ms\": "
+         << rep.randomTimeToMatchMs << ",\n"
+         << "     \"optimal_beats_random\": "
+         << (rep.optimalBeatsRandom ? "true" : "false") << "}"
+         << (trailingComma ? "," : "") << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool full = ruby::bench::fullRun();
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--full")
+            full = true;
+
+    std::cout << "certified-optimal gap-vs-time (optimal vs random)\n";
+
+    // Small enough that the branch-and-bound certifies within the
+    // bench budget, big enough that random sampling does not trip
+    // over the optimum by accident.
+    ConvShape eyerissShape;
+    eyerissShape.name = "conv_e";
+    eyerissShape.c = 24;
+    eyerissShape.m = 20;
+    eyerissShape.p = 13;
+    eyerissShape.q = 13;
+    eyerissShape.r = 3;
+    eyerissShape.s = 3;
+
+    ConvShape simbaShape;
+    simbaShape.name = "conv_s";
+    simbaShape.c = 48;
+    simbaShape.m = 24;
+    simbaShape.p = 13;
+    simbaShape.q = 13;
+    simbaShape.r = 3;
+    simbaShape.s = 3;
+
+    const PresetReport eyeriss =
+        runPreset("eyeriss_rs", ConstraintPreset::EyerissRS,
+                  makeEyeriss(), eyerissShape, full);
+    const PresetReport simba = runPreset(
+        "simba", ConstraintPreset::Simba, makeSimba(), simbaShape,
+        full);
+
+    const char *path = "BENCH_optimal_gap.json";
+    std::ofstream json(path);
+    json << "{\n  \"benchmark\": \"optimal_gap\",\n"
+         << "  \"full_run\": " << (full ? "true" : "false") << ",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"presets\": [\n";
+    emitPreset(json, eyeriss, true);
+    emitPreset(json, simba, false);
+    json << "  ]\n}\n";
+
+    std::cout << "eyeriss: gap monotone "
+              << (eyeriss.gapMonotone ? "yes" : "NO")
+              << ", certified " << (eyeriss.certifiedAtTop ? "yes" : "NO")
+              << ", beats random "
+              << (eyeriss.optimalBeatsRandom ? "yes" : "NO")
+              << "; simba: gap monotone "
+              << (simba.gapMonotone ? "yes" : "NO") << ", certified "
+              << (simba.certifiedAtTop ? "yes" : "NO")
+              << ", beats random "
+              << (simba.optimalBeatsRandom ? "yes" : "NO") << " -> "
+              << path << "\n";
+    return 0;
+}

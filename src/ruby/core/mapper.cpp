@@ -25,6 +25,8 @@ Mapper::run() const
     res.failure = outcome.failure;
     res.diagnostic = outcome.diagnostic;
     res.timedOut = outcome.timedOut;
+    res.certified = outcome.certified;
+    res.gapPercent = outcome.gapPercent;
     res.statsNote = outcome.statsNote;
     return res;
 }

@@ -55,6 +55,10 @@ struct MapperResult
     std::string diagnostic;
     /** True when the search's time budget expired. */
     bool timedOut = false;
+    /** True when the mapping is a certified global optimum. */
+    bool certified = false;
+    /** Optimality gap % on early stop; negative when not tracked. */
+    double gapPercent = -1.0;
     /** Non-empty when the stage counters failed their partition
      *  identity (see LayerOutcome::statsNote). */
     std::string statsNote;

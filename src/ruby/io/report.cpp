@@ -1,5 +1,7 @@
 #include "ruby/io/report.hpp"
 
+#include <algorithm>
+
 #include "ruby/common/table.hpp"
 
 namespace ruby
@@ -75,6 +77,7 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
         std::string status;
         if (layer.found)
             status = layer.memoized          ? "ok (memo)"
+                     : layer.certified       ? "ok (certified)"
                      : layer.timedOut        ? "ok (budget hit)"
                                              : "ok";
         else
@@ -137,6 +140,34 @@ printNetworkSummary(std::ostream &os, const NetworkOutcome &net)
            << formatCompact(
                   static_cast<double>(net.stats.batchRejects))
            << " rejects)\n";
+    // Optimality accounting, printed only when some layer ran a
+    // bound-tracking strategy — sampling-only sweeps stay
+    // byte-identical to earlier builds.
+    {
+        int certified = 0;
+        double worstGap = -1.0;
+        bool tracked = false;
+        for (const LayerOutcome &layer : net.layers) {
+            if (layer.certified) {
+                ++certified;
+                tracked = true;
+            }
+            if (layer.gapPercent >= 0.0) {
+                tracked = true;
+                worstGap = std::max(worstGap, layer.gapPercent);
+            }
+        }
+        if (tracked) {
+            os << "optimality     : " << certified << "/"
+               << net.layers.size() << " layer(s) certified";
+            if (certified <
+                static_cast<int>(net.layers.size()) &&
+                worstGap >= 0.0)
+                os << ", worst gap "
+                   << formatFixed(worstGap, 2) << " %";
+            os << "\n";
+        }
+    }
     // Partition-identity violations (see LayerOutcome::statsNote) are
     // surfaced here rather than aborting: the counters are diagnostics
     // and a broken diagnostic must not suppress the result.

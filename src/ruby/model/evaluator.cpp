@@ -123,6 +123,29 @@ Evaluator::objectiveLowerBound(const Mapping &mapping,
     return 0.0;
 }
 
+double
+Evaluator::objectiveLowerBound(const std::vector<double> &stepsFloor,
+                               Objective obj) const
+{
+    RUBY_ASSERT(stepsFloor.size() ==
+                    static_cast<std::size_t>(problem_->numDims()),
+                "one steps floor per problem dimension");
+    double cycles = 1.0;
+    for (DimId d = 0; d < problem_->numDims(); ++d)
+        cycles *= stepsFloor[d];
+
+    switch (obj) {
+      case Objective::EDP:
+        return compulsoryEnergy_ * cycles;
+      case Objective::Energy:
+        return compulsoryEnergy_;
+      case Objective::Delay:
+        return cycles;
+    }
+    RUBY_ASSERT(false, "unknown objective");
+    return 0.0;
+}
+
 StagedEval
 Evaluator::evaluateStaged(const Mapping &mapping, Objective obj,
                           double bestSoFar, bool boundPruning,

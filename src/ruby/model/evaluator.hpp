@@ -230,6 +230,18 @@ class Evaluator
                                Objective obj) const;
 
     /**
+     * Partial-mapping variant of the bound above, for branch-and-bound
+     * search. @p stepsFloor holds one serial-step floor per problem
+     * dimension: the exact serialSteps() of the chosen chain for
+     * decided dims, and a lower bound over all candidate chains for
+     * undecided ones. Multiplies in the same dim order as the Mapping
+     * overload so a fully-decided vector reproduces it bit for bit —
+     * bound comparisons against BatchEvaluator::bound() stay exact.
+     */
+    double objectiveLowerBound(const std::vector<double> &stepsFloor,
+                               Objective obj) const;
+
+    /**
      * The mapping-independent compulsory energy floor used by
      * objectiveLowerBound(): datapath MACs plus one traversal of every
      * tensor through the backing store. Exposed so batched evaluation

@@ -15,6 +15,7 @@
 #include "ruby/search/exhaustive_search.hpp"
 #include "ruby/search/genetic_search.hpp"
 #include "ruby/search/local_search.hpp"
+#include "ruby/search/optimal_search.hpp"
 
 namespace ruby
 {
@@ -49,6 +50,29 @@ runStrategyImpl(const Mapspace &space, const Evaluator &evaluator,
         out.evaluated = res.evaluated;
         out.valid = res.valid;
         out.stats = res.stats;
+        out.timers = res.timers;
+        return out;
+      }
+      case SearchStrategy::Optimal: {
+        OptimalOptions op;
+        op.objective = options.objective;
+        op.boundPruning = options.boundPruning;
+        op.batchEval = options.batchEval;
+        op.threads = options.threads;
+        op.cancel = options.cancel;
+        op.timeBudget = options.timeBudget;
+        if (options.maxEvaluations != 0)
+            op.maxEvaluations = options.maxEvaluations;
+        OptimalResult res = optimalSearch(space, evaluator, op);
+        SearchResult out;
+        out.best = std::move(res.best);
+        out.bestResult = std::move(res.bestResult);
+        out.evaluated = res.evaluated;
+        out.valid = res.valid;
+        out.stats = res.stats;
+        out.deadlineExceeded = res.deadlineExceeded;
+        out.certified = res.certified;
+        out.gapPercent = res.certified ? 0.0 : res.gapPercent;
         out.timers = res.timers;
         return out;
       }
@@ -356,6 +380,8 @@ searchLayer(const Problem &problem, const ArchSpec &arch,
                 res.stats.deltaHits + res.stats.deltaFallbacks,
                 " != attempts = ", res.stats.deltaAttempts);
         outcome.timedOut = res.deadlineExceeded;
+        outcome.certified = res.certified;
+        outcome.gapPercent = res.gapPercent;
         outcome.found = res.best.has_value();
         if (outcome.found) {
             outcome.result = res.bestResult;

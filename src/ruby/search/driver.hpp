@@ -89,6 +89,20 @@ struct LayerOutcome
     bool memoized = false;
 
     /**
+     * True when the strategy proved the returned mapping globally
+     * optimal (branch-and-bound ran to completion). Only the
+     * `optimal` strategy can set this.
+     */
+    bool certified = false;
+
+    /**
+     * Optimality gap in percent when a bounded strategy stopped
+     * early (see SearchResult::gapPercent); negative when the
+     * strategy does not track a gap.
+     */
+    double gapPercent = -1.0;
+
+    /**
      * Non-empty when the per-stage counters violated the partition
      * identity invalid + prunedBound + cacheHits + modeled ==
      * evaluated. Checked in every build (not just asserts); reports

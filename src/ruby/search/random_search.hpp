@@ -33,6 +33,7 @@ enum class SearchStrategy
     Exhaustive,
     Genetic,
     Local,
+    Optimal,
 };
 
 /** Search configuration. */
@@ -241,6 +242,22 @@ struct SearchResult
 
     /** True when the time budget expired before natural termination. */
     bool deadlineExceeded = false;
+
+    /**
+     * True when the strategy proved `best` globally optimal for the
+     * objective over the whole mapspace (branch-and-bound ran to
+     * completion). Sampling strategies always leave this false.
+     */
+    bool certified = false;
+
+    /**
+     * Optimality gap in percent when a bounded strategy stopped
+     * early: 100 * (incumbent - minimum remaining bound) / incumbent,
+     * clamped to >= 0; 100 when no incumbent was found. Negative
+     * (-1) when the strategy does not track a gap. A certified
+     * result always reports 0.
+     */
+    double gapPercent = -1.0;
 
     /** Coarse wall-clock breakdown (see SearchTimers). */
     SearchTimers timers;

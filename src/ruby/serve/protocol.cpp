@@ -141,6 +141,7 @@ strategyWireName(SearchStrategy strategy)
       case SearchStrategy::Exhaustive: return "exhaustive";
       case SearchStrategy::Genetic:    return "genetic";
       case SearchStrategy::Local:      return "local";
+      case SearchStrategy::Optimal:    return "optimal";
     }
     return "?";
 }
@@ -156,8 +157,10 @@ parseStrategy(const std::string &name)
         return SearchStrategy::Genetic;
     if (name == "local")
         return SearchStrategy::Local;
+    if (name == "optimal")
+        return SearchStrategy::Optimal;
     RUBY_FATAL("protocol: unknown strategy '", name,
-               "' (random | exhaustive | genetic | local)");
+               "' (random | exhaustive | genetic | local | optimal)");
 }
 
 int
@@ -515,6 +518,9 @@ layerOutcomeToJson(const LayerOutcome &outcome)
                 JsonValue::makeString(outcome.diagnostic));
     out.set("timedOut", JsonValue::makeBool(outcome.timedOut));
     out.set("memoized", JsonValue::makeBool(outcome.memoized));
+    out.set("certified", JsonValue::makeBool(outcome.certified));
+    out.set("gapPercent",
+            JsonValue::makeDouble(outcome.gapPercent));
     if (!outcome.statsNote.empty())
         out.set("statsNote",
                 JsonValue::makeString(outcome.statsNote));
@@ -540,6 +546,12 @@ layerOutcomeFromJson(const JsonValue &v)
     o.diagnostic = v.getString("diagnostic", "");
     o.timedOut = v.getBool("timedOut", false);
     o.memoized = v.getBool("memoized", false);
+    // Absent on the wire from pre-optimal peers: default to the
+    // "not tracked" sentinels.
+    o.certified = v.getBool("certified", false);
+    o.gapPercent = v.find("gapPercent") != nullptr
+                       ? v.at("gapPercent").asDouble()
+                       : -1.0;
     o.statsNote = v.getString("statsNote", "");
     return o;
 }

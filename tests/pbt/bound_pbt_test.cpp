@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bound admissibility properties backing the certified-optimal
+ * branch-and-bound: the full-mapping objective lower bound never
+ * exceeds the modeled objective of a valid mapping, and the
+ * partial-mapping (per-dim steps floor) overload reproduces the full
+ * bound bit for bit on fully-decided vectors while staying monotone —
+ * so an internal node's floor can never overshoot any of its leaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "generators.hpp"
+#include "pbt.hpp"
+#include "ruby/model/evaluator.hpp"
+
+namespace
+{
+
+using namespace ruby;
+using pbt::WorkloadCase;
+
+constexpr Objective kObjectives[] = {Objective::EDP,
+                                     Objective::Energy,
+                                     Objective::Delay};
+
+const char *
+objectiveName(Objective obj)
+{
+    switch (obj) {
+      case Objective::EDP:
+        return "EDP";
+      case Objective::Energy:
+        return "Energy";
+      case Objective::Delay:
+        return "Delay";
+    }
+    return "?";
+}
+
+/**
+ * Property 1 — the full bound is admissible: for any sampled valid
+ * mapping and every objective, objectiveLowerBound(mapping) is at
+ * most the fully modeled objective.
+ */
+std::optional<std::string>
+fullBoundAdmissible(const WorkloadCase &c)
+{
+    const Problem prob = c.problem();
+    const ArchSpec arch = c.arch();
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, c.variant);
+    const Evaluator eval(prob, arch);
+
+    Rng rng(c.sampleSeed);
+    for (int i = 0; i < 20; ++i) {
+        const Mapping mapping = space.sample(rng);
+        const EvalResult res = eval.evaluate(mapping);
+        if (!res.valid)
+            continue;
+        for (const Objective obj : kObjectives) {
+            const double bound = eval.objectiveLowerBound(mapping, obj);
+            const double exact = res.objective(obj);
+            if (bound > exact * (1 + 1e-12)) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "sample " << i << ": " << objectiveName(obj)
+                   << " bound " << bound << " exceeds modeled "
+                   << exact << " (" << c.describe() << ")";
+                return os.str();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+TEST(BoundPbt, FullBoundNeverExceedsModeledObjective)
+{
+    ruby::pbt::check("fullBoundAdmissible", 0xB0DAu, pbt::genWorkload,
+                     fullBoundAdmissible, pbt::shrinkWorkload,
+                     [](const WorkloadCase &c) { return c.describe(); },
+                     30);
+}
+
+/**
+ * Property 2 — the partial bound is consistent and monotone: a
+ * fully-decided steps vector reproduces the Mapping overload bit for
+ * bit (same multiplication order), and lowering any subset of the
+ * per-dim floors never raises the bound. Chained with property 1
+ * this gives the branch-and-bound invariant: node floor <= leaf
+ * bound <= modeled objective for every valid leaf of the subtree.
+ */
+std::optional<std::string>
+partialBoundConsistentAndMonotone(const WorkloadCase &c)
+{
+    const Problem prob = c.problem();
+    const ArchSpec arch = c.arch();
+    const MappingConstraints cons(prob, arch);
+    const Mapspace space(cons, c.variant);
+    const Evaluator eval(prob, arch);
+
+    Rng rng(c.sampleSeed);
+    std::vector<double> steps(
+        static_cast<std::size_t>(prob.numDims()));
+    for (int i = 0; i < 20; ++i) {
+        const Mapping mapping = space.sample(rng);
+        for (DimId d = 0; d < prob.numDims(); ++d)
+            steps[static_cast<std::size_t>(d)] =
+                static_cast<double>(serialSteps(mapping.chain(d)));
+        for (const Objective obj : kObjectives) {
+            const double full = eval.objectiveLowerBound(mapping, obj);
+            const double vec = eval.objectiveLowerBound(steps, obj);
+            if (vec != full) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "sample " << i << ": " << objectiveName(obj)
+                   << " vector bound " << vec
+                   << " != mapping bound " << full << " ("
+                   << c.describe() << ")";
+                return os.str();
+            }
+            // Relax each dim in turn, then all at once: the bound
+            // must be monotone in every coordinate.
+            double prev = full;
+            std::vector<double> floors = steps;
+            for (DimId d = 0; d < prob.numDims(); ++d) {
+                floors[static_cast<std::size_t>(d)] = 1.0;
+                const double partial =
+                    eval.objectiveLowerBound(floors, obj);
+                if (partial > prev) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "sample " << i << ": " << objectiveName(obj)
+                       << " partial bound " << partial
+                       << " rose above " << prev
+                       << " after relaxing dim " << int(d) << " ("
+                       << c.describe() << ")";
+                    return os.str();
+                }
+                prev = partial;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+TEST(BoundPbt, PartialBoundMatchesFullAndIsMonotone)
+{
+    ruby::pbt::check("partialBoundConsistentAndMonotone", 0xF10Bu,
+                     pbt::genWorkload, partialBoundConsistentAndMonotone,
+                     pbt::shrinkWorkload,
+                     [](const WorkloadCase &c) { return c.describe(); },
+                     30);
+}
+
+} // namespace

@@ -148,6 +148,8 @@ TEST(ServeProtocol, LayerOutcomeRoundTrip)
     out.stats.cacheEvictions = 3;
     out.bestMapping = "L0: c4 m2 | L1: p7\n";
     out.timedOut = true;
+    out.certified = true;
+    out.gapPercent = 12.5;
     out.statsNote = "eval-stats mismatch: example";
 
     const LayerOutcome back = layerOutcomeFromJson(
@@ -168,6 +170,8 @@ TEST(ServeProtocol, LayerOutcomeRoundTrip)
     EXPECT_EQ(back.failure, out.failure);
     EXPECT_EQ(back.timedOut, out.timedOut);
     EXPECT_EQ(back.memoized, out.memoized);
+    EXPECT_EQ(back.certified, out.certified);
+    EXPECT_EQ(back.gapPercent, out.gapPercent);
     EXPECT_EQ(back.statsNote, out.statsNote);
 }
 
@@ -332,8 +336,11 @@ TEST(ServeProtocol, EnumSpellingsMatchCliVocabulary)
                  "eyeriss-rs");
     EXPECT_STREQ(objectiveWireName(Objective::EDP), "edp");
     EXPECT_STREQ(strategyWireName(SearchStrategy::Local), "local");
+    EXPECT_STREQ(strategyWireName(SearchStrategy::Optimal),
+                 "optimal");
     EXPECT_EQ(parseStrategy("exhaustive"),
               SearchStrategy::Exhaustive);
+    EXPECT_EQ(parseStrategy("optimal"), SearchStrategy::Optimal);
     EXPECT_THROW(parseStrategy("annealing"), Error);
 }
 

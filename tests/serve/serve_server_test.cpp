@@ -149,7 +149,8 @@ TEST(ServeServer, RemoteNetMatchesOfflineBitForBit)
     const std::vector<Layer> layers = tinyLayers();
     static constexpr SearchStrategy kStrategies[] = {
         SearchStrategy::Random, SearchStrategy::Exhaustive,
-        SearchStrategy::Genetic, SearchStrategy::Local};
+        SearchStrategy::Genetic, SearchStrategy::Local,
+        SearchStrategy::Optimal};
     static constexpr const char *kArchNames[] = {"eyeriss", "simba"};
 
     for (const char *archName : kArchNames) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """CI gate over the benchmark JSON artefacts.
 
-Parses BENCH_eval_throughput.json (micro_model_perf) and
-BENCH_search_scaling.json (search_scaling) and fails the job when a
-perf or correctness floor is broken. Stdlib only.
+Parses BENCH_eval_throughput.json (micro_model_perf),
+BENCH_search_scaling.json (search_scaling) and
+BENCH_optimal_gap.json (optimal_gap) and fails the job when a perf
+or correctness floor is broken. Stdlib only.
 
 The correctness gates are unconditional: the incremental (delta)
 engine is an exact recomputation, so every best-EDP parity flag must
@@ -136,6 +137,16 @@ def check_search_scaling(gate, data):
             f" >= {EXHAUSTIVE_2T_MIN}x",
         )
     else:
+        # Refuse outright to gate thread-scaling floors from a JSON
+        # recorded on a single hardware thread: speedups above 1x are
+        # physically unattainable there, so those floors would gate
+        # noise. The engine-only floors below still apply.
+        print(
+            f"  REFUSED: thread-scaling floors not gated"
+            f" (hardware_concurrency={cores}; the artefact was"
+            f" recorded on a single-hardware-thread host, where"
+            f" thread speedups cannot be expressed)"
+        )
         print(f"  ({cores} hardware thread: engine-only floors)")
         local1 = point(data["local"], 1)
         genetic1 = point(data["genetic"], 1)
@@ -153,6 +164,42 @@ def check_search_scaling(gate, data):
         )
 
 
+def check_optimal_gap(gate, data):
+    """Branch-and-bound certificate floors (host-independent).
+
+    Per preset: the proved gap must shrink monotonically with budget
+    and stay nonzero while truncated, the top rung must certify
+    (gap 0), and optimal must reach gap <= 5% in less wall time than
+    uniform random sampling of the same enumerated space takes to
+    reach the same EDP (or random must never reach it at all).
+    """
+    print("BENCH_optimal_gap.json:")
+    presets = data["presets"]
+    gate.check(len(presets) >= 2, "both presets present")
+    for p in presets:
+        name = p["preset"]
+        gate.check(
+            p["gap_monotone"],
+            f"{name}: gap shrinks monotonically with budget",
+        )
+        for rung in p["curve"]:
+            if rung["found"] and not rung["certified"]:
+                gate.check(
+                    rung["gap_percent"] > 0.0,
+                    f"{name}: truncated rung (cap {rung['cap']})"
+                    f" reports a nonzero gap",
+                )
+        gate.check(
+            p["certified_at_top"],
+            f"{name}: uncapped run certifies (gap 0)",
+        )
+        gate.check(
+            p["optimal_beats_random"],
+            f"{name}: optimal reaches gap <= 5% before random"
+            f" reaches the same EDP",
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -165,11 +212,17 @@ def main():
         default="BENCH_search_scaling.json",
         help="path to the search_scaling report",
     )
+    ap.add_argument(
+        "--optimal-gap",
+        default="BENCH_optimal_gap.json",
+        help="path to the optimal_gap report",
+    )
     args = ap.parse_args()
 
     gate = Gate()
     check_eval_throughput(gate, load(args.eval_throughput))
     check_search_scaling(gate, load(args.search_scaling))
+    check_optimal_gap(gate, load(args.optimal_gap))
 
     if gate.failures:
         print(

@@ -14,7 +14,9 @@
  * --objective edp|energy|delay, --constraints <preset>, --evals N,
  * --streak N, --seed N, --threads N, --restarts N,
  * --time-budget MS (wall-clock cap for the search),
- * --strategy random|exhaustive|genetic|local (search algorithm),
+ * --strategy random|exhaustive|genetic|local|optimal (search
+ * algorithm; `optimal` is certified branch-and-bound — see
+ * docs/PERFORMANCE.md "Certified-optimal search"),
  * --islands N (genetic sub-populations),
  * --[no-]eval-cache (mapping memo cache; on by default),
  * --cache-capacity N (memo-cache entries),
@@ -64,6 +66,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -123,7 +126,8 @@ usage()
            "          [--[no-]eval-cache] [--cache-capacity N]\n"
            "          [--[no-]bound-pruning] [--[no-]incremental]\n"
            "          [--[no-]batch-eval]\n"
-           "          [--strategy random|exhaustive|genetic|local]\n"
+           "          [--strategy"
+           " random|exhaustive|genetic|local|optimal]\n"
            "          [--islands N] [--pad] [--yaml]\n"
            "  ruby-map net <resnet50|deepbench|alexnet> [map"
            " overrides]\n"
@@ -228,8 +232,20 @@ applySearchFlag(const std::string &flag, SearchOptions &search,
         search.batchEval = true;
     else if (flag == "--no-batch-eval")
         search.batchEval = false;
-    else if (flag == "--strategy")
-        search.strategy = serve::parseStrategy(next());
+    else if (flag == "--strategy") {
+        // An unknown strategy is a usage mistake (exit 2 with the
+        // usage text), not the generic config error the protocol
+        // parser raises.
+        const std::string name = next();
+        try {
+            search.strategy = serve::parseStrategy(name);
+        } catch (const Error &) {
+            throw UsageError(
+                "unknown strategy '" + name +
+                "' (random | exhaustive | genetic | local |"
+                " optimal)");
+        }
+    }
     else if (flag == "--islands")
         search.islands =
             static_cast<unsigned>(parseU64Arg(flag, next()));
@@ -291,6 +307,18 @@ reportMapResult(const Problem &problem, const ArchSpec &arch,
     if (result.timedOut)
         std::cout << "time budget expired; reporting the best "
                      "mapping found so far\n";
+    // Printed only by gap-tracking strategies (optimal), so every
+    // other strategy's output stays byte-identical.
+    if (result.certified)
+        std::cout << "certified optimal: complete branch-and-bound"
+                     " (gap 0 %)\n";
+    else if (result.gapPercent >= 0.0) {
+        std::ostringstream gap;
+        gap << std::fixed << std::setprecision(2)
+            << result.gapPercent;
+        std::cout << "optimality gap: <= " << gap.str()
+                  << " % (search stopped before certification)\n";
+    }
     std::cout << "best mapping:\n" << result.mappingText << "\n";
     printReport(std::cout, problem, arch, result.eval);
     return kExitOk;
@@ -311,6 +339,8 @@ toMapperResult(const LayerOutcome &outcome)
     res.failure = outcome.failure;
     res.diagnostic = outcome.diagnostic;
     res.timedOut = outcome.timedOut;
+    res.certified = outcome.certified;
+    res.gapPercent = outcome.gapPercent;
     res.statsNote = outcome.statsNote;
     return res;
 }
