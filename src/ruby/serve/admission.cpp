@@ -45,23 +45,72 @@ Admission::acquire()
     return AdmissionTicket::Admitted;
 }
 
+Admission::AsyncTicket
+Admission::acquireAsync(AdmitCallback onSlot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+        ++rejectedDraining_;
+        return AsyncTicket::Draining;
+    }
+    if (inflight_ < maxInflight_) {
+        ++inflight_;
+        ++admitted_;
+        return AsyncTicket::Admitted;
+    }
+    if (queued_ >= queueCapacity_) {
+        ++rejectedSaturated_;
+        return AsyncTicket::Saturated;
+    }
+    ++queued_;
+    waiters_.push_back(std::move(onSlot));
+    return AsyncTicket::Queued;
+}
+
 void
 Admission::release()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    RUBY_ASSERT(inflight_ > 0, "admission: release without acquire");
-    --inflight_;
-    slotFree_.notify_one();
-    if (inflight_ == 0)
-        idle_.notify_all();
+    AdmitCallback next;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        RUBY_ASSERT(inflight_ > 0,
+                    "admission: release without acquire");
+        if (!waiters_.empty()) {
+            // Hand the slot straight to the oldest deferred waiter:
+            // inflight_ stays constant, so waitIdle() cannot observe
+            // a phantom idle point between release and re-admit.
+            next = std::move(waiters_.front());
+            waiters_.pop_front();
+            --queued_;
+            ++admitted_;
+        } else {
+            --inflight_;
+            slotFree_.notify_one();
+            if (inflight_ == 0)
+                idle_.notify_all();
+        }
+    }
+    if (next)
+        next(AdmissionTicket::Admitted);
 }
 
 void
 Admission::beginDrain()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
-    slotFree_.notify_all();
+    std::deque<AdmitCallback> flushed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+        flushed.swap(waiters_);
+        queued_ -= flushed.size();
+        rejectedDraining_ +=
+            static_cast<std::uint64_t>(flushed.size());
+        slotFree_.notify_all();
+    }
+    // Outside the lock: each callback posts a "draining" rejection
+    // through the reactor and may touch arbitrary server state.
+    for (AdmitCallback &callback : flushed)
+        callback(AdmissionTicket::Draining);
 }
 
 void

@@ -19,6 +19,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 
 namespace ruby
@@ -53,6 +55,30 @@ class Admission
      * or a rejection when the queue is full / the gate is draining.
      */
     AdmissionTicket acquire();
+
+    /** Outcome of a non-blocking acquireAsync(). */
+    enum class AsyncTicket
+    {
+        Admitted,  ///< a slot is held; release() when done
+        Saturated, ///< queue full — reject immediately
+        Draining,  ///< shutting down — reject immediately
+        Queued,    ///< waiting; the callback fires exactly once
+    };
+
+    /** Deferred-admission callback; never invoked with Saturated. */
+    using AdmitCallback = std::function<void(AdmissionTicket)>;
+
+    /**
+     * Non-blocking acquire for event-driven callers (the reactor's
+     * pipeline stages must never park a thread in the gate). An
+     * immediately decided outcome is returned directly; Queued means
+     * @p onSlot will be invoked exactly once later — with Admitted
+     * when a slot frees (the slot is then held and must be
+     * release()d) or Draining when the gate drains first. The
+     * callback runs on the thread that released the slot (or began
+     * the drain), so it must be quick and must not re-enter the gate.
+     */
+    AsyncTicket acquireAsync(AdmitCallback onSlot);
 
     /** Return a slot acquired earlier. */
     void release();
@@ -89,6 +115,8 @@ class Admission
     mutable std::mutex mutex_;
     std::condition_variable slotFree_;
     std::condition_variable idle_;
+    /** Deferred acquireAsync() waiters, FIFO; each counts in queued_. */
+    std::deque<AdmitCallback> waiters_;
     unsigned maxInflight_;
     std::size_t queueCapacity_;
     unsigned inflight_ = 0;

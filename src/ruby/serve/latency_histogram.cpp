@@ -1,0 +1,133 @@
+#include "ruby/serve/latency_histogram.hpp"
+
+#include <limits>
+
+#include "ruby/common/error.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Base bucket bound: 100 µs. */
+constexpr std::uint64_t kBaseUs = 100;
+
+} // namespace
+
+std::uint64_t
+LatencyHistogram::bucketUpperUs(std::size_t i)
+{
+    if (i + 1 >= kBuckets)
+        return std::numeric_limits<std::uint64_t>::max();
+    return kBaseUs << i;
+}
+
+void
+LatencyHistogram::record(std::chrono::microseconds elapsed)
+{
+    std::uint64_t us = elapsed.count() < 0
+                           ? 0
+                           : static_cast<std::uint64_t>(elapsed.count());
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && us > bucketUpperUs(bucket))
+        ++bucket;
+    ++counts_[bucket];
+    ++count_;
+    totalUs_ += us;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    totalUs_ += other.totalUs_;
+}
+
+double
+LatencyHistogram::quantileMs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample (1-based, ceil so p100 is the max).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_) + 0.5);
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (seen + counts_[i] < rank) {
+            seen += counts_[i];
+            continue;
+        }
+        // Interpolate linearly inside the crossing bucket.
+        double lowerUs =
+            i == 0 ? 0.0
+                   : static_cast<double>(bucketUpperUs(i - 1));
+        double upperUs =
+            i + 1 >= kBuckets
+                ? static_cast<double>(kBaseUs << (kBuckets - 2)) * 2.0
+                : static_cast<double>(bucketUpperUs(i));
+        double within =
+            static_cast<double>(rank - seen) /
+            static_cast<double>(counts_[i]);
+        return (lowerUs + (upperUs - lowerUs) * within) / 1000.0;
+    }
+    return 0.0; // unreachable: rank <= count_
+}
+
+JsonValue
+LatencyHistogram::toJson() const
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("count", JsonValue::makeU64(count_));
+    v.set("totalMs",
+          JsonValue::makeDouble(static_cast<double>(totalUs_) /
+                                1000.0));
+    v.set("p50Ms", JsonValue::makeDouble(quantileMs(0.50)));
+    v.set("p99Ms", JsonValue::makeDouble(quantileMs(0.99)));
+    JsonValue buckets = JsonValue::makeArray();
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets.push(JsonValue::makeU64(counts_[i]));
+    v.set("counts", std::move(buckets));
+    return v;
+}
+
+LatencyHistogram
+LatencyHistogram::fromJson(const JsonValue &v)
+{
+    LatencyHistogram h;
+    if (v.type != JsonType::Object)
+        return h;
+    const JsonValue *counts = v.find("counts");
+    if (counts != nullptr) {
+        RUBY_CHECK(counts->type == JsonType::Array &&
+                       counts->array.size() == kBuckets,
+                   "latency histogram: counts must be an array of " +
+                       std::to_string(kBuckets) + " buckets");
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            h.counts_[i] = counts->array[i].asU64();
+            h.count_ += h.counts_[i];
+        }
+    }
+    const JsonValue *totalMs = v.find("totalMs");
+    if (totalMs != nullptr)
+        h.totalUs_ = static_cast<std::uint64_t>(
+            totalMs->asDouble() * 1000.0 + 0.5);
+    return h;
+}
+
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed log-spaced latency histogram for the serving stack.
+ *
+ * Every daemon (and the router) records per-request wall times into
+ * the same 28 buckets — upper bounds at 100 µs · 2^i — so operators
+ * read p50/p99 from the server itself and a router can fan per-backend
+ * histograms into one fleet histogram by summing counts bucket-wise.
+ * Quantiles are estimated by linear interpolation inside the bucket
+ * that crosses the target rank; with log-spaced buckets the estimate
+ * is within one bucket ratio (2x) of the true value, which is the
+ * right resolution for load reports.
+ *
+ * The class is deliberately unsynchronized: callers own locking (the
+ * Server records under its stats mutex).
+ */
+
+#ifndef RUBY_SERVE_LATENCY_HISTOGRAM_HPP
+#define RUBY_SERVE_LATENCY_HISTOGRAM_HPP
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "ruby/serve/json.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+
+class LatencyHistogram
+{
+  public:
+    /** Bucket count; bucket i holds samples <= 100 µs · 2^i (the last
+     *  bucket is unbounded above: ~3.7 h and beyond). */
+    static constexpr std::size_t kBuckets = 28;
+
+    /** Upper bound of bucket @p i in microseconds (last = max). */
+    static std::uint64_t bucketUpperUs(std::size_t i);
+
+    /** Record one request's wall time. */
+    void record(std::chrono::microseconds elapsed);
+
+    /** Sum another histogram into this one (fleet fan-in). */
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+
+    /** Quantile estimate in milliseconds; 0 when empty. @p q in
+     *  [0, 1]. */
+    double quantileMs(double q) const;
+
+    /**
+     * {"count":N,"totalMs":…,"p50Ms":…,"p99Ms":…,"counts":[…28…]}.
+     * The bucket scheme is fixed (see kBuckets), so two histograms'
+     * "counts" arrays are always sum-compatible.
+     */
+    JsonValue toJson() const;
+
+    /** Inverse of toJson(); tolerates absent keys (zero histogram)
+     *  and ignores quantiles (recomputed from counts). Throws
+     *  ruby::Error when "counts" has the wrong length. */
+    static LatencyHistogram fromJson(const JsonValue &v);
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t totalUs_ = 0;
+};
+
+} // namespace serve
+} // namespace ruby
+
+#endif // RUBY_SERVE_LATENCY_HISTOGRAM_HPP

@@ -356,6 +356,10 @@ healthToJson(const Health &health)
             JsonValue::makeU64(health.evalCacheCapacity));
     out.set("layerMemoEntries",
             JsonValue::makeU64(health.layerMemoEntries));
+    out.set("requestCount",
+            JsonValue::makeU64(health.requestCount));
+    out.set("p50Ms", JsonValue::makeDouble(health.p50Ms));
+    out.set("p99Ms", JsonValue::makeDouble(health.p99Ms));
     return out;
 }
 
@@ -374,6 +378,13 @@ healthFromJson(const JsonValue &v)
     health.uptimeMs = v.getU64("uptimeMs", 0);
     health.evalCacheCapacity = v.getU64("evalCacheCapacity", 0);
     health.layerMemoEntries = v.getU64("layerMemoEntries", 0);
+    health.requestCount = v.getU64("requestCount", 0);
+    const JsonValue *p50 = v.find("p50Ms");
+    if (p50 != nullptr)
+        health.p50Ms = p50->asDouble();
+    const JsonValue *p99 = v.find("p99Ms");
+    if (p99 != nullptr)
+        health.p99Ms = p99->asDouble();
     return health;
 }
 

@@ -135,6 +135,14 @@ struct Health
     std::uint64_t evalCacheCapacity = 0; ///< warm eval-cache entries
     std::uint64_t layerMemoEntries = 0;  ///< memoized layer results
 
+    // Latency observability (from the daemon's wall-time histogram,
+    // latency_histogram.hpp): search requests served and their
+    // current quantiles, so operators and routers read p99 from the
+    // server itself rather than measuring from the client side.
+    std::uint64_t requestCount = 0; ///< searches in the histogram
+    double p50Ms = 0.0;             ///< median search wall time
+    double p99Ms = 0.0;             ///< tail search wall time
+
     /** Spare capacity heuristic for routers: can this daemon accept
      *  a request right now without queueing? */
     bool hasFreeSlot() const

@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -26,6 +25,11 @@ namespace serve
 namespace
 {
 
+/** Lines a connection may buffer before its reads are paused. */
+constexpr std::size_t kMaxPendingLines = 64;
+/** Resume reads once the backlog shrinks to this point. */
+constexpr std::size_t kResumePendingLines = kMaxPendingLines / 2;
+
 /** Write descriptor the signal handler forwards SIGTERM/SIGINT to. */
 std::atomic<int> g_signalFd{-1};
 
@@ -42,24 +46,6 @@ serveSignalHandler(int)
     }
 }
 
-/** send() the whole buffer; false on a broken connection. */
-bool
-sendAll(int fd, const std::string &data)
-{
-    std::size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n = ::send(fd, data.data() + off,
-                                 data.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
 /** Best-effort id extraction for error responses to malformed lines. */
 std::string
 extractId(const std::string &line)
@@ -70,6 +56,24 @@ extractId(const std::string &line)
     } catch (...) {
         return "";
     }
+}
+
+/** Is the unix socket at @p path backed by a live listener? */
+bool
+unixSocketIsLive(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const bool live =
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0;
+    ::close(fd);
+    return live;
 }
 
 } // namespace
@@ -90,14 +94,8 @@ Server::~Server()
 }
 
 void
-Server::start()
+Server::bindListener()
 {
-    RUBY_CHECK(!started_, "serve: start() called twice");
-
-    RUBY_CHECK(::pipe(sigPipe_.data()) == 0,
-               "serve: cannot create the signal pipe: ",
-               std::strerror(errno));
-
     if (!options_.unixPath.empty()) {
         listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
         RUBY_CHECK(listenFd_ >= 0, "serve: socket(): ",
@@ -110,18 +108,32 @@ Server::start()
                    options_.unixPath);
         std::strncpy(addr.sun_path, options_.unixPath.c_str(),
                      sizeof(addr.sun_path) - 1);
-        // A previous daemon's stale socket file would fail bind();
-        // removing it is the conventional unix-socket handshake.
-        ::unlink(options_.unixPath.c_str());
-        RUBY_CHECK(::bind(listenFd_,
-                          reinterpret_cast<sockaddr *>(&addr),
-                          sizeof(addr)) == 0,
-                   "serve: cannot bind ", options_.unixPath, ": ",
-                   std::strerror(errno));
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            // A crashed daemon leaves its socket file behind and the
+            // fresh bind fails with EADDRINUSE. Probe the path: a
+            // live daemon accepts the connect (never steal its
+            // socket); a stale file refuses, so unlink and rebind.
+            const int bindErrno = errno;
+            RUBY_CHECK(bindErrno == EADDRINUSE,
+                       "serve: cannot bind ", options_.unixPath,
+                       ": ", std::strerror(bindErrno));
+            RUBY_CHECK(!unixSocketIsLive(options_.unixPath),
+                       "serve: ", options_.unixPath,
+                       " is owned by a live daemon");
+            ::unlink(options_.unixPath.c_str());
+            RUBY_CHECK(::bind(listenFd_,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              sizeof(addr)) == 0,
+                       "serve: cannot bind ", options_.unixPath,
+                       ": ", std::strerror(errno));
+        }
     } else {
         listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         RUBY_CHECK(listenFd_ >= 0, "serve: socket(): ",
                    std::strerror(errno));
+        // Restarts must not stall on lingering TIME_WAIT pairs from
+        // the previous daemon's connections.
         const int one = 1;
         ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
                      sizeof(one));
@@ -146,14 +158,44 @@ Server::start()
                    "serve: getsockname(): ", std::strerror(errno));
         boundPort_ = static_cast<int>(ntohs(bound.sin_port));
     }
-    RUBY_CHECK(::listen(listenFd_, 64) == 0, "serve: listen(): ",
+    RUBY_CHECK(::listen(listenFd_, 256) == 0, "serve: listen(): ",
                std::strerror(errno));
+}
+
+void
+Server::start()
+{
+    RUBY_CHECK(!started_, "serve: start() called twice");
+
+    RUBY_CHECK(::pipe(sigPipe_.data()) == 0,
+               "serve: cannot create the signal pipe: ",
+               std::strerror(errno));
+    ::signal(SIGPIPE, SIG_IGN);
+
+    bindListener();
 
     workers_ = std::make_unique<ThreadPool>(options_.maxInflight);
+    pipeline_ = std::make_unique<ThreadPool>(1);
     startTime_ = std::chrono::steady_clock::now();
-    started_ = true;
 
-    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    EventLoop::Callbacks callbacks;
+    callbacks.onConnect = [this](EventLoop::ConnId id) {
+        onConnect(id);
+    };
+    callbacks.onLine = [this](EventLoop::ConnId id,
+                              std::string &&line) {
+        onLine(id, std::move(line));
+    };
+    callbacks.onOversize = [this](EventLoop::ConnId id,
+                                  std::size_t) { onOversize(id); };
+    callbacks.onDisconnect = [this](EventLoop::ConnId id) {
+        onDisconnect(id);
+    };
+    loop_ = std::make_unique<EventLoop>(
+        listenFd_, options_.maxLineBytes, std::move(callbacks));
+
+    started_ = true;
+    reactorThread_ = std::thread([this]() { loop_->run(); });
     signalThread_ = std::thread([this]() {
         // Forward signal-pipe bytes: 's' (from the handler) begins
         // the drain; 'q' (from requestShutdown) retires this thread.
@@ -231,12 +273,10 @@ Server::waitForShutdown()
     if (options_.logLifecycle)
         logLine("ruby-served: drain started");
 
-    // 1. Stop taking new work: the accept loop exits and every
-    //    queued or future admission returns a "draining" rejection.
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        acceptStopped_ = true;
-    }
+    // 1. Stop taking new work: no more accepts, and every queued or
+    //    future admission returns a "draining" rejection (queued
+    //    waiters are flushed with one immediately).
+    loop_->stopAccepting();
     admission_.beginDrain();
 
     // 2. Give inflight searches the drain budget to finish cleanly;
@@ -251,25 +291,38 @@ Server::waitForShutdown()
         admission_.waitIdle();
     }
 
-    // 3. Tear down the I/O threads.
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    closeAllSessions();
-    std::vector<std::thread> sessions;
+    // 3. Quiesce front-to-back. First drain the worker and dispatch
+    //    pools so every answered request's response is posted to the
+    //    reactor; only then SHUT_RD the connections (write sides stay
+    //    open — posting order guarantees the responses hit the write
+    //    buffers before the EOF tear-down sees them) and barrier on
+    //    the reactor so no further lines reach the dispatch stage.
+    //    Lines that slip in just before the SHUT_RD still get their
+    //    "draining" rejection via the second waitIdle. Finally stop
+    //    the loop, which flushes pending writes before closing.
+    if (workers_ != nullptr)
+        workers_->waitIdle();
+    if (pipeline_ != nullptr)
+        pipeline_->waitIdle();
+    loop_->shutdownReads();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        sessions.swap(sessions_);
+        std::promise<void> flushed;
+        loop_->post([&flushed]() { flushed.set_value(); });
+        flushed.get_future().wait();
     }
-    for (std::thread &session : sessions)
-        if (session.joinable())
-            session.join();
+    if (pipeline_ != nullptr)
+        pipeline_->waitIdle();
+    if (workers_ != nullptr)
+        workers_->waitIdle();
+    loop_->stop();
+    if (reactorThread_.joinable())
+        reactorThread_.join();
+    workers_.reset();
+    pipeline_.reset();
     if (signalThread_.joinable())
         signalThread_.join();
-    if (workers_ != nullptr) {
-        workers_->waitIdle();
-        workers_.reset();
-    }
 
+    loop_.reset();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
@@ -280,6 +333,10 @@ Server::waitForShutdown()
         if (fd >= 0)
             ::close(fd);
         fd = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connStates_.clear();
     }
 
     // 4. The final stats line: one parseable record of everything
@@ -292,124 +349,194 @@ Server::waitForShutdown()
 }
 
 void
-Server::acceptLoop()
+Server::onConnect(EventLoop::ConnId id)
 {
-    for (;;) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (acceptStopped_ || shutdownRequested_)
-                return;
-        }
-        pollfd pfd{};
-        pfd.fd = listenFd_;
-        pfd.events = POLLIN;
-        const int rc = ::poll(&pfd, 1, 200);
-        if (rc <= 0)
-            continue; // timeout or EINTR: re-check the stop flag
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (acceptStopped_ || shutdownRequested_) {
-            ::close(fd);
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        ++connectionsAccepted_;
+    }
+    std::lock_guard<std::mutex> lock(connMutex_);
+    connStates_.emplace(id, ConnState{});
+}
+
+void
+Server::onDisconnect(EventLoop::ConnId id)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    connStates_.erase(id);
+}
+
+void
+Server::onOversize(EventLoop::ConnId id)
+{
+    loop_->sendAndClose(
+        id, writeJson(makeErrorResponse(
+                "", kCodeBadRequest, "bad-request",
+                "request line exceeds the size limit")) +
+                "\n");
+}
+
+void
+Server::onLine(EventLoop::ConnId id, std::string &&line)
+{
+    bool dispatch = false;
+    bool pause = false;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        const auto it = connStates_.find(id);
+        if (it == connStates_.end())
             return;
+        ConnState &state = it->second;
+        if (state.busy) {
+            // Strict per-connection ordering: one request inflight
+            // at a time, the rest wait their turn here.
+            state.pending.push_back(std::move(line));
+            if (!state.paused &&
+                state.pending.size() >= kMaxPendingLines) {
+                state.paused = true;
+                pause = true;
+            }
+        } else {
+            state.busy = true;
+            dispatch = true;
         }
-        {
-            std::lock_guard<std::mutex> stats(statsMutex_);
-            ++connectionsAccepted_;
-        }
-        sessionFds_.push_back(fd);
-        sessions_.emplace_back(
-            [this, fd]() { sessionLoop(fd); });
     }
+    if (pause)
+        loop_->pauseReads(id);
+    if (dispatch)
+        pipeline_->submit([this, id, captured = std::move(line)]() {
+            processLine(id, captured);
+        });
 }
 
 void
-Server::sessionLoop(int fd)
-{
-    std::string inbuf;
-    char chunk[4096];
-    bool open = true;
-    while (open) {
-        // Drain complete lines already buffered.
-        std::size_t nl;
-        while (open && (nl = inbuf.find('\n')) != std::string::npos) {
-            std::string line = inbuf.substr(0, nl);
-            inbuf.erase(0, nl + 1);
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.empty())
-                continue;
-            bool shutdownAfterSend = false;
-            const std::string response =
-                handleLine(line, shutdownAfterSend);
-            if (!sendAll(fd, response + "\n"))
-                open = false;
-            if (shutdownAfterSend)
-                requestShutdown();
-        }
-        if (!open)
-            break;
-        if (inbuf.size() > options_.maxLineBytes) {
-            sendAll(fd,
-                    writeJson(makeErrorResponse(
-                        "", kCodeBadRequest, "bad-request",
-                        "request line exceeds the size limit")) +
-                        "\n");
-            break;
-        }
-        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            break; // peer closed (or the drain shut the socket down)
-        inbuf.append(chunk, static_cast<std::size_t>(n));
-    }
-    ::close(fd);
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < sessionFds_.size(); ++i)
-        if (sessionFds_[i] == fd) {
-            sessionFds_.erase(sessionFds_.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-            break;
-        }
-}
-
-void
-Server::closeAllSessions()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    // SHUT_RD pops every session out of its blocking recv() while
-    // leaving the write side open: a session can be a beat behind
-    // the admission gate (slot already released, response not yet
-    // sent), and that response must still reach the client. The
-    // session loop closes the descriptor itself once it drains.
-    for (const int fd : sessionFds_)
-        ::shutdown(fd, SHUT_RD);
-}
-
-std::string
-Server::handleLine(const std::string &line, bool &shutdownAfterSend)
+Server::processLine(EventLoop::ConnId id, const std::string &line)
 {
     {
         std::lock_guard<std::mutex> stats(statsMutex_);
         ++received_;
     }
-    JsonValue response;
+    std::shared_ptr<Request> request;
     try {
         const JsonValue root = parseJson(line);
-        const Request request = parseRequest(root);
-        if (request.type == RequestType::Shutdown)
-            shutdownAfterSend = true;
-        response = handleRequest(request);
+        request = std::make_shared<Request>(parseRequest(root));
     } catch (const Error &e) {
-        response = makeErrorResponse(extractId(line),
-                                     kCodeBadRequest, "bad-request",
-                                     e.what());
+        respond(id,
+                makeErrorResponse(extractId(line), kCodeBadRequest,
+                                  "bad-request", e.what()),
+                false);
+        return;
     } catch (const std::exception &e) {
-        response = makeErrorResponse(extractId(line), kCodeInternal,
+        respond(id,
+                makeErrorResponse(extractId(line), kCodeInternal,
+                                  "internal", e.what()),
+                false);
+        return;
+    }
+
+    if (request->type == RequestType::Map ||
+        request->type == RequestType::Net) {
+        dispatchSearch(id, std::move(request));
+        return;
+    }
+
+    bool shutdownAfterSend = false;
+    JsonValue response;
+    try {
+        response = handleQuick(*request, shutdownAfterSend);
+    } catch (const std::exception &e) {
+        response = makeErrorResponse(request->id, kCodeInternal,
                                      "internal", e.what());
     }
+    respond(id, response, shutdownAfterSend);
+}
+
+void
+Server::dispatchSearch(EventLoop::ConnId id,
+                       std::shared_ptr<Request> request)
+{
+    const Admission::AsyncTicket ticket = admission_.acquireAsync(
+        [this, id, request](AdmissionTicket outcome) {
+            if (outcome != AdmissionTicket::Admitted) {
+                respond(id,
+                        makeErrorResponse(request->id,
+                                          kCodeRejected, "draining",
+                                          "daemon is shutting down"),
+                        false);
+                return;
+            }
+            // A released slot was handed to us. If the requester
+            // hung up while queued, return the slot untouched so
+            // nothing leaks (and the next waiter gets its turn).
+            bool open;
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                open = connStates_.find(id) != connStates_.end();
+            }
+            if (!open) {
+                admission_.release();
+                return;
+            }
+            workers_->submit([this, id, request]() {
+                runSearch(id, request);
+            });
+        });
+    switch (ticket) {
+      case Admission::AsyncTicket::Admitted:
+        workers_->submit(
+            [this, id, request]() { runSearch(id, request); });
+        break;
+      case Admission::AsyncTicket::Saturated:
+        respond(id,
+                makeErrorResponse(request->id, kCodeRejected,
+                                  "saturated",
+                                  "admission queue full; retry later"),
+                false);
+        break;
+      case Admission::AsyncTicket::Draining:
+        respond(id,
+                makeErrorResponse(request->id, kCodeRejected,
+                                  "draining",
+                                  "daemon is shutting down"),
+                false);
+        break;
+      case Admission::AsyncTicket::Queued:
+        break; // the callback will continue this request
+    }
+}
+
+void
+Server::runSearch(EventLoop::ConnId id,
+                  const std::shared_ptr<Request> &request)
+{
+    JsonValue response;
+    try {
+        response = request->type == RequestType::Map
+                       ? runMap(*request)
+                       : runNet(*request);
+    } catch (const Error &e) {
+        response = makeErrorResponse(request->id, kCodeUserError,
+                                     "user-error", e.what());
+    } catch (const std::exception &e) {
+        response = makeErrorResponse(request->id, kCodeInternal,
+                                     "internal", e.what());
+    } catch (...) {
+        response = makeErrorResponse(request->id, kCodeInternal,
+                                     "internal", "unknown error");
+    }
+    // Release before responding, like the thread-per-session server
+    // did: a client that has its response in hand must find the slot
+    // free for its next request. The drain still flushes every
+    // response because waitForShutdown barriers on workers_->waitIdle()
+    // (this job, respond() included) before stopping the loop.
+    admission_.release();
+    respond(id, response, false);
+}
+
+void
+Server::respond(EventLoop::ConnId id, const JsonValue &response,
+                bool shutdownAfterSend)
+{
     {
         std::lock_guard<std::mutex> stats(statsMutex_);
         const JsonValue *type = response.find("type");
@@ -418,17 +545,54 @@ Server::handleLine(const std::string &line, bool &shutdownAfterSend)
         else
             ++completed_;
     }
-    return writeJson(response);
+    loop_->send(id, writeJson(response) + "\n");
+    if (shutdownAfterSend)
+        requestShutdown();
+    dispatchNext(id);
+}
+
+void
+Server::dispatchNext(EventLoop::ConnId id)
+{
+    std::string next;
+    bool have = false;
+    bool resume = false;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        const auto it = connStates_.find(id);
+        if (it == connStates_.end())
+            return;
+        ConnState &state = it->second;
+        if (state.pending.empty()) {
+            state.busy = false;
+        } else {
+            next = std::move(state.pending.front());
+            state.pending.pop_front();
+            have = true;
+            if (state.paused &&
+                state.pending.size() <= kResumePendingLines) {
+                state.paused = false;
+                resume = true;
+            }
+        }
+    }
+    if (resume)
+        loop_->resumeReads(id);
+    if (have)
+        pipeline_->submit([this, id, captured = std::move(next)]() {
+            processLine(id, captured);
+        });
 }
 
 JsonValue
-Server::handleRequest(const Request &request)
+Server::handleQuick(const Request &request, bool &shutdownAfterSend)
 {
     switch (request.type) {
       case RequestType::Ping: {
         // A pong is a deep health report: admission pressure, drain
-        // state and warm-state footprint, so client retry logic and
-        // router health checks need no second round trip.
+        // state, latency quantiles and warm-state footprint, so
+        // client retry logic and router health checks need no second
+        // round trip.
         JsonValue out = makeResponse("pong", request.id, kCodeOk);
         Health health;
         health.ok = true;
@@ -444,6 +608,12 @@ Server::handleRequest(const Request &request)
                 .count());
         health.evalCacheCapacity = evalCache_.capacity();
         health.layerMemoEntries = layerMemo_.stats().entries;
+        {
+            std::lock_guard<std::mutex> stats(statsMutex_);
+            health.requestCount = latency_.count();
+            health.p50Ms = latency_.quantileMs(0.50);
+            health.p99Ms = latency_.quantileMs(0.99);
+        }
         out.set("health", healthToJson(health));
         return out;
       }
@@ -453,47 +623,16 @@ Server::handleRequest(const Request &request)
         return out;
       }
       case RequestType::Shutdown:
-        // The session sends this ack, then triggers the drain (see
-        // handleLine), so the requester always hears back first.
+        // The ack is queued for write first, then the drain begins
+        // (see respond), so the requester always hears back.
+        shutdownAfterSend = true;
         return makeResponse("shutdown-ack", request.id, kCodeOk);
       case RequestType::Map:
       case RequestType::Net:
         break;
     }
-
-    AdmissionSlot slot(admission_);
-    if (slot.ticket() == AdmissionTicket::Saturated)
-        return makeErrorResponse(
-            request.id, kCodeRejected, "saturated",
-            "admission queue full; retry later");
-    if (slot.ticket() == AdmissionTicket::Draining)
-        return makeErrorResponse(request.id, kCodeRejected,
-                                 "draining",
-                                 "daemon is shutting down");
-
-    // Execute on the worker pool; the session thread blocks here,
-    // which is exactly the per-connection backpressure the NDJSON
-    // framing promises (no pipelining past an inflight search).
-    std::promise<JsonValue> done;
-    std::future<JsonValue> future = done.get_future();
-    workers_->submit([this, &request, &done]() {
-        JsonValue out;
-        try {
-            out = request.type == RequestType::Map ? runMap(request)
-                                                   : runNet(request);
-        } catch (const Error &e) {
-            out = makeErrorResponse(request.id, kCodeUserError,
-                                    "user-error", e.what());
-        } catch (const std::exception &e) {
-            out = makeErrorResponse(request.id, kCodeInternal,
-                                    "internal", e.what());
-        } catch (...) {
-            out = makeErrorResponse(request.id, kCodeInternal,
-                                    "internal", "unknown error");
-        }
-        done.set_value(std::move(out));
-    });
-    return future.get();
+    return makeErrorResponse(request.id, kCodeInternal, "internal",
+                             "unreachable request type");
 }
 
 void
@@ -516,7 +655,7 @@ Server::runMap(const Request &request)
         searchLayer(mapper.problem(), mapper.arch(), request.preset,
                     request.variant, search, request.pad);
     const auto elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - begin);
     recordStrategy(search.strategy, outcome.evaluated, elapsed);
 
@@ -544,7 +683,7 @@ Server::runNet(const Request &request)
     for (const LayerOutcome &layer : net.layers)
         evaluations += layer.evaluated;
     const auto elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - begin);
     recordStrategy(search.strategy, evaluations, elapsed);
 
@@ -557,14 +696,16 @@ Server::runNet(const Request &request)
 void
 Server::recordStrategy(SearchStrategy strategy,
                        std::uint64_t evaluations,
-                       std::chrono::milliseconds elapsed)
+                       std::chrono::microseconds elapsed)
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     StrategyStats &s =
         strategyStats_[static_cast<std::size_t>(strategy)];
     ++s.requests;
     s.evaluations += evaluations;
-    s.millis += static_cast<std::uint64_t>(elapsed.count());
+    s.millis +=
+        static_cast<std::uint64_t>(elapsed.count()) / 1000u;
+    latency_.record(elapsed);
 }
 
 JsonValue
@@ -601,6 +742,11 @@ Server::statsJson() const
                  JsonValue::makeU64(gate.rejectedDraining));
     out.set("requests", std::move(requests));
 
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out.set("latency", latency_.toJson());
+    }
+
     const EvalCache::Stats cache = evalCache_.stats();
     JsonValue jcache = JsonValue::makeObject();
     jcache.set("hits", JsonValue::makeU64(cache.hits));
@@ -629,7 +775,8 @@ Server::statsJson() const
         std::lock_guard<std::mutex> lock(statsMutex_);
         static constexpr SearchStrategy kAll[] = {
             SearchStrategy::Random, SearchStrategy::Exhaustive,
-            SearchStrategy::Genetic, SearchStrategy::Local};
+            SearchStrategy::Genetic, SearchStrategy::Local,
+            SearchStrategy::Optimal};
         for (const SearchStrategy strategy : kAll) {
             const StrategyStats &s =
                 strategyStats_[static_cast<std::size_t>(strategy)];

@@ -12,6 +12,16 @@
  * (stop accepting, finish or cancel inflight work under a drain
  * budget, flush a final stats line).
  *
+ * I/O architecture (since the event-loop rewrite): a single epoll
+ * reactor thread (event_loop.hpp) owns every socket — idle
+ * connections cost zero threads. Complete request lines flow through
+ * a one-thread dispatch stage (parse + quick requests + admission)
+ * and searches run on the maxInflight-thread worker pool; responses
+ * are posted back to the reactor for write-behind flushing. Each
+ * connection runs its requests strictly in order (no pipelining past
+ * an inflight search — the same backpressure the thread-per-session
+ * server enforced by blocking).
+ *
  * Determinism contract: a request against a cold daemon produces
  * results bit-identical to the same offline run — shared-cache
  * fingerprints are salted per evaluation context, warm cache hits
@@ -28,18 +38,21 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
 #include "ruby/common/cancel.hpp"
 #include "ruby/common/thread_pool.hpp"
 #include "ruby/model/eval_cache.hpp"
 #include "ruby/search/driver.hpp"
 #include "ruby/serve/admission.hpp"
+#include "ruby/serve/event_loop.hpp"
 #include "ruby/serve/json.hpp"
+#include "ruby/serve/latency_histogram.hpp"
 #include "ruby/serve/protocol.hpp"
 
 namespace ruby
@@ -95,7 +108,9 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /** Bind, listen and start accepting. Throws ruby::Error when the
-     *  socket cannot be set up. */
+     *  socket cannot be set up — including when the unix socket path
+     *  is owned by a *live* daemon; a stale path left by a crash is
+     *  unlinked and rebound automatically. */
     void start();
 
     /** Bound TCP port (after start(); 0 for Unix-domain sockets). */
@@ -125,6 +140,12 @@ class Server
     /** The stats payload served to "stats" requests (thread-safe). */
     JsonValue statsJson() const;
 
+    /** Open client connections right now (thread-safe; testing). */
+    std::size_t connectionCount() const
+    {
+        return loop_ != nullptr ? loop_->connectionCount() : 0;
+    }
+
   private:
     struct StrategyStats
     {
@@ -133,23 +154,47 @@ class Server
         std::uint64_t millis = 0;
     };
 
-    void acceptLoop();
-    void sessionLoop(int fd);
-    /** Handle one request line; returns the response line (no \n).
-     *  Sets @p shutdownAfterSend for "shutdown" requests so the
-     *  session acks before the drain begins. */
-    std::string handleLine(const std::string &line,
-                           bool &shutdownAfterSend);
-    JsonValue handleRequest(const Request &request);
+    /** Per-connection dispatch state: requests run strictly in
+     *  order, one inflight at a time (guarded by connMutex_). */
+    struct ConnState
+    {
+        std::deque<std::string> pending;
+        bool busy = false;
+        bool paused = false; ///< reads paused for backpressure
+    };
+
+    void bindListener();
+
+    // Reactor callbacks (reactor thread).
+    void onConnect(EventLoop::ConnId id);
+    void onLine(EventLoop::ConnId id, std::string &&line);
+    void onOversize(EventLoop::ConnId id);
+    void onDisconnect(EventLoop::ConnId id);
+
+    /** Parse + dispatch one line (pipeline thread). */
+    void processLine(EventLoop::ConnId id, const std::string &line);
+    /** Admission outcome for a map/net request (any thread). */
+    void dispatchSearch(EventLoop::ConnId id,
+                        std::shared_ptr<Request> request);
+    /** Run the search on the worker pool (worker thread). */
+    void runSearch(EventLoop::ConnId id,
+                   const std::shared_ptr<Request> &request);
+    /** Count + send the response, then start the connection's next
+     *  pending request (any thread). */
+    void respond(EventLoop::ConnId id, const JsonValue &response,
+                 bool shutdownAfterSend);
+    void dispatchNext(EventLoop::ConnId id);
+
+    JsonValue handleQuick(const Request &request,
+                          bool &shutdownAfterSend);
     JsonValue runMap(const Request &request);
     JsonValue runNet(const Request &request);
     /** Stamp shared state + drain cancel into request options. */
     void prepareSearchOptions(SearchOptions &search);
     void recordStrategy(SearchStrategy strategy,
                         std::uint64_t evaluations,
-                        std::chrono::milliseconds elapsed);
+                        std::chrono::microseconds elapsed);
     void logLine(const std::string &line) const;
-    void closeAllSessions();
 
     ServeOptions options_;
 
@@ -159,22 +204,26 @@ class Server
 
     Admission admission_;
     std::unique_ptr<ThreadPool> workers_;
+    /** One-thread parse/dispatch stage between reactor and workers. */
+    std::unique_ptr<ThreadPool> pipeline_;
     CancelToken drainCancel_;
+
+    std::unique_ptr<EventLoop> loop_;
+    std::thread reactorThread_;
 
     int listenFd_ = -1;
     int boundPort_ = 0;
     std::array<int, 2> sigPipe_{-1, -1};
-
-    std::thread acceptThread_;
     std::thread signalThread_;
+
     mutable std::mutex mutex_;
     std::condition_variable shutdownCv_;
-    std::vector<std::thread> sessions_;
-    std::vector<int> sessionFds_;
     bool started_ = false;
     bool shutdownRequested_ = false;
     bool drained_ = false;
-    bool acceptStopped_ = false;
+
+    mutable std::mutex connMutex_;
+    std::unordered_map<EventLoop::ConnId, ConnState> connStates_;
 
     std::chrono::steady_clock::time_point startTime_;
 
@@ -184,7 +233,8 @@ class Server
     std::uint64_t completed_ = 0;
     std::uint64_t errors_ = 0;
     std::uint64_t connectionsAccepted_ = 0;
-    std::array<StrategyStats, 4> strategyStats_{};
+    LatencyHistogram latency_;
+    std::array<StrategyStats, 5> strategyStats_{};
 };
 
 } // namespace serve

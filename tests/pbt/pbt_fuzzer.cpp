@@ -48,13 +48,15 @@ struct FuzzArgs
     std::uint64_t seed = 1;
     bool seedPinned = false; ///< --seed given: replay one case
     std::string replayFile;
+    bool fleet = false; ///< wire mode: storm a router-fronted fleet
 };
 
 int
 usage()
 {
     std::cerr << "usage: ruby-pbt-fuzz --mode codec|protocol|wire "
-                 "[--budget-ms N] [--seed S] [--replay FILE]\n";
+                 "[--budget-ms N] [--seed S] [--replay FILE] "
+                 "[--fleet]\n";
     return 2;
 }
 
@@ -150,13 +152,14 @@ runWire(const FuzzArgs &args)
     config.seed = args.seed;
     config.connections = args.budgetMs == 0 ? 1 : 0;
     config.budgetMs = args.budgetMs;
+    config.fleet = args.fleet;
     const std::optional<std::string> failure =
         pbt::runWireFuzz(config);
     if (failure) {
         std::cerr << "wire fuzzer failed:\n  " << *failure << "\n";
         return 1;
     }
-    std::cout << "wire fuzzer: survived "
+    std::cout << (args.fleet ? "fleet " : "") << "wire fuzzer: survived "
               << (args.budgetMs == 0
                       ? std::string("1 connection")
                       : std::to_string(args.budgetMs) + " ms")
@@ -226,6 +229,8 @@ main(int argc, char **argv)
             if (v == nullptr)
                 return usage();
             args.replayFile = v;
+        } else if (arg == "--fleet") {
+            args.fleet = true;
         } else {
             return usage();
         }

@@ -23,6 +23,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -31,6 +32,7 @@
 #include "pbt.hpp"
 #include "ruby/common/error.hpp"
 #include "ruby/serve/json.hpp"
+#include "ruby/serve/router.hpp"
 #include "ruby/serve/server.hpp"
 
 namespace ruby
@@ -48,6 +50,10 @@ struct WireFuzzConfig
     /** Per-read patience before declaring a hang. Generous so
      *  sanitizer builds do not false-positive. */
     int readTimeoutMs = 10'000;
+    /** Storm a router fronting a 2-backend fleet instead of a single
+     *  daemon — the second oracle: malformed frames must never leak
+     *  a forwarding slot or wedge the router either. */
+    bool fleet = false;
 };
 
 namespace wirefuzz
@@ -164,6 +170,35 @@ runWireFuzz(const WireFuzzConfig &config)
     serve::Server server(opts);
     server.start();
 
+    // Fleet mode: a second backend plus a router in front; the storm
+    // then targets the router's port, exercising parse/forward/fan-in
+    // against the same oracle.
+    std::unique_ptr<serve::Server> backend2;
+    std::unique_ptr<serve::Router> router;
+    int stormPort = server.port();
+    if (config.fleet) {
+        backend2 = std::make_unique<serve::Server>(opts);
+        backend2->start();
+        serve::RouterOptions ropts;
+        ropts.host = "127.0.0.1";
+        ropts.port = 0;
+        ropts.maxForwards = 4;
+        ropts.queueCapacity = 8;
+        ropts.maxLineBytes = 4096;
+        ropts.drainBudget = std::chrono::milliseconds(2'000);
+        ropts.logLifecycle = false;
+        serve::Endpoint b1;
+        b1.host = "127.0.0.1";
+        b1.port = server.port();
+        serve::Endpoint b2;
+        b2.host = "127.0.0.1";
+        b2.port = backend2->port();
+        ropts.backends = {b1, b2};
+        router = std::make_unique<serve::Router>(std::move(ropts));
+        router->start();
+        stormPort = router->port();
+    }
+
     const auto startedAt = std::chrono::steady_clock::now();
     const auto elapsedMs = [&]() {
         return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -191,7 +226,7 @@ runWireFuzz(const WireFuzzConfig &config)
             return os.str();
         };
 
-        wirefuzz::RawConn conn(server.port());
+        wirefuzz::RawConn conn(stormPort);
         if (!conn.ok()) {
             failure = describe("could not connect to the server", "");
             break;
@@ -264,8 +299,12 @@ runWireFuzz(const WireFuzzConfig &config)
         const auto deadline = std::chrono::steady_clock::now() +
                               std::chrono::seconds(10);
         for (;;) {
-            const serve::JsonValue stats = server.statsJson();
-            const serve::JsonValue &requests = stats.at("requests");
+            const serve::JsonValue stats =
+                router != nullptr ? router->fleetStatsJson()
+                                  : server.statsJson();
+            const serve::JsonValue &requests =
+                router != nullptr ? stats.at("router")
+                                  : stats.at("requests");
             const std::uint64_t inflight =
                 requests.at("inflight").asU64();
             const std::uint64_t queued =
@@ -284,6 +323,14 @@ runWireFuzz(const WireFuzzConfig &config)
         }
     }
 
+    if (router != nullptr) {
+        router->requestShutdown();
+        router->waitForShutdown();
+    }
+    if (backend2 != nullptr) {
+        backend2->requestShutdown();
+        backend2->waitForShutdown();
+    }
     server.requestShutdown();
     server.waitForShutdown();
     return failure;

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Reactor scalability tests: the epoll event loop must hold a
+ * thousand idle connections without spawning a single session thread
+ * (the whole point of replacing thread-per-connection I/O), keep
+ * serving requests while they sit there, and still drain cleanly on
+ * SIGTERM with every idle socket seeing EOF.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ruby/serve/client.hpp"
+#include "ruby/serve/protocol.hpp"
+#include "ruby/serve/server.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+/** Threads of this process, from /proc/self/status. */
+int
+processThreadCount()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0) {
+            std::istringstream is(line.substr(8));
+            int n = 0;
+            is >> n;
+            return n;
+        }
+    }
+    return -1;
+}
+
+int
+connectTcpRaw(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+ServeOptions
+tcpOptions()
+{
+    ServeOptions o;
+    o.port = 0;
+    o.logLifecycle = false;
+    return o;
+}
+
+constexpr int kIdleConnections = 1000;
+
+TEST(EventLoop, ThousandIdleConnectionsCostZeroThreads)
+{
+    Server server(tcpOptions());
+    server.start();
+
+    // Thread census after startup: reactor + pipeline + workers +
+    // signal thread are all running; nothing below may add to it.
+    const int threadsBefore = processThreadCount();
+    ASSERT_GT(threadsBefore, 0);
+
+    std::vector<int> idle;
+    idle.reserve(kIdleConnections);
+    for (int i = 0; i < kIdleConnections; ++i) {
+        const int fd = connectTcpRaw(server.port());
+        ASSERT_GE(fd, 0) << "connect " << i << " failed";
+        idle.push_back(fd);
+    }
+
+    // The reactor accepts asynchronously; wait for the census.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (server.connectionCount() <
+               static_cast<std::size_t>(kIdleConnections) &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(server.connectionCount(),
+              static_cast<std::size_t>(kIdleConnections));
+
+    // Zero threads per connection: the census is exactly what it was
+    // before the thousand sockets arrived.
+    EXPECT_EQ(processThreadCount(), threadsBefore);
+
+    // The daemon still serves requests with the idle herd attached.
+    {
+        Client client = Client::connectTcp("127.0.0.1", server.port());
+        const Health health = client.ping();
+        EXPECT_TRUE(health.ok);
+    }
+
+    // SIGTERM drain with a thousand idle connections: every socket
+    // sees EOF, the drain completes, and post-drain connects are
+    // refused.
+    Server::installSignalDrain(server);
+    ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+    server.waitForShutdown();
+
+    for (const int fd : idle) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, 5'000);
+        EXPECT_GT(rc, 0) << "idle socket saw no EOF after drain";
+        char byte = 0;
+        EXPECT_EQ(::recv(fd, &byte, 1, 0), 0)
+            << "expected EOF on an idle socket";
+        ::close(fd);
+    }
+    EXPECT_LT(connectTcpRaw(server.port()), 0)
+        << "post-drain connect should be refused";
+}
+
+TEST(EventLoop, PipelinedLinesKeepStrictPerConnectionOrder)
+{
+    Server server(tcpOptions());
+    server.start();
+
+    // Many pings written as one burst: responses must come back in
+    // request order on the same connection.
+    const int fd = connectTcpRaw(server.port());
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    constexpr int kPings = 50;
+    for (int i = 0; i < kPings; ++i)
+        burst += "{\"v\":1,\"type\":\"ping\",\"id\":\"p" +
+                 std::to_string(i) + "\"}\n";
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+
+    std::string buf;
+    int next = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (next < kPings &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            const JsonValue parsed = parseJson(line);
+            ASSERT_EQ(parsed.at("id").asString(),
+                      "p" + std::to_string(next))
+                << "responses out of order";
+            ++next;
+        }
+        if (next >= kPings)
+            break;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        ASSERT_GT(n, 0);
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(next, kPings);
+    ::close(fd);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the fixed-bucket latency histogram: bucket edges,
+ * quantile interpolation, elementwise merge (the fleet fan-in path)
+ * and the JSON round trip used by the stats protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "ruby/serve/json.hpp"
+#include "ruby/serve/latency_histogram.hpp"
+
+namespace ruby
+{
+namespace serve
+{
+namespace
+{
+
+using std::chrono::microseconds;
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero)
+{
+    const LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantileMs(0.50), 0.0);
+    EXPECT_EQ(h.quantileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, BucketsAreLogSpaced)
+{
+    // 100us * 2^i upper bounds; the last bucket is unbounded.
+    EXPECT_EQ(LatencyHistogram::bucketUpperUs(0), 100u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperUs(1), 200u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperUs(10), 102'400u);
+    for (std::size_t i = 0; i + 2 < LatencyHistogram::kBuckets; ++i)
+        EXPECT_EQ(LatencyHistogram::bucketUpperUs(i + 1),
+                  2 * LatencyHistogram::bucketUpperUs(i));
+}
+
+TEST(LatencyHistogram, QuantilesBracketRecordedValues)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(microseconds(1'000)); // all in the (800,1600] bucket
+    EXPECT_EQ(h.count(), 100u);
+    // The quantile interpolates within the crossing bucket, so it
+    // must land inside that bucket's bounds.
+    EXPECT_GT(h.quantileMs(0.50), 0.8);
+    EXPECT_LE(h.quantileMs(0.50), 1.6);
+    EXPECT_GT(h.quantileMs(0.99), 0.8);
+    EXPECT_LE(h.quantileMs(0.99), 1.6);
+}
+
+TEST(LatencyHistogram, TailQuantileSeesTheSlowRequests)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(microseconds(500));
+    h.record(microseconds(400'000)); // one slow outlier
+    EXPECT_LT(h.quantileMs(0.50), 1.0);
+    EXPECT_GT(h.quantileMs(0.999), 100.0);
+}
+
+TEST(LatencyHistogram, MergeIsElementwise)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    for (int i = 0; i < 10; ++i)
+        a.record(microseconds(150));
+    for (int i = 0; i < 30; ++i)
+        b.record(microseconds(300'000));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 40u);
+    // Median now sits in b's mass, not a's.
+    EXPECT_GT(a.quantileMs(0.75), 100.0);
+    EXPECT_LT(a.quantileMs(0.10), 1.0);
+}
+
+TEST(LatencyHistogram, JsonRoundTripPreservesCounts)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 7; ++i)
+        h.record(microseconds(50 + i * 40'000));
+    const JsonValue encoded = h.toJson();
+    const LatencyHistogram back =
+        LatencyHistogram::fromJson(encoded);
+    EXPECT_EQ(back.count(), h.count());
+    EXPECT_EQ(back.quantileMs(0.5), h.quantileMs(0.5));
+    EXPECT_EQ(back.quantileMs(0.99), h.quantileMs(0.99));
+    EXPECT_EQ(writeJson(back.toJson()), writeJson(encoded));
+}
+
+} // namespace
+} // namespace serve
+} // namespace ruby

@@ -10,10 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,6 +28,7 @@
 #include "ruby/search/driver.hpp"
 #include "ruby/serve/client.hpp"
 #include "ruby/serve/protocol.hpp"
+#include "ruby/serve/router.hpp"
 #include "ruby/serve/server.hpp"
 
 namespace ruby
@@ -205,6 +210,176 @@ TEST(ServeServer, RemoteNetMatchesOfflineBitForBit)
             server.waitForShutdown();
         }
     }
+}
+
+/**
+ * The parity matrix through the fleet: the same net request sent to
+ * a router fronting three cold backends renders byte-for-byte what
+ * the offline sweep prints, for every strategy on both presets. The
+ * router adds consistent hashing, forwarding and re-encoding to the
+ * path — none of which may perturb a single byte.
+ */
+TEST(ServeServer, RoutedNetMatchesOfflineBitForBit)
+{
+    const std::vector<Layer> layers = tinyLayers();
+    static constexpr SearchStrategy kStrategies[] = {
+        SearchStrategy::Random, SearchStrategy::Exhaustive,
+        SearchStrategy::Genetic, SearchStrategy::Local,
+        SearchStrategy::Optimal};
+    static constexpr const char *kArchNames[] = {"eyeriss", "simba"};
+
+    for (const char *archName : kArchNames) {
+        const ArchSpec arch = archByName(archName);
+        const ConstraintPreset preset =
+            std::string(archName) == "simba"
+                ? ConstraintPreset::Simba
+                : ConstraintPreset::EyerissRS;
+        for (const SearchStrategy strategy : kStrategies) {
+            const SearchOptions search = quickOptions(strategy);
+
+            const NetworkOutcome offline = searchNetwork(
+                layers, arch, preset, MapspaceVariant::RubyS,
+                search);
+
+            // A cold 3-backend fleet per combo, so whichever shard
+            // the ring picks starts exactly like the offline run.
+            std::vector<std::unique_ptr<Server>> backends;
+            RouterOptions ropts;
+            ropts.port = 0;
+            ropts.logLifecycle = false;
+            for (int b = 0; b < 3; ++b) {
+                auto backend =
+                    std::make_unique<Server>(tcpOptions());
+                backend->start();
+                Endpoint endpoint;
+                endpoint.host = "127.0.0.1";
+                endpoint.port = backend->port();
+                ropts.backends.push_back(endpoint);
+                backends.push_back(std::move(backend));
+            }
+            Router router(std::move(ropts));
+            router.start();
+
+            Client client =
+                Client::connectTcp("127.0.0.1", router.port());
+            Request req;
+            req.type = RequestType::Net;
+            req.id = std::string(archName) + "-" +
+                     strategyWireName(strategy);
+            req.arch = archName;
+            req.layers = layers;
+            req.variant = MapspaceVariant::RubyS;
+            req.preset = preset;
+            req.search = search;
+
+            const JsonValue response =
+                client.call(encodeRequest(req));
+            ASSERT_EQ(response.at("type").asString(), "result")
+                << writeJson(response);
+            const NetworkOutcome remote =
+                networkOutcomeFromJson(response.at("net"));
+
+            EXPECT_EQ(summaryText(remote), summaryText(offline))
+                << "strategy " << strategyWireName(strategy)
+                << " on " << archName << " through the router";
+            EXPECT_EQ(remote.totalEnergy, offline.totalEnergy);
+            EXPECT_EQ(remote.totalCycles, offline.totalCycles);
+            EXPECT_EQ(remote.edp, offline.edp);
+            EXPECT_EQ(response.at("code").asU64(),
+                      offline.allFound
+                          ? 0u
+                          : static_cast<std::uint64_t>(kCodePartial));
+
+            router.requestShutdown();
+            router.waitForShutdown();
+            for (auto &backend : backends) {
+                backend->requestShutdown();
+                backend->waitForShutdown();
+            }
+        }
+    }
+}
+
+TEST(ServeServer, StaleUnixSocketIsRecoveredLiveOneIsNot)
+{
+    const std::string path =
+        "/tmp/ruby-serve-stale-" + std::to_string(::getpid()) +
+        ".sock";
+    ::unlink(path.c_str());
+
+    // A crashed daemon leaves the socket file behind with nobody
+    // listening: the next start must unlink and rebind it.
+    {
+        ServeOptions options;
+        options.unixPath = path;
+        options.logLifecycle = false;
+        Server first(options);
+        first.start();
+        first.requestShutdown();
+        first.waitForShutdown();
+    }
+    // waitForShutdown unlinks; recreate the stale file the way a
+    // SIGKILLed daemon would leave it — bound once, never unlinked.
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd); // file stays behind, nobody listens
+    }
+
+    ServeOptions options;
+    options.unixPath = path;
+    options.logLifecycle = false;
+    Server server(options);
+    server.start(); // must recover the stale path
+
+    // A *live* daemon on the path is an operator error, not
+    // something to steal: a second start must throw and must not
+    // unlink the live socket.
+    {
+        Server thief(options);
+        EXPECT_THROW(thief.start(), Error);
+    }
+    Client client = Client::connectUnix(path);
+    EXPECT_TRUE(client.ping().ok);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+    ::unlink(path.c_str());
+}
+
+TEST(ServeServer, TcpPortRebindsImmediatelyAfterDrain)
+{
+    // SO_REUSEADDR on the listener: a restarted daemon must be able
+    // to rebind the port its predecessor just released, even with
+    // the old connections still in TIME_WAIT.
+    ServeOptions options = tcpOptions();
+    Server first(options);
+    first.start();
+    const int port = first.port();
+    {
+        // Leave a connection behind so the port has TIME_WAIT state.
+        Client client = Client::connectTcp("127.0.0.1", port);
+        EXPECT_TRUE(client.ping().ok);
+    }
+    first.requestShutdown();
+    first.waitForShutdown();
+
+    ServeOptions rebind = tcpOptions();
+    rebind.port = port;
+    Server second(rebind);
+    second.start(); // would fail with EADDRINUSE without SO_REUSEADDR
+    EXPECT_EQ(second.port(), port);
+    Client client = Client::connectTcp("127.0.0.1", port);
+    EXPECT_TRUE(client.ping().ok);
+    second.requestShutdown();
+    second.waitForShutdown();
 }
 
 TEST(ServeServer, ConcurrentRequestsShareTheWarmCache)

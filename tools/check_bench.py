@@ -4,7 +4,9 @@
 Parses BENCH_eval_throughput.json (micro_model_perf),
 BENCH_search_scaling.json (search_scaling) and
 BENCH_optimal_gap.json (optimal_gap) and fails the job when a perf
-or correctness floor is broken. Stdlib only.
+or correctness floor is broken. With --serve-load it instead gates
+only BENCH_serve_load.json (serve_load: single daemon vs routed
+fleet). Stdlib only.
 
 The correctness gates are unconditional: the incremental (delta)
 engine is an exact recomputation, so every best-EDP parity flag must
@@ -200,6 +202,61 @@ def check_optimal_gap(gate, data):
         )
 
 
+def check_serve_load(gate, data):
+    """Single daemon vs routed fleet at equal search-slot budget.
+
+    Correctness gates are unconditional: every request in the trace
+    must complete with code 0 on both sides, and sharding must not
+    cost cache warmth — the fleet's aggregated layer-memo hit rate on
+    the repeated-shape trace must be at least the single daemon's
+    (the router pins a shape's repeats to one warm shard, so the
+    aggregate never pays more cold misses than one big memo would).
+
+    The QPS-superiority floor needs real parallel capacity: a router
+    plus three backends time-slicing one hardware thread measures
+    scheduler overhead, not sharding throughput, so it is refused on
+    single-core hosts exactly like the thread-scaling floors.
+    """
+    print("BENCH_serve_load.json:")
+    single = data["single"]
+    fleet = data["fleet"]
+    gate.check(
+        single["all_ok"] and single["completed"]
+        == data["trace"]["total_requests"],
+        "single daemon: every trace request completed with code 0",
+    )
+    gate.check(
+        fleet["all_ok"] and fleet["completed"]
+        == data["trace"]["total_requests"],
+        "fleet: every trace request completed with code 0",
+    )
+    gate.check(
+        fleet["layer_memo_hit_rate"]
+        >= single["layer_memo_hit_rate"] - 1e-9,
+        f"fleet layer-memo hit rate"
+        f" {fleet['layer_memo_hit_rate']:.3f} >= single daemon's"
+        f" {single['layer_memo_hit_rate']:.3f}",
+    )
+
+    cores = data["hardware_concurrency"]
+    if cores >= 2:
+        print(f"  ({cores} hardware threads: fleet QPS floor)")
+        ratio = data["fleet_qps_ratio"]
+        gate.check(
+            ratio > 1.0,
+            f"fleet qps {fleet['qps']:.0f} > single daemon qps"
+            f" {single['qps']:.0f} at equal slot budget"
+            f" (ratio {ratio:.2f}x)",
+        )
+    else:
+        print(
+            f"  REFUSED: fleet-vs-single QPS floor not gated"
+            f" (hardware_concurrency={cores}; one hardware thread"
+            f" time-slices the whole fleet, so routed throughput"
+            f" cannot exceed a single daemon's there)"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -217,12 +274,24 @@ def main():
         default="BENCH_optimal_gap.json",
         help="path to the optimal_gap report",
     )
+    ap.add_argument(
+        "--serve-load",
+        nargs="?",
+        const="BENCH_serve_load.json",
+        default=None,
+        metavar="PATH",
+        help="gate only the serve_load report (the serving-fleet CI"
+        " job produces just this artefact)",
+    )
     args = ap.parse_args()
 
     gate = Gate()
-    check_eval_throughput(gate, load(args.eval_throughput))
-    check_search_scaling(gate, load(args.search_scaling))
-    check_optimal_gap(gate, load(args.optimal_gap))
+    if args.serve_load is not None:
+        check_serve_load(gate, load(args.serve_load))
+    else:
+        check_eval_throughput(gate, load(args.eval_throughput))
+        check_search_scaling(gate, load(args.search_scaling))
+        check_optimal_gap(gate, load(args.optimal_gap))
 
     if gate.failures:
         print(

@@ -7,6 +7,7 @@
  *   ruby-map count <dim> [options]           mapspace sizes (Table I)
  *   ruby-map suites                          list built-in workloads
  *   ruby-map serve [options]                 run the mapping daemon
+ *   ruby-map route [options]                 front a daemon fleet
  *   ruby-map remote <conn> <action>          talk to a running daemon
  *   ruby-map --version                       build version and commit
  *
@@ -43,6 +44,17 @@
  * ephemeral port and logs it), --max-inflight N, --queue-capacity N,
  * --drain-budget MS, --cache-capacity N, --quiet.
  *
+ * `route` runs ruby-router, the consistent-hash front for a fleet of
+ * daemons (see docs/SERVING.md "Fleet topology"): repeatable
+ * --backend unix:PATH|HOST:PORT names the fleet; --unix/--host/--port
+ * bind the front socket; --replicas N (virtual nodes per backend),
+ * --load-factor X (bounded-load skip threshold), --health-interval MS
+ * (backend ping cadence), --forwarders N, --queue-capacity N,
+ * --retry N / --retry-budget MS (per-forward retry schedule),
+ * --drain-budget MS, --quiet. A `remote` client pointed at the router
+ * sees byte-identical results to talking to a daemon directly;
+ * `remote stats` returns the aggregated fleet report.
+ *
  * `remote` sends one request to a running daemon over --unix PATH or
  * --host H --port N, then renders the result exactly as the offline
  * subcommand would: remote map/net take the same overrides as their
@@ -75,6 +87,7 @@
 #include "ruby/ruby.hpp"
 #include "ruby/serve/client.hpp"
 #include "ruby/serve/protocol.hpp"
+#include "ruby/serve/router.hpp"
 #include "ruby/serve/server.hpp"
 
 #ifndef RUBY_VERSION_STRING
@@ -138,6 +151,13 @@ usage()
            "  ruby-map serve [--unix PATH | --host H --port N]\n"
            "          [--max-inflight N] [--queue-capacity N]\n"
            "          [--drain-budget MS] [--cache-capacity N]"
+           " [--quiet]\n"
+           "  ruby-map route --backend (unix:PATH | HOST:PORT) ...\n"
+           "          [--unix PATH | --host H --port N]\n"
+           "          [--replicas N] [--load-factor X]\n"
+           "          [--health-interval MS] [--forwarders N]\n"
+           "          [--queue-capacity N] [--retry N]\n"
+           "          [--retry-budget MS] [--drain-budget MS]"
            " [--quiet]\n"
            "  ruby-map remote (--unix PATH | --host H --port N)\n"
            "          [--retry N] [--retry-budget MS]\n"
@@ -574,6 +594,98 @@ runServe(const std::vector<std::string> &args)
     return kExitOk;
 }
 
+/** Parse a --backend spec: "unix:PATH" or "HOST:PORT" (bare ":PORT"
+ *  means 127.0.0.1). */
+serve::Endpoint
+parseBackendSpec(const std::string &spec)
+{
+    serve::Endpoint endpoint;
+    if (spec.rfind("unix:", 0) == 0) {
+        endpoint.unixPath = spec.substr(5);
+        RUBY_CHECK(!endpoint.unixPath.empty(),
+                   "--backend: empty unix socket path in '", spec,
+                   "'");
+        return endpoint;
+    }
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        throw UsageError("--backend expects unix:PATH or HOST:PORT, "
+                         "got '" +
+                         spec + "'");
+    if (colon > 0)
+        endpoint.host = spec.substr(0, colon);
+    endpoint.port = static_cast<int>(
+        parseU64Arg("--backend", spec.substr(colon + 1)));
+    RUBY_CHECK(endpoint.port > 0 && endpoint.port < 65536,
+               "--backend: port out of range in '", spec, "'");
+    return endpoint;
+}
+
+int
+runRoute(const std::vector<std::string> &args)
+{
+    serve::RouterOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            RUBY_CHECK(i + 1 < args.size(), flag,
+                       " expects an argument");
+            return args[++i];
+        };
+        if (flag == "--backend")
+            options.backends.push_back(parseBackendSpec(next()));
+        else if (flag == "--unix")
+            options.unixPath = next();
+        else if (flag == "--host")
+            options.host = next();
+        else if (flag == "--port")
+            options.port =
+                static_cast<int>(parseU64Arg(flag, next()));
+        else if (flag == "--replicas")
+            options.replicas =
+                static_cast<unsigned>(parseU64Arg(flag, next()));
+        else if (flag == "--load-factor") {
+            const std::string &value = next();
+            char *end = nullptr;
+            options.loadFactor = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                RUBY_FATAL(flag, ": '", value, "' is not a number");
+        } else if (flag == "--health-interval")
+            options.healthInterval =
+                std::chrono::milliseconds(parseU64Arg(flag, next()));
+        else if (flag == "--forwarders")
+            options.maxForwards =
+                static_cast<unsigned>(parseU64Arg(flag, next()));
+        else if (flag == "--queue-capacity")
+            options.queueCapacity =
+                static_cast<std::size_t>(parseU64Arg(flag, next()));
+        else if (flag == "--retry") {
+            options.retry.attempts =
+                static_cast<int>(parseU64Arg(flag, next()));
+            RUBY_CHECK(options.retry.attempts >= 1,
+                       "--retry: need at least one attempt");
+        } else if (flag == "--retry-budget")
+            options.retry.budget =
+                std::chrono::milliseconds(parseU64Arg(flag, next()));
+        else if (flag == "--drain-budget")
+            options.drainBudget =
+                std::chrono::milliseconds(parseU64Arg(flag, next()));
+        else if (flag == "--quiet")
+            options.logLifecycle = false;
+        else
+            unknownFlag(flag);
+    }
+    if (options.backends.empty())
+        throw UsageError(
+            "route needs at least one --backend unix:PATH|HOST:PORT");
+
+    serve::Router router(std::move(options));
+    router.start();
+    serve::Router::installSignalDrain(router);
+    router.waitForShutdown();
+    return kExitOk;
+}
+
 /** The `remote` connection settings: where the daemon lives and how
  *  hard to try reaching it. */
 struct RemoteConn
@@ -776,6 +888,8 @@ main(int argc, char **argv)
             return runSuites(args);
         if (command == "serve")
             return runServe(args);
+        if (command == "route")
+            return runRoute(args);
         if (command == "remote")
             return runRemote(args);
     } catch (const UsageError &e) {
