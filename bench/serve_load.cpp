@@ -133,6 +133,34 @@ buildTrace(bool full, std::size_t &repeatedShapes,
     return trace;
 }
 
+/**
+ * The pure-repeat segment: the hot set again under fresh ids, after
+ * the main replay has warmed every tier. Ids differ (the response
+ * cache keys on the semantic request, never the id), so this measures
+ * the cached-replay fast path end to end.
+ */
+std::vector<Request>
+buildRepeatTrace(bool full)
+{
+    std::vector<Request> trace;
+    std::size_t id = 0;
+    const std::size_t repeats = full ? 24 : 8;
+    for (std::size_t rep = 0; rep < repeats; ++rep)
+        for (std::size_t s = 0; s < 6; ++s) {
+            const bool simba = s >= 3;
+            const Layer layer =
+                convLayer("l" + std::to_string(s), 16 + 8 * (s % 3),
+                          32, 14, 14);
+            trace.push_back(netRequest(
+                "r" + std::to_string(id++),
+                simba ? "simba" : "eyeriss",
+                simba ? ConstraintPreset::Simba
+                      : ConstraintPreset::EyerissRS,
+                layer, full));
+        }
+    return trace;
+}
+
 struct RunResult
 {
     double seconds = 0.0;
@@ -148,7 +176,59 @@ struct RunResult
     std::uint64_t completed = 0;
     std::uint64_t reroutes = 0;
     bool allOk = true;
+
+    // Response cache (the single daemon's own cache, or the router's
+    // for the fleet run) over the whole benchmark.
+    std::uint64_t respHits = 0;
+    std::uint64_t respMisses = 0;
+    std::uint64_t coalesced = 0;
+
+    // The pure-repeat segment: identical requests after warmup, the
+    // response-cache fast path end to end.
+    double repeatSeconds = 0.0;
+    double repeatQps = 0.0;
+    double repeatHitRate = 0.0;
 };
+
+/** Hits/misses snapshot of a "responseCache" stats block. */
+struct CacheSnapshot
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;
+};
+
+CacheSnapshot
+snapshotCache(const JsonValue &cacheBlock)
+{
+    CacheSnapshot s;
+    s.hits = cacheBlock.at("hits").asU64();
+    s.misses = cacheBlock.at("misses").asU64();
+    s.coalesced = cacheBlock.at("coalesced").asU64();
+    return s;
+}
+
+/** Fold the final cache snapshot and the repeat-segment delta into
+ *  @p out. Coalesced followers count toward served-without-search:
+ *  they ride the leader's response even though their probe missed. */
+void
+finishCacheMetrics(const CacheSnapshot &beforeRepeat,
+                   const CacheSnapshot &final, RunResult &out)
+{
+    out.respHits = final.hits;
+    out.respMisses = final.misses;
+    out.coalesced = final.coalesced;
+    const std::uint64_t repeatHits = final.hits - beforeRepeat.hits;
+    const std::uint64_t repeatCoalesced =
+        final.coalesced - beforeRepeat.coalesced;
+    const std::uint64_t repeatProbes =
+        repeatHits + (final.misses - beforeRepeat.misses);
+    out.repeatHitRate =
+        repeatProbes == 0
+            ? 0.0
+            : static_cast<double>(repeatHits + repeatCoalesced) /
+                  static_cast<double>(repeatProbes);
+}
 
 /** Replay the trace with kClients concurrent connections. */
 void
@@ -215,7 +295,8 @@ readStats(const JsonValue &stats, RunResult &out)
 }
 
 RunResult
-runSingle(const std::vector<Request> &trace)
+runSingle(const std::vector<Request> &trace,
+          const std::vector<Request> &repeatTrace)
 {
     ServeOptions opts;
     opts.port = 0;
@@ -226,7 +307,20 @@ runSingle(const std::vector<Request> &trace)
 
     RunResult out;
     replay(trace, "127.0.0.1", server.port(), out);
-    readStats(server.statsJson(), out);
+
+    const CacheSnapshot beforeRepeat =
+        snapshotCache(server.statsJson().at("responseCache"));
+    RunResult repeat;
+    replay(repeatTrace, "127.0.0.1", server.port(), repeat);
+    out.repeatSeconds = repeat.seconds;
+    out.repeatQps = repeat.qps;
+    out.allOk = out.allOk && repeat.allOk;
+
+    const JsonValue stats = server.statsJson();
+    readStats(stats, out);
+    finishCacheMetrics(beforeRepeat,
+                       snapshotCache(stats.at("responseCache")),
+                       out);
 
     server.requestShutdown();
     server.waitForShutdown();
@@ -234,7 +328,8 @@ runSingle(const std::vector<Request> &trace)
 }
 
 RunResult
-runFleet(const std::vector<Request> &trace)
+runFleet(const std::vector<Request> &trace,
+         const std::vector<Request> &repeatTrace)
 {
     RouterOptions ropts;
     ropts.port = 0;
@@ -264,8 +359,23 @@ runFleet(const std::vector<Request> &trace)
 
     RunResult out;
     replay(trace, "127.0.0.1", router.port(), out);
+
+    // The fleet's repeat traffic is absorbed by the ROUTER's own
+    // response cache — the epoch-tagged tier invalidated on backend
+    // flaps — so snapshot that block, not the backends' caches.
+    const CacheSnapshot beforeRepeat = snapshotCache(
+        router.fleetStatsJson().at("router").at("responseCache"));
+    RunResult repeat;
+    replay(repeatTrace, "127.0.0.1", router.port(), repeat);
+    out.repeatSeconds = repeat.seconds;
+    out.repeatQps = repeat.qps;
+    out.allOk = out.allOk && repeat.allOk;
+
     const JsonValue stats = router.fleetStatsJson();
     readStats(stats.at("fleet"), out);
+    finishCacheMetrics(
+        beforeRepeat,
+        snapshotCache(stats.at("router").at("responseCache")), out);
     out.reroutes = stats.at("router").at("reroutes").asU64();
 
     router.requestShutdown();
@@ -294,6 +404,14 @@ emitRun(std::ofstream &json, const char *key, const RunResult &run)
          << "    \"layer_memo_misses\": " << run.memoMisses << ",\n"
          << "    \"completed\": " << run.completed << ",\n"
          << "    \"reroutes\": " << run.reroutes << ",\n"
+         << "    \"response_cache_hits\": " << run.respHits << ",\n"
+         << "    \"response_cache_misses\": " << run.respMisses
+         << ",\n"
+         << "    \"coalesced\": " << run.coalesced << ",\n"
+         << "    \"repeat_qps\": " << run.repeatQps << ",\n"
+         << "    \"repeat_seconds\": " << run.repeatSeconds << ",\n"
+         << "    \"repeat_hit_rate\": " << run.repeatHitRate
+         << ",\n"
          << "    \"all_ok\": " << (run.allOk ? "true" : "false")
          << "\n  },\n";
 }
@@ -309,24 +427,29 @@ main()
     std::size_t uniqueShapes = 0;
     const std::vector<Request> trace = buildTrace(
         full, repeatedShapes, repeatsPerShape, uniqueShapes);
+    const std::vector<Request> repeatTrace = buildRepeatTrace(full);
 
     std::cout << "serve_load: replaying " << trace.size()
               << " requests (" << repeatedShapes << " hot shapes x "
               << repeatsPerShape << " + " << uniqueShapes
-              << " unique) against 1 daemon (" << kSlots
+              << " unique) + " << repeatTrace.size()
+              << " pure repeats against 1 daemon (" << kSlots
               << " slots) vs " << kSlots << "-backend fleet...\n";
 
-    const RunResult single = runSingle(trace);
+    const RunResult single = runSingle(trace, repeatTrace);
     std::cout << "  single: " << single.qps << " qps, p50 "
               << single.p50Ms << " ms, p99 " << single.p99Ms
               << " ms, memo hit rate " << single.memoHitRate
-              << "\n";
+              << ", repeats " << single.repeatQps
+              << " qps at hit rate " << single.repeatHitRate << "\n";
 
-    const RunResult fleet = runFleet(trace);
+    const RunResult fleet = runFleet(trace, repeatTrace);
     std::cout << "  fleet:  " << fleet.qps << " qps, p50 "
               << fleet.p50Ms << " ms, p99 " << fleet.p99Ms
               << " ms, memo hit rate " << fleet.memoHitRate << " ("
-              << fleet.reroutes << " reroutes)\n";
+              << fleet.reroutes << " reroutes), repeats "
+              << fleet.repeatQps << " qps at hit rate "
+              << fleet.repeatHitRate << "\n";
 
     const char *path = "BENCH_serve_load.json";
     std::ofstream json(path);
@@ -341,6 +464,8 @@ main()
          << "    \"repeated_shapes\": " << repeatedShapes << ",\n"
          << "    \"repeats_per_shape\": " << repeatsPerShape << ",\n"
          << "    \"unique_shapes\": " << uniqueShapes << ",\n"
+         << "    \"repeat_requests\": " << repeatTrace.size()
+         << ",\n"
          << "    \"archs\": [\"eyeriss\", \"simba\"]\n  },\n";
     emitRun(json, "single", single);
     emitRun(json, "fleet", fleet);

@@ -1,6 +1,7 @@
 #include "ruby/model/eval_cache.hpp"
 
 #include "ruby/common/error.hpp"
+#include "ruby/util/hash.hpp"
 
 namespace ruby
 {
@@ -8,68 +9,9 @@ namespace ruby
 namespace
 {
 
-constexpr std::uint64_t kHashOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kHashPrime = 0x100000001b3ull;
-
-/** Round up to the next power of two (n >= 1). */
-std::size_t
-ceilPow2(std::size_t n)
-{
-    std::size_t p = 1;
-    while (p < n)
-        p <<= 1;
-    return p;
-}
-
-/**
- * Avalanche one 64-bit word (splitmix64 finalizer) so small integers
- * — which is all a mapping contains — still flip high bits.
- */
-std::uint64_t
-avalanche(std::uint64_t v)
-{
-    v += 0x9e3779b97f4a7c15ull;
-    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
-    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
-    return v ^ (v >> 31);
-}
-
-/**
- * FNV-style accumulator folding whole avalanched words.
- * Word-at-a-time keeps the fingerprint cheap enough to sit on the
- * search's per-candidate path.
- */
-struct Fnv
-{
-    std::uint64_t h;
-
-    explicit Fnv(std::uint64_t seed) : h(kHashOffset)
-    {
-        // Fold the seed in through the normal mix (an initial
-        // `h ^= seed` could cancel against the first mixed value).
-        mix(seed);
-    }
-
-    void mix(std::uint64_t v) { h = (h ^ avalanche(v)) * kHashPrime; }
-};
-
-/**
- * Two accumulators fed by one traversal: different initial states and
- * different odd multipliers, so a false cache hit needs both 64-bit
- * chains to collide simultaneously.
- */
-struct FnvPair
-{
-    std::uint64_t a = kHashOffset;
-    std::uint64_t b = 0x6c62272e07bb0142ull;
-
-    void mix(std::uint64_t v)
-    {
-        const std::uint64_t x = avalanche(v);
-        a = (a ^ x) * kHashPrime;
-        b = (b ^ x) * 0x9e3779b97f4a7c15ull;
-    }
-};
+using hashing::ceilPow2;
+using hashing::Fnv;
+using hashing::FnvPair;
 
 /** Feed every defining choice of @p mapping to @p sink.mix(). */
 template <typename Sink>

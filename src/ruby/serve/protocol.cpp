@@ -360,6 +360,12 @@ healthToJson(const Health &health)
             JsonValue::makeU64(health.requestCount));
     out.set("p50Ms", JsonValue::makeDouble(health.p50Ms));
     out.set("p99Ms", JsonValue::makeDouble(health.p99Ms));
+    out.set("responseCacheEntries",
+            JsonValue::makeU64(health.responseCacheEntries));
+    out.set("responseCacheHitRate",
+            JsonValue::makeDouble(health.responseCacheHitRate));
+    out.set("coalescedInflight",
+            JsonValue::makeU64(health.coalescedInflight));
     return out;
 }
 
@@ -385,6 +391,13 @@ healthFromJson(const JsonValue &v)
     const JsonValue *p99 = v.find("p99Ms");
     if (p99 != nullptr)
         health.p99Ms = p99->asDouble();
+    // Graceful defaults: pre-cache peers omit the response-cache
+    // gauges entirely.
+    health.responseCacheEntries = v.getU64("responseCacheEntries", 0);
+    const JsonValue *rcRate = v.find("responseCacheHitRate");
+    if (rcRate != nullptr)
+        health.responseCacheHitRate = rcRate->asDouble();
+    health.coalescedInflight = v.getU64("coalescedInflight", 0);
     return health;
 }
 

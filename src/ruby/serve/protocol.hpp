@@ -135,6 +135,12 @@ struct Health
     std::uint64_t evalCacheCapacity = 0; ///< warm eval-cache entries
     std::uint64_t layerMemoEntries = 0;  ///< memoized layer results
 
+    // Response-cache + single-flight gauges (absent on the wire from
+    // pre-cache daemons; the codec defaults them to zero).
+    std::uint64_t responseCacheEntries = 0; ///< cached response lines
+    double responseCacheHitRate = 0.0;      ///< hits / probes
+    std::uint64_t coalescedInflight = 0;    ///< followers waiting now
+
     // Latency observability (from the daemon's wall-time histogram,
     // latency_histogram.hpp): search requests served and their
     // current quantiles, so operators and routers read p99 from the

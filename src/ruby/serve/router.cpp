@@ -13,8 +13,11 @@
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <optional>
 
 #include "ruby/common/error.hpp"
+#include "ruby/serve/response_cache.hpp"
+#include "ruby/util/hash.hpp"
 
 namespace ruby
 {
@@ -88,13 +91,10 @@ ConsistentRing::hashKey(const std::string &key)
     // FNV-1a 64: stable across platforms and standard libraries —
     // the ring layout is observable behavior (tests pin it and
     // operators reason about which shard owns which shape), so it
-    // cannot depend on std::hash.
-    std::uint64_t hash = 1469598103934665603ull;
-    for (const char c : key) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
-    }
-    return hash;
+    // cannot depend on std::hash. The ring has always used its own
+    // (non-canonical) seed — see kRingOffset — and the layout built
+    // from it is frozen; hash_test.cpp pins the values.
+    return hashing::fnv1aBytes(key, hashing::kRingOffset);
 }
 
 ConsistentRing::ConsistentRing(std::vector<std::string> nodes,
@@ -167,6 +167,9 @@ Router::Router(RouterOptions options)
     ring_ =
         std::make_unique<ConsistentRing>(std::move(names),
                                          options_.replicas);
+    if (options_.responseCache)
+        responseCache_ = std::make_unique<ResponseCache>(
+            options_.responseCacheCapacity);
 }
 
 Router::~Router()
@@ -569,14 +572,23 @@ Router::checkBackend(std::size_t index)
     try {
         Client client = Client::connect(backend.endpoint);
         const Health health = client.ping();
-        backend.draining.store(health.draining);
+        const bool wasDraining =
+            backend.draining.exchange(health.draining);
         const bool wasHealthy = backend.healthy.exchange(health.ok);
+        // Every observed flap moves the epoch: a backend seen
+        // unhealthy/draining and back may be a different process
+        // with different configuration, so its cached responses
+        // must not outlive the transition.
+        if (wasHealthy != health.ok ||
+            wasDraining != health.draining)
+            bumpEpoch(index);
         if (!wasHealthy && health.ok && options_.logLifecycle)
             logLine(detail::composeMessage(
                 "ruby-router: backend ", backend.endpoint.describe(),
                 " recovered"));
     } catch (const std::exception &) {
         if (backend.healthy.exchange(false)) {
+            bumpEpoch(index);
             dropConnections(index);
             if (options_.logLifecycle)
                 logLine(detail::composeMessage(
@@ -697,14 +709,54 @@ Router::dispatchForward(EventLoop::ConnId id,
                         std::shared_ptr<Request> request,
                         std::shared_ptr<std::string> rawLine)
 {
-    const Admission::AsyncTicket ticket = admission_.acquireAsync(
-        [this, id, request, rawLine](AdmissionTicket outcome) {
-            if (outcome != AdmissionTicket::Admitted) {
+    std::string cacheKey;
+    if (responseCache_ != nullptr) {
+        cacheKey = responseCacheKey(*request);
+        if (!cacheKey.empty()) {
+            std::string cached;
+            if (responseCache_->lookup(
+                    cacheKey, cached,
+                    [this](std::uint64_t tag) {
+                        return cacheTagValid(tag);
+                    })) {
+                // Served at the router: no backend round trip. The
+                // router's latency histogram is deliberately not
+                // fed — it keeps meaning "forwarded requests".
                 respond(id,
-                        makeErrorResponse(request->id, kCodeRejected,
-                                          "draining",
-                                          "router is shutting down"),
+                        restampResponseId(parseJson(cached),
+                                          request->id),
                         false);
+                return;
+            }
+            SingleFlight::Waiter waiter;
+            waiter.conn = id;
+            waiter.request = request;
+            waiter.rawLine = rawLine;
+            if (!singleFlight_.join(cacheKey, std::move(waiter)))
+                return;
+        }
+    }
+    admitForward(id, std::move(request), std::move(rawLine),
+                 std::move(cacheKey));
+}
+
+void
+Router::admitForward(EventLoop::ConnId id,
+                     std::shared_ptr<Request> request,
+                     std::shared_ptr<std::string> rawLine,
+                     std::string cacheKey)
+{
+    const Admission::AsyncTicket ticket = admission_.acquireAsync(
+        [this, id, request, rawLine,
+         cacheKey](AdmissionTicket outcome) {
+            if (outcome != AdmissionTicket::Admitted) {
+                const JsonValue error =
+                    makeErrorResponse(request->id, kCodeRejected,
+                                      "draining",
+                                      "router is shutting down");
+                respond(id, error, false);
+                if (!cacheKey.empty())
+                    completeFlight(cacheKey, error);
                 return;
             }
             bool open;
@@ -713,33 +765,54 @@ Router::dispatchForward(EventLoop::ConnId id,
                 open = connStates_.find(id) != connStates_.end();
             }
             if (!open) {
-                admission_.release();
+                // Requester hung up while queued: promote a parked
+                // follower as the new leader (it inherits this
+                // forwarding slot), or return the slot untouched.
+                std::optional<SingleFlight::Waiter> promoted;
+                if (!cacheKey.empty())
+                    promoted = singleFlight_.abandon(cacheKey);
+                if (!promoted) {
+                    admission_.release();
+                    return;
+                }
+                forwarders_->submit([this, cacheKey,
+                                     waiter = *promoted]() {
+                    runForward(waiter.conn, waiter.request,
+                               waiter.rawLine, cacheKey);
+                });
                 return;
             }
-            forwarders_->submit([this, id, request, rawLine]() {
-                runForward(id, request, rawLine);
-            });
+            forwarders_->submit(
+                [this, id, request, rawLine, cacheKey]() {
+                    runForward(id, request, rawLine, cacheKey);
+                });
         });
     switch (ticket) {
       case Admission::AsyncTicket::Admitted:
-        forwarders_->submit([this, id, request, rawLine]() {
-            runForward(id, request, rawLine);
-        });
+        forwarders_->submit(
+            [this, id, request, rawLine, cacheKey]() {
+                runForward(id, request, rawLine, cacheKey);
+            });
         break;
-      case Admission::AsyncTicket::Saturated:
-        respond(id,
-                makeErrorResponse(request->id, kCodeRejected,
-                                  "saturated",
-                                  "router queue full; retry later"),
-                false);
+      case Admission::AsyncTicket::Saturated: {
+        const JsonValue error = makeErrorResponse(
+            request->id, kCodeRejected, "saturated",
+            "router queue full; retry later");
+        respond(id, error, false);
+        if (!cacheKey.empty())
+            completeFlight(cacheKey, error);
         break;
-      case Admission::AsyncTicket::Draining:
-        respond(id,
-                makeErrorResponse(request->id, kCodeRejected,
-                                  "draining",
-                                  "router is shutting down"),
-                false);
+      }
+      case Admission::AsyncTicket::Draining: {
+        const JsonValue error =
+            makeErrorResponse(request->id, kCodeRejected,
+                              "draining",
+                              "router is shutting down");
+        respond(id, error, false);
+        if (!cacheKey.empty())
+            completeFlight(cacheKey, error);
         break;
+      }
       case Admission::AsyncTicket::Queued:
         break;
     }
@@ -748,14 +821,16 @@ Router::dispatchForward(EventLoop::ConnId id,
 void
 Router::runForward(EventLoop::ConnId id,
                    const std::shared_ptr<Request> &request,
-                   const std::shared_ptr<std::string> &rawLine)
+                   const std::shared_ptr<std::string> &rawLine,
+                   const std::string &cacheKey)
 {
     const auto begin = std::chrono::steady_clock::now();
     JsonValue response;
+    std::size_t servedBy = backends_.size();
     try {
         response =
             forwardToFleet(routingKey(*request), request->id,
-                           *rawLine);
+                           *rawLine, servedBy);
     } catch (const std::exception &e) {
         response = makeErrorResponse(request->id, kCodeInternal,
                                      "internal", e.what());
@@ -770,13 +845,63 @@ Router::runForward(EventLoop::ConnId id,
     // Release before responding, like Server::runSearch: a client
     // holding the response must find the forwarding slot free.
     admission_.release();
+    if (!cacheKey.empty() && responseCache_ != nullptr &&
+        servedBy < backends_.size()) {
+        const JsonValue *code = response.find("code");
+        if (code != nullptr && code->asI64() == kCodeOk)
+            responseCache_->insert(cacheKey, writeJson(response),
+                                   cacheTag(servedBy));
+    }
     respond(id, response, false);
+    if (!cacheKey.empty())
+        completeFlight(cacheKey, response);
+}
+
+void
+Router::completeFlight(const std::string &cacheKey,
+                       const JsonValue &response)
+{
+    const std::vector<SingleFlight::Waiter> waiters =
+        singleFlight_.complete(cacheKey);
+    for (const SingleFlight::Waiter &waiter : waiters)
+        respond(waiter.conn,
+                restampResponseId(response, waiter.request->id),
+                false);
+}
+
+std::uint64_t
+Router::cacheTag(std::size_t index) const
+{
+    // Backend index in the top 16 bits, its health epoch below: one
+    // word identifies "these bytes came from backend i during its
+    // e-th healthy stretch".
+    return (static_cast<std::uint64_t>(index) << 48) |
+           (backends_[index]->epoch.load(std::memory_order_relaxed) &
+            0xffffffffffffull);
+}
+
+bool
+Router::cacheTagValid(std::uint64_t tag) const
+{
+    const std::size_t index = static_cast<std::size_t>(tag >> 48);
+    if (index >= backends_.size())
+        return false;
+    return (tag & 0xffffffffffffull) ==
+           (backends_[index]->epoch.load(std::memory_order_relaxed) &
+            0xffffffffffffull);
+}
+
+void
+Router::bumpEpoch(std::size_t index)
+{
+    backends_[index]->epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 JsonValue
 Router::forwardToFleet(const std::string &key,
                        const std::string &requestId,
-                       const std::string &line)
+                       const std::string &line,
+                       std::size_t &servedBy)
 {
     // Forward the parsed request object — the codec is a fixpoint
     // (raw number tokens round-trip), so the re-encoded frame the
@@ -802,7 +927,8 @@ Router::forwardToFleet(const std::string &key,
             // Connect failure, or a drop that outlived the retry
             // budget: the backend is gone — fail over. The health
             // loop readmits it when it answers pings again.
-            backend.healthy.store(false);
+            if (backend.healthy.exchange(false))
+                bumpEpoch(index);
             dropConnections(index);
             lastError = e.what();
         }
@@ -813,8 +939,11 @@ Router::forwardToFleet(const std::string &key,
             if (code != nullptr && code->asI64() == kCodeRejected &&
                 kind != nullptr && kind->string == "draining") {
                 // Rolling restart in progress: this shard is going
-                // away; its keys re-hash onto the survivors.
-                backend.draining.store(true);
+                // away; its keys re-hash onto the survivors (and its
+                // cached responses expire with its epoch — the
+                // restarted process may be configured differently).
+                if (!backend.draining.exchange(true))
+                    bumpEpoch(index);
                 excluded[index] = true;
                 {
                     std::lock_guard<std::mutex> stats(statsMutex_);
@@ -825,6 +954,7 @@ Router::forwardToFleet(const std::string &key,
                 continue;
             }
             backend.routed.fetch_add(1, std::memory_order_relaxed);
+            servedBy = index;
             return response;
         }
         excluded[index] = true;
@@ -914,6 +1044,16 @@ Router::handleQuick(const Request &request, bool &shutdownAfterSend)
             health.p50Ms = latency_.quantileMs(0.50);
             health.p99Ms = latency_.quantileMs(0.99);
         }
+        if (responseCache_ != nullptr) {
+            const ResponseCache::Stats rc = responseCache_->stats();
+            health.responseCacheEntries = rc.entries;
+            const std::uint64_t probes = rc.hits + rc.misses;
+            health.responseCacheHitRate =
+                probes != 0 ? static_cast<double>(rc.hits) /
+                                  static_cast<double>(probes)
+                            : 0.0;
+        }
+        health.coalescedInflight = singleFlight_.waiting();
         out.set("health", healthToJson(health));
         return out;
       }
@@ -964,7 +1104,8 @@ Router::fleetStatsJson()
             backendStats[i] = reply.at("stats");
             storeConnection(i, std::move(client));
         } catch (const std::exception &) {
-            backend.healthy.store(false);
+            if (backend.healthy.exchange(false))
+                bumpEpoch(i);
             dropConnections(i);
         }
     }
@@ -997,6 +1138,38 @@ Router::fleetStatsJson()
     router.set("backendsHealthy", JsonValue::makeU64(healthyCount));
     router.set("backendsTotal",
                JsonValue::makeU64(backends_.size()));
+
+    // The router's own response cache + single-flight gauges (zeros
+    // when disabled), mirroring the daemon's block shape.
+    JsonValue routerCache = JsonValue::makeObject();
+    routerCache.set("enabled",
+                    JsonValue::makeBool(responseCache_ != nullptr));
+    ResponseCache::Stats rc;
+    if (responseCache_ != nullptr)
+        rc = responseCache_->stats();
+    routerCache.set("hits", JsonValue::makeU64(rc.hits));
+    routerCache.set("misses", JsonValue::makeU64(rc.misses));
+    routerCache.set("evictions", JsonValue::makeU64(rc.evictions));
+    routerCache.set("entries", JsonValue::makeU64(rc.entries));
+    routerCache.set("capacity",
+                    JsonValue::makeU64(
+                        responseCache_ != nullptr
+                            ? responseCache_->capacity()
+                            : 0));
+    const std::uint64_t rcProbes = rc.hits + rc.misses;
+    routerCache.set(
+        "hitRate",
+        JsonValue::makeDouble(
+            rcProbes != 0 ? static_cast<double>(rc.hits) /
+                                static_cast<double>(rcProbes)
+                          : 0.0));
+    routerCache.set("coalesced",
+                    JsonValue::makeU64(singleFlight_.coalesced()));
+    routerCache.set("coalescedWaiting",
+                    JsonValue::makeU64(singleFlight_.waiting()));
+    routerCache.set("flights",
+                    JsonValue::makeU64(singleFlight_.flights()));
+    router.set("responseCache", std::move(routerCache));
     out.set("router", std::move(router));
 
     {
@@ -1036,6 +1209,9 @@ Router::fleetStatsJson()
                   cacheCapacity = 0;
     std::uint64_t memoHits = 0, memoMisses = 0, memoInserts = 0,
                   memoEntries = 0;
+    std::uint64_t respHits = 0, respMisses = 0, respEvictions = 0,
+                  respEntries = 0, respCapacity = 0, respCoalesced = 0,
+                  respWaiting = 0, respFlights = 0;
     LatencyHistogram fleetLatency;
     // strategy wire name -> {requests, evaluations, millis}
     std::vector<std::pair<std::string, std::array<std::uint64_t, 3>>>
@@ -1065,6 +1241,19 @@ Router::fleetStatsJson()
             accumulateU64(*memo, "misses", memoMisses);
             accumulateU64(*memo, "inserts", memoInserts);
             accumulateU64(*memo, "entries", memoEntries);
+        }
+        // Fan-in: the fleet's cache effectiveness is the sum over
+        // the backends' daemon-side caches (absent on pre-cache
+        // backends — getU64 defaults to zero).
+        if (const JsonValue *resp = stats.find("responseCache")) {
+            accumulateU64(*resp, "hits", respHits);
+            accumulateU64(*resp, "misses", respMisses);
+            accumulateU64(*resp, "evictions", respEvictions);
+            accumulateU64(*resp, "entries", respEntries);
+            accumulateU64(*resp, "capacity", respCapacity);
+            accumulateU64(*resp, "coalesced", respCoalesced);
+            accumulateU64(*resp, "coalescedWaiting", respWaiting);
+            accumulateU64(*resp, "flights", respFlights);
         }
         if (const JsonValue *lat = stats.find("latency"))
             fleetLatency.merge(LatencyHistogram::fromJson(*lat));
@@ -1120,6 +1309,25 @@ Router::fleetStatsJson()
     fleetMemo.set("inserts", JsonValue::makeU64(memoInserts));
     fleetMemo.set("entries", JsonValue::makeU64(memoEntries));
     fleet.set("layerMemo", std::move(fleetMemo));
+
+    JsonValue fleetResp = JsonValue::makeObject();
+    fleetResp.set("hits", JsonValue::makeU64(respHits));
+    fleetResp.set("misses", JsonValue::makeU64(respMisses));
+    fleetResp.set("evictions", JsonValue::makeU64(respEvictions));
+    fleetResp.set("entries", JsonValue::makeU64(respEntries));
+    fleetResp.set("capacity", JsonValue::makeU64(respCapacity));
+    const std::uint64_t respProbes = respHits + respMisses;
+    fleetResp.set(
+        "hitRate",
+        JsonValue::makeDouble(
+            respProbes != 0 ? static_cast<double>(respHits) /
+                                  static_cast<double>(respProbes)
+                            : 0.0));
+    fleetResp.set("coalesced", JsonValue::makeU64(respCoalesced));
+    fleetResp.set("coalescedWaiting",
+                  JsonValue::makeU64(respWaiting));
+    fleetResp.set("flights", JsonValue::makeU64(respFlights));
+    fleet.set("responseCache", std::move(fleetResp));
 
     fleet.set("latency", fleetLatency.toJson());
 

@@ -58,6 +58,7 @@
 #include "ruby/serve/json.hpp"
 #include "ruby/serve/latency_histogram.hpp"
 #include "ruby/serve/protocol.hpp"
+#include "ruby/serve/response_cache.hpp"
 
 namespace ruby
 {
@@ -133,6 +134,15 @@ struct RouterOptions
                       std::chrono::milliseconds{50},
                       std::chrono::milliseconds{2'000}, 1};
 
+    /** Serve repeats of deterministic requests at the router, without
+     *  touching a backend; coalesce identical inflight forwards.
+     *  Entries are invalidated when the owning backend health-flaps
+     *  (per-backend epoch), so a restarted shard never serves stale
+     *  bytes. */
+    bool responseCache = true;
+    /** Router response-cache capacity (entries). */
+    std::size_t responseCacheCapacity = 1024;
+
     /** Grace period for inflight forwards on drain. */
     std::chrono::milliseconds drainBudget{10'000};
 
@@ -190,6 +200,11 @@ class Router
         std::atomic<bool> draining{false};
         std::atomic<unsigned> inflight{0};
         std::atomic<std::uint64_t> routed{0};
+        /** Health epoch: bumped on every flap (lost, recovered,
+         *  draining detected). Response-cache entries are tagged
+         *  with the epoch they were produced under and lazily
+         *  dropped once it moves. */
+        std::atomic<std::uint64_t> epoch{0};
         // Idle pooled connections (guarded by poolMutex).
         std::mutex poolMutex;
         std::vector<Client> pool;
@@ -212,16 +227,36 @@ class Router
     void onDisconnect(EventLoop::ConnId id);
 
     void processLine(EventLoop::ConnId id, const std::string &line);
+    /** Cache/coalesce, then admission, for a map/net request. */
     void dispatchForward(EventLoop::ConnId id,
                          std::shared_ptr<Request> request,
                          std::shared_ptr<std::string> rawLine);
+    /** Admission outcome for the flight leader. @p cacheKey is the
+     *  response-cache key ("" = uncacheable). */
+    void admitForward(EventLoop::ConnId id,
+                      std::shared_ptr<Request> request,
+                      std::shared_ptr<std::string> rawLine,
+                      std::string cacheKey);
     void runForward(EventLoop::ConnId id,
                     const std::shared_ptr<Request> &request,
-                    const std::shared_ptr<std::string> &rawLine);
-    /** Forward @p line for @p key, failing over across backends. */
+                    const std::shared_ptr<std::string> &rawLine,
+                    const std::string &cacheKey);
+    /** Forward @p line for @p key, failing over across backends.
+     *  @p servedBy gets the index of the backend that answered
+     *  (backends.size() when none did). */
     JsonValue forwardToFleet(const std::string &key,
                              const std::string &requestId,
-                             const std::string &line);
+                             const std::string &line,
+                             std::size_t &servedBy);
+    /** Deliver @p response to every follower of @p cacheKey. */
+    void completeFlight(const std::string &cacheKey,
+                        const JsonValue &response);
+    /** Epoch tag for a cache entry owned by backend @p index. */
+    std::uint64_t cacheTag(std::size_t index) const;
+    /** Does @p tag still match its backend's current epoch? */
+    bool cacheTagValid(std::uint64_t tag) const;
+    /** Bump @p index's epoch (call on every health transition). */
+    void bumpEpoch(std::size_t index);
     void respond(EventLoop::ConnId id, const JsonValue &response,
                  bool shutdownAfterSend);
     void dispatchNext(EventLoop::ConnId id);
@@ -248,6 +283,11 @@ class Router
     RouterOptions options_;
     std::unique_ptr<ConsistentRing> ring_;
     std::vector<std::unique_ptr<BackendState>> backends_;
+
+    /** Raw backend response lines for deterministic repeats (null
+     *  when --no-response-cache). */
+    std::unique_ptr<ResponseCache> responseCache_;
+    SingleFlight singleFlight_;
 
     Admission admission_;
     std::unique_ptr<ThreadPool> forwarders_;

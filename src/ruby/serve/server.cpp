@@ -12,6 +12,7 @@
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <optional>
 
 #include "ruby/common/error.hpp"
 #include "ruby/core/mapper.hpp"
@@ -83,6 +84,9 @@ Server::Server(ServeOptions options)
       evalCache_(options_.evalCacheCapacity),
       admission_(options_.maxInflight, options_.queueCapacity)
 {
+    if (options_.responseCache)
+        responseCache_ = std::make_unique<ResponseCache>(
+            options_.responseCacheCapacity);
 }
 
 Server::~Server()
@@ -455,51 +459,105 @@ void
 Server::dispatchSearch(EventLoop::ConnId id,
                        std::shared_ptr<Request> request)
 {
-    const Admission::AsyncTicket ticket = admission_.acquireAsync(
-        [this, id, request](AdmissionTicket outcome) {
-            if (outcome != AdmissionTicket::Admitted) {
+    std::string key;
+    if (responseCache_ != nullptr) {
+        key = responseCacheKey(*request);
+        if (!key.empty()) {
+            std::string cached;
+            if (responseCache_->lookup(key, cached)) {
+                // Replay: the cached line is a full response from an
+                // identical search; only the id needs this
+                // requester's. Strategy counters and the latency
+                // histogram are deliberately not touched — they
+                // keep meaning "searches actually run".
                 respond(id,
-                        makeErrorResponse(request->id,
-                                          kCodeRejected, "draining",
-                                          "daemon is shutting down"),
+                        restampResponseId(parseJson(cached),
+                                          request->id),
                         false);
                 return;
             }
+            // Single-flight: attach to a running identical search,
+            // or become its leader. Followers hold no admission
+            // slot — the leader's completeFlight() answers them.
+            SingleFlight::Waiter waiter;
+            waiter.conn = id;
+            waiter.request = request;
+            if (!singleFlight_.join(key, std::move(waiter)))
+                return;
+        }
+    }
+    admitSearch(id, std::move(request), std::move(key));
+}
+
+void
+Server::admitSearch(EventLoop::ConnId id,
+                    std::shared_ptr<Request> request,
+                    std::string key)
+{
+    const Admission::AsyncTicket ticket = admission_.acquireAsync(
+        [this, id, request, key](AdmissionTicket outcome) {
+            if (outcome != AdmissionTicket::Admitted) {
+                const JsonValue error =
+                    makeErrorResponse(request->id, kCodeRejected,
+                                      "draining",
+                                      "daemon is shutting down");
+                respond(id, error, false);
+                if (!key.empty())
+                    completeFlight(key, error);
+                return;
+            }
             // A released slot was handed to us. If the requester
-            // hung up while queued, return the slot untouched so
-            // nothing leaks (and the next waiter gets its turn).
+            // hung up while queued, promote a follower as the new
+            // leader (it inherits this slot) or return the slot
+            // untouched so nothing leaks.
             bool open;
             {
                 std::lock_guard<std::mutex> lock(connMutex_);
                 open = connStates_.find(id) != connStates_.end();
             }
             if (!open) {
-                admission_.release();
+                std::optional<SingleFlight::Waiter> promoted;
+                if (!key.empty())
+                    promoted = singleFlight_.abandon(key);
+                if (!promoted) {
+                    admission_.release();
+                    return;
+                }
+                workers_->submit([this, key,
+                                  waiter = *promoted]() {
+                    runSearch(waiter.conn, waiter.request, key);
+                });
                 return;
             }
-            workers_->submit([this, id, request]() {
-                runSearch(id, request);
+            workers_->submit([this, id, request, key]() {
+                runSearch(id, request, key);
             });
         });
     switch (ticket) {
       case Admission::AsyncTicket::Admitted:
-        workers_->submit(
-            [this, id, request]() { runSearch(id, request); });
+        workers_->submit([this, id, request, key]() {
+            runSearch(id, request, key);
+        });
         break;
-      case Admission::AsyncTicket::Saturated:
-        respond(id,
-                makeErrorResponse(request->id, kCodeRejected,
-                                  "saturated",
-                                  "admission queue full; retry later"),
-                false);
+      case Admission::AsyncTicket::Saturated: {
+        const JsonValue error = makeErrorResponse(
+            request->id, kCodeRejected, "saturated",
+            "admission queue full; retry later");
+        respond(id, error, false);
+        if (!key.empty())
+            completeFlight(key, error);
         break;
-      case Admission::AsyncTicket::Draining:
-        respond(id,
-                makeErrorResponse(request->id, kCodeRejected,
-                                  "draining",
-                                  "daemon is shutting down"),
-                false);
+      }
+      case Admission::AsyncTicket::Draining: {
+        const JsonValue error =
+            makeErrorResponse(request->id, kCodeRejected,
+                              "draining",
+                              "daemon is shutting down");
+        respond(id, error, false);
+        if (!key.empty())
+            completeFlight(key, error);
         break;
+      }
       case Admission::AsyncTicket::Queued:
         break; // the callback will continue this request
     }
@@ -507,7 +565,8 @@ Server::dispatchSearch(EventLoop::ConnId id,
 
 void
 Server::runSearch(EventLoop::ConnId id,
-                  const std::shared_ptr<Request> &request)
+                  const std::shared_ptr<Request> &request,
+                  const std::string &key)
 {
     JsonValue response;
     try {
@@ -530,7 +589,29 @@ Server::runSearch(EventLoop::ConnId id,
     // response because waitForShutdown barriers on workers_->waitIdle()
     // (this job, respond() included) before stopping the loop.
     admission_.release();
+    if (!key.empty() && responseCache_ != nullptr) {
+        // Only ok responses are cached: failures may be transient
+        // (deadlines, drains) and must re-run, mirroring the layer
+        // memo's replay contract.
+        const JsonValue *code = response.find("code");
+        if (code != nullptr && code->asI64() == kCodeOk)
+            responseCache_->insert(key, writeJson(response));
+    }
     respond(id, response, false);
+    if (!key.empty())
+        completeFlight(key, response);
+}
+
+void
+Server::completeFlight(const std::string &key,
+                       const JsonValue &response)
+{
+    const std::vector<SingleFlight::Waiter> waiters =
+        singleFlight_.complete(key);
+    for (const SingleFlight::Waiter &waiter : waiters)
+        respond(waiter.conn,
+                restampResponseId(response, waiter.request->id),
+                false);
 }
 
 void
@@ -608,6 +689,16 @@ Server::handleQuick(const Request &request, bool &shutdownAfterSend)
                 .count());
         health.evalCacheCapacity = evalCache_.capacity();
         health.layerMemoEntries = layerMemo_.stats().entries;
+        if (responseCache_ != nullptr) {
+            const ResponseCache::Stats rc = responseCache_->stats();
+            health.responseCacheEntries = rc.entries;
+            const std::uint64_t probes = rc.hits + rc.misses;
+            health.responseCacheHitRate =
+                probes != 0 ? static_cast<double>(rc.hits) /
+                                  static_cast<double>(probes)
+                            : 0.0;
+        }
+        health.coalescedInflight = singleFlight_.waiting();
         {
             std::lock_guard<std::mutex> stats(statsMutex_);
             health.requestCount = latency_.count();
@@ -769,6 +860,35 @@ Server::statsJson() const
     jmemo.set("inserts", JsonValue::makeU64(memo.inserts));
     jmemo.set("entries", JsonValue::makeU64(memo.entries));
     out.set("layerMemo", std::move(jmemo));
+
+    // Always emitted (zeros when disabled) so fleet roll-ups and
+    // gauges never need an existence check.
+    JsonValue jresp = JsonValue::makeObject();
+    jresp.set("enabled",
+              JsonValue::makeBool(responseCache_ != nullptr));
+    ResponseCache::Stats rc;
+    if (responseCache_ != nullptr)
+        rc = responseCache_->stats();
+    jresp.set("hits", JsonValue::makeU64(rc.hits));
+    jresp.set("misses", JsonValue::makeU64(rc.misses));
+    jresp.set("evictions", JsonValue::makeU64(rc.evictions));
+    jresp.set("entries", JsonValue::makeU64(rc.entries));
+    jresp.set("capacity",
+              JsonValue::makeU64(responseCache_ != nullptr
+                                     ? responseCache_->capacity()
+                                     : 0));
+    const std::uint64_t rcProbes = rc.hits + rc.misses;
+    jresp.set("hitRate",
+              JsonValue::makeDouble(
+                  rcProbes != 0 ? static_cast<double>(rc.hits) /
+                                      static_cast<double>(rcProbes)
+                                : 0.0));
+    jresp.set("coalesced",
+              JsonValue::makeU64(singleFlight_.coalesced()));
+    jresp.set("coalescedWaiting",
+              JsonValue::makeU64(singleFlight_.waiting()));
+    jresp.set("flights", JsonValue::makeU64(singleFlight_.flights()));
+    out.set("responseCache", std::move(jresp));
 
     JsonValue strategies = JsonValue::makeObject();
     {

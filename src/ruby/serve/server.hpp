@@ -54,6 +54,7 @@
 #include "ruby/serve/json.hpp"
 #include "ruby/serve/latency_histogram.hpp"
 #include "ruby/serve/protocol.hpp"
+#include "ruby/serve/response_cache.hpp"
 
 namespace ruby
 {
@@ -79,6 +80,14 @@ struct ServeOptions
     /** Shared eval-cache capacity (entries). For bit-identical stats
      *  against offline runs this must equal the offline capacity. */
     std::size_t evalCacheCapacity = EvalCache::kDefaultCapacity;
+
+    /** Serve repeats of deterministic requests from a cache of raw
+     *  response lines, and coalesce identical inflight requests onto
+     *  one search (single-flight). Replayed bytes are identical to a
+     *  fresh search's — only stats/ping gauges reveal the cache. */
+    bool responseCache = true;
+    /** Response-cache capacity (entries). */
+    std::size_t responseCacheCapacity = 1024;
 
     /** Grace period for inflight work on drain; after it expires the
      *  drain CancelToken fires and searches return best-so-far. */
@@ -173,12 +182,23 @@ class Server
 
     /** Parse + dispatch one line (pipeline thread). */
     void processLine(EventLoop::ConnId id, const std::string &line);
-    /** Admission outcome for a map/net request (any thread). */
+    /** Cache/coalesce, then admission, for a map/net request (any
+     *  thread). */
     void dispatchSearch(EventLoop::ConnId id,
                         std::shared_ptr<Request> request);
+    /** Admission outcome for the flight leader (any thread).
+     *  @p key is the response-cache key ("" = uncacheable). */
+    void admitSearch(EventLoop::ConnId id,
+                     std::shared_ptr<Request> request,
+                     std::string key);
     /** Run the search on the worker pool (worker thread). */
     void runSearch(EventLoop::ConnId id,
-                   const std::shared_ptr<Request> &request);
+                   const std::shared_ptr<Request> &request,
+                   const std::string &key);
+    /** Deliver @p response to every follower of @p key, each
+     *  re-stamped with its own request id (any thread). */
+    void completeFlight(const std::string &key,
+                        const JsonValue &response);
     /** Count + send the response, then start the connection's next
      *  pending request (any thread). */
     void respond(EventLoop::ConnId id, const JsonValue &response,
@@ -201,6 +221,10 @@ class Server
     // Process-lifetime warm state shared by every request.
     EvalCache evalCache_;
     LayerMemo layerMemo_;
+    /** Raw response lines for deterministic repeats (null when
+     *  --no-response-cache). */
+    std::unique_ptr<ResponseCache> responseCache_;
+    SingleFlight singleFlight_;
 
     Admission admission_;
     std::unique_ptr<ThreadPool> workers_;

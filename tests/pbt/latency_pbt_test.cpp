@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LatencyHistogram merge properties. The router fans per-backend
+ * histograms into one fleet histogram with merge(); for the fleet
+ * report to be trustworthy, merge must behave like bucket-wise
+ * addition: commutative, associative, count-preserving, with the
+ * empty histogram as identity. Each property compares the canonical
+ * JSON rendering, so bucket counts, totals and the derived quantiles
+ * are all covered at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbt.hpp"
+#include "ruby/serve/json.hpp"
+#include "ruby/serve/latency_histogram.hpp"
+
+namespace
+{
+
+using namespace ruby;
+using serve::LatencyHistogram;
+
+/** Sample durations for one histogram: log-uniform microseconds so
+ *  every bucket (sub-ms to hours) gets real coverage. */
+std::vector<std::uint64_t>
+genDurations(Rng &rng)
+{
+    const std::size_t n = static_cast<std::size_t>(rng.below(40));
+    std::vector<std::uint64_t> us(n);
+    for (std::uint64_t &v : us) {
+        const std::uint64_t shift = rng.below(38);
+        v = (std::uint64_t{1} << shift) + rng.below(1000);
+    }
+    return us;
+}
+
+LatencyHistogram
+fill(const std::vector<std::uint64_t> &durationsUs)
+{
+    LatencyHistogram h;
+    for (const std::uint64_t us : durationsUs)
+        h.record(std::chrono::microseconds(us));
+    return h;
+}
+
+std::string
+render(const LatencyHistogram &h)
+{
+    return serve::writeJson(h.toJson());
+}
+
+struct MergeCase
+{
+    std::vector<std::uint64_t> a, b, c;
+};
+
+MergeCase
+genMergeCase(Rng &rng)
+{
+    return {genDurations(rng), genDurations(rng),
+            genDurations(rng)};
+}
+
+std::string
+describeMergeCase(const MergeCase &mc)
+{
+    return "a=" + std::to_string(mc.a.size()) +
+           " b=" + std::to_string(mc.b.size()) +
+           " c=" + std::to_string(mc.c.size()) + " samples";
+}
+
+std::optional<std::string>
+mergeBehavesLikeBucketwiseAddition(const MergeCase &mc)
+{
+    // Count-preserving, and equal to recording the concatenation.
+    LatencyHistogram ab = fill(mc.a);
+    ab.merge(fill(mc.b));
+    if (ab.count() != mc.a.size() + mc.b.size())
+        return "merge lost samples: " + std::to_string(ab.count());
+    std::vector<std::uint64_t> joined = mc.a;
+    joined.insert(joined.end(), mc.b.begin(), mc.b.end());
+    if (render(ab) != render(fill(joined)))
+        return "merge != recording the union:\n  merged: " +
+               render(ab) + "\n  union:  " + render(fill(joined));
+
+    // Commutative.
+    LatencyHistogram ba = fill(mc.b);
+    ba.merge(fill(mc.a));
+    if (render(ab) != render(ba))
+        return "merge is not commutative:\n  ab: " + render(ab) +
+               "\n  ba: " + render(ba);
+
+    // Associative.
+    LatencyHistogram abFirst = fill(mc.a);
+    abFirst.merge(fill(mc.b));
+    abFirst.merge(fill(mc.c));
+    LatencyHistogram bcFirst = fill(mc.b);
+    bcFirst.merge(fill(mc.c));
+    LatencyHistogram aThenBc = fill(mc.a);
+    aThenBc.merge(bcFirst);
+    if (render(abFirst) != render(aThenBc))
+        return "merge is not associative:\n  (a+b)+c: " +
+               render(abFirst) + "\n  a+(b+c): " + render(aThenBc);
+
+    // Empty histogram is the identity.
+    LatencyHistogram withEmpty = fill(mc.a);
+    withEmpty.merge(LatencyHistogram());
+    if (render(withEmpty) != render(fill(mc.a)))
+        return "empty histogram is not a merge identity";
+
+    // The wire codec preserves merge inputs exactly (the router
+    // merges histograms decoded from backend stats).
+    const LatencyHistogram decoded = LatencyHistogram::fromJson(
+        serve::parseJson(render(fill(mc.a))));
+    if (render(decoded) != render(fill(mc.a)))
+        return "fromJson(toJson(h)) changed the histogram";
+
+    return std::nullopt;
+}
+
+TEST(LatencyPbt, MergeIsBucketwiseAddition)
+{
+    ruby::pbt::check("latencyMerge", 0xA11Cu, genMergeCase,
+                     mergeBehavesLikeBucketwiseAddition, nullptr,
+                     describeMergeCase, 300);
+}
+
+} // namespace

@@ -309,12 +309,26 @@ runWireFuzz(const WireFuzzConfig &config)
                 requests.at("inflight").asU64();
             const std::uint64_t queued =
                 requests.at("queued").asU64();
-            if (inflight == 0 && queued == 0)
+            // Single-flight hygiene: no open flight and no parked
+            // follower may survive the storm — a leaked follower is
+            // a connection waiting forever for a response.
+            const serve::JsonValue &cache =
+                router != nullptr
+                    ? stats.at("router").at("responseCache")
+                    : stats.at("responseCache");
+            const std::uint64_t flights =
+                cache.at("flights").asU64();
+            const std::uint64_t waiting =
+                cache.at("coalescedWaiting").asU64();
+            if (inflight == 0 && queued == 0 && flights == 0 &&
+                waiting == 0)
                 break;
             if (std::chrono::steady_clock::now() >= deadline) {
                 std::ostringstream os;
                 os << "admission slots leaked after the storm: "
                    << "inflight=" << inflight << " queued=" << queued
+                   << " flights=" << flights
+                   << " coalescedWaiting=" << waiting
                    << " (base seed " << config.seed << ")";
                 failure = os.str();
                 break;

@@ -188,6 +188,97 @@ TEST(EventLoop, PipelinedLinesKeepStrictPerConnectionOrder)
     server.waitForShutdown();
 }
 
+/**
+ * Backpressure: a client that pipelines a large burst and refuses to
+ * read fills the kernel buffers, forcing the reactor to queue the
+ * responses. While that consumer sulks, other connections must be
+ * served normally; when it finally drains, every response arrives,
+ * in order, on the intact connection.
+ */
+TEST(EventLoop, SlowConsumerDoesNotStallOtherConnections)
+{
+    Server server(tcpOptions());
+    server.start();
+
+    const int slow = connectTcpRaw(server.port());
+    ASSERT_GE(slow, 0);
+
+    // Stats responses are a few KB each: a few hundred of them
+    // overflow any default socket buffer pair, so the server's
+    // userspace write queue really engages. The request burst itself
+    // is small enough to send in one piece.
+    constexpr int kLines = 400;
+    std::string burst;
+    for (int i = 0; i < kLines; ++i)
+        burst += "{\"v\":1,\"type\":\"stats\",\"id\":\"s" +
+                 std::to_string(i) + "\"}\n";
+    ASSERT_EQ(::send(slow, burst.data(), burst.size(),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+
+    // With the slow consumer not reading a byte, fresh connections
+    // are served promptly.
+    for (int i = 0; i < 5; ++i) {
+        Client client =
+            Client::connectTcp("127.0.0.1", server.port());
+        const Health health = client.ping();
+        EXPECT_TRUE(health.ok);
+    }
+
+    // Now drain: all kLines responses, strictly in order.
+    std::string buf;
+    int next = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (next < kLines) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "drained only " << next << " of " << kLines;
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            const JsonValue parsed = parseJson(line);
+            ASSERT_EQ(parsed.at("id").asString(),
+                      "s" + std::to_string(next))
+                << "responses out of order";
+            ASSERT_EQ(parsed.at("type").asString(), "stats");
+            ++next;
+        }
+        if (next >= kLines)
+            break;
+        pollfd pfd{};
+        pfd.fd = slow;
+        pfd.events = POLLIN;
+        ASSERT_GT(::poll(&pfd, 1, 10'000), 0)
+            << "no data after draining " << next << " responses";
+        char chunk[65536];
+        const ssize_t n = ::recv(slow, chunk, sizeof(chunk), 0);
+        ASSERT_GT(n, 0) << "connection died mid-drain at " << next;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(next, kLines);
+
+    // The connection survived the backpressure episode end to end.
+    const std::string ping =
+        "{\"v\":1,\"type\":\"ping\",\"id\":\"alive\"}\n";
+    ASSERT_EQ(::send(slow, ping.data(), ping.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(ping.size()));
+    pollfd pfd{};
+    pfd.fd = slow;
+    pfd.events = POLLIN;
+    ASSERT_GT(::poll(&pfd, 1, 10'000), 0);
+    char chunk[4096];
+    const ssize_t n = ::recv(slow, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    EXPECT_NE(std::string(chunk, static_cast<std::size_t>(n))
+                  .find("\"id\":\"alive\""),
+              std::string::npos);
+    ::close(slow);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
 } // namespace
 } // namespace serve
 } // namespace ruby

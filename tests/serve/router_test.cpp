@@ -258,6 +258,112 @@ TEST(Router, RoutedResponseIsByteIdenticalToDirect)
     reference.waitForShutdown();
 }
 
+/**
+ * A repeated deterministic request is served from the router's own
+ * response cache: the bytes match the first response (id aside) and
+ * no backend runs a second search.
+ */
+TEST(Router, ServesDeterministicRepeatsFromItsCache)
+{
+    Fleet fleet(2);
+    Client client = fleet.connect();
+
+    const std::string rawFirst = client.callRaw(
+        writeJson(encodeRequest(mapRequest("r1", quickConfig(8)))));
+    const JsonValue first = parseJson(rawFirst);
+    ASSERT_EQ(first.at("code").asU64(), 0u) << rawFirst;
+
+    const std::string rawSecond = client.callRaw(
+        writeJson(encodeRequest(mapRequest("r2", quickConfig(8)))));
+    EXPECT_EQ(rawSecond,
+              writeJson(restampResponseId(first, "r2")));
+
+    const JsonValue stats = fleet.router->fleetStatsJson();
+    const JsonValue &cache =
+        stats.at("router").at("responseCache");
+    EXPECT_TRUE(cache.at("enabled").asBool());
+    EXPECT_EQ(cache.at("hits").asU64(), 1u);
+    EXPECT_EQ(cache.at("misses").asU64(), 1u);
+    EXPECT_EQ(cache.at("entries").asU64(), 1u);
+    // The whole fleet ran exactly one search: the repeat never
+    // touched a backend.
+    EXPECT_EQ(stats.at("fleet").at("latency").at("count").asU64(),
+              1u);
+}
+
+/**
+ * A health flap invalidates the flapped backend's cache entries: a
+ * repeat after the owning backend restarts is re-forwarded (the
+ * restarted daemon re-runs the deterministic search and produces the
+ * same bytes), never replayed from the stale entry.
+ */
+TEST(Router, CacheInvalidatesOnBackendFlap)
+{
+    Fleet fleet(1);
+    Client client = fleet.connect();
+
+    const std::string rawFirst = client.callRaw(
+        writeJson(encodeRequest(mapRequest("f1", quickConfig(8)))));
+    const JsonValue first = parseJson(rawFirst);
+    ASSERT_EQ(first.at("code").asU64(), 0u) << rawFirst;
+
+    // Repeat before the flap: a straight router-cache hit.
+    const std::string rawSecond = client.callRaw(
+        writeJson(encodeRequest(mapRequest("f2", quickConfig(8)))));
+    EXPECT_EQ(rawSecond,
+              writeJson(restampResponseId(first, "f2")));
+
+    // Kill the backend and restart a fresh daemon on the same port.
+    const int port = fleet.backends[0]->port();
+    fleet.backends[0]->requestShutdown();
+    fleet.backends[0]->waitForShutdown();
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (fleet.router->fleetStatsJson()
+               .at("router")
+               .at("backendsHealthy")
+               .asU64() != 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "router never noticed the dead backend";
+        std::this_thread::sleep_for(milliseconds(20));
+    }
+
+    ServeOptions sopts;
+    sopts.port = port;
+    sopts.logLifecycle = false;
+    fleet.backends[0] = std::make_unique<Server>(sopts);
+    fleet.backends[0]->start();
+    while (fleet.router->fleetStatsJson()
+               .at("router")
+               .at("backendsHealthy")
+               .asU64() != 1) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "router never saw the restarted backend";
+        std::this_thread::sleep_for(milliseconds(20));
+    }
+
+    // The repeat after the flap must re-forward — the fresh cold
+    // daemon runs the identical deterministic search — and still
+    // produce the same bytes.
+    const std::string rawThird = client.callRaw(
+        writeJson(encodeRequest(mapRequest("f3", quickConfig(8)))));
+    EXPECT_EQ(rawThird,
+              writeJson(restampResponseId(first, "f3")));
+
+    const JsonValue stats = fleet.router->fleetStatsJson();
+    const JsonValue &cache =
+        stats.at("router").at("responseCache");
+    // Only the pre-flap repeat hit; the post-flap probe dropped the
+    // stale entry and counted as a miss before re-forwarding.
+    EXPECT_EQ(cache.at("hits").asU64(), 1u);
+    EXPECT_EQ(cache.at("misses").asU64(), 2u);
+    EXPECT_EQ(cache.at("entries").asU64(), 1u);
+    // The restarted daemon really ran the search.
+    EXPECT_EQ(stats.at("fleet").at("latency").at("count").asU64(),
+              1u);
+}
+
 TEST(Router, FailoverWhenABackendDiesMidTrace)
 {
     Fleet fleet(3, /*maxInflight=*/1);

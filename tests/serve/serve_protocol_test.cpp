@@ -317,6 +317,67 @@ TEST(ServeProtocol, ResponseEnvelopes)
     EXPECT_EQ(err.at("message").asString(), "queue full");
 }
 
+TEST(ServeProtocol, HealthRoundTripsEveryField)
+{
+    Health h;
+    h.ok = true;
+    h.draining = true;
+    h.inflight = 3;
+    h.queued = 7;
+    h.maxInflight = 8;
+    h.queueCapacity = 64;
+    h.uptimeMs = 123456;
+    h.evalCacheCapacity = 4096;
+    h.layerMemoEntries = 17;
+    h.responseCacheEntries = 42;
+    h.responseCacheHitRate = 0.625;
+    h.coalescedInflight = 5;
+    h.requestCount = 99;
+    h.p50Ms = 1.5;
+    h.p99Ms = 42.25;
+
+    const Health back = healthFromJson(healthToJson(h));
+    EXPECT_EQ(back.ok, h.ok);
+    EXPECT_EQ(back.draining, h.draining);
+    EXPECT_EQ(back.inflight, h.inflight);
+    EXPECT_EQ(back.queued, h.queued);
+    EXPECT_EQ(back.maxInflight, h.maxInflight);
+    EXPECT_EQ(back.queueCapacity, h.queueCapacity);
+    EXPECT_EQ(back.uptimeMs, h.uptimeMs);
+    EXPECT_EQ(back.evalCacheCapacity, h.evalCacheCapacity);
+    EXPECT_EQ(back.layerMemoEntries, h.layerMemoEntries);
+    EXPECT_EQ(back.responseCacheEntries, h.responseCacheEntries);
+    EXPECT_EQ(back.responseCacheHitRate, h.responseCacheHitRate);
+    EXPECT_EQ(back.coalescedInflight, h.coalescedInflight);
+    EXPECT_EQ(back.requestCount, h.requestCount);
+    EXPECT_EQ(back.p50Ms, h.p50Ms);
+    EXPECT_EQ(back.p99Ms, h.p99Ms);
+}
+
+/** A pong from a pre-response-cache daemon simply lacks the cache
+ *  gauges: the codec must default them to zero, not throw. */
+TEST(ServeProtocol, HealthFromOlderPeerDefaultsCacheGauges)
+{
+    Health h;
+    h.ok = true;
+    h.inflight = 2;
+    JsonValue v = healthToJson(h);
+    // Strip the new keys, simulating an older peer's pong.
+    JsonValue stripped = JsonValue::makeObject();
+    for (auto &member : v.object) {
+        if (member.first != "responseCacheEntries" &&
+            member.first != "responseCacheHitRate" &&
+            member.first != "coalescedInflight")
+            stripped.set(member.first, member.second);
+    }
+    const Health back = healthFromJson(stripped);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.inflight, 2u);
+    EXPECT_EQ(back.responseCacheEntries, 0u);
+    EXPECT_EQ(back.responseCacheHitRate, 0.0);
+    EXPECT_EQ(back.coalescedInflight, 0u);
+}
+
 TEST(ServeProtocol, FailureCodesMirrorExitCodes)
 {
     EXPECT_EQ(failureCode(FailureKind::None), kCodeOk);

@@ -206,6 +206,20 @@ TEST(ServeServer, RemoteNetMatchesOfflineBitForBit)
                           ? 0u
                           : static_cast<std::uint64_t>(kCodePartial));
 
+            // Repeat the identical request under a fresh id: whether
+            // it replays from the response cache or re-runs the
+            // deterministic search, the bytes must match the first
+            // response exactly, id aside.
+            Request repeat = req;
+            repeat.id = req.id + "-repeat";
+            const std::string rawRepeat =
+                client.callRaw(writeJson(encodeRequest(repeat)));
+            EXPECT_EQ(rawRepeat,
+                      writeJson(restampResponseId(response,
+                                                  repeat.id)))
+                << "cached repeat diverged for "
+                << strategyWireName(strategy) << " on " << archName;
+
             server.requestShutdown();
             server.waitForShutdown();
         }
@@ -289,6 +303,19 @@ TEST(ServeServer, RoutedNetMatchesOfflineBitForBit)
                       offline.allFound
                           ? 0u
                           : static_cast<std::uint64_t>(kCodePartial));
+
+            // Repeat under a fresh id: the router's response cache
+            // (or a re-forwarded deterministic search) must produce
+            // the same bytes, id aside.
+            Request repeat = req;
+            repeat.id = req.id + "-repeat";
+            const std::string rawRepeat =
+                client.callRaw(writeJson(encodeRequest(repeat)));
+            EXPECT_EQ(rawRepeat,
+                      writeJson(restampResponseId(response,
+                                                  repeat.id)))
+                << "routed cached repeat diverged for "
+                << strategyWireName(strategy) << " on " << archName;
 
             router.requestShutdown();
             router.waitForShutdown();
@@ -387,6 +414,9 @@ TEST(ServeServer, ConcurrentRequestsShareTheWarmCache)
     ServeOptions options = tcpOptions();
     options.maxInflight = 4;
     options.queueCapacity = 16;
+    // This test is about the *eval* cache: repeats must re-run the
+    // search against warm entries, not replay a cached response line.
+    options.responseCache = false;
     Server server(options);
     server.start();
 
@@ -450,6 +480,193 @@ TEST(ServeServer, ConcurrentRequestsShareTheWarmCache)
         stats.at("evalCache").at("hitRate").asDouble();
     EXPECT_GT(hitRate, 0.0);
     EXPECT_EQ(stats.at("requests").at("completed").asU64(), 9u);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+/**
+ * The response cache's core promise: a repeated deterministic request
+ * replays the first response's bytes (only the id re-stamped) without
+ * running a second search — strategy counters and the latency
+ * histogram stay untouched on the cached path.
+ */
+TEST(ServeServer, ResponseCacheServesRepeatsWithoutSearching)
+{
+    Server server(tcpOptions());
+    server.start();
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+
+    const SearchOptions search =
+        quickOptions(SearchStrategy::Random);
+    const std::string rawFirst = client.callRaw(writeJson(
+        encodeRequest(mapRequest("first", kQuickConfig, search))));
+    const JsonValue first = parseJson(rawFirst);
+    ASSERT_EQ(first.at("code").asU64(), 0u) << rawFirst;
+
+    const std::string rawSecond = client.callRaw(writeJson(
+        encodeRequest(mapRequest("second", kQuickConfig, search))));
+    EXPECT_EQ(rawSecond,
+              writeJson(restampResponseId(first, "second")));
+
+    const JsonValue stats = server.statsJson();
+    const JsonValue &cache = stats.at("responseCache");
+    EXPECT_TRUE(cache.at("enabled").asBool());
+    EXPECT_EQ(cache.at("hits").asU64(), 1u);
+    EXPECT_EQ(cache.at("misses").asU64(), 1u);
+    EXPECT_EQ(cache.at("entries").asU64(), 1u);
+    EXPECT_DOUBLE_EQ(cache.at("hitRate").asDouble(), 0.5);
+    // Exactly one search ran; the cached replay counted nowhere else.
+    EXPECT_EQ(stats.at("strategies")
+                  .at("random")
+                  .at("requests")
+                  .asU64(),
+              1u);
+    EXPECT_EQ(stats.at("latency").at("count").asU64(), 1u);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+/** With --no-response-cache the stats block stays, zeroed/disabled,
+ *  and repeats run real searches again. */
+TEST(ServeServer, ResponseCacheCanBeDisabled)
+{
+    ServeOptions options = tcpOptions();
+    options.responseCache = false;
+    Server server(options);
+    server.start();
+    Client client = Client::connectTcp("127.0.0.1", server.port());
+
+    const SearchOptions search =
+        quickOptions(SearchStrategy::Random);
+    for (const char *id : {"a", "b"}) {
+        const JsonValue response = client.call(encodeRequest(
+            mapRequest(id, kQuickConfig, search)));
+        ASSERT_EQ(response.at("code").asU64(), 0u);
+    }
+
+    const JsonValue stats = server.statsJson();
+    const JsonValue &cache = stats.at("responseCache");
+    EXPECT_FALSE(cache.at("enabled").asBool());
+    EXPECT_EQ(cache.at("hits").asU64(), 0u);
+    EXPECT_EQ(cache.at("misses").asU64(), 0u);
+    EXPECT_EQ(stats.at("strategies")
+                  .at("random")
+                  .at("requests")
+                  .asU64(),
+              2u);
+
+    server.requestShutdown();
+    server.waitForShutdown();
+}
+
+/**
+ * The single-flight proof: N identical requests arriving while their
+ * search is still pending produce exactly ONE search. A distinct slow
+ * request pins the only admission slot, so the identical wave is
+ * provably concurrent: one leader queued, the rest parked as
+ * followers (visible in the coalescedWaiting gauge), every response
+ * byte-identical modulo id.
+ */
+TEST(ServeServer, SingleFlightCoalescesConcurrentIdenticalRequests)
+{
+    ServeOptions options = tcpOptions();
+    options.maxInflight = 1;
+    options.queueCapacity = 16;
+    Server server(options);
+    server.start();
+
+    // Pin the slot: impossible arch + unbounded random sampling, so
+    // only the wall-clock budget ends it (which also makes it
+    // uncacheable, so it cannot interfere with the flight).
+    SearchOptions slow = quickOptions(SearchStrategy::Random);
+    slow.maxEvaluations = 0;
+    slow.timeBudget = milliseconds(3000);
+    std::thread pinCall([&]() {
+        Client client =
+            Client::connectTcp("127.0.0.1", server.port());
+        const JsonValue response = client.call(encodeRequest(
+            mapRequest("pin", kImpossibleConfig, slow)));
+        EXPECT_EQ(response.at("code").asU64(),
+                  static_cast<std::uint64_t>(kCodeDeadline))
+            << writeJson(response);
+    });
+
+    // Wait until the pin actually holds the slot.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.statsJson()
+               .at("requests")
+               .at("inflight")
+               .asU64() == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "pin request never started";
+        std::this_thread::sleep_for(milliseconds(5));
+    }
+
+    // The identical wave: all must coalesce behind one leader. A
+    // different strategy than the pin, so its request counter
+    // isolates the wave's single search.
+    constexpr int kClients = 5;
+    const SearchOptions search =
+        quickOptions(SearchStrategy::Exhaustive);
+    std::vector<std::string> raw(kClients);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t)
+        threads.emplace_back([&, t]() {
+            try {
+                Client client =
+                    Client::connectTcp("127.0.0.1", server.port());
+                raw[static_cast<std::size_t>(t)] =
+                    client.callRaw(writeJson(encodeRequest(
+                        mapRequest("c" + std::to_string(t),
+                                   kQuickConfig, search))));
+            } catch (...) {
+                ++failures;
+            }
+        });
+
+    // While the pin still holds the slot, the whole wave must be
+    // parked: one queued leader, kClients - 1 followers.
+    while (server.statsJson()
+               .at("responseCache")
+               .at("coalescedWaiting")
+               .asU64() != kClients - 1) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "followers never coalesced; stats: "
+            << writeJson(server.statsJson());
+        std::this_thread::sleep_for(milliseconds(5));
+    }
+
+    for (std::thread &th : threads)
+        th.join();
+    pinCall.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Every response carries its own id over identical bytes.
+    const JsonValue first = parseJson(raw[0]);
+    ASSERT_EQ(first.at("code").asU64(), 0u) << raw[0];
+    for (int t = 1; t < kClients; ++t)
+        EXPECT_EQ(raw[static_cast<std::size_t>(t)],
+                  writeJson(restampResponseId(
+                      first, "c" + std::to_string(t))));
+
+    const JsonValue stats = server.statsJson();
+    // ONE search for the whole wave...
+    EXPECT_EQ(stats.at("strategies")
+                  .at("exhaustive")
+                  .at("requests")
+                  .asU64(),
+              1u);
+    // ...with every follower accounted for, and no flight leaked.
+    const JsonValue &cache = stats.at("responseCache");
+    EXPECT_EQ(cache.at("coalesced").asU64(),
+              static_cast<std::uint64_t>(kClients - 1));
+    EXPECT_EQ(cache.at("coalescedWaiting").asU64(), 0u);
+    EXPECT_EQ(cache.at("flights").asU64(), 0u);
+    EXPECT_EQ(cache.at("entries").asU64(), 1u);
 
     server.requestShutdown();
     server.waitForShutdown();
@@ -641,7 +858,11 @@ TEST(ServeServer, MalformedLinesGetStructuredErrors)
 
 TEST(ServeServer, StatsReportStrategyThroughputAndMemo)
 {
-    Server server(tcpOptions());
+    ServeOptions options = tcpOptions();
+    // The repeat must reach the layer memo (and count as a second
+    // strategy request), not short-circuit in the response cache.
+    options.responseCache = false;
+    Server server(options);
     server.start();
     Client client = Client::connectTcp("127.0.0.1", server.port());
 

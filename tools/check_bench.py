@@ -238,6 +238,18 @@ def check_serve_load(gate, data):
         f" {single['layer_memo_hit_rate']:.3f}",
     )
 
+    # Response-cache effectiveness is deterministic (the repeat
+    # segment replays identical eligible requests against a warm
+    # cache), so its floor holds on any host: nearly every repeat
+    # must be served from the cache (hit or coalesced), on the
+    # daemon's own cache and on the router's epoch-tagged tier alike.
+    for name, run in (("single daemon", single), ("fleet", fleet)):
+        gate.check(
+            run["repeat_hit_rate"] >= 0.9,
+            f"{name}: repeat-segment response-cache hit rate"
+            f" {run['repeat_hit_rate']:.3f} >= 0.9",
+        )
+
     cores = data["hardware_concurrency"]
     if cores >= 2:
         print(f"  ({cores} hardware threads: fleet QPS floor)")
@@ -248,12 +260,29 @@ def check_serve_load(gate, data):
             f" {single['qps']:.0f} at equal slot budget"
             f" (ratio {ratio:.2f}x)",
         )
+        # Cached replays skip search entirely, so the repeat segment
+        # must beat the mixed trace's throughput outright. Timing-
+        # sensitive, hence core-gated with the other QPS floors.
+        print(f"  ({cores} hardware threads: repeat QPS floor)")
+        for name, run in (("single daemon", single),
+                          ("fleet", fleet)):
+            gate.check(
+                run["repeat_qps"] > run["qps"],
+                f"{name}: cached repeat qps {run['repeat_qps']:.0f}"
+                f" > mixed-trace qps {run['qps']:.0f}",
+            )
     else:
         print(
             f"  REFUSED: fleet-vs-single QPS floor not gated"
             f" (hardware_concurrency={cores}; one hardware thread"
             f" time-slices the whole fleet, so routed throughput"
             f" cannot exceed a single daemon's there)"
+        )
+        print(
+            f"  REFUSED: repeat-QPS floor not gated"
+            f" (hardware_concurrency={cores}; cached-replay timing"
+            f" on a time-sliced core measures scheduler noise, not"
+            f" the fast path)"
         )
 
 

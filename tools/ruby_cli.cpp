@@ -150,15 +150,19 @@ usage()
            "  ruby-map suites\n"
            "  ruby-map serve [--unix PATH | --host H --port N]\n"
            "          [--max-inflight N] [--queue-capacity N]\n"
-           "          [--drain-budget MS] [--cache-capacity N]"
-           " [--quiet]\n"
+           "          [--drain-budget MS] [--cache-capacity N]\n"
+           "          [--[no-]response-cache]"
+           " [--response-cache-capacity N]\n"
+           "          [--quiet]\n"
            "  ruby-map route --backend (unix:PATH | HOST:PORT) ...\n"
            "          [--unix PATH | --host H --port N]\n"
            "          [--replicas N] [--load-factor X]\n"
            "          [--health-interval MS] [--forwarders N]\n"
            "          [--queue-capacity N] [--retry N]\n"
-           "          [--retry-budget MS] [--drain-budget MS]"
-           " [--quiet]\n"
+           "          [--retry-budget MS] [--drain-budget MS]\n"
+           "          [--[no-]response-cache]"
+           " [--response-cache-capacity N]\n"
+           "          [--quiet]\n"
            "  ruby-map remote (--unix PATH | --host H --port N)\n"
            "          [--retry N] [--retry-budget MS]\n"
            "          ( map <config.yaml> [map overrides]\n"
@@ -581,6 +585,13 @@ runServe(const std::vector<std::string> &args)
         else if (flag == "--cache-capacity")
             options.evalCacheCapacity =
                 static_cast<std::size_t>(parseU64Arg(flag, next()));
+        else if (flag == "--response-cache")
+            options.responseCache = true;
+        else if (flag == "--no-response-cache")
+            options.responseCache = false;
+        else if (flag == "--response-cache-capacity")
+            options.responseCacheCapacity =
+                static_cast<std::size_t>(parseU64Arg(flag, next()));
         else if (flag == "--quiet")
             options.logLifecycle = false;
         else
@@ -670,6 +681,13 @@ runRoute(const std::vector<std::string> &args)
         else if (flag == "--drain-budget")
             options.drainBudget =
                 std::chrono::milliseconds(parseU64Arg(flag, next()));
+        else if (flag == "--response-cache")
+            options.responseCache = true;
+        else if (flag == "--no-response-cache")
+            options.responseCache = false;
+        else if (flag == "--response-cache-capacity")
+            options.responseCacheCapacity =
+                static_cast<std::size_t>(parseU64Arg(flag, next()));
         else if (flag == "--quiet")
             options.logLifecycle = false;
         else
@@ -755,6 +773,11 @@ printPingHealth(const serve::JsonValue &response)
               << " uptime-ms=" << health.uptimeMs
               << " eval-cache-capacity=" << health.evalCacheCapacity
               << " layer-memo-entries=" << health.layerMemoEntries
+              << " response-cache-entries="
+              << health.responseCacheEntries
+              << " response-cache-hit-rate="
+              << health.responseCacheHitRate
+              << " coalesced-inflight=" << health.coalescedInflight
               << "\n";
 }
 
